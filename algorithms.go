@@ -1,0 +1,34 @@
+package gradoop
+
+import "gradoop/internal/algorithms"
+
+// Result property keys written by the graph algorithms.
+const (
+	// ComponentPropertyKey holds a vertex's weakly-connected-component id.
+	ComponentPropertyKey = algorithms.ComponentPropertyKey
+	// PageRankPropertyKey holds a vertex's PageRank score.
+	PageRankPropertyKey = algorithms.PageRankPropertyKey
+	// SSSPPropertyKey holds a vertex's shortest-path distance.
+	SSSPPropertyKey = algorithms.SSSPPropertyKey
+)
+
+// ConnectedComponents annotates every vertex with its weakly connected
+// component id (property ComponentPropertyKey) and returns the annotated
+// graph. maxIterations bounds label propagation; the graph diameter
+// suffices for exact results.
+func (g *LogicalGraph) ConnectedComponents(maxIterations int) *LogicalGraph {
+	return &LogicalGraph{env: g.env, g: algorithms.WeaklyConnectedComponents(g.g, maxIterations)}
+}
+
+// PageRank annotates every vertex with its PageRank score (property
+// PageRankPropertyKey) after the given number of synchronous iterations.
+func (g *LogicalGraph) PageRank(damping float64, iterations int) *LogicalGraph {
+	return &LogicalGraph{env: g.env, g: algorithms.PageRank(g.g, damping, iterations)}
+}
+
+// ShortestPaths annotates every vertex reachable from source with its
+// shortest-path distance (property SSSPPropertyKey), reading edge weights
+// from weightKey ("" treats every edge as weight 1).
+func (g *LogicalGraph) ShortestPaths(source ID, weightKey string, maxIterations int) *LogicalGraph {
+	return &LogicalGraph{env: g.env, g: algorithms.SingleSourceShortestPaths(g.g, source, weightKey, maxIterations)}
+}

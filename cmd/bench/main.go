@@ -1,0 +1,63 @@
+// Command bench regenerates the paper's evaluation tables and figures
+// (§4): the speedup-over-workers experiment (Figure 3), the data-volume
+// experiment (Figure 4), the predicate-selectivity experiment (Figure 5),
+// the intermediate-result-size table (Table 3), the full runtime matrix
+// (Table 4) and the appendix result cardinalities.
+//
+// Usage:
+//
+//	bench -exp all
+//	bench -exp figure3 -sf-small 0.1 -sf-large 1.0
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"gradoop/internal/benchkit"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: figure3|figure4|figure5|table3|table4|cards|extended|all")
+	sfSmall := flag.Float64("sf-small", 0.1, "small scale factor (the paper's SF10 stand-in)")
+	sfLarge := flag.Float64("sf-large", 1.0, "large scale factor (the paper's SF100 stand-in)")
+	seed := flag.Int64("seed", 2017, "generator seed")
+	flag.Parse()
+
+	r := benchkit.NewRunner()
+	r.SFSmall = *sfSmall
+	r.SFLarge = *sfLarge
+	r.Seed = *seed
+
+	experiments := map[string]func() error{
+		"figure3":  func() error { return benchkit.Figure3(r, os.Stdout) },
+		"figure4":  func() error { return benchkit.Figure4(r, os.Stdout) },
+		"figure5":  func() error { return benchkit.Figure5(r, os.Stdout) },
+		"table3":   func() error { return benchkit.Table3(r, os.Stdout) },
+		"table4":   func() error { return benchkit.Table4(r, os.Stdout) },
+		"cards":    func() error { return benchkit.Cardinalities(r, os.Stdout) },
+		"extended": func() error { return benchkit.Extended(r, os.Stdout) },
+	}
+	order := []string{"figure3", "figure4", "figure5", "table3", "table4", "cards", "extended"}
+
+	run := func(name string) {
+		fn, ok := experiments[name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "bench: unknown experiment %q\n", name)
+			os.Exit(2)
+		}
+		if err := fn(); err != nil {
+			fmt.Fprintf(os.Stderr, "bench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+	if *exp == "all" {
+		for _, name := range order {
+			run(name)
+		}
+		return
+	}
+	run(*exp)
+}

@@ -1,0 +1,156 @@
+// Command cypher runs a Cypher pattern matching query against a Gradoop-CSV
+// dataset directory and prints the result rows (or just the match count),
+// optionally with the query plan.
+//
+// Usage:
+//
+//	cypher -graph ./data/sf1 -query 'MATCH (p:Person)-[:knows]->(q) RETURN p.firstName' \
+//	       -workers 8 -vertex-sem homo -edge-sem iso -explain
+//
+// Parameters are passed as repeated -param name=value flags; values are
+// treated as strings unless they parse as integers or floats.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"gradoop/internal/core"
+	"gradoop/internal/dataflow"
+	"gradoop/internal/epgm"
+	"gradoop/internal/operators"
+	"gradoop/internal/stats"
+	csvstore "gradoop/internal/storage/csv"
+)
+
+type paramFlags map[string]epgm.PropertyValue
+
+// String implements flag.Value.
+func (p paramFlags) String() string { return fmt.Sprintf("%v", map[string]epgm.PropertyValue(p)) }
+
+// Set implements flag.Value, parsing name=value with type inference.
+func (p paramFlags) Set(s string) error {
+	name, value, ok := strings.Cut(s, "=")
+	if !ok {
+		return fmt.Errorf("expected name=value, got %q", s)
+	}
+	if n, err := strconv.ParseInt(value, 10, 64); err == nil {
+		p[name] = epgm.PVInt(n)
+	} else if f, err := strconv.ParseFloat(value, 64); err == nil {
+		p[name] = epgm.PVFloat(f)
+	} else if b, err := strconv.ParseBool(value); err == nil {
+		p[name] = epgm.PVBool(b)
+	} else {
+		p[name] = epgm.PVString(value)
+	}
+	return nil
+}
+
+func parseSemantics(s string) (operators.Semantics, error) {
+	switch strings.ToLower(s) {
+	case "homo", "homomorphism":
+		return operators.Homomorphism, nil
+	case "iso", "isomorphism":
+		return operators.Isomorphism, nil
+	default:
+		return 0, fmt.Errorf("unknown semantics %q (want homo or iso)", s)
+	}
+}
+
+func main() {
+	graphDir := flag.String("graph", "", "Gradoop-CSV dataset directory (required)")
+	query := flag.String("query", "", "Cypher query (required unless -i)")
+	interactive := flag.Bool("i", false, "interactive mode: read one query per line from stdin")
+	workers := flag.Int("workers", 4, "number of dataflow workers")
+	vertexSem := flag.String("vertex-sem", "homo", "vertex semantics: homo|iso")
+	edgeSem := flag.String("edge-sem", "iso", "edge semantics: homo|iso")
+	explain := flag.Bool("explain", false, "print the query plan")
+	countOnly := flag.Bool("count", false, "print only the match count")
+	maxRows := flag.Int("max-rows", 100, "print at most this many rows")
+	params := paramFlags{}
+	flag.Var(params, "param", "query parameter name=value (repeatable)")
+	flag.Parse()
+
+	fail := func(err error) {
+		fmt.Fprintf(os.Stderr, "cypher: %v\n", err)
+		os.Exit(1)
+	}
+	if *graphDir == "" || (*query == "" && !*interactive) {
+		fmt.Fprintln(os.Stderr, "cypher: -graph and -query (or -i) are required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	vs, err := parseSemantics(*vertexSem)
+	if err != nil {
+		fail(err)
+	}
+	es, err := parseSemantics(*edgeSem)
+	if err != nil {
+		fail(err)
+	}
+
+	env := dataflow.NewEnv(dataflow.DefaultConfig(*workers))
+	g, err := csvstore.ReadLogicalGraph(env, *graphDir)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("loaded %s: %d vertices, %d edges\n", *graphDir, g.VertexCount(), g.EdgeCount())
+
+	st := stats.Collect(g)
+	runQuery := func(q string) {
+		env.ResetMetrics()
+		start := time.Now()
+		res, err := core.Execute(g, q, core.Config{Vertex: vs, Edge: es, Params: params, Stats: st})
+		if err != nil {
+			if *interactive {
+				fmt.Fprintf(os.Stderr, "cypher: %v\n", err)
+				return
+			}
+			fail(err)
+		}
+		count := res.Count()
+		elapsed := time.Since(start)
+
+		if *explain {
+			fmt.Println("plan:")
+			fmt.Print(res.Explain())
+		}
+		if !*countOnly {
+			rows := res.Rows()
+			for i, row := range rows {
+				if i >= *maxRows {
+					fmt.Printf("... (%d more rows)\n", len(rows)-*maxRows)
+					break
+				}
+				fmt.Println(row)
+			}
+		}
+		m := env.Metrics()
+		fmt.Printf("%d matches in %s (simulated cluster time %s, %s)\n",
+			count, elapsed.Round(time.Millisecond), m.SimTime.Round(time.Microsecond), m)
+	}
+
+	if !*interactive {
+		runQuery(*query)
+		return
+	}
+	fmt.Println("interactive mode; one query per line, empty line or EOF quits")
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for {
+		fmt.Print("cypher> ")
+		if !sc.Scan() {
+			break
+		}
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			break
+		}
+		runQuery(line)
+	}
+}

@@ -1,0 +1,27 @@
+package gradoop
+
+import "gradoop/internal/ldbc"
+
+// SocialNetworkInfo summarizes a generated benchmark graph.
+type SocialNetworkInfo struct {
+	Persons, Posts, Comments, Forums, Tags int
+	// CommonFirstName, MediumFirstName and RareFirstName are parameter
+	// values for selectivity experiments: predicates on the common name
+	// select a large population, on the rare name almost none.
+	CommonFirstName, MediumFirstName, RareFirstName string
+}
+
+// GenerateSocialNetwork builds a deterministic LDBC-SNB-like social network
+// (persons, posts, comments, forums, tags, universities, cities with
+// power-law degree and Zipf property distributions). scaleFactor 1.0 yields
+// roughly 10,000 vertices; the same (scaleFactor, seed) pair always produces
+// a structurally identical graph.
+func (e *Environment) GenerateSocialNetwork(scaleFactor float64, seed int64) (*LogicalGraph, SocialNetworkInfo) {
+	d := ldbc.Generate(e.env, ldbc.Config{ScaleFactor: scaleFactor, Seed: seed})
+	common, medium, rare := d.FirstNamesBySelectivity()
+	return &LogicalGraph{env: e, g: d.Graph}, SocialNetworkInfo{
+		Persons: d.Persons, Posts: d.Posts, Comments: d.Comments,
+		Forums: d.Forums, Tags: d.Tags,
+		CommonFirstName: common, MediumFirstName: medium, RareFirstName: rare,
+	}
+}

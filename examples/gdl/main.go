@@ -1,0 +1,92 @@
+// GDL fixtures and OPTIONAL MATCH: declare a small organization graph in
+// Gradoop's Graph Definition Language, then answer "profile completeness"
+// questions — which employees lack a team or a mentor — with optional
+// pattern matching, aggregation and ordering.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"gradoop"
+)
+
+const org = `
+acme:Company [
+    (ann:Employee {name: "Ann", level: 3})
+    (ben:Employee {name: "Ben", level: 2})
+    (cy:Employee  {name: "Cy",  level: 1})
+    (dora:Employee {name: "Dora", level: 1})
+    (core:Team {name: "Core"})
+    (infra:Team {name: "Infra"})
+    (ann)-[:memberOf]->(core)
+    (ben)-[:memberOf]->(core)
+    (cy)-[:memberOf]->(infra)
+    (ann)-[:mentors]->(ben)
+    (ann)-[:mentors]->(cy)
+]
+`
+
+func main() {
+	env := gradoop.NewEnvironment(gradoop.WithWorkers(2))
+	db, err := env.ParseGDL(org)
+	if err != nil {
+		log.Fatal(err)
+	}
+	g, _ := db.Graph("acme")
+	if err := g.Verify(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("declared %q: %d vertices, %d edges\n", "acme", g.VertexCount(), g.EdgeCount())
+
+	// Everyone, with their team and mentor when present: OPTIONAL MATCH
+	// keeps employees without either (Dora has neither a team nor a
+	// mentor entry pointing at her).
+	rows, err := g.CypherRows(`
+		MATCH (e:Employee)
+		OPTIONAL MATCH (e)-[:memberOf]->(t:Team)
+		OPTIONAL MATCH (m:Employee)-[:mentors]->(e)
+		RETURN e.name AS employee, t.name AS team, m.name AS mentor
+		ORDER BY employee`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nprofile report:")
+	for _, row := range rows {
+		team, mentor := row.Values[1], row.Values[2]
+		fmt.Printf("  %-6s team=%-8s mentor=%s\n",
+			row.Values[0].Str(), orDash(team), orDash(mentor))
+	}
+
+	// Completeness metric: how many employees are missing a team?
+	missing, err := g.CypherRows(`
+		MATCH (e:Employee)
+		OPTIONAL MATCH (e)-[:memberOf]->(t:Team)
+		RETURN count(*) AS total, count(t) AS withTeam`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	total := missing[0].Values[0].Int()
+	withTeam := missing[0].Values[1].Int()
+	fmt.Printf("\n%d of %d employees are assigned to a team\n", withTeam, total)
+
+	// Team sizes via aggregation.
+	teams, err := g.CypherRows(`
+		MATCH (t:Team)
+		OPTIONAL MATCH (e:Employee)-[:memberOf]->(t)
+		RETURN t.name AS team, count(e) AS members ORDER BY members DESC, team`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nteam sizes:")
+	for _, row := range teams {
+		fmt.Printf("  %-8s %d members\n", row.Values[0].Str(), row.Values[1].Int())
+	}
+}
+
+func orDash(v gradoop.PropertyValue) string {
+	if v.IsNull() {
+		return "-"
+	}
+	return v.Str()
+}

@@ -1,0 +1,85 @@
+// Quickstart: build a small property graph, run the paper's flagship Cypher
+// query (§2.3) with configurable matching semantics, and inspect both the
+// tabular result and the EPGM graph-collection result.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"gradoop"
+)
+
+func main() {
+	env := gradoop.NewEnvironment(gradoop.WithWorkers(4))
+
+	// The social network of the paper's Figure 1.
+	person := func(name, gender string) gradoop.Vertex {
+		return gradoop.Vertex{ID: gradoop.NewID(), Label: "Person",
+			Properties: gradoop.Properties{}.
+				Set("name", gradoop.String(name)).
+				Set("gender", gradoop.String(gender))}
+	}
+	alice := person("Alice", "female")
+	bob := person("Bob", "male")
+	eve := person("Eve", "female")
+	carol := person("Carol", "female")
+	uni := gradoop.Vertex{ID: gradoop.NewID(), Label: "University",
+		Properties: gradoop.Properties{}.Set("name", gradoop.String("Uni Leipzig"))}
+
+	edge := func(label string, s, t gradoop.Vertex, props gradoop.Properties) gradoop.Edge {
+		return gradoop.Edge{ID: gradoop.NewID(), Label: label,
+			Source: s.ID, Target: t.ID, Properties: props}
+	}
+	g := env.GraphFromSlices("Community",
+		[]gradoop.Vertex{alice, bob, eve, carol, uni},
+		[]gradoop.Edge{
+			edge("knows", alice, bob, nil),
+			edge("knows", bob, alice, nil),
+			edge("knows", bob, eve, nil),
+			edge("knows", eve, carol, nil),
+			edge("studyAt", alice, uni, gradoop.Properties{}.Set("classYear", gradoop.Int(2015))),
+			edge("studyAt", bob, uni, gradoop.Properties{}.Set("classYear", gradoop.Int(2014))),
+			edge("studyAt", eve, uni, gradoop.Properties{}.Set("classYear", gradoop.Int(2016))),
+		})
+
+	query := `
+		MATCH (p1:Person)-[s:studyAt]->(u:University),
+		      (p2:Person)-[:studyAt]->(u),
+		      (p1)-[e:knows*1..3]->(p2)
+		WHERE p1.gender <> p2.gender
+		  AND u.name = 'Uni Leipzig'
+		  AND s.classYear > 2014
+		RETURN p1.name, p2.name`
+
+	// Tabular access, Neo4j-style.
+	rows, err := g.CypherRows(query,
+		gradoop.WithVertexSemantics(gradoop.Homomorphism),
+		gradoop.WithEdgeSemantics(gradoop.Isomorphism))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("pairs of opposite-gender students connected by <=3 friendships:")
+	for _, row := range rows {
+		fmt.Println("  ", row)
+	}
+
+	// EPGM access: every match is a new logical graph whose head stores the
+	// variable bindings (Definition 2.4).
+	matches, err := g.Cypher(query)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nmatch collection holds %d logical graphs\n", matches.GraphCount())
+	for _, head := range matches.Heads() {
+		fmt.Printf("  match graph %d binds p1=%s p2=%s\n",
+			head.ID, head.Properties.Get("p1"), head.Properties.Get("p2"))
+	}
+
+	// The planner explains itself.
+	plan, err := g.ExplainCypher(query)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nquery plan:\n%s", plan)
+}

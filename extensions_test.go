@@ -1,0 +1,128 @@
+package gradoop
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPublicGDL(t *testing.T) {
+	env := NewEnvironment(WithWorkers(2))
+	db, err := env.ParseGDL(`
+		community:Community [
+			(alice:Person {name: "Alice"})-[:knows]->(bob:Person {name: "Bob"})
+			(bob)-[:knows]->(alice)
+		]
+		work [ (alice)-[:worksAt]->(acme:Company {name: "ACME"}) ]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, ok := db.Graph("community")
+	if !ok || g.VertexCount() != 2 || g.EdgeCount() != 2 {
+		t.Fatalf("community: %v", ok)
+	}
+	rows, err := g.CypherRows(`MATCH (a:Person)-[:knows]->(b) RETURN b.name ORDER BY b.name`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 || rows[0].Values[0].Str() != "Alice" {
+		t.Fatalf("rows: %v", rows)
+	}
+	if db.Collection().GraphCount() != 2 {
+		t.Fatal("collection")
+	}
+	if whole := db.WholeGraph(); whole.VertexCount() != 3 {
+		t.Fatalf("whole: %d", whole.VertexCount())
+	}
+	if _, ok := db.Vertex("acme"); !ok {
+		t.Fatal("acme missing")
+	}
+	if _, err := env.ParseGDL(`g [ (broken`); err == nil {
+		t.Fatal("expected parse error")
+	}
+}
+
+func TestPublicAlgorithms(t *testing.T) {
+	env := NewEnvironment(WithWorkers(4))
+	db, err := env.ParseGDL(`g [
+		(a)-[:e {w: 2.0}]->(b)-[:e {w: 3.0}]->(c)
+		(a)-[:e {w: 10.0}]->(c)
+		(x)-[:e]->(y)
+	]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, _ := db.Graph("g")
+
+	cc := g.ConnectedComponents(10)
+	comps := map[int64]int{}
+	for _, v := range cc.Vertices() {
+		comps[v.Properties.Get(ComponentPropertyKey).Int()]++
+	}
+	if len(comps) != 2 {
+		t.Fatalf("components: %v", comps)
+	}
+
+	pr := g.PageRank(0.85, 10)
+	var sum float64
+	for _, v := range pr.Vertices() {
+		sum += v.Properties.Get(PageRankPropertyKey).Float()
+	}
+	if math.Abs(sum-1) > 1e-6 {
+		t.Fatalf("pagerank sum %f", sum)
+	}
+
+	a, _ := db.Vertex("a")
+	c, _ := db.Vertex("c")
+	sp := g.ShortestPaths(a.ID, "w", 10)
+	for _, v := range sp.Vertices() {
+		if v.ID == c.ID {
+			if got := v.Properties.Get(SSSPPropertyKey).Float(); got != 5 {
+				t.Fatalf("distance to c: %f want 5 (2+3 beats direct 10)", got)
+			}
+		}
+	}
+}
+
+func TestPublicQueryWithModifiers(t *testing.T) {
+	env := NewEnvironment(WithWorkers(2))
+	g, _ := env.GenerateSocialNetwork(0.05, 3)
+	rows, err := g.CypherRows(`
+		MATCH (p:Person)-[:hasInterest]->(t:Tag)
+		RETURN t.name AS tag, count(*) AS fans
+		ORDER BY fans DESC, tag LIMIT 3`,
+		WithEdgeSemantics(Isomorphism))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows=%d", len(rows))
+	}
+	if rows[0].Values[1].Int() < rows[1].Values[1].Int() {
+		t.Fatal("not ordered by fans desc")
+	}
+}
+
+func TestPublicSample(t *testing.T) {
+	env := NewEnvironment(WithWorkers(4))
+	g, _ := env.GenerateSocialNetwork(0.1, 5)
+	sampled := g.SampleVertices(0.25, 42)
+	ratio := float64(sampled.VertexCount()) / float64(g.VertexCount())
+	if ratio < 0.15 || ratio > 0.35 {
+		t.Fatalf("sample ratio %f", ratio)
+	}
+	// Deterministic.
+	again := g.SampleVertices(0.25, 42)
+	if again.VertexCount() != sampled.VertexCount() {
+		t.Fatal("sampling not deterministic")
+	}
+	// Edges only survive when both endpoints do.
+	kept := map[ID]bool{}
+	for _, v := range sampled.Vertices() {
+		kept[v.ID] = true
+	}
+	for _, e := range sampled.Edges() {
+		if !kept[e.Source] || !kept[e.Target] {
+			t.Fatal("dangling edge in sample")
+		}
+	}
+}

@@ -1,0 +1,52 @@
+package gradoop
+
+import "gradoop/internal/gdl"
+
+// GDLDatabase holds the graphs declared by a GDL document (see ParseGDL).
+type GDLDatabase struct {
+	env *Environment
+	db  *gdl.Database
+}
+
+// ParseGDL builds graphs from a GDL (Graph Definition Language) document,
+// the concise notation Gradoop uses for fixtures and examples:
+//
+//	community:Community [
+//	    (alice:Person {name: "Alice"})-[:knows]->(bob:Person {name: "Bob"})
+//	    (bob)-[:knows]->(alice)
+//	]
+//
+// Variables are shared across the document, so the same vertex can belong
+// to several declared graphs.
+func (e *Environment) ParseGDL(src string) (*GDLDatabase, error) {
+	db, err := gdl.Parse(e.env, src)
+	if err != nil {
+		return nil, err
+	}
+	return &GDLDatabase{env: e, db: db}, nil
+}
+
+// Graph returns one declared logical graph by its GDL variable name.
+func (d *GDLDatabase) Graph(name string) (*LogicalGraph, bool) {
+	g, ok := d.db.Graph(name)
+	if !ok {
+		return nil, false
+	}
+	return &LogicalGraph{env: d.env, g: g}, true
+}
+
+// GraphNames lists the declared graph variables in declaration order.
+func (d *GDLDatabase) GraphNames() []string { return d.db.GraphNames() }
+
+// WholeGraph returns every declared element as one logical graph.
+func (d *GDLDatabase) WholeGraph() *LogicalGraph {
+	return &LogicalGraph{env: d.env, g: d.db.WholeGraph()}
+}
+
+// Collection returns all declared graphs as a graph collection.
+func (d *GDLDatabase) Collection() *GraphCollection {
+	return &GraphCollection{env: d.env, c: d.db.Collection()}
+}
+
+// Vertex returns a declared vertex by its GDL variable name.
+func (d *GDLDatabase) Vertex(name string) (Vertex, bool) { return d.db.Vertex(name) }

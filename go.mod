@@ -1,0 +1,3 @@
+module gradoop
+
+go 1.24

@@ -1,0 +1,141 @@
+// Package gradoop is a Go implementation of Gradoop's Extended Property
+// Graph Model with Cypher-based graph pattern matching, reproducing
+// "Cypher-based Graph Pattern Matching in Gradoop" (Junghanns et al.,
+// GRADES 2017).
+//
+// The library couples three layers:
+//
+//   - a partitioned, shared-nothing dataflow engine in the style of Apache
+//     Flink (internal/dataflow) with per-worker cost metering that yields a
+//     deterministic simulated cluster runtime,
+//   - the EPGM data model and its analytical operators — logical graphs,
+//     graph collections, subgraph, transformation, grouping, set operations,
+//     aggregation (internal/epgm),
+//   - a Cypher query engine: parser, query-graph simplification, greedy
+//     cost-based planning and physical operators over a compact embedding
+//     representation (internal/cypher, internal/planner,
+//     internal/operators, internal/embedding).
+//
+// Quick start:
+//
+//	env := gradoop.NewEnvironment(gradoop.WithWorkers(4))
+//	g := env.GraphFromSlices("social", vertices, edges)
+//	matches, err := g.Cypher(
+//	    `MATCH (p1:Person)-[e:knows*1..3]->(p2:Person)
+//	     WHERE p1.gender <> p2.gender RETURN *`,
+//	    gradoop.WithVertexSemantics(gradoop.Homomorphism),
+//	    gradoop.WithEdgeSemantics(gradoop.Isomorphism))
+//
+// The pattern matching operator follows Definition 2.4 of the paper: it
+// returns a collection of new logical graphs, one per match, with the
+// variable bindings stored as graph head properties. Tabular access in the
+// style of Neo4j is available through CypherRows.
+package gradoop
+
+import (
+	"time"
+
+	"gradoop/internal/dataflow"
+	"gradoop/internal/epgm"
+)
+
+// Re-exported model types. These are the EPGM building blocks users pass to
+// and receive from the public API.
+type (
+	// ID identifies graphs, vertices and edges.
+	ID = epgm.ID
+	// PropertyValue is a dynamically typed attribute value.
+	PropertyValue = epgm.PropertyValue
+	// Properties is an ordered key/value list.
+	Properties = epgm.Properties
+	// Vertex is a data vertex.
+	Vertex = epgm.Vertex
+	// Edge is a directed data edge.
+	Edge = epgm.Edge
+	// GraphHead carries a logical graph's label and properties.
+	GraphHead = epgm.GraphHead
+)
+
+// Property value constructors, re-exported for convenience.
+var (
+	// String wraps a string property value.
+	String = epgm.PVString
+	// Int wraps an int64 property value.
+	Int = epgm.PVInt
+	// Float wraps a float64 property value.
+	Float = epgm.PVFloat
+	// Bool wraps a bool property value.
+	Bool = epgm.PVBool
+	// NewID allocates a fresh element identifier.
+	NewID = epgm.NewID
+)
+
+// Environment owns the simulated cluster a set of graphs executes on.
+type Environment struct {
+	env *dataflow.Env
+}
+
+// Option configures an Environment.
+type Option func(*dataflow.Config)
+
+// WithWorkers sets the number of parallel workers (default 4).
+func WithWorkers(n int) Option {
+	return func(c *dataflow.Config) { c.Workers = n }
+}
+
+// WithMemoryPerWorker sets the simulated per-worker memory budget used by
+// the join spill model.
+func WithMemoryPerWorker(bytes int64) Option {
+	return func(c *dataflow.Config) { c.MemoryPerWorker = bytes }
+}
+
+// NewEnvironment creates an execution environment.
+func NewEnvironment(opts ...Option) *Environment {
+	cfg := dataflow.DefaultConfig(4)
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return &Environment{env: dataflow.NewEnv(cfg)}
+}
+
+// Workers returns the environment's parallelism.
+func (e *Environment) Workers() int { return e.env.Workers() }
+
+// Metrics summarizes the dataflow work executed so far.
+type Metrics struct {
+	// SimulatedTime is the deterministic cluster-time estimate derived from
+	// per-worker CPU, network and spill costs.
+	SimulatedTime time.Duration
+	// ElementsProcessed is the total number of dataset elements processed.
+	ElementsProcessed int64
+	// NetworkBytes is the total volume shuffled between workers.
+	NetworkBytes int64
+	// SpilledBytes is the volume written to simulated disk under memory
+	// pressure.
+	SpilledBytes int64
+	// Skew is the busiest worker's share relative to a perfect balance
+	// (1.0 = balanced).
+	Skew float64
+}
+
+// Metrics returns a snapshot of accumulated execution metrics.
+func (e *Environment) Metrics() Metrics {
+	s := e.env.Metrics()
+	return Metrics{
+		SimulatedTime:     s.SimTime,
+		ElementsProcessed: s.TotalCPU,
+		NetworkBytes:      s.TotalNet,
+		SpilledBytes:      s.TotalSpill,
+		Skew:              s.Skew(),
+	}
+}
+
+// ResetMetrics clears the accumulated metrics, e.g. between loading and
+// querying.
+func (e *Environment) ResetMetrics() { e.env.ResetMetrics() }
+
+// GraphFromSlices builds a logical graph from element slices, stamping all
+// elements with the new graph's membership.
+func (e *Environment) GraphFromSlices(label string, vertices []Vertex, edges []Edge) *LogicalGraph {
+	return &LogicalGraph{env: e, g: epgm.GraphFromSlices(e.env, label, vertices, edges)}
+}

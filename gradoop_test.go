@@ -1,0 +1,208 @@
+package gradoop
+
+import (
+	"strings"
+	"testing"
+)
+
+func socialNetwork() ([]Vertex, []Edge) {
+	person := func(name, gender string) Vertex {
+		return Vertex{ID: NewID(), Label: "Person", Properties: Properties{}.
+			Set("name", String(name)).Set("gender", String(gender))}
+	}
+	alice := person("Alice", "female")
+	bob := person("Bob", "male")
+	eve := person("Eve", "female")
+	uni := Vertex{ID: NewID(), Label: "University",
+		Properties: Properties{}.Set("name", String("Uni Leipzig"))}
+	e := func(label string, s, t Vertex, props Properties) Edge {
+		return Edge{ID: NewID(), Label: label, Source: s.ID, Target: t.ID, Properties: props}
+	}
+	return []Vertex{alice, bob, eve, uni}, []Edge{
+		e("knows", alice, bob, nil),
+		e("knows", bob, eve, nil),
+		e("knows", eve, alice, nil),
+		e("studyAt", alice, uni, Properties{}.Set("classYear", Int(2015))),
+		e("studyAt", bob, uni, Properties{}.Set("classYear", Int(2014))),
+		e("studyAt", eve, uni, Properties{}.Set("classYear", Int(2016))),
+	}
+}
+
+func social(t *testing.T, workers int) *LogicalGraph {
+	t.Helper()
+	env := NewEnvironment(WithWorkers(workers))
+	vs, es := socialNetwork()
+	return env.GraphFromSlices("social", vs, es)
+}
+
+func TestPublicQuickstartFlow(t *testing.T) {
+	g := social(t, 4)
+	if g.VertexCount() != 4 || g.EdgeCount() != 6 {
+		t.Fatalf("counts: %d/%d", g.VertexCount(), g.EdgeCount())
+	}
+	matches, err := g.Cypher(`
+		MATCH (p1:Person)-[e:knows*1..3]->(p2:Person)
+		WHERE p1.gender <> p2.gender RETURN *`,
+		WithVertexSemantics(Homomorphism),
+		WithEdgeSemantics(Isomorphism))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if matches.GraphCount() == 0 {
+		t.Fatal("no matches")
+	}
+	heads := matches.Heads()
+	if heads[0].Properties.Get("p1").IsNull() {
+		t.Fatal("bindings not stored on head")
+	}
+}
+
+func TestPublicCypherRows(t *testing.T) {
+	g := social(t, 2)
+	rows, err := g.CypherRows(`MATCH (p:Person)-[s:studyAt]->(u:University)
+		WHERE s.classYear > 2014 RETURN p.name AS name, u.name`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows=%d", len(rows))
+	}
+	if rows[0].Columns[0] != "name" {
+		t.Fatalf("columns: %v", rows[0].Columns)
+	}
+}
+
+func TestPublicCypherCountWithParams(t *testing.T) {
+	g := social(t, 2)
+	n, err := g.CypherCount(`MATCH (p:Person {name: $who})-[:knows]->(q) RETURN *`,
+		WithParams(map[string]PropertyValue{"who": String("Alice")}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("count=%d", n)
+	}
+}
+
+func TestPublicStatisticsAndIndexReuse(t *testing.T) {
+	g := social(t, 2)
+	st := g.CollectStatistics()
+	if !strings.Contains(st.String(), "Person=3") {
+		t.Fatalf("stats: %s", st)
+	}
+	idx := g.BuildIndex()
+	n, err := g.CypherCount(`MATCH (p:Person)-[:knows]->(q:Person) RETURN *`,
+		WithStatistics(st), WithIndex(idx))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Fatalf("count=%d", n)
+	}
+}
+
+func TestPublicExplain(t *testing.T) {
+	g := social(t, 2)
+	plan, err := g.ExplainCypher(`MATCH (p:Person)-[:knows]->(q:Person) RETURN *`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(plan, "JoinEmbeddings") {
+		t.Fatalf("plan: %s", plan)
+	}
+}
+
+func TestPublicCSVRoundTrip(t *testing.T) {
+	g := social(t, 2)
+	dir := t.TempDir()
+	if err := g.WriteCSV(dir); err != nil {
+		t.Fatal(err)
+	}
+	env := NewEnvironment(WithWorkers(3))
+	g2, err := env.ReadCSV(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.VertexCount() != g.VertexCount() || g2.EdgeCount() != g.EdgeCount() {
+		t.Fatal("round trip lost elements")
+	}
+	n, err := g2.CypherCount(`MATCH (p:Person)-[:studyAt]->(u:University) RETURN *`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Fatalf("count=%d", n)
+	}
+}
+
+func TestPublicEPGMOperators(t *testing.T) {
+	g := social(t, 2)
+	persons := g.Subgraph(func(v Vertex) bool { return v.Label == "Person" }, nil)
+	if persons.VertexCount() != 3 {
+		t.Fatalf("persons=%d", persons.VertexCount())
+	}
+	agg := persons.Aggregate(VertexCountAgg(), EdgeCountAgg())
+	if agg.Head().Properties.Get("vertexCount").Int() != 3 {
+		t.Fatal("aggregate")
+	}
+	grouped := g.GroupBy(GroupingConfig{GroupByVertexLabel: true, GroupByEdgeLabel: true})
+	if grouped.VertexCount() != 2 {
+		t.Fatalf("groups=%d", grouped.VertexCount())
+	}
+	females := g.Subgraph(func(v Vertex) bool { return v.Properties.Get("gender").Str() == "female" }, nil)
+	if got := persons.Exclusion(females).VertexCount(); got != 1 {
+		t.Fatalf("exclusion=%d", got)
+	}
+	if got := persons.Overlap(females).VertexCount(); got != 2 {
+		t.Fatalf("overlap=%d", got)
+	}
+	if got := persons.Combination(females).VertexCount(); got != 3 {
+		t.Fatalf("combination=%d", got)
+	}
+}
+
+func TestPublicCollectionOps(t *testing.T) {
+	g := social(t, 2)
+	coll, err := g.Cypher(`MATCH (p:Person)-[:knows]->(q:Person) RETURN *`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if coll.GraphCount() != 3 {
+		t.Fatalf("graphs=%d", coll.GraphCount())
+	}
+	first := coll.Heads()[0].ID
+	sub := coll.Select(func(h GraphHead) bool { return h.ID == first })
+	if sub.GraphCount() != 1 {
+		t.Fatal("select")
+	}
+	if coll.Difference(sub).GraphCount() != 2 {
+		t.Fatal("difference")
+	}
+	if coll.Intersect(sub).GraphCount() != 1 {
+		t.Fatal("intersect")
+	}
+	if coll.Union(sub).GraphCount() != 3 {
+		t.Fatal("union")
+	}
+	lg, ok := coll.Graph(first)
+	if !ok || lg.VertexCount() != 2 {
+		t.Fatal("graph extraction")
+	}
+}
+
+func TestPublicMetrics(t *testing.T) {
+	env := NewEnvironment(WithWorkers(4), WithMemoryPerWorker(1<<30))
+	vs, es := socialNetwork()
+	g := env.GraphFromSlices("social", vs, es)
+	env.ResetMetrics()
+	if _, err := g.CypherCount(`MATCH (a:Person)-[:knows]->(b) RETURN *`); err != nil {
+		t.Fatal(err)
+	}
+	m := env.Metrics()
+	if m.ElementsProcessed == 0 || m.SimulatedTime == 0 {
+		t.Fatalf("metrics empty: %+v", m)
+	}
+	if env.Workers() != 4 {
+		t.Fatal("workers")
+	}
+}

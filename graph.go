@@ -1,0 +1,182 @@
+package gradoop
+
+import (
+	"gradoop/internal/dataflow"
+	"gradoop/internal/epgm"
+	csvstore "gradoop/internal/storage/csv"
+)
+
+// LogicalGraph is the EPGM's central abstraction: a labeled, attributed
+// graph whose vertex and edge datasets are partitioned across the
+// environment's workers.
+type LogicalGraph struct {
+	env *Environment
+	g   *epgm.LogicalGraph
+}
+
+// Env returns the owning environment.
+func (g *LogicalGraph) Env() *Environment { return g.env }
+
+// Head returns the graph head.
+func (g *LogicalGraph) Head() GraphHead { return g.g.Head }
+
+// VertexCount returns |V|.
+func (g *LogicalGraph) VertexCount() int64 { return g.g.VertexCount() }
+
+// EdgeCount returns |E|.
+func (g *LogicalGraph) EdgeCount() int64 { return g.g.EdgeCount() }
+
+// Vertices materializes all vertices.
+func (g *LogicalGraph) Vertices() []Vertex { return g.g.Vertices.Collect() }
+
+// Edges materializes all edges.
+func (g *LogicalGraph) Edges() []Edge { return g.g.Edges.Collect() }
+
+// ReadCSV loads a logical graph from a Gradoop-CSV dataset directory.
+func (e *Environment) ReadCSV(dir string) (*LogicalGraph, error) {
+	g, err := csvstore.ReadLogicalGraph(e.env, dir)
+	if err != nil {
+		return nil, err
+	}
+	return &LogicalGraph{env: e, g: g}, nil
+}
+
+// WriteCSV writes the graph into a Gradoop-CSV dataset directory.
+func (g *LogicalGraph) WriteCSV(dir string) error {
+	return csvstore.WriteLogicalGraph(g.g, dir)
+}
+
+// Subgraph extracts the subgraph induced by the given predicates (nil
+// accepts everything); dangling edges are removed.
+func (g *LogicalGraph) Subgraph(vertexPred func(Vertex) bool, edgePred func(Edge) bool) *LogicalGraph {
+	return &LogicalGraph{env: g.env, g: g.g.Subgraph(vertexPred, edgePred)}
+}
+
+// Transform applies element-wise transformations (nil = identity).
+func (g *LogicalGraph) Transform(headFn func(GraphHead) GraphHead, vertexFn func(Vertex) Vertex, edgeFn func(Edge) Edge) *LogicalGraph {
+	return &LogicalGraph{env: g.env, g: g.g.Transform(headFn, vertexFn, edgeFn)}
+}
+
+// GroupingConfig configures structural graph grouping.
+type GroupingConfig = epgm.GroupingConfig
+
+// GroupBy summarizes the graph into super-vertices and counted super-edges.
+func (g *LogicalGraph) GroupBy(cfg GroupingConfig) *LogicalGraph {
+	return &LogicalGraph{env: g.env, g: g.g.GroupBy(cfg)}
+}
+
+// AggregateFunc folds a graph into one graph-head property.
+type AggregateFunc = epgm.AggregateFunc
+
+// Aggregate functions, re-exported.
+var (
+	// VertexCountAgg counts vertices into property "vertexCount".
+	VertexCountAgg = epgm.VertexCountAgg
+	// EdgeCountAgg counts edges into property "edgeCount".
+	EdgeCountAgg = epgm.EdgeCountAgg
+	// SumVertexPropertyAgg sums a numeric vertex property.
+	SumVertexPropertyAgg = epgm.SumVertexPropertyAgg
+	// MinVertexPropertyAgg takes the minimum of a numeric vertex property.
+	MinVertexPropertyAgg = epgm.MinVertexPropertyAgg
+	// MaxVertexPropertyAgg takes the maximum of a numeric vertex property.
+	MaxVertexPropertyAgg = epgm.MaxVertexPropertyAgg
+)
+
+// Aggregate evaluates aggregate functions onto the graph head.
+func (g *LogicalGraph) Aggregate(fns ...AggregateFunc) *LogicalGraph {
+	return &LogicalGraph{env: g.env, g: g.g.Aggregate(fns...)}
+}
+
+// Verify checks the structural consistency of the graph (unique element
+// ids, edge endpoints present) and returns the first violation, or nil.
+func (g *LogicalGraph) Verify() error { return g.g.Verify() }
+
+// EqualsByElementIDs reports whether both graphs contain exactly the same
+// vertex and edge identifiers.
+func (g *LogicalGraph) EqualsByElementIDs(other *LogicalGraph) bool {
+	return g.g.EqualsByElementIDs(other.g)
+}
+
+// EqualsByData reports whether both graphs carry the same data ignoring
+// identifiers (equal multisets of labeled, attributed vertices and edges
+// with matching endpoint data).
+func (g *LogicalGraph) EqualsByData(other *LogicalGraph) bool {
+	return g.g.EqualsByData(other.g)
+}
+
+// SampleVertices returns the subgraph induced by a deterministic pseudo-
+// random sample of roughly fraction of the vertices (Gradoop's random
+// vertex sampling operator). Edges survive only when both endpoints do.
+func (g *LogicalGraph) SampleVertices(fraction float64, seed uint64) *LogicalGraph {
+	threshold := uint64(fraction * float64(^uint64(0)))
+	return g.Subgraph(func(v Vertex) bool {
+		x := (uint64(v.ID) + seed) * 0x9e3779b97f4a7c15
+		x ^= x >> 29
+		x *= 0xbf58476d1ce4e5b9
+		x ^= x >> 32
+		return x < threshold
+	}, nil)
+}
+
+// Combination unions two graphs' elements.
+func (g *LogicalGraph) Combination(other *LogicalGraph) *LogicalGraph {
+	return &LogicalGraph{env: g.env, g: g.g.Combination(other.g)}
+}
+
+// Overlap intersects two graphs' elements.
+func (g *LogicalGraph) Overlap(other *LogicalGraph) *LogicalGraph {
+	return &LogicalGraph{env: g.env, g: g.g.Overlap(other.g)}
+}
+
+// Exclusion removes the other graph's elements from g.
+func (g *LogicalGraph) Exclusion(other *LogicalGraph) *LogicalGraph {
+	return &LogicalGraph{env: g.env, g: g.g.Exclusion(other.g)}
+}
+
+// GraphCollection is a set of logical graphs sharing element datasets; it is
+// the result type of the Cypher pattern matching operator.
+type GraphCollection struct {
+	env *Environment
+	c   *epgm.GraphCollection
+}
+
+// GraphCount returns the number of logical graphs in the collection.
+func (c *GraphCollection) GraphCount() int64 { return c.c.GraphCount() }
+
+// Heads materializes all graph heads.
+func (c *GraphCollection) Heads() []GraphHead { return c.c.Heads.Collect() }
+
+// Graph extracts one member graph by id.
+func (c *GraphCollection) Graph(id ID) (*LogicalGraph, bool) {
+	g, ok := c.c.Graph(id)
+	if !ok {
+		return nil, false
+	}
+	return &LogicalGraph{env: c.env, g: g}, true
+}
+
+// Select keeps graphs whose head satisfies pred.
+func (c *GraphCollection) Select(pred func(GraphHead) bool) *GraphCollection {
+	return &GraphCollection{env: c.env, c: c.c.Select(pred)}
+}
+
+// Union merges two collections.
+func (c *GraphCollection) Union(other *GraphCollection) *GraphCollection {
+	return &GraphCollection{env: c.env, c: c.c.Union(other.c)}
+}
+
+// Intersect keeps graphs present in both collections.
+func (c *GraphCollection) Intersect(other *GraphCollection) *GraphCollection {
+	return &GraphCollection{env: c.env, c: c.c.Intersect(other.c)}
+}
+
+// Difference keeps graphs absent from the other collection.
+func (c *GraphCollection) Difference(other *GraphCollection) *GraphCollection {
+	return &GraphCollection{env: c.env, c: c.c.Difference(other.c)}
+}
+
+// internalGraph exposes the wrapped graph to sibling files.
+func (g *LogicalGraph) internalGraph() *epgm.LogicalGraph { return g.g }
+
+// internalEnv exposes the wrapped dataflow environment to sibling files.
+func (e *Environment) internalEnv() *dataflow.Env { return e.env }

@@ -1,0 +1,242 @@
+// Package algorithms implements iterative graph algorithms on the dataflow
+// substrate — the role Gradoop delegates to Flink Gelly. Each algorithm is
+// an EPGM-style operator: it consumes a logical graph and produces a new
+// logical graph whose vertices carry the result as a property, so
+// algorithms compose with pattern matching and the other analytical
+// operators. All iteration happens through dataset transformations
+// (joins, reduces, unions), so the cost model meters algorithms exactly
+// like queries.
+package algorithms
+
+import (
+	"gradoop/internal/dataflow"
+	"gradoop/internal/epgm"
+)
+
+// ComponentPropertyKey is the vertex property written by
+// WeaklyConnectedComponents.
+const ComponentPropertyKey = "component"
+
+// WeaklyConnectedComponents annotates every vertex with the smallest vertex
+// id reachable over edges in either direction (min-id label propagation).
+// maxIterations bounds the propagation rounds; the diameter of the graph
+// suffices for exact results.
+func WeaklyConnectedComponents(g *epgm.LogicalGraph, maxIterations int) *epgm.LogicalGraph {
+	type label struct {
+		V, Comp epgm.ID
+	}
+	labels := dataflow.Map(g.Vertices, func(v epgm.Vertex) label {
+		return label{V: v.ID, Comp: v.ID}
+	})
+	// Undirected neighbor pairs.
+	neighbors := dataflow.FlatMap(g.Edges, func(e epgm.Edge, emit func([2]epgm.ID)) {
+		emit([2]epgm.ID{e.Source, e.Target})
+		emit([2]epgm.ID{e.Target, e.Source})
+	})
+
+	for iter := 0; iter < maxIterations; iter++ {
+		// Send each vertex's current component to its neighbors.
+		messages := dataflow.Join(labels, neighbors,
+			func(l label) uint64 { return uint64(l.V) },
+			func(p [2]epgm.ID) uint64 { return uint64(p[0]) },
+			func(l label, p [2]epgm.ID, emit func(label)) {
+				emit(label{V: p[1], Comp: l.Comp})
+			}, dataflow.RepartitionHash)
+		// Keep the minimum of the incoming components and the own label.
+		candidates := dataflow.Union(labels, messages)
+		next := dataflow.Map(
+			dataflow.ReduceByKey(candidates,
+				func(l label) epgm.ID { return l.V },
+				func(a, b label) label {
+					if b.Comp < a.Comp {
+						return b
+					}
+					return a
+				}),
+			func(kv dataflow.KV[epgm.ID, label]) label { return kv.Value })
+		// Converged when no label shrank.
+		changed := dataflow.Join(labels, next,
+			func(l label) uint64 { return uint64(l.V) },
+			func(l label) uint64 { return uint64(l.V) },
+			func(old, new label, emit func(struct{})) {
+				if old.V == new.V && new.Comp < old.Comp {
+					emit(struct{}{})
+				}
+			}, dataflow.RepartitionHash)
+		labels = next
+		if changed.IsEmpty() {
+			break
+		}
+	}
+	return annotate(g, "WCC", ComponentPropertyKey, dataflow.Map(labels, func(l label) dataflow.KV[epgm.ID, epgm.PropertyValue] {
+		return dataflow.KV[epgm.ID, epgm.PropertyValue]{Key: l.V, Value: epgm.PVInt(int64(l.Comp))}
+	}))
+}
+
+// PageRankPropertyKey is the vertex property written by PageRank.
+const PageRankPropertyKey = "pagerank"
+
+// PageRank annotates every vertex with its PageRank score after a fixed
+// number of synchronous iterations with the given damping factor
+// (typically 0.85). Dangling vertices redistribute their mass uniformly.
+func PageRank(g *epgm.LogicalGraph, damping float64, iterations int) *epgm.LogicalGraph {
+	n := float64(g.VertexCount())
+	if n == 0 {
+		return g
+	}
+	type rank struct {
+		V     epgm.ID
+		Score float64
+	}
+	type outDeg struct {
+		V   epgm.ID
+		Deg int64
+	}
+	degrees := dataflow.Map(
+		dataflow.CountByKey(g.Edges, func(e epgm.Edge) epgm.ID { return e.Source }),
+		func(kv dataflow.KV[epgm.ID, int64]) outDeg { return outDeg{V: kv.Key, Deg: kv.Value} })
+
+	ranks := dataflow.Map(g.Vertices, func(v epgm.Vertex) rank {
+		return rank{V: v.ID, Score: 1 / n}
+	})
+	vertexIDs := dataflow.Map(g.Vertices, func(v epgm.Vertex) epgm.ID { return v.ID })
+	hasOut := map[epgm.ID]bool{}
+	for _, d := range degrees.Collect() {
+		hasOut[d.V] = true
+	}
+
+	for iter := 0; iter < iterations; iter++ {
+		// Per-source contribution = score / outDegree.
+		withDeg := dataflow.Join(degrees, ranks,
+			func(d outDeg) uint64 { return uint64(d.V) },
+			func(r rank) uint64 { return uint64(r.V) },
+			func(d outDeg, r rank, emit func(rank)) {
+				emit(rank{V: r.V, Score: r.Score / float64(d.Deg)})
+			}, dataflow.RepartitionHash)
+		contributions := dataflow.Join(withDeg, g.Edges,
+			func(r rank) uint64 { return uint64(r.V) },
+			func(e epgm.Edge) uint64 { return uint64(e.Source) },
+			func(r rank, e epgm.Edge, emit func(rank)) {
+				emit(rank{V: e.Target, Score: r.Score})
+			}, dataflow.RepartitionHash)
+		// Dangling mass: total score of vertices without out-edges,
+		// computed on the driver like a Flink aggregator.
+		var danglingMass float64
+		for _, r := range ranks.Collect() {
+			if !hasOut[r.V] {
+				danglingMass += r.Score
+			}
+		}
+		base := (1 - damping) / n
+		redistribution := damping * danglingMass / n
+		summed := dataflow.ReduceByKey(contributions,
+			func(r rank) epgm.ID { return r.V },
+			func(a, b rank) rank { return rank{V: a.V, Score: a.Score + b.Score} })
+		received := dataflow.Map(summed, func(kv dataflow.KV[epgm.ID, rank]) rank { return kv.Value })
+		// Vertices with no inbound contributions still get the base rank.
+		all := dataflow.Union(received,
+			dataflow.Map(vertexIDs, func(id epgm.ID) rank { return rank{V: id, Score: 0} }))
+		total := dataflow.ReduceByKey(all,
+			func(r rank) epgm.ID { return r.V },
+			func(a, b rank) rank { return rank{V: a.V, Score: a.Score + b.Score} })
+		ranks = dataflow.Map(total, func(kv dataflow.KV[epgm.ID, rank]) rank {
+			return rank{V: kv.Value.V, Score: base + redistribution + damping*kv.Value.Score}
+		})
+	}
+	return annotate(g, "PageRank", PageRankPropertyKey, dataflow.Map(ranks, func(r rank) dataflow.KV[epgm.ID, epgm.PropertyValue] {
+		return dataflow.KV[epgm.ID, epgm.PropertyValue]{Key: r.V, Value: epgm.PVFloat(r.Score)}
+	}))
+}
+
+// SSSPPropertyKey is the vertex property written by
+// SingleSourceShortestPaths.
+const SSSPPropertyKey = "sssp"
+
+// SingleSourceShortestPaths annotates every vertex with its shortest-path
+// distance from source, following edge direction. Edge weights are read
+// from weightKey (missing or non-positive weights count as 1); vertices
+// unreachable from the source carry no property. maxIterations bounds the
+// relaxation rounds.
+func SingleSourceShortestPaths(g *epgm.LogicalGraph, source epgm.ID, weightKey string, maxIterations int) *epgm.LogicalGraph {
+	type dist struct {
+		V epgm.ID
+		D float64
+	}
+	type wedge struct {
+		S, T epgm.ID
+		W    float64
+	}
+	weighted := dataflow.Map(g.Edges, func(e epgm.Edge) wedge {
+		w := 1.0
+		if weightKey != "" {
+			if pv := e.Properties.Get(weightKey); !pv.IsNull() && pv.Float() > 0 {
+				w = pv.Float()
+			}
+		}
+		return wedge{S: e.Source, T: e.Target, W: w}
+	})
+	dists := dataflow.FlatMap(g.Vertices, func(v epgm.Vertex, emit func(dist)) {
+		if v.ID == source {
+			emit(dist{V: v.ID, D: 0})
+		}
+	})
+	frontier := dists
+	for iter := 0; iter < maxIterations; iter++ {
+		if frontier.IsEmpty() {
+			break
+		}
+		relaxed := dataflow.Join(frontier, weighted,
+			func(d dist) uint64 { return uint64(d.V) },
+			func(e wedge) uint64 { return uint64(e.S) },
+			func(d dist, e wedge, emit func(dist)) {
+				emit(dist{V: e.T, D: d.D + e.W})
+			}, dataflow.RepartitionHash)
+		candidates := dataflow.Union(dists, relaxed)
+		next := dataflow.Map(
+			dataflow.ReduceByKey(candidates,
+				func(d dist) epgm.ID { return d.V },
+				func(a, b dist) dist {
+					if b.D < a.D {
+						return b
+					}
+					return a
+				}),
+			func(kv dataflow.KV[epgm.ID, dist]) dist { return kv.Value })
+		// The next frontier holds vertices whose distance improved.
+		old := map[epgm.ID]float64{}
+		for _, d := range dists.Collect() {
+			old[d.V] = d.D
+		}
+		frontier = dataflow.Filter(next, func(d dist) bool {
+			prev, ok := old[d.V]
+			return !ok || d.D < prev-1e-12
+		})
+		dists = next
+	}
+	return annotate(g, "SSSP", SSSPPropertyKey, dataflow.Map(dists, func(d dist) dataflow.KV[epgm.ID, epgm.PropertyValue] {
+		return dataflow.KV[epgm.ID, epgm.PropertyValue]{Key: d.V, Value: epgm.PVFloat(d.D)}
+	}))
+}
+
+// annotate joins per-vertex values onto the graph's vertices as a property,
+// producing a new logical graph. Vertices without a value stay unchanged.
+func annotate(g *epgm.LogicalGraph, opName, key string, values *dataflow.Dataset[dataflow.KV[epgm.ID, epgm.PropertyValue]]) *epgm.LogicalGraph {
+	head := epgm.GraphHead{ID: epgm.NewID(), Label: g.Head.Label,
+		Properties: g.Head.Properties.Clone().Set("algorithm", epgm.PVString(opName))}
+	byID := map[epgm.ID]epgm.PropertyValue{}
+	for _, kv := range values.Collect() {
+		byID[kv.Key] = kv.Value
+	}
+	vs := dataflow.Map(g.Vertices, func(v epgm.Vertex) epgm.Vertex {
+		if pv, ok := byID[v.ID]; ok {
+			v.Properties = v.Properties.Clone().Set(key, pv)
+		}
+		v.GraphIDs = v.GraphIDs.Clone().Add(head.ID)
+		return v
+	})
+	es := dataflow.Map(g.Edges, func(e epgm.Edge) epgm.Edge {
+		e.GraphIDs = e.GraphIDs.Clone().Add(head.ID)
+		return e
+	})
+	return epgm.NewLogicalGraph(g.Env(), head, vs, es)
+}

@@ -1,0 +1,164 @@
+package algorithms
+
+import (
+	"math"
+	"testing"
+
+	"gradoop/internal/dataflow"
+	"gradoop/internal/epgm"
+)
+
+// twoIslands: component A = chain v0->v1->v2 plus cycle back, component B =
+// pair v3->v4. v5 is isolated.
+func twoIslands(workers int) (*epgm.LogicalGraph, []epgm.ID) {
+	env := dataflow.NewEnv(dataflow.DefaultConfig(workers))
+	vs := make([]epgm.Vertex, 6)
+	ids := make([]epgm.ID, 6)
+	for i := range vs {
+		vs[i] = epgm.Vertex{ID: epgm.NewID(), Label: "V"}
+		ids[i] = vs[i].ID
+	}
+	e := func(s, t int, w float64) epgm.Edge {
+		return epgm.Edge{ID: epgm.NewID(), Label: "e", Source: ids[s], Target: ids[t],
+			Properties: epgm.Properties{}.Set("weight", epgm.PVFloat(w))}
+	}
+	edges := []epgm.Edge{
+		e(0, 1, 1), e(1, 2, 2), e(2, 0, 1),
+		e(3, 4, 5),
+	}
+	return epgm.GraphFromSlices(env, "G", vs, edges), ids
+}
+
+func componentOf(t *testing.T, g *epgm.LogicalGraph, id epgm.ID) int64 {
+	t.Helper()
+	for _, v := range g.Vertices.Collect() {
+		if v.ID == id {
+			return v.Properties.Get(ComponentPropertyKey).Int()
+		}
+	}
+	t.Fatalf("vertex %d not found", id)
+	return 0
+}
+
+func TestWeaklyConnectedComponents(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		g, ids := twoIslands(workers)
+		out := WeaklyConnectedComponents(g, 10)
+		compA := componentOf(t, out, ids[0])
+		if componentOf(t, out, ids[1]) != compA || componentOf(t, out, ids[2]) != compA {
+			t.Fatalf("workers=%d: island A split", workers)
+		}
+		compB := componentOf(t, out, ids[3])
+		if componentOf(t, out, ids[4]) != compB {
+			t.Fatalf("workers=%d: island B split", workers)
+		}
+		if compA == compB {
+			t.Fatalf("workers=%d: islands merged", workers)
+		}
+		iso := componentOf(t, out, ids[5])
+		if iso == compA || iso == compB {
+			t.Fatalf("workers=%d: isolated vertex joined an island", workers)
+		}
+		// Component id is the minimum member id.
+		if compA != int64(ids[0]) {
+			t.Fatalf("component id %d, want min member %d", compA, ids[0])
+		}
+	}
+}
+
+func TestPageRankSumsToOneAndRanksHubs(t *testing.T) {
+	env := dataflow.NewEnv(dataflow.DefaultConfig(4))
+	// Star: everyone links to the hub.
+	hub := epgm.Vertex{ID: epgm.NewID(), Label: "V"}
+	spokes := make([]epgm.Vertex, 5)
+	vertices := []epgm.Vertex{hub}
+	var edges []epgm.Edge
+	for i := range spokes {
+		spokes[i] = epgm.Vertex{ID: epgm.NewID(), Label: "V"}
+		vertices = append(vertices, spokes[i])
+		edges = append(edges, epgm.Edge{ID: epgm.NewID(), Label: "e", Source: spokes[i].ID, Target: hub.ID})
+	}
+	g := epgm.GraphFromSlices(env, "Star", vertices, edges)
+	out := PageRank(g, 0.85, 30)
+
+	var sum, hubScore float64
+	var spokeScore float64
+	for _, v := range out.Vertices.Collect() {
+		s := v.Properties.Get(PageRankPropertyKey).Float()
+		sum += s
+		if v.ID == hub.ID {
+			hubScore = s
+		} else {
+			spokeScore = s
+		}
+	}
+	if math.Abs(sum-1) > 1e-6 {
+		t.Fatalf("ranks sum to %f, want 1", sum)
+	}
+	if hubScore <= 2*spokeScore {
+		t.Fatalf("hub=%f spoke=%f: hub should dominate", hubScore, spokeScore)
+	}
+}
+
+func TestPageRankUniformOnCycle(t *testing.T) {
+	env := dataflow.NewEnv(dataflow.DefaultConfig(2))
+	n := 4
+	vs := make([]epgm.Vertex, n)
+	for i := range vs {
+		vs[i] = epgm.Vertex{ID: epgm.NewID(), Label: "V"}
+	}
+	var edges []epgm.Edge
+	for i := range vs {
+		edges = append(edges, epgm.Edge{ID: epgm.NewID(), Label: "e",
+			Source: vs[i].ID, Target: vs[(i+1)%n].ID})
+	}
+	g := epgm.GraphFromSlices(env, "Cycle", vs, edges)
+	out := PageRank(g, 0.85, 20)
+	for _, v := range out.Vertices.Collect() {
+		if s := v.Properties.Get(PageRankPropertyKey).Float(); math.Abs(s-0.25) > 1e-9 {
+			t.Fatalf("cycle rank %f, want 0.25", s)
+		}
+	}
+}
+
+func TestSSSP(t *testing.T) {
+	g, ids := twoIslands(3)
+	out := SingleSourceShortestPaths(g, ids[0], "weight", 10)
+	dist := map[epgm.ID]epgm.PropertyValue{}
+	for _, v := range out.Vertices.Collect() {
+		dist[v.ID] = v.Properties.Get(SSSPPropertyKey)
+	}
+	if dist[ids[0]].Float() != 0 {
+		t.Fatalf("source distance %v", dist[ids[0]])
+	}
+	if dist[ids[1]].Float() != 1 || dist[ids[2]].Float() != 3 {
+		t.Fatalf("distances: v1=%v v2=%v", dist[ids[1]], dist[ids[2]])
+	}
+	// Unreachable vertices carry no property.
+	if !dist[ids[3]].IsNull() || !dist[ids[5]].IsNull() {
+		t.Fatalf("unreachable vertices annotated: %v %v", dist[ids[3]], dist[ids[5]])
+	}
+}
+
+func TestSSSPUnweightedDefaultsToHops(t *testing.T) {
+	g, ids := twoIslands(2)
+	out := SingleSourceShortestPaths(g, ids[0], "", 10)
+	for _, v := range out.Vertices.Collect() {
+		if v.ID == ids[2] {
+			if got := v.Properties.Get(SSSPPropertyKey).Float(); got != 2 {
+				t.Fatalf("hop distance %f, want 2", got)
+			}
+		}
+	}
+}
+
+func TestAlgorithmsDoNotMutateInput(t *testing.T) {
+	g, _ := twoIslands(2)
+	WeaklyConnectedComponents(g, 5)
+	PageRank(g, 0.85, 3)
+	for _, v := range g.Vertices.Collect() {
+		if v.Properties.Has(ComponentPropertyKey) || v.Properties.Has(PageRankPropertyKey) {
+			t.Fatal("input graph mutated")
+		}
+	}
+}

@@ -1,0 +1,119 @@
+package baseline
+
+import (
+	"testing"
+
+	"gradoop/internal/cypher"
+	"gradoop/internal/dataflow"
+	"gradoop/internal/epgm"
+	"gradoop/internal/operators"
+)
+
+func testGraph() *epgm.LogicalGraph {
+	env := dataflow.NewEnv(dataflow.DefaultConfig(2))
+	p := func(name string, rank int64) epgm.Vertex {
+		return epgm.Vertex{ID: epgm.NewID(), Label: "Person", Properties: epgm.Properties{}.
+			Set("name", epgm.PVString(name)).Set("rank", epgm.PVInt(rank))}
+	}
+	a, b, c := p("a", 1), p("b", 2), p("c", 3)
+	t := epgm.Vertex{ID: epgm.NewID(), Label: "Tag"}
+	e := func(label string, s, d epgm.Vertex) epgm.Edge {
+		return epgm.Edge{ID: epgm.NewID(), Label: label, Source: s.ID, Target: d.ID}
+	}
+	return epgm.GraphFromSlices(env, "G",
+		[]epgm.Vertex{a, b, c, t},
+		[]epgm.Edge{
+			e("knows", a, b), e("knows", b, c), e("knows", a, c), e("knows", c, a),
+			e("hasInterest", a, t), e("hasInterest", b, t),
+		})
+}
+
+func qg(t *testing.T, src string) *cypher.QueryGraph {
+	t.Helper()
+	q, err := cypher.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := cypher.BuildQueryGraph(q, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestReferenceSimple(t *testing.T) {
+	g := testGraph()
+	ref := NewReference(g)
+	if n := ref.Count(qg(t, `MATCH (a:Person)-[:knows]->(b) RETURN *`), operators.Morphism{}); n != 4 {
+		t.Fatalf("knows=%d want 4", n)
+	}
+	if n := ref.Count(qg(t, `MATCH (a)-[:hasInterest]->(x:Tag) RETURN *`), operators.Morphism{}); n != 2 {
+		t.Fatalf("interests=%d want 2", n)
+	}
+}
+
+func TestReferenceIsolatedVertex(t *testing.T) {
+	g := testGraph()
+	ref := NewReference(g)
+	if n := ref.Count(qg(t, `MATCH (x:Tag) RETURN *`), operators.Morphism{}); n != 1 {
+		t.Fatalf("tags=%d", n)
+	}
+}
+
+func TestReferenceMorphism(t *testing.T) {
+	g := testGraph()
+	ref := NewReference(g)
+	q := qg(t, `MATCH (a)-[:knows]->(b)-[:knows]->(c) RETURN *`)
+	homo := ref.Count(q, operators.Morphism{})
+	iso := ref.Count(q, operators.Morphism{Vertex: operators.Isomorphism, Edge: operators.Isomorphism})
+	if homo <= iso {
+		t.Fatalf("homo=%d iso=%d", homo, iso)
+	}
+}
+
+func TestMotifMatcherRejectsVarLength(t *testing.T) {
+	g := testGraph()
+	m := NewMotifMatcher(g)
+	if _, err := m.Match(qg(t, `MATCH (a)-[e:knows*1..3]->(b) RETURN *`)); err == nil {
+		t.Fatal("var-length should be rejected")
+	}
+}
+
+func TestMotifMatcherPostFiltering(t *testing.T) {
+	g := testGraph()
+	m := NewMotifMatcher(g)
+	// Property predicate: only rank=1 sources. The motif matcher must first
+	// materialize ALL knows matches (4), then post-filter to 2 (a->b, a->c).
+	res, err := m.Match(qg(t, `MATCH (a:Person)-[:knows]->(b) WHERE a.rank = 1 RETURN *`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 2 {
+		t.Fatalf("final=%d want 2", len(res))
+	}
+	if m.IntermediateRows != 4 {
+		t.Fatalf("intermediate=%d want 4 (no early predicate reduction)", m.IntermediateRows)
+	}
+}
+
+func TestMotifMatcherAgreesOnFinalResults(t *testing.T) {
+	g := testGraph()
+	ref := NewReference(g)
+	m := NewMotifMatcher(g)
+	queries := []string{
+		`MATCH (a:Person)-[:knows]->(b:Person) WHERE a.rank < b.rank RETURN *`,
+		`MATCH (a)-[:knows]->(b)-[:hasInterest]->(x:Tag) RETURN *`,
+		`MATCH (a)-[:knows]->(b) WHERE a.name = 'a' RETURN *`,
+	}
+	for _, src := range queries {
+		q := qg(t, src)
+		want := ref.Count(q, operators.Morphism{}) // homomorphism
+		got, err := m.Match(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != want {
+			t.Fatalf("%s: motif=%d reference=%d", src, len(got), want)
+		}
+	}
+}

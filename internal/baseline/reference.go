@@ -1,0 +1,341 @@
+// Package baseline provides two non-distributed matchers: a brute-force
+// reference matcher used as the correctness oracle for the query engine, and
+// a GraphFrames-style motif matcher reproducing the restrictions the paper
+// attributes to that system (homomorphism only, fixed-length patterns,
+// label-only predicates with property predicates applied in a
+// post-processing step).
+package baseline
+
+import (
+	"fmt"
+
+	"gradoop/internal/cypher"
+	"gradoop/internal/epgm"
+	"gradoop/internal/operators"
+)
+
+// Binding is one complete match: data ids per query variable. Paths map the
+// variable to its via entries (alternating edge and interior-vertex ids).
+type Binding struct {
+	Vertices map[string]epgm.ID
+	Edges    map[string]epgm.ID
+	Paths    map[string][]epgm.ID
+}
+
+// Reference is an in-memory backtracking matcher over a materialized graph.
+type Reference struct {
+	vertices  []epgm.Vertex
+	edges     []epgm.Edge
+	vertexByI map[epgm.ID]*epgm.Vertex
+	edgeByI   map[epgm.ID]*epgm.Edge
+	out       map[epgm.ID][]*epgm.Edge
+	in        map[epgm.ID][]*epgm.Edge
+}
+
+// NewReference materializes a logical graph for matching.
+func NewReference(g *epgm.LogicalGraph) *Reference {
+	r := &Reference{
+		vertices:  g.Vertices.Collect(),
+		edges:     g.Edges.Collect(),
+		vertexByI: map[epgm.ID]*epgm.Vertex{},
+		edgeByI:   map[epgm.ID]*epgm.Edge{},
+		out:       map[epgm.ID][]*epgm.Edge{},
+		in:        map[epgm.ID][]*epgm.Edge{},
+	}
+	for i := range r.vertices {
+		v := &r.vertices[i]
+		r.vertexByI[v.ID] = v
+	}
+	for i := range r.edges {
+		e := &r.edges[i]
+		r.edgeByI[e.ID] = e
+		r.out[e.Source] = append(r.out[e.Source], e)
+		r.in[e.Target] = append(r.in[e.Target], e)
+	}
+	return r
+}
+
+// Match enumerates every embedding of the query graph under the given
+// morphism semantics. It is exponential and intended for small graphs and
+// tests only.
+func (r *Reference) Match(qg *cypher.QueryGraph, morph operators.Morphism) []Binding {
+	m := &refMatch{r: r, qg: qg, morph: morph,
+		vb: map[string]epgm.ID{}, eb: map[string]epgm.ID{}, pb: map[string][]epgm.ID{}}
+	m.run()
+	return m.results
+}
+
+// Count returns the number of embeddings.
+func (r *Reference) Count(qg *cypher.QueryGraph, morph operators.Morphism) int {
+	return len(r.Match(qg, morph))
+}
+
+type refMatch struct {
+	r     *Reference
+	qg    *cypher.QueryGraph
+	morph operators.Morphism
+
+	vb map[string]epgm.ID   // vertex bindings
+	eb map[string]epgm.ID   // edge bindings
+	pb map[string][]epgm.ID // path bindings (via entries)
+
+	results []Binding
+}
+
+func (m *refMatch) run() {
+	m.matchEdge(0)
+}
+
+// vertexOK checks label and element predicates of a query vertex against a
+// data vertex.
+func (m *refMatch) vertexOK(qv *cypher.QueryVertex, v *epgm.Vertex) bool {
+	if v == nil {
+		return false
+	}
+	return cypher.MatchesLabel(v.Label, qv.Labels) &&
+		cypher.EvalElement(qv.Predicates, qv.Var, v.Properties)
+}
+
+func (m *refMatch) edgeOK(qe *cypher.QueryEdge, e *epgm.Edge) bool {
+	return cypher.MatchesLabel(e.Label, qe.Types) &&
+		cypher.EvalElement(qe.Predicates, qe.Var, e.Properties)
+}
+
+// bindVertex binds a query vertex variable, returning an undo function, or
+// nil when the binding is inconsistent.
+func (m *refMatch) bindVertex(varName string, id epgm.ID) func() {
+	if prev, ok := m.vb[varName]; ok {
+		if prev != id {
+			return nil
+		}
+		return func() {}
+	}
+	qv, _ := m.qg.VertexByVar(varName)
+	if !m.vertexOK(qv, m.r.vertexByI[id]) {
+		return nil
+	}
+	m.vb[varName] = id
+	return func() { delete(m.vb, varName) }
+}
+
+func (m *refMatch) matchEdge(i int) {
+	if i == len(m.qg.Edges) {
+		m.matchIsolated(0)
+		return
+	}
+	qe := m.qg.Edges[i]
+	if qe.IsVarLength() {
+		m.matchVarLength(qe, i)
+		return
+	}
+	for j := range m.r.edges {
+		de := &m.r.edges[j]
+		if !m.edgeOK(qe, de) {
+			continue
+		}
+		orientations := [][2]epgm.ID{{de.Source, de.Target}}
+		if qe.Undirected && de.Source != de.Target {
+			orientations = append(orientations, [2]epgm.ID{de.Target, de.Source})
+		}
+		for _, o := range orientations {
+			undoS := m.bindVertex(qe.Source, o[0])
+			if undoS == nil {
+				continue
+			}
+			undoT := m.bindVertex(qe.Target, o[1])
+			if undoT == nil {
+				undoS()
+				continue
+			}
+			m.eb[qe.Var] = de.ID
+			m.matchEdge(i + 1)
+			delete(m.eb, qe.Var)
+			undoT()
+			undoS()
+		}
+	}
+}
+
+// matchVarLength enumerates every path of admissible length for a variable
+// length query edge, starting from each admissible source binding.
+func (m *refMatch) matchVarLength(qe *cypher.QueryEdge, i int) {
+	srcQV, _ := m.qg.VertexByVar(qe.Source)
+	var sources []epgm.ID
+	if id, ok := m.vb[qe.Source]; ok {
+		sources = []epgm.ID{id}
+	} else {
+		for j := range m.r.vertices {
+			v := &m.r.vertices[j]
+			if m.vertexOK(srcQV, v) {
+				sources = append(sources, v.ID)
+			}
+		}
+	}
+	for _, src := range sources {
+		undoS := m.bindVertex(qe.Source, src)
+		if undoS == nil {
+			continue
+		}
+		m.walk(qe, i, src, src, nil, 0)
+		undoS()
+	}
+}
+
+// walk extends a path from cur; via holds the alternating edge/vertex ids
+// accumulated so far (interior vertices only).
+func (m *refMatch) walk(qe *cypher.QueryEdge, i int, start, cur epgm.ID, via []epgm.ID, hops int) {
+	if hops >= qe.MinHops {
+		m.endPath(qe, i, cur, via)
+	}
+	if hops == qe.MaxHops {
+		return
+	}
+	candidates := m.r.out[cur]
+	if qe.Undirected {
+		candidates = append(append([]*epgm.Edge{}, candidates...), m.r.in[cur]...)
+	}
+	for _, de := range candidates {
+		if !m.edgeOK(qe, de) {
+			continue
+		}
+		next := de.Target
+		if qe.Undirected && de.Target == cur && de.Source != cur {
+			next = de.Source
+		}
+		if de.Source != cur && !qe.Undirected {
+			continue
+		}
+		extended := make([]epgm.ID, 0, len(via)+2)
+		extended = append(extended, via...)
+		if len(via) > 0 {
+			extended = append(extended, cur)
+		}
+		extended = append(extended, de.ID)
+		m.walk(qe, i, start, next, extended, hops+1)
+	}
+}
+
+func (m *refMatch) endPath(qe *cypher.QueryEdge, i int, end epgm.ID, via []epgm.ID) {
+	undoT := m.bindVertex(qe.Target, end)
+	if undoT == nil {
+		return
+	}
+	m.pb[qe.Var] = via
+	m.matchEdge(i + 1)
+	delete(m.pb, qe.Var)
+	undoT()
+}
+
+// matchIsolated binds query vertices untouched by any edge.
+func (m *refMatch) matchIsolated(i int) {
+	if i == len(m.qg.Vertices) {
+		m.finish()
+		return
+	}
+	qv := m.qg.Vertices[i]
+	if _, ok := m.vb[qv.Var]; ok {
+		m.matchIsolated(i + 1)
+		return
+	}
+	for j := range m.r.vertices {
+		v := &m.r.vertices[j]
+		if !m.vertexOK(qv, v) {
+			continue
+		}
+		m.vb[qv.Var] = v.ID
+		m.matchIsolated(i + 1)
+		delete(m.vb, qv.Var)
+	}
+}
+
+func (m *refMatch) finish() {
+	// Global predicates.
+	lookup := func(variable, key string) epgm.PropertyValue {
+		if id, ok := m.vb[variable]; ok {
+			return m.r.vertexByI[id].Properties.Get(key)
+		}
+		if id, ok := m.eb[variable]; ok {
+			return m.r.edgeByI[id].Properties.Get(key)
+		}
+		return epgm.Null
+	}
+	for _, g := range m.qg.Global {
+		if !cypher.EvalPredicate(g, lookup) {
+			return
+		}
+	}
+	// Morphism checks: vertex bindings plus path interiors; edge bindings
+	// plus path edges.
+	if m.morph.Vertex == operators.Isomorphism {
+		seen := map[epgm.ID]struct{}{}
+		ok := true
+		add := func(id epgm.ID) {
+			if _, dup := seen[id]; dup {
+				ok = false
+			}
+			seen[id] = struct{}{}
+		}
+		for _, id := range m.vb {
+			add(id)
+		}
+		for _, via := range m.pb {
+			for i := 1; i < len(via); i += 2 {
+				add(via[i])
+			}
+		}
+		if !ok {
+			return
+		}
+	}
+	if m.morph.Edge == operators.Isomorphism {
+		seen := map[epgm.ID]struct{}{}
+		ok := true
+		add := func(id epgm.ID) {
+			if _, dup := seen[id]; dup {
+				ok = false
+			}
+			seen[id] = struct{}{}
+		}
+		for _, id := range m.eb {
+			add(id)
+		}
+		for _, via := range m.pb {
+			for i := 0; i < len(via); i += 2 {
+				add(via[i])
+			}
+		}
+		if !ok {
+			return
+		}
+	}
+	b := Binding{
+		Vertices: map[string]epgm.ID{},
+		Edges:    map[string]epgm.ID{},
+		Paths:    map[string][]epgm.ID{},
+	}
+	for k, v := range m.vb {
+		b.Vertices[k] = v
+	}
+	for k, v := range m.eb {
+		b.Edges[k] = v
+	}
+	for k, v := range m.pb {
+		b.Paths[k] = append([]epgm.ID(nil), v...)
+	}
+	m.results = append(m.results, b)
+}
+
+// Key renders a binding as a canonical string for set comparisons in tests.
+func (b Binding) Key(vertexVars, edgeVars, pathVars []string) string {
+	s := ""
+	for _, v := range vertexVars {
+		s += fmt.Sprintf("v:%s=%d;", v, b.Vertices[v])
+	}
+	for _, v := range edgeVars {
+		s += fmt.Sprintf("e:%s=%d;", v, b.Edges[v])
+	}
+	for _, v := range pathVars {
+		s += fmt.Sprintf("p:%s=%v;", v, b.Paths[v])
+	}
+	return s
+}

@@ -1,0 +1,217 @@
+package benchkit
+
+import (
+	"fmt"
+	"io"
+	"time"
+)
+
+// Workers is the worker sweep of the paper's scalability experiment.
+var Workers = []int{1, 2, 4, 8, 16}
+
+func fmtDur(d time.Duration) string {
+	return d.Round(10 * time.Microsecond).String()
+}
+
+// Figure3 reproduces the speedup-over-workers experiment: operational
+// queries Q1–Q3 on the large scale factor with low-selectivity predicates,
+// analytical queries Q4–Q6 on the small one. It prints one row per query
+// with simulated runtimes and speedups for 1–16 workers.
+func Figure3(r *Runner, w io.Writer) error {
+	fmt.Fprintf(w, "== Figure 3: speedup over workers (Q1-3 on SF%g low sel., Q4-6 on SF%g) ==\n", r.SFLarge, r.SFSmall)
+	fmt.Fprintf(w, "%-6s %-8s", "query", "sf")
+	for _, n := range Workers {
+		fmt.Fprintf(w, " %14s", fmt.Sprintf("w=%d", n))
+	}
+	fmt.Fprintln(w)
+	for _, q := range AllQueries {
+		sf := r.SFSmall
+		if q.Operational() {
+			sf = r.SFLarge
+		}
+		fmt.Fprintf(w, "%-6s %-8g", q, sf)
+		var base time.Duration
+		for _, n := range Workers {
+			m, err := r.Run(q, sf, n, Low)
+			if err != nil {
+				return err
+			}
+			if n == 1 {
+				base = m.SimTime
+				fmt.Fprintf(w, " %14s", fmtDur(m.SimTime))
+				continue
+			}
+			speedup := float64(base) / float64(m.SimTime)
+			fmt.Fprintf(w, " %8s (%.1f)", fmtDur(m.SimTime), speedup)
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+// Figure4 reproduces the data-volume experiment: all six queries at 16
+// workers on the small and large scale factors (10x apart); runtime should
+// grow roughly linearly with the volume.
+func Figure4(r *Runner, w io.Writer) error {
+	fmt.Fprintf(w, "== Figure 4: data size increase (16 workers, SF%g vs SF%g) ==\n", r.SFSmall, r.SFLarge)
+	fmt.Fprintf(w, "%-6s %14s %14s %8s\n", "query", "small", "large", "ratio")
+	for _, q := range AllQueries {
+		small, err := r.Run(q, r.SFSmall, 16, Low)
+		if err != nil {
+			return err
+		}
+		large, err := r.Run(q, r.SFLarge, 16, Low)
+		if err != nil {
+			return err
+		}
+		ratio := float64(large.SimTime) / float64(small.SimTime)
+		fmt.Fprintf(w, "%-6s %14s %14s %7.1fx\n", q, fmtDur(small.SimTime), fmtDur(large.SimTime), ratio)
+	}
+	return nil
+}
+
+// Figure5 reproduces the selectivity experiment: queries 1–3 at 4 workers
+// with high/medium/low-selectivity firstName parameters.
+func Figure5(r *Runner, w io.Writer) error {
+	fmt.Fprintf(w, "== Figure 5: query selectivity (4 workers, SF%g) ==\n", r.SFLarge)
+	fmt.Fprintf(w, "%-6s %14s %14s %14s\n", "query", "high", "medium", "low")
+	for _, q := range []QueryID{Q1, Q2, Q3} {
+		fmt.Fprintf(w, "%-6s", q)
+		for _, sel := range Selectivities {
+			m, err := r.Run(q, r.SFLarge, 4, sel)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(w, " %14s", fmtDur(m.SimTime))
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+// Table3 reproduces the intermediate-result-size table: the four
+// sub-patterns evaluated at the three selectivity classes.
+func Table3(r *Runner, w io.Writer) error {
+	fmt.Fprintf(w, "== Table 3: intermediate result sizes (SF%g) ==\n", r.SFSmall)
+	fmt.Fprintf(w, "%-58s %10s %10s %10s\n", "pattern", "high", "medium", "low")
+	for _, pat := range Table3Patterns {
+		fmt.Fprintf(w, "%-58s", pat.Name)
+		for _, sel := range Selectivities {
+			n, err := r.RunPattern(pat.Query, r.SFSmall, 4, sel)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(w, " %10d", n)
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+// Table4 reproduces the full runtime/speedup matrix: queries 1–3 for every
+// selectivity and both scale factors over the worker sweep, queries 4–6 on
+// the small factor over the sweep plus the large factor at 16 workers.
+func Table4(r *Runner, w io.Writer) error {
+	fmt.Fprintln(w, "== Table 4: query runtimes (simulated seconds, speedup vs 1 worker) ==")
+	fmt.Fprintf(w, "%-6s %-8s %-8s", "query", "sel", "sf")
+	for _, n := range Workers {
+		fmt.Fprintf(w, " %16s", fmt.Sprintf("w=%d", n))
+	}
+	fmt.Fprintln(w)
+	row := func(q QueryID, sel Selectivity, sf float64, workers []int) error {
+		fmt.Fprintf(w, "%-6s %-8s %-8g", q, sel, sf)
+		var base time.Duration
+		for _, n := range Workers {
+			use := false
+			for _, m := range workers {
+				if m == n {
+					use = true
+					break
+				}
+			}
+			if !use {
+				fmt.Fprintf(w, " %16s", "-")
+				continue
+			}
+			m, err := r.Run(q, sf, n, sel)
+			if err != nil {
+				return err
+			}
+			if base == 0 {
+				base = m.SimTime
+				fmt.Fprintf(w, " %16s", fmtDur(m.SimTime))
+				continue
+			}
+			fmt.Fprintf(w, " %10s (%.1f)", fmtDur(m.SimTime), float64(base)/float64(m.SimTime))
+		}
+		fmt.Fprintln(w)
+		return nil
+	}
+	for _, q := range []QueryID{Q1, Q2, Q3} {
+		for _, sel := range Selectivities {
+			for _, sf := range []float64{r.SFSmall, r.SFLarge} {
+				if err := row(q, sel, sf, Workers); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	for _, q := range []QueryID{Q4, Q5, Q6} {
+		if err := row(q, "-", r.SFSmall, Workers); err != nil {
+			return err
+		}
+		if err := row(q, "-", r.SFLarge, []int{16}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Extended runs the extended workload (OPTIONAL MATCH, aggregation,
+// ordering, string predicates) — features beyond the paper's tables.
+func Extended(r *Runner, w io.Writer) error {
+	fmt.Fprintf(w, "== Extended workload (8 workers, SF%g) ==\n", r.SFLarge)
+	fmt.Fprintf(w, "%-22s %8s %14s\n", "query", "rows", "simTime")
+	for _, xq := range ExtendedQueries {
+		p := r.Prepare(r.SFLarge, 8)
+		p.env.ResetMetrics()
+		rows, err := runExtended(p, xq.Query)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%-22s %8d %14s\n", xq.Name, len(rows), fmtDur(p.env.Metrics().SimTime))
+	}
+	return nil
+}
+
+// Cardinalities reproduces the appendix result-cardinality tables: Q1–Q3
+// per selectivity and Q4–Q6 totals, on both scale factors.
+func Cardinalities(r *Runner, w io.Writer) error {
+	fmt.Fprintln(w, "== Appendix: result cardinalities ==")
+	fmt.Fprintf(w, "%-6s %-8s %12s %12s\n", "query", "sel", fmt.Sprintf("SF%g", r.SFSmall), fmt.Sprintf("SF%g", r.SFLarge))
+	for _, q := range []QueryID{Q1, Q2, Q3} {
+		for _, sel := range Selectivities {
+			small, err := r.Run(q, r.SFSmall, 4, sel)
+			if err != nil {
+				return err
+			}
+			large, err := r.Run(q, r.SFLarge, 4, sel)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "%-6s %-8s %12d %12d\n", q, sel, small.Count, large.Count)
+		}
+	}
+	for _, q := range []QueryID{Q4, Q5, Q6} {
+		small, err := r.Run(q, r.SFSmall, 4, Low)
+		if err != nil {
+			return err
+		}
+		large, err := r.Run(q, r.SFLarge, 4, Low)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%-6s %-8s %12d %12d\n", q, "-", small.Count, large.Count)
+	}
+	return nil
+}

@@ -1,0 +1,49 @@
+package benchkit
+
+// ExtendedQueries exercise the openCypher extensions beyond the paper's six
+// benchmark queries on the same LDBC-like data: OPTIONAL MATCH, aggregation
+// with grouping, ordering/limits and null handling. They are benchmarked as
+// an extended workload (not part of the paper's tables).
+var ExtendedQueries = []struct {
+	Name  string
+	Query string
+}{
+	{
+		// Profile with optional affiliations: every person appears once per
+		// (university, city) combination, or with nulls where absent.
+		Name: "X1-optional-profile",
+		Query: `
+			MATCH (p:Person)
+			OPTIONAL MATCH (p)-[:studyAt]->(u:University)
+			OPTIONAL MATCH (p)-[:isLocatedIn]->(c:City)
+			RETURN p.firstName, p.lastName, u.name, c.name`,
+	},
+	{
+		// Top interests: aggregation with implicit grouping plus ordering
+		// and a limit.
+		Name: "X2-top-interests",
+		Query: `
+			MATCH (p:Person)-[:hasInterest]->(t:Tag)
+			RETURN t.name AS tag, count(*) AS fans
+			ORDER BY fans DESC, tag LIMIT 10`,
+	},
+	{
+		// Authorship volume: per-author message statistics with arithmetic
+		// and multiple aggregates.
+		Name: "X3-author-stats",
+		Query: `
+			MATCH (p:Person)<-[:hasCreator]-(m:Comment|Post)
+			WHERE m.length IS NOT NULL
+			RETURN p.firstName AS author, count(*) AS messages,
+			       avg(m.length) AS avgLen, max(m.length) AS maxLen
+			ORDER BY messages DESC LIMIT 20`,
+	},
+	{
+		// Friendship reach with string predicates and DISTINCT.
+		Name: "X4-distinct-reach",
+		Query: `
+			MATCH (p:Person)-[:knows]->(q:Person)
+			WHERE p.firstName STARTS WITH 'J' AND q.firstName <> p.firstName
+			RETURN DISTINCT q.firstName ORDER BY q.firstName`,
+	},
+}

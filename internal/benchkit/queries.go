@@ -1,0 +1,118 @@
+// Package benchkit implements the paper's evaluation (§4): the six appendix
+// queries, dataset preparation at the two scale factors, and the experiment
+// drivers that regenerate every table and figure. Both the bench-runner CLI
+// and the testing.B benchmarks are thin wrappers around this package.
+package benchkit
+
+import "fmt"
+
+// QueryID names one of the appendix queries.
+type QueryID int
+
+// The six benchmark queries.
+const (
+	Q1 QueryID = iota + 1 // all messages of a person
+	Q2                    // posts to a person's comments
+	Q3                    // friends that replied to a post
+	Q4                    // person profile
+	Q5                    // close friends (triangles)
+	Q6                    // recommendation
+)
+
+// String returns "Q1".."Q6".
+func (q QueryID) String() string { return fmt.Sprintf("Q%d", int(q)) }
+
+// Operational reports whether the query is one of the selective,
+// parameterized queries 1–3 (as opposed to the analytical queries 4–6).
+func (q QueryID) Operational() bool { return q <= Q3 }
+
+// Text returns the Cypher text of a query. Queries 1–3 take the firstName
+// selectivity parameter via $firstName.
+func (q QueryID) Text() string {
+	switch q {
+	case Q1:
+		return `
+			MATCH (person:Person)<-[:hasCreator]-(message:Comment|Post)
+			WHERE person.firstName = $firstName
+			RETURN message.creationDate, message.content`
+	case Q2:
+		return `
+			MATCH (person:Person)<-[:hasCreator]-(message:Comment|Post),
+			      (message)-[:replyOf*0..10]->(post:Post)
+			WHERE person.firstName = $firstName
+			RETURN message.creationDate, message.content,
+			       post.creationDate, post.content`
+	case Q3:
+		return `
+			MATCH (p1:Person)-[:knows]->(p2:Person),
+			      (p2)<-[:hasCreator]-(comment:Comment),
+			      (comment)-[:replyOf*1..10]->(post:Post),
+			      (post)-[:hasCreator]->(p1)
+			WHERE p1.firstName = $firstName
+			RETURN p1.firstName, p1.lastName,
+			       p2.firstName, p2.lastName,
+			       post.content`
+	case Q4:
+		return `
+			MATCH (person:Person)-[:isLocatedIn]->(city:City),
+			      (person)-[:hasInterest]->(tag:Tag),
+			      (person)-[:studyAt]->(uni:University),
+			      (person)<-[:hasMember|hasModerator]-(forum:Forum)
+			RETURN person.firstName, person.lastName,
+			       city.name, tag.name, uni.name, forum.title`
+	case Q5:
+		return `
+			MATCH (p1:Person)-[:knows]->(p2:Person),
+			      (p2)-[:knows]->(p3:Person),
+			      (p1)-[:knows]->(p3)
+			RETURN p1.firstName, p1.lastName,
+			       p2.firstName, p2.lastName,
+			       p3.firstName, p3.lastName`
+	case Q6:
+		return `
+			MATCH (p1:Person)-[:knows]->(p2:Person),
+			      (p1)-[:hasInterest]->(t1:Tag),
+			      (p2)-[:hasInterest]->(t1),
+			      (p2)-[:hasInterest]->(t2:Tag)
+			RETURN p1.firstName, p1.lastName, t2.name`
+	default:
+		panic(fmt.Sprintf("benchkit: unknown query %d", int(q)))
+	}
+}
+
+// AllQueries lists Q1..Q6.
+var AllQueries = []QueryID{Q1, Q2, Q3, Q4, Q5, Q6}
+
+// Selectivity is a predicate selectivity class for queries 1–3. Following
+// the paper, "high" selectivity means a rare first name (small result) and
+// "low" a very common one (large result).
+type Selectivity string
+
+// Selectivity classes.
+const (
+	High   Selectivity = "high"
+	Medium Selectivity = "medium"
+	Low    Selectivity = "low"
+)
+
+// Selectivities in the paper's table order.
+var Selectivities = []Selectivity{High, Medium, Low}
+
+// Table3Patterns are the four sub-patterns of the paper's Table 3
+// (intermediate result sizes), parameterized by $firstName.
+var Table3Patterns = []struct {
+	Name  string
+	Query string
+}{
+	{"(:Person)", `
+		MATCH (p:Person) WHERE p.firstName = $firstName RETURN *`},
+	{"(:Person)<-[:hasCreator]-(:Comment|Post)", `
+		MATCH (p:Person)<-[:hasCreator]-(m:Comment|Post)
+		WHERE p.firstName = $firstName RETURN *`},
+	{"(:Person)-[:knows]->(:Person)", `
+		MATCH (p:Person)-[:knows]->(q:Person)
+		WHERE p.firstName = $firstName RETURN *`},
+	{"(:Person)-[:knows]->(:Person)<-[:hasCreator]-(:Comment)", `
+		MATCH (p:Person)-[:knows]->(q:Person)<-[:hasCreator]-(c:Comment)
+		WHERE p.firstName = $firstName RETURN *`},
+}

@@ -1,0 +1,196 @@
+// Package core implements the EPGM graph pattern matching operator
+// (Definition 2.4), the paper's primary contribution: it parses a Cypher
+// query, simplifies it into a query graph, plans a physical operator tree
+// with the greedy cost-based planner and executes it on the dataflow engine.
+// Results are available as a graph collection (the EPGM operator contract),
+// as tabular rows (Neo4j-style), or as raw embeddings.
+package core
+
+import (
+	"fmt"
+
+	"gradoop/internal/cypher"
+	"gradoop/internal/dataflow"
+	"gradoop/internal/embedding"
+	"gradoop/internal/epgm"
+	"gradoop/internal/operators"
+	"gradoop/internal/planner"
+	"gradoop/internal/stats"
+)
+
+// Config controls one query execution.
+type Config struct {
+	// Vertex and Edge semantics (Homomorphism or Isomorphism); the paper's
+	// operator signature g.cypher(q, HOMO, ISO).
+	Vertex operators.Semantics
+	Edge   operators.Semantics
+	// Params provides values for $parameters in the query.
+	Params map[string]epgm.PropertyValue
+	// Stats supplies pre-computed statistics; when nil they are collected
+	// on the fly (and charged to the job's metrics).
+	Stats *stats.GraphStatistics
+	// Access overrides how leaves read the graph; when nil a PlainAccess
+	// over the input graph is used. Pass an IndexedAccess to exploit the
+	// label-partitioned representation (§3.4).
+	Access planner.GraphAccess
+	// Hint selects the physical join strategy.
+	Hint dataflow.JoinHint
+	// DisableSubqueryReuse turns off recurring-subquery leaf sharing.
+	DisableSubqueryReuse bool
+}
+
+// Result is an executed query.
+type Result struct {
+	Graph      *epgm.LogicalGraph
+	QueryGraph *cypher.QueryGraph
+	Plan       *planner.QueryPlan
+	Embeddings *dataflow.Dataset[embedding.Embedding]
+	Meta       *embedding.Meta
+}
+
+// prepare parses, simplifies and plans a query.
+func prepare(g *epgm.LogicalGraph, query string, cfg Config) (*cypher.QueryGraph, *planner.QueryPlan, error) {
+	ast, err := cypher.Parse(query)
+	if err != nil {
+		return nil, nil, err
+	}
+	qg, err := cypher.BuildQueryGraph(ast, cfg.Params)
+	if err != nil {
+		return nil, nil, err
+	}
+	st := cfg.Stats
+	if st == nil {
+		st = stats.Collect(g)
+	}
+	access := cfg.Access
+	if access == nil {
+		access = planner.PlainAccess{Graph: g}
+	}
+	pl := &planner.Planner{
+		Stats:        st,
+		Morph:        operators.Morphism{Vertex: cfg.Vertex, Edge: cfg.Edge},
+		Hint:         cfg.Hint,
+		DisableReuse: cfg.DisableSubqueryReuse,
+	}
+	plan, err := pl.Plan(access, qg)
+	if err != nil {
+		return nil, nil, err
+	}
+	return qg, plan, nil
+}
+
+// Plan parses, simplifies and plans a query without executing it.
+func Plan(g *epgm.LogicalGraph, query string, cfg Config) (*planner.QueryPlan, error) {
+	_, plan, err := prepare(g, query, cfg)
+	return plan, err
+}
+
+// Execute runs a Cypher query against a logical graph.
+func Execute(g *epgm.LogicalGraph, query string, cfg Config) (*Result, error) {
+	qg, plan, err := prepare(g, query, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Graph:      g,
+		QueryGraph: qg,
+		Plan:       plan,
+		Embeddings: plan.Execute(),
+		Meta:       plan.Meta(),
+	}, nil
+}
+
+// Count returns the number of matches.
+func (r *Result) Count() int64 { return r.Embeddings.Count() }
+
+// Explain renders the executed plan.
+func (r *Result) Explain() string { return r.Plan.Explain() }
+
+// Row is one tabular result row (Neo4j-style RETURN).
+type Row struct {
+	Columns []string
+	Values  []epgm.PropertyValue
+}
+
+// String renders the row as "col: value, ...".
+func (row Row) String() string {
+	s := ""
+	for i, c := range row.Columns {
+		if i > 0 {
+			s += ", "
+		}
+		s += fmt.Sprintf("%s: %s", c, row.Values[i])
+	}
+	return s
+}
+
+// GraphCollection materializes the matches as new logical graphs
+// (Definition 2.4): every embedding becomes a graph whose head stores the
+// variable bindings as properties, and the matched data vertices and edges
+// gain membership in the new graph.
+func (r *Result) GraphCollection() *epgm.GraphCollection {
+	env := r.Graph.Env()
+	meta := r.Meta
+	embeddings := r.Embeddings.Collect()
+
+	heads := make([]epgm.GraphHead, 0, len(embeddings))
+	vertexGraphs := map[epgm.ID]epgm.IDSet{}
+	edgeGraphs := map[epgm.ID]epgm.IDSet{}
+
+	for _, e := range embeddings {
+		head := epgm.GraphHead{ID: epgm.NewID(), Label: "Match"}
+		for c := 0; c < meta.Columns(); c++ {
+			if e.IsNullAt(c) {
+				continue
+			}
+			v := meta.Var(c)
+			switch meta.Kind(c) {
+			case embedding.VertexEntry:
+				id := e.ID(c)
+				head.Properties = head.Properties.Set(v, epgm.PVInt(int64(id)))
+				vertexGraphs[id] = vertexGraphs[id].Add(head.ID)
+			case embedding.EdgeEntry:
+				id := e.ID(c)
+				head.Properties = head.Properties.Set(v, epgm.PVInt(int64(id)))
+				edgeGraphs[id] = edgeGraphs[id].Add(head.ID)
+			case embedding.PathEntry:
+				path := e.Path(c)
+				head.Properties = head.Properties.Set(v, epgm.PVString(fmt.Sprintf("%v", path)))
+				for i, id := range path {
+					if i%2 == 0 {
+						edgeGraphs[id] = edgeGraphs[id].Add(head.ID)
+					} else {
+						vertexGraphs[id] = vertexGraphs[id].Add(head.ID)
+					}
+				}
+			}
+		}
+		heads = append(heads, head)
+	}
+
+	vs := dataflow.FlatMap(r.Graph.Vertices, func(v epgm.Vertex, emit func(epgm.Vertex)) {
+		gs, ok := vertexGraphs[v.ID]
+		if !ok {
+			return
+		}
+		ids := v.GraphIDs.Clone()
+		for _, g := range gs {
+			ids = ids.Add(g)
+		}
+		v.GraphIDs = ids
+		emit(v)
+	})
+	es := dataflow.FlatMap(r.Graph.Edges, func(e epgm.Edge, emit func(epgm.Edge)) {
+		gs, ok := edgeGraphs[e.ID]
+		if !ok {
+			return
+		}
+		ids := e.GraphIDs.Clone()
+		for _, g := range gs {
+			ids = ids.Add(g)
+		}
+		e.GraphIDs = ids
+		emit(e)
+	})
+	return epgm.NewGraphCollection(env, dataflow.FromSlice(env, heads), vs, es)
+}

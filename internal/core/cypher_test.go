@@ -1,0 +1,448 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"gradoop/internal/baseline"
+	"gradoop/internal/dataflow"
+	"gradoop/internal/embedding"
+	"gradoop/internal/epgm"
+	"gradoop/internal/operators"
+	"gradoop/internal/planner"
+)
+
+// figure1 builds a graph like the paper's Figure 1: persons, a university,
+// a city, knows/studyAt/isLocatedIn edges.
+func figure1(workers int) *epgm.LogicalGraph {
+	env := dataflow.NewEnv(dataflow.DefaultConfig(workers))
+	person := func(name, gender string) epgm.Vertex {
+		return epgm.Vertex{ID: epgm.NewID(), Label: "Person", Properties: epgm.Properties{}.
+			Set("name", epgm.PVString(name)).Set("gender", epgm.PVString(gender))}
+	}
+	alice := person("Alice", "female")
+	bob := person("Bob", "male")
+	eve := person("Eve", "female")
+	carol := person("Carol", "female")
+	uni := epgm.Vertex{ID: epgm.NewID(), Label: "University",
+		Properties: epgm.Properties{}.Set("name", epgm.PVString("Uni Leipzig"))}
+	city := epgm.Vertex{ID: epgm.NewID(), Label: "City",
+		Properties: epgm.Properties{}.Set("name", epgm.PVString("Leipzig"))}
+	e := func(label string, s, t epgm.Vertex, props epgm.Properties) epgm.Edge {
+		return epgm.Edge{ID: epgm.NewID(), Label: label, Source: s.ID, Target: t.ID, Properties: props}
+	}
+	return epgm.GraphFromSlices(env, "Community",
+		[]epgm.Vertex{alice, bob, eve, carol, uni, city},
+		[]epgm.Edge{
+			e("knows", alice, bob, nil),
+			e("knows", bob, alice, nil),
+			e("knows", bob, eve, nil),
+			e("knows", eve, carol, nil),
+			e("knows", carol, alice, nil),
+			e("studyAt", alice, uni, epgm.Properties{}.Set("classYear", epgm.PVInt(2015))),
+			e("studyAt", bob, uni, epgm.Properties{}.Set("classYear", epgm.PVInt(2014))),
+			e("studyAt", eve, uni, epgm.Properties{}.Set("classYear", epgm.PVInt(2016))),
+			e("isLocatedIn", uni, city, nil),
+		})
+}
+
+func run(t *testing.T, g *epgm.LogicalGraph, query string, cfg Config) *Result {
+	t.Helper()
+	res, err := Execute(g, query, cfg)
+	if err != nil {
+		t.Fatalf("Execute(%q): %v", query, err)
+	}
+	return res
+}
+
+// compareWithReference executes the query on the engine and on the
+// brute-force oracle and requires identical binding multisets.
+func compareWithReference(t *testing.T, g *epgm.LogicalGraph, query string, cfg Config) int {
+	t.Helper()
+	res := run(t, g, query, cfg)
+
+	ref := baseline.NewReference(g)
+	morph := operators.Morphism{Vertex: cfg.Vertex, Edge: cfg.Edge}
+	want := ref.Match(res.QueryGraph, morph)
+
+	var vertexVars, edgeVars, pathVars []string
+	for _, qv := range res.QueryGraph.Vertices {
+		vertexVars = append(vertexVars, qv.Var)
+	}
+	for _, qe := range res.QueryGraph.Edges {
+		if qe.IsVarLength() {
+			pathVars = append(pathVars, qe.Var)
+		} else {
+			edgeVars = append(edgeVars, qe.Var)
+		}
+	}
+
+	wantKeys := make([]string, len(want))
+	for i, b := range want {
+		wantKeys[i] = b.Key(vertexVars, edgeVars, pathVars)
+	}
+	sort.Strings(wantKeys)
+
+	meta := res.Meta
+	var gotKeys []string
+	for _, e := range res.Embeddings.Collect() {
+		b := baseline.Binding{Vertices: map[string]epgm.ID{}, Edges: map[string]epgm.ID{}, Paths: map[string][]epgm.ID{}}
+		for c := 0; c < meta.Columns(); c++ {
+			switch meta.Kind(c) {
+			case embedding.VertexEntry:
+				b.Vertices[meta.Var(c)] = e.ID(c)
+			case embedding.EdgeEntry:
+				b.Edges[meta.Var(c)] = e.ID(c)
+			case embedding.PathEntry:
+				b.Paths[meta.Var(c)] = e.Path(c)
+			}
+		}
+		gotKeys = append(gotKeys, b.Key(vertexVars, edgeVars, pathVars))
+	}
+	sort.Strings(gotKeys)
+
+	if len(gotKeys) != len(wantKeys) {
+		t.Fatalf("query %q: engine found %d matches, reference %d\nplan:\n%s",
+			query, len(gotKeys), len(wantKeys), res.Explain())
+	}
+	for i := range wantKeys {
+		if gotKeys[i] != wantKeys[i] {
+			t.Fatalf("query %q: binding mismatch at %d:\n got %s\nwant %s", query, i, gotKeys[i], wantKeys[i])
+		}
+	}
+	return len(wantKeys)
+}
+
+func TestSimpleEdgePattern(t *testing.T) {
+	g := figure1(4)
+	n := compareWithReference(t, g, `MATCH (a:Person)-[:knows]->(b:Person) RETURN *`, Config{})
+	if n != 5 {
+		t.Fatalf("knows matches=%d want 5", n)
+	}
+}
+
+func TestVertexOnlyPattern(t *testing.T) {
+	g := figure1(2)
+	n := compareWithReference(t, g, `MATCH (p:Person) RETURN *`, Config{})
+	if n != 4 {
+		t.Fatalf("persons=%d", n)
+	}
+	n = compareWithReference(t, g, `MATCH (p:Person) WHERE p.gender = 'female' RETURN *`, Config{})
+	if n != 3 {
+		t.Fatalf("females=%d", n)
+	}
+}
+
+func TestPaperStudyAtQuery(t *testing.T) {
+	g := figure1(4)
+	// Table 2a: persons with studyAt classYear > 2014.
+	res := run(t, g, `MATCH (p1:Person)-[s:studyAt]->(u:University)
+		WHERE s.classYear > 2014 RETURN p1.name, u.name`, Config{})
+	rows := res.Rows()
+	if len(rows) != 2 {
+		t.Fatalf("rows=%d want 2 (Alice, Eve)\n%s", len(rows), res.Explain())
+	}
+	names := map[string]bool{}
+	for _, r := range rows {
+		if len(r.Columns) != 2 || r.Columns[0] != "p1.name" {
+			t.Fatalf("columns: %v", r.Columns)
+		}
+		names[r.Values[0].Str()] = true
+		if r.Values[1].Str() != "Uni Leipzig" {
+			t.Fatalf("university: %v", r.Values[1])
+		}
+	}
+	if !names["Alice"] || !names["Eve"] {
+		t.Fatalf("names: %v", names)
+	}
+}
+
+func TestPaperFlagshipQuery(t *testing.T) {
+	g := figure1(4)
+	query := `MATCH (p1:Person)-[s:studyAt]->(u:University),
+	                (p2:Person)-[:studyAt]->(u),
+	                (p1)-[e:knows*1..3]->(p2)
+	          WHERE p1.gender <> p2.gender
+	            AND u.name = 'Uni Leipzig'
+	            AND s.classYear > 2014
+	          RETURN *`
+	for _, morph := range []Config{
+		{Vertex: operators.Homomorphism, Edge: operators.Homomorphism},
+		{Vertex: operators.Homomorphism, Edge: operators.Isomorphism},
+		{Vertex: operators.Isomorphism, Edge: operators.Isomorphism},
+	} {
+		compareWithReference(t, g, query, morph)
+	}
+}
+
+func TestVarLengthPathBounds(t *testing.T) {
+	g := figure1(3)
+	for _, q := range []string{
+		`MATCH (a:Person)-[e:knows*1..1]->(b) RETURN *`,
+		`MATCH (a:Person)-[e:knows*1..2]->(b) RETURN *`,
+		`MATCH (a:Person)-[e:knows*2..3]->(b) RETURN *`,
+		`MATCH (a:Person)-[e:knows*0..2]->(b) RETURN *`,
+	} {
+		for _, cfg := range []Config{
+			{},
+			{Vertex: operators.Isomorphism, Edge: operators.Isomorphism},
+			{Vertex: operators.Homomorphism, Edge: operators.Isomorphism},
+		} {
+			compareWithReference(t, g, q, cfg)
+		}
+	}
+}
+
+func TestVarLengthZeroHops(t *testing.T) {
+	g := figure1(2)
+	// With *0..0 every Person matches itself.
+	n := compareWithReference(t, g, `MATCH (a:Person)-[e:knows*0..0]->(b) RETURN *`, Config{})
+	if n != 4 {
+		t.Fatalf("zero-hop matches=%d want 4", n)
+	}
+}
+
+func TestVarLengthCycleClosing(t *testing.T) {
+	g := figure1(3)
+	// Both endpoints bound by other pattern parts: the expand must check the
+	// target binding rather than create a column.
+	q := `MATCH (a:Person)-[:knows]->(b:Person), (b)-[e:knows*1..3]->(a) RETURN *`
+	for _, cfg := range []Config{
+		{},
+		{Vertex: operators.Isomorphism, Edge: operators.Isomorphism},
+	} {
+		compareWithReference(t, g, q, cfg)
+	}
+}
+
+func TestIncomingAndAlternation(t *testing.T) {
+	g := figure1(3)
+	compareWithReference(t, g, `MATCH (u:University)<-[s:studyAt]-(p:Person) RETURN *`, Config{})
+	compareWithReference(t, g, `MATCH (x:University|City) RETURN *`, Config{})
+	compareWithReference(t, g, `MATCH (p:Person)-[:studyAt|isLocatedIn]->(x) RETURN *`, Config{})
+}
+
+func TestUndirectedPattern(t *testing.T) {
+	g := figure1(3)
+	compareWithReference(t, g, `MATCH (a:Person)-[e:knows]-(b:Person) RETURN *`, Config{})
+}
+
+func TestTrianglePattern(t *testing.T) {
+	g := figure1(4)
+	// Query 5 shape: directed triangles.
+	q := `MATCH (p1:Person)-[:knows]->(p2:Person),
+	            (p2)-[:knows]->(p3:Person),
+	            (p1)-[:knows]->(p3)
+	      RETURN *`
+	compareWithReference(t, g, q, Config{})
+	compareWithReference(t, g, q, Config{Vertex: operators.Isomorphism, Edge: operators.Isomorphism})
+}
+
+func TestHomomorphismVsIsomorphismDiffer(t *testing.T) {
+	g := figure1(2)
+	// (a)-[:knows]->(b)-[:knows]->(c): homomorphism allows a=c
+	// (Alice->Bob->Alice), isomorphism forbids it.
+	q := `MATCH (a:Person)-[:knows]->(b:Person)-[:knows]->(c:Person) RETURN *`
+	homo := compareWithReference(t, g, q, Config{})
+	iso := compareWithReference(t, g, q, Config{Vertex: operators.Isomorphism, Edge: operators.Isomorphism})
+	if homo <= iso {
+		t.Fatalf("expected homo (%d) > iso (%d)", homo, iso)
+	}
+}
+
+func TestAnonymousElements(t *testing.T) {
+	g := figure1(2)
+	compareWithReference(t, g, `MATCH (:Person)-[:studyAt]->(u) RETURN *`, Config{})
+	compareWithReference(t, g, `MATCH (p:Person)-->(x) RETURN *`, Config{})
+}
+
+func TestDisconnectedPatternCartesian(t *testing.T) {
+	g := figure1(3)
+	n := compareWithReference(t, g, `MATCH (u:University), (c:City) RETURN *`, Config{})
+	if n != 1 {
+		t.Fatalf("cartesian matches=%d want 1", n)
+	}
+	compareWithReference(t, g, `MATCH (a:Person)-[:knows]->(b), (c:City) RETURN *`, Config{})
+}
+
+func TestParamsAndPropertyMap(t *testing.T) {
+	g := figure1(2)
+	cfg := Config{Params: map[string]epgm.PropertyValue{"n": epgm.PVString("Alice")}}
+	res := run(t, g, `MATCH (p:Person {name: $n})-[:knows]->(q) RETURN q.name`, cfg)
+	rows := res.Rows()
+	if len(rows) != 1 || rows[0].Values[0].Str() != "Bob" {
+		t.Fatalf("rows: %v", rows)
+	}
+}
+
+func TestIndexedAccessSameResults(t *testing.T) {
+	g := figure1(3)
+	idx := epgm.BuildIndex(g)
+	q := `MATCH (p1:Person)-[:knows]->(p2:Person)-[:studyAt]->(u:University) RETURN *`
+	plain := run(t, g, q, Config{})
+	indexed := run(t, g, q, Config{Access: planner.IndexedAccess{Index: idx}})
+	if plain.Count() != indexed.Count() {
+		t.Fatalf("plain=%d indexed=%d", plain.Count(), indexed.Count())
+	}
+}
+
+func TestBroadcastHintSameResults(t *testing.T) {
+	g := figure1(3)
+	q := `MATCH (p1:Person)-[:knows]->(p2:Person)-[:knows]->(p3:Person) RETURN *`
+	a := run(t, g, q, Config{Hint: dataflow.RepartitionHash})
+	b := run(t, g, q, Config{Hint: dataflow.BroadcastLeft})
+	if a.Count() != b.Count() {
+		t.Fatalf("repartition=%d broadcast=%d", a.Count(), b.Count())
+	}
+}
+
+func TestGraphCollectionResult(t *testing.T) {
+	g := figure1(2)
+	res := run(t, g, `MATCH (p:Person)-[s:studyAt]->(u:University) RETURN *`, Config{})
+	coll := res.GraphCollection()
+	if coll.GraphCount() != 3 {
+		t.Fatalf("graphs=%d want 3", coll.GraphCount())
+	}
+	heads := coll.Heads.Collect()
+	for _, h := range heads {
+		// Variable bindings stored as head properties.
+		if h.Properties.Get("p").IsNull() || h.Properties.Get("u").IsNull() || h.Properties.Get("s").IsNull() {
+			t.Fatalf("head missing bindings: %v", h.Properties)
+		}
+	}
+	// Each result graph contains exactly its two vertices and one edge.
+	lg, ok := coll.Graph(heads[0].ID)
+	if !ok {
+		t.Fatal("graph lookup failed")
+	}
+	if lg.VertexCount() != 2 || lg.EdgeCount() != 1 {
+		t.Fatalf("result graph: %d vertices %d edges", lg.VertexCount(), lg.EdgeCount())
+	}
+}
+
+func TestRowsReturnStarSkipsAnonymous(t *testing.T) {
+	g := figure1(2)
+	res := run(t, g, `MATCH (p:Person)-[:studyAt]->(u) RETURN *`, Config{})
+	rows := res.Rows()
+	if len(rows) == 0 {
+		t.Fatal("no rows")
+	}
+	for _, c := range rows[0].Columns {
+		if c != "p" && c != "u" {
+			t.Fatalf("unexpected column %q", c)
+		}
+	}
+}
+
+func TestWorkerCountsAgree(t *testing.T) {
+	q := `MATCH (p1:Person)-[e:knows*1..2]->(p2:Person)-[:studyAt]->(u) RETURN *`
+	baselineCount := int64(-1)
+	for _, w := range []int{1, 2, 4, 8} {
+		g := figure1(w)
+		res := run(t, g, q, Config{})
+		if baselineCount == -1 {
+			baselineCount = res.Count()
+		} else if res.Count() != baselineCount {
+			t.Fatalf("workers=%d count=%d, want %d", w, res.Count(), baselineCount)
+		}
+	}
+}
+
+// randomGraph builds a random labeled property graph for oracle fuzzing.
+func randomGraph(rng *rand.Rand, workers, nv, ne int) *epgm.LogicalGraph {
+	env := dataflow.NewEnv(dataflow.DefaultConfig(workers))
+	labels := []string{"A", "B", "C"}
+	colors := []string{"red", "green", "blue"}
+	vertices := make([]epgm.Vertex, nv)
+	for i := range vertices {
+		vertices[i] = epgm.Vertex{
+			ID:    epgm.NewID(),
+			Label: labels[rng.Intn(len(labels))],
+			Properties: epgm.Properties{}.
+				Set("color", epgm.PVString(colors[rng.Intn(len(colors))])).
+				Set("rank", epgm.PVInt(int64(rng.Intn(5)))),
+		}
+	}
+	etypes := []string{"x", "y"}
+	edges := make([]epgm.Edge, ne)
+	for i := range edges {
+		edges[i] = epgm.Edge{
+			ID:     epgm.NewID(),
+			Label:  etypes[rng.Intn(len(etypes))],
+			Source: vertices[rng.Intn(nv)].ID,
+			Target: vertices[rng.Intn(nv)].ID,
+			Properties: epgm.Properties{}.
+				Set("w", epgm.PVInt(int64(rng.Intn(3)))),
+		}
+	}
+	return epgm.GraphFromSlices(env, "Random", vertices, edges)
+}
+
+func TestFuzzAgainstReference(t *testing.T) {
+	queries := []string{
+		`MATCH (a:A)-[e:x]->(b) RETURN *`,
+		`MATCH (a)-[e:x]->(b)-[f:y]->(c) RETURN *`,
+		`MATCH (a:A)-[e]->(b:B) WHERE a.color = b.color RETURN *`,
+		`MATCH (a)-[e]->(a) RETURN *`,
+		`MATCH (a:A)-[e:x*1..2]->(b) RETURN *`,
+		`MATCH (a)-[e:x*0..2]->(b:B) RETURN *`,
+		`MATCH (a)-[e1:x]->(b), (b)-[e2]->(c), (a)-[e3]->(c) RETURN *`,
+		`MATCH (a)-[e]->(b) WHERE a.rank < b.rank AND e.w = 1 RETURN *`,
+		`MATCH (a)-[e]-(b:B) RETURN *`,
+		`MATCH (a:A), (b:B) WHERE a.color = b.color RETURN *`,
+		`MATCH (a)-[e:y*1..3]->(b) WHERE a.rank >= 3 RETURN *`,
+	}
+	morphs := []Config{
+		{Vertex: operators.Homomorphism, Edge: operators.Homomorphism},
+		{Vertex: operators.Homomorphism, Edge: operators.Isomorphism},
+		{Vertex: operators.Isomorphism, Edge: operators.Isomorphism},
+		{Vertex: operators.Isomorphism, Edge: operators.Homomorphism},
+	}
+	for seed := 0; seed < 3; seed++ {
+		rng := rand.New(rand.NewSource(int64(seed)))
+		g := randomGraph(rng, 1+seed, 12, 20)
+		for _, q := range queries {
+			for _, cfg := range morphs {
+				t.Run(fmt.Sprintf("seed%d/%s/%s%s", seed, q[:20], cfg.Vertex, cfg.Edge), func(t *testing.T) {
+					compareWithReference(t, g, q, cfg)
+				})
+			}
+		}
+	}
+}
+
+func TestExplainListsOperators(t *testing.T) {
+	g := figure1(2)
+	res := run(t, g, `MATCH (p1:Person)-[e:knows*1..3]->(p2:Person) WHERE p1.gender <> p2.gender RETURN *`, Config{})
+	plan := res.Explain()
+	for _, frag := range []string{"ExpandEmbeddings", "FilterAndProjectVertices", "rows"} {
+		if !contains(plan, frag) {
+			t.Fatalf("explain missing %q:\n%s", frag, plan)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	return len(s) >= len(sub) && (s == sub || len(sub) == 0 || indexOf(s, sub) >= 0)
+}
+
+func indexOf(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}
+
+func TestExecuteErrors(t *testing.T) {
+	g := figure1(1)
+	if _, err := Execute(g, `MATCH (a WHERE`, Config{}); err == nil {
+		t.Fatal("syntax error not reported")
+	}
+	if _, err := Execute(g, `MATCH (a) WHERE b.x = 1 RETURN *`, Config{}); err == nil {
+		t.Fatal("semantic error not reported")
+	}
+}

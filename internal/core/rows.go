@@ -1,0 +1,422 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"gradoop/internal/cypher"
+	"gradoop/internal/embedding"
+	"gradoop/internal/epgm"
+)
+
+// This file implements the tabular RETURN pipeline: item evaluation over
+// embeddings, grouping aggregation (count/sum/min/max/avg), DISTINCT,
+// ORDER BY, SKIP and LIMIT. Neo4j evaluates the same clauses; the paper's
+// operator itself returns graph collections, so these modifiers apply only
+// to the Rows view.
+
+// valueOf evaluates a RETURN/ORDER BY expression against one embedding.
+// Bare variables yield the bound element id (paths render as id lists).
+func (r *Result) valueOf(e cypher.Expr, emb embedding.Embedding) epgm.PropertyValue {
+	if ref, ok := e.(*cypher.VarRef); ok {
+		if c, ok := r.Meta.Column(ref.Var); ok {
+			if emb.IsNullAt(c) {
+				return epgm.Null
+			}
+			if r.Meta.Kind(c) == embedding.PathEntry {
+				return epgm.PVString(fmt.Sprintf("%v", emb.Path(c)))
+			}
+			return epgm.PVInt(int64(emb.ID(c)))
+		}
+		return epgm.Null
+	}
+	lookup := func(variable, key string) epgm.PropertyValue {
+		if pc, ok := r.Meta.PropColumn(variable, key); ok {
+			return emb.Prop(pc)
+		}
+		return epgm.Null
+	}
+	return cypher.EvalValue(e, lookup)
+}
+
+// Rows materializes the RETURN clause as a table: item evaluation (for
+// RETURN * one column per non-anonymous variable), aggregation when items
+// contain aggregate functions, then DISTINCT, ORDER BY, SKIP and LIMIT.
+func (r *Result) Rows() []Row {
+	ret := r.QueryGraph.Return
+	embeddings := r.Embeddings.Collect()
+
+	var columns []string
+	var rows [][]epgm.PropertyValue
+	var sortKeys [][]epgm.PropertyValue // parallel to rows, nil when unused
+
+	sortByRowColumn := r.sortColumnResolver()
+
+	if hasAggregates(ret) {
+		columns, rows = r.aggregateRows(embeddings)
+	} else {
+		columns = r.returnColumns()
+		exprs := r.returnExprs()
+		// Sort expressions that do not name an output column are evaluated
+		// per embedding alongside the row.
+		var extraSort []cypher.Expr
+		for _, s := range ret.OrderBy {
+			if _, ok := sortByRowColumn(s.Expr, columns); !ok {
+				extraSort = append(extraSort, s.Expr)
+			}
+		}
+		for _, emb := range embeddings {
+			vals := make([]epgm.PropertyValue, len(exprs))
+			for i, e := range exprs {
+				vals[i] = r.valueOf(e, emb)
+			}
+			rows = append(rows, vals)
+			if len(extraSort) > 0 {
+				keys := make([]epgm.PropertyValue, len(extraSort))
+				for i, e := range extraSort {
+					keys[i] = r.valueOf(e, emb)
+				}
+				sortKeys = append(sortKeys, keys)
+			}
+		}
+	}
+
+	if ret.Distinct {
+		rows, sortKeys = distinctRows(rows, sortKeys)
+	}
+	if len(ret.OrderBy) > 0 {
+		r.orderRows(ret.OrderBy, columns, rows, sortKeys, sortByRowColumn)
+	}
+	rows = applySkipLimit(rows, ret.Skip, ret.Limit)
+
+	out := make([]Row, len(rows))
+	for i, vals := range rows {
+		out[i] = Row{Columns: columns, Values: vals}
+	}
+	return out
+}
+
+// returnColumns lists the output column names.
+func (r *Result) returnColumns() []string {
+	ret := r.QueryGraph.Return
+	if !ret.Star {
+		columns := make([]string, len(ret.Items))
+		for i, item := range ret.Items {
+			columns[i] = item.Name()
+		}
+		return columns
+	}
+	var columns []string
+	for c := 0; c < r.Meta.Columns(); c++ {
+		v := r.Meta.Var(c)
+		if qv, ok := r.QueryGraph.VertexByVar(v); ok && qv.Anonymous {
+			continue
+		}
+		if qe, ok := r.QueryGraph.EdgeByVar(v); ok && qe.Anonymous {
+			continue
+		}
+		columns = append(columns, v)
+	}
+	return columns
+}
+
+// returnExprs lists the expressions producing each output column.
+func (r *Result) returnExprs() []cypher.Expr {
+	ret := r.QueryGraph.Return
+	if !ret.Star {
+		exprs := make([]cypher.Expr, len(ret.Items))
+		for i, item := range ret.Items {
+			exprs[i] = item.Expr
+		}
+		return exprs
+	}
+	var exprs []cypher.Expr
+	for _, name := range r.returnColumns() {
+		exprs = append(exprs, &cypher.VarRef{Var: name})
+	}
+	return exprs
+}
+
+func hasAggregates(ret cypher.ReturnClause) bool {
+	for _, item := range ret.Items {
+		if fc, ok := item.Expr.(*cypher.FuncCall); ok && fc.Aggregate() {
+			return true
+		}
+	}
+	return false
+}
+
+// aggState folds one aggregate function over a group.
+type aggState struct {
+	fn      *cypher.FuncCall
+	count   int64
+	sum     float64
+	intOnly bool
+	extreme epgm.PropertyValue // min/max
+	seen    bool
+}
+
+func newAggState(fn *cypher.FuncCall) *aggState {
+	return &aggState{fn: fn, intOnly: true}
+}
+
+func (a *aggState) add(v epgm.PropertyValue) {
+	switch a.fn.Name {
+	case "count":
+		if a.fn.Star || !v.IsNull() {
+			a.count++
+		}
+	case "sum", "avg":
+		if v.IsNull() {
+			return
+		}
+		if v.Type() != epgm.TypeInt64 {
+			a.intOnly = false
+		}
+		a.sum += v.Float()
+		a.count++
+	case "min":
+		if v.IsNull() {
+			return
+		}
+		if !a.seen {
+			a.extreme, a.seen = v, true
+			return
+		}
+		if c, ok := v.Compare(a.extreme); ok && c < 0 {
+			a.extreme = v
+		}
+	case "max":
+		if v.IsNull() {
+			return
+		}
+		if !a.seen {
+			a.extreme, a.seen = v, true
+			return
+		}
+		if c, ok := v.Compare(a.extreme); ok && c > 0 {
+			a.extreme = v
+		}
+	}
+}
+
+func (a *aggState) result() epgm.PropertyValue {
+	switch a.fn.Name {
+	case "count":
+		return epgm.PVInt(a.count)
+	case "sum":
+		if a.intOnly {
+			return epgm.PVInt(int64(a.sum))
+		}
+		return epgm.PVFloat(a.sum)
+	case "avg":
+		if a.count == 0 {
+			return epgm.Null
+		}
+		return epgm.PVFloat(a.sum / float64(a.count))
+	default: // min, max
+		if !a.seen {
+			return epgm.Null
+		}
+		return a.extreme
+	}
+}
+
+// aggregateRows implements implicit grouping: non-aggregate items form the
+// group key, aggregate items fold over each group. Groups appear in
+// first-occurrence order.
+func (r *Result) aggregateRows(embeddings []embedding.Embedding) ([]string, [][]epgm.PropertyValue) {
+	ret := r.QueryGraph.Return
+	columns := make([]string, len(ret.Items))
+	for i, item := range ret.Items {
+		columns[i] = item.Name()
+	}
+	type group struct {
+		keyVals []epgm.PropertyValue
+		aggs    map[int]*aggState
+	}
+	groups := map[string]*group{}
+	var order []string
+
+	var keyIdx, aggIdx []int
+	for i, item := range ret.Items {
+		if fc, ok := item.Expr.(*cypher.FuncCall); ok && fc.Aggregate() {
+			aggIdx = append(aggIdx, i)
+		} else {
+			keyIdx = append(keyIdx, i)
+		}
+	}
+	for _, emb := range embeddings {
+		keyVals := make([]epgm.PropertyValue, len(keyIdx))
+		var kb strings.Builder
+		for i, idx := range keyIdx {
+			keyVals[i] = r.valueOf(ret.Items[idx].Expr, emb)
+			kb.WriteString(valueKey(keyVals[i]))
+			kb.WriteByte(0)
+		}
+		key := kb.String()
+		gr, ok := groups[key]
+		if !ok {
+			gr = &group{keyVals: keyVals, aggs: map[int]*aggState{}}
+			for _, idx := range aggIdx {
+				gr.aggs[idx] = newAggState(ret.Items[idx].Expr.(*cypher.FuncCall))
+			}
+			groups[key] = gr
+			order = append(order, key)
+		}
+		for _, idx := range aggIdx {
+			fc := ret.Items[idx].Expr.(*cypher.FuncCall)
+			var v epgm.PropertyValue
+			if !fc.Star {
+				v = r.valueOf(fc.Arg, emb)
+			}
+			gr.aggs[idx].add(v)
+		}
+	}
+
+	rows := make([][]epgm.PropertyValue, 0, len(order))
+	for _, key := range order {
+		gr := groups[key]
+		vals := make([]epgm.PropertyValue, len(ret.Items))
+		for i, idx := range keyIdx {
+			vals[idx] = gr.keyVals[i]
+		}
+		for _, idx := range aggIdx {
+			vals[idx] = gr.aggs[idx].result()
+		}
+		rows = append(rows, vals)
+	}
+	return columns, rows
+}
+
+// valueKey renders a property value for grouping/distinct keys, including
+// its type so 1 and "1" stay distinct.
+func valueKey(v epgm.PropertyValue) string {
+	return fmt.Sprintf("%d:%s", v.Type(), v.String())
+}
+
+func distinctRows(rows [][]epgm.PropertyValue, sortKeys [][]epgm.PropertyValue) ([][]epgm.PropertyValue, [][]epgm.PropertyValue) {
+	seen := map[string]struct{}{}
+	outRows := rows[:0:0]
+	var outKeys [][]epgm.PropertyValue
+	for i, vals := range rows {
+		var kb strings.Builder
+		for _, v := range vals {
+			kb.WriteString(valueKey(v))
+			kb.WriteByte(0)
+		}
+		key := kb.String()
+		if _, dup := seen[key]; dup {
+			continue
+		}
+		seen[key] = struct{}{}
+		outRows = append(outRows, vals)
+		if sortKeys != nil {
+			outKeys = append(outKeys, sortKeys[i])
+		}
+	}
+	if sortKeys == nil {
+		return outRows, nil
+	}
+	return outRows, outKeys
+}
+
+// sortColumnResolver matches a sort expression to an output column: by
+// alias name or by textual expression equality.
+func (r *Result) sortColumnResolver() func(e cypher.Expr, columns []string) (int, bool) {
+	return func(e cypher.Expr, columns []string) (int, bool) {
+		if ref, ok := e.(*cypher.VarRef); ok {
+			for i, c := range columns {
+				if c == ref.Var {
+					return i, true
+				}
+			}
+		}
+		text := cypher.ExprString(e)
+		for i, c := range columns {
+			if c == text {
+				return i, true
+			}
+		}
+		return 0, false
+	}
+}
+
+// orderRows sorts rows in place by the ORDER BY items. Sort expressions
+// naming output columns compare row values; others use the pre-computed
+// per-embedding sort keys (only available without aggregation).
+func (r *Result) orderRows(orderBy []cypher.SortItem, columns []string,
+	rows, sortKeys [][]epgm.PropertyValue, resolve func(cypher.Expr, []string) (int, bool)) {
+
+	type plan struct {
+		rowCol int // -1 when using sortKeys
+		keyCol int
+		desc   bool
+	}
+	plans := make([]plan, 0, len(orderBy))
+	extra := 0
+	for _, s := range orderBy {
+		if col, ok := resolve(s.Expr, columns); ok {
+			plans = append(plans, plan{rowCol: col, keyCol: -1, desc: s.Desc})
+			continue
+		}
+		plans = append(plans, plan{rowCol: -1, keyCol: extra, desc: s.Desc})
+		extra++
+	}
+	idx := make([]int, len(rows))
+	for i := range idx {
+		idx[i] = i
+	}
+	valueAt := func(p plan, i int) epgm.PropertyValue {
+		if p.rowCol >= 0 {
+			return rows[idx[i]][p.rowCol]
+		}
+		if sortKeys == nil || p.keyCol >= len(sortKeys[idx[i]]) {
+			return epgm.Null
+		}
+		return sortKeys[idx[i]][p.keyCol]
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		for _, p := range plans {
+			va, vb := valueAt(p, a), valueAt(p, b)
+			// Nulls sort last regardless of direction.
+			if va.IsNull() && vb.IsNull() {
+				continue
+			}
+			if va.IsNull() {
+				return false
+			}
+			if vb.IsNull() {
+				return true
+			}
+			c, ok := va.Compare(vb)
+			if !ok || c == 0 {
+				continue
+			}
+			if p.desc {
+				return c > 0
+			}
+			return c < 0
+		}
+		return false
+	})
+	sorted := make([][]epgm.PropertyValue, len(rows))
+	for i, j := range idx {
+		sorted[i] = rows[j]
+	}
+	copy(rows, sorted)
+}
+
+func applySkipLimit(rows [][]epgm.PropertyValue, skip, limit int64) [][]epgm.PropertyValue {
+	if skip > 0 {
+		if skip >= int64(len(rows)) {
+			return nil
+		}
+		rows = rows[skip:]
+	}
+	if limit >= 0 && limit < int64(len(rows)) {
+		rows = rows[:limit]
+	}
+	return rows
+}

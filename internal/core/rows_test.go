@@ -1,0 +1,248 @@
+package core
+
+import (
+	"testing"
+
+	"gradoop/internal/dataflow"
+	"gradoop/internal/epgm"
+)
+
+// moviesGraph gives predictable values for the RETURN-pipeline tests.
+func moviesGraph(workers int) *epgm.LogicalGraph {
+	env := dataflow.NewEnv(dataflow.DefaultConfig(workers))
+	person := func(name string, age int64) epgm.Vertex {
+		return epgm.Vertex{ID: epgm.NewID(), Label: "Person", Properties: epgm.Properties{}.
+			Set("name", epgm.PVString(name)).Set("age", epgm.PVInt(age))}
+	}
+	movie := func(title string, year int64, rating float64) epgm.Vertex {
+		return epgm.Vertex{ID: epgm.NewID(), Label: "Movie", Properties: epgm.Properties{}.
+			Set("title", epgm.PVString(title)).Set("year", epgm.PVInt(year)).
+			Set("rating", epgm.PVFloat(rating))}
+	}
+	ann := person("Ann", 30)
+	ben := person("Ben", 25)
+	cy := person("Cy", 35)
+	m1 := movie("Alien", 1979, 8.5)
+	m2 := movie("Aliens", 1986, 8.4)
+	m3 := movie("Blade", 1998, 7.1)
+	e := func(s, t epgm.Vertex) epgm.Edge {
+		return epgm.Edge{ID: epgm.NewID(), Label: "likes", Source: s.ID, Target: t.ID}
+	}
+	return epgm.GraphFromSlices(env, "Movies",
+		[]epgm.Vertex{ann, ben, cy, m1, m2, m3},
+		[]epgm.Edge{e(ann, m1), e(ann, m2), e(ben, m1), e(ben, m3), e(cy, m1), e(cy, m2), e(cy, m3)})
+}
+
+func rowsOf(t *testing.T, g *epgm.LogicalGraph, query string) []Row {
+	t.Helper()
+	res, err := Execute(g, query, Config{})
+	if err != nil {
+		t.Fatalf("Execute(%q): %v", query, err)
+	}
+	return res.Rows()
+}
+
+func TestOrderByAndLimit(t *testing.T) {
+	g := moviesGraph(3)
+	rows := rowsOf(t, g, `MATCH (m:Movie) RETURN m.title ORDER BY m.title LIMIT 2`)
+	if len(rows) != 2 || rows[0].Values[0].Str() != "Alien" || rows[1].Values[0].Str() != "Aliens" {
+		t.Fatalf("rows: %v", rows)
+	}
+	desc := rowsOf(t, g, `MATCH (m:Movie) RETURN m.title ORDER BY m.year DESC`)
+	if desc[0].Values[0].Str() != "Blade" {
+		t.Fatalf("desc order: %v", desc)
+	}
+}
+
+func TestOrderByAlias(t *testing.T) {
+	g := moviesGraph(2)
+	rows := rowsOf(t, g, `MATCH (m:Movie) RETURN m.rating AS score ORDER BY score DESC LIMIT 1`)
+	if len(rows) != 1 || rows[0].Values[0].Float() != 8.5 {
+		t.Fatalf("rows: %v", rows)
+	}
+}
+
+func TestSkip(t *testing.T) {
+	g := moviesGraph(2)
+	rows := rowsOf(t, g, `MATCH (m:Movie) RETURN m.title ORDER BY m.year SKIP 1`)
+	if len(rows) != 2 || rows[0].Values[0].Str() != "Aliens" {
+		t.Fatalf("rows: %v", rows)
+	}
+	none := rowsOf(t, g, `MATCH (m:Movie) RETURN m.title SKIP 99`)
+	if len(none) != 0 {
+		t.Fatalf("skip past end: %v", none)
+	}
+}
+
+func TestDistinct(t *testing.T) {
+	g := moviesGraph(3)
+	all := rowsOf(t, g, `MATCH (p:Person)-[:likes]->(m:Movie) RETURN m.title`)
+	if len(all) != 7 {
+		t.Fatalf("raw rows=%d", len(all))
+	}
+	distinct := rowsOf(t, g, `MATCH (p:Person)-[:likes]->(m:Movie) RETURN DISTINCT m.title`)
+	if len(distinct) != 3 {
+		t.Fatalf("distinct rows=%d: %v", len(distinct), distinct)
+	}
+}
+
+func TestCountStarGrouped(t *testing.T) {
+	g := moviesGraph(3)
+	rows := rowsOf(t, g, `MATCH (p:Person)-[:likes]->(m:Movie)
+		RETURN m.title, count(*) AS fans ORDER BY fans DESC, m.title`)
+	if len(rows) != 3 {
+		t.Fatalf("groups=%d: %v", len(rows), rows)
+	}
+	if rows[0].Values[0].Str() != "Alien" || rows[0].Values[1].Int() != 3 {
+		t.Fatalf("top group: %v", rows[0])
+	}
+	if rows[1].Values[1].Int() != 2 || rows[2].Values[1].Int() != 2 {
+		t.Fatalf("remaining groups: %v", rows)
+	}
+}
+
+func TestGlobalAggregates(t *testing.T) {
+	g := moviesGraph(2)
+	rows := rowsOf(t, g, `MATCH (m:Movie)
+		RETURN count(*), min(m.year), max(m.year), sum(m.year), avg(m.rating)`)
+	if len(rows) != 1 {
+		t.Fatalf("rows=%d", len(rows))
+	}
+	v := rows[0].Values
+	if v[0].Int() != 3 || v[1].Int() != 1979 || v[2].Int() != 1998 {
+		t.Fatalf("count/min/max: %v", v)
+	}
+	if v[3].Int() != 1979+1986+1998 {
+		t.Fatalf("sum: %v", v[3])
+	}
+	wantAvg := (8.5 + 8.4 + 7.1) / 3
+	if diff := v[4].Float() - wantAvg; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("avg: %v want %v", v[4], wantAvg)
+	}
+}
+
+func TestCountExprSkipsNulls(t *testing.T) {
+	g := moviesGraph(2)
+	rows := rowsOf(t, g, `MATCH (x) RETURN count(x.rating)`)
+	if rows[0].Values[0].Int() != 3 { // only movies have ratings
+		t.Fatalf("count(rating): %v", rows[0])
+	}
+}
+
+func TestStringPredicates(t *testing.T) {
+	g := moviesGraph(2)
+	starts := rowsOf(t, g, `MATCH (m:Movie) WHERE m.title STARTS WITH 'Alien' RETURN m.title`)
+	if len(starts) != 2 {
+		t.Fatalf("starts with: %v", starts)
+	}
+	ends := rowsOf(t, g, `MATCH (m:Movie) WHERE m.title ENDS WITH 's' RETURN m.title`)
+	if len(ends) != 1 || ends[0].Values[0].Str() != "Aliens" {
+		t.Fatalf("ends with: %v", ends)
+	}
+	contains := rowsOf(t, g, `MATCH (m:Movie) WHERE m.title CONTAINS 'lad' RETURN m.title`)
+	if len(contains) != 1 || contains[0].Values[0].Str() != "Blade" {
+		t.Fatalf("contains: %v", contains)
+	}
+	// Non-strings never match.
+	none := rowsOf(t, g, `MATCH (m:Movie) WHERE m.year STARTS WITH '19' RETURN m.title`)
+	if len(none) != 0 {
+		t.Fatalf("int starts with: %v", none)
+	}
+}
+
+func TestInList(t *testing.T) {
+	g := moviesGraph(2)
+	rows := rowsOf(t, g, `MATCH (m:Movie) WHERE m.year IN [1979, 1998, 2001] RETURN m.title ORDER BY m.title`)
+	if len(rows) != 2 || rows[0].Values[0].Str() != "Alien" || rows[1].Values[0].Str() != "Blade" {
+		t.Fatalf("in list: %v", rows)
+	}
+}
+
+func TestIsNull(t *testing.T) {
+	g := moviesGraph(2)
+	noRating := rowsOf(t, g, `MATCH (x) WHERE x.rating IS NULL RETURN x`)
+	if len(noRating) != 3 { // persons
+		t.Fatalf("is null: %v", noRating)
+	}
+	withRating := rowsOf(t, g, `MATCH (x) WHERE x.rating IS NOT NULL RETURN x`)
+	if len(withRating) != 3 { // movies
+		t.Fatalf("is not null: %v", withRating)
+	}
+}
+
+func TestArithmeticInWhereAndReturn(t *testing.T) {
+	g := moviesGraph(2)
+	rows := rowsOf(t, g, `MATCH (p:Person) WHERE p.age * 2 > 55 RETURN p.name, p.age + 1 AS next ORDER BY next`)
+	if len(rows) != 2 {
+		t.Fatalf("arith filter: %v", rows)
+	}
+	if rows[0].Values[0].Str() != "Ann" || rows[0].Values[1].Int() != 31 {
+		t.Fatalf("arith return: %v", rows[0])
+	}
+	if rows[1].Values[0].Str() != "Cy" || rows[1].Values[1].Int() != 36 {
+		t.Fatalf("arith return: %v", rows[1])
+	}
+	mod := rowsOf(t, g, `MATCH (p:Person) WHERE p.age % 2 = 1 RETURN p.name`)
+	if len(mod) != 2 { // 25, 35
+		t.Fatalf("mod: %v", mod)
+	}
+	div := rowsOf(t, g, `MATCH (p:Person) WHERE p.age / 10 = 3 RETURN p.name ORDER BY p.name`)
+	if len(div) != 2 { // 30/10=3, 35/10=3 (integer division)
+		t.Fatalf("div: %v", div)
+	}
+	concat := rowsOf(t, g, `MATCH (p:Person {name: 'Ann'}) RETURN p.name + '!' AS bang`)
+	if concat[0].Values[0].Str() != "Ann!" {
+		t.Fatalf("concat: %v", concat)
+	}
+}
+
+func TestNegativeAndUnaryMinus(t *testing.T) {
+	g := moviesGraph(2)
+	rows := rowsOf(t, g, `MATCH (p:Person) WHERE -p.age < -29 RETURN p.name ORDER BY p.name`)
+	if len(rows) != 2 || rows[0].Values[0].Str() != "Ann" {
+		t.Fatalf("unary minus: %v", rows)
+	}
+}
+
+func TestAggregateRejectedInWhere(t *testing.T) {
+	g := moviesGraph(1)
+	if _, err := Execute(g, `MATCH (m:Movie) WHERE count(*) > 1 RETURN m`, Config{}); err == nil {
+		t.Fatal("aggregate in WHERE should error")
+	}
+}
+
+func TestOrderByStarQuery(t *testing.T) {
+	g := moviesGraph(2)
+	res, err := Execute(g, `MATCH (m:Movie) RETURN * ORDER BY m.year DESC LIMIT 1`, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := res.Rows()
+	if len(rows) != 1 {
+		t.Fatalf("rows=%d", len(rows))
+	}
+}
+
+func TestNullsSortLast(t *testing.T) {
+	g := moviesGraph(2)
+	rows := rowsOf(t, g, `MATCH (x) RETURN x.rating ORDER BY x.rating DESC`)
+	if len(rows) != 6 {
+		t.Fatalf("rows=%d", len(rows))
+	}
+	if rows[0].Values[0].Float() != 8.5 {
+		t.Fatalf("first: %v", rows[0])
+	}
+	for _, r := range rows[3:] {
+		if !r.Values[0].IsNull() {
+			t.Fatalf("nulls not last: %v", rows)
+		}
+	}
+}
+
+func TestReturnLiteralItem(t *testing.T) {
+	g := moviesGraph(1)
+	rows := rowsOf(t, g, `MATCH (m:Movie) RETURN 1 AS one LIMIT 2`)
+	if len(rows) != 2 || rows[0].Values[0].Int() != 1 {
+		t.Fatalf("literal item: %v", rows)
+	}
+}

@@ -1,0 +1,43 @@
+package cypher
+
+import "testing"
+
+const benchQuery = `
+	MATCH (p1:Person)-[s:studyAt]->(u:University),
+	      (p2:Person)-[:studyAt]->(u),
+	      (p1)-[e:knows*1..3]->(p2)
+	WHERE p1.gender <> p2.gender
+	  AND u.name = 'Uni Leipzig'
+	  AND s.classYear > 2014
+	RETURN p1.name AS a, p2.name AS b ORDER BY a LIMIT 10`
+
+func BenchmarkLex(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Lex(benchQuery); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkParse(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse(benchQuery); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBuildQueryGraph(b *testing.B) {
+	q, err := Parse(benchQuery)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := BuildQueryGraph(q, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

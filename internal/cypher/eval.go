@@ -1,0 +1,206 @@
+package cypher
+
+import (
+	"strings"
+
+	"gradoop/internal/epgm"
+)
+
+// Lookup resolves a property access during predicate evaluation. It returns
+// epgm.Null for unknown variables or absent keys.
+type Lookup func(variable, key string) epgm.PropertyValue
+
+// EvalPredicate evaluates a boolean expression against bound properties.
+// Comparisons involving NULL or incomparable types are false, so NOT over
+// such a comparison is true — a pragmatic two-valued approximation of
+// Cypher's ternary logic that matches the paper's predicate semantics
+// (predicate functions map into {true, false}, Definition 2.2).
+func EvalPredicate(e Expr, lookup Lookup) bool {
+	switch x := e.(type) {
+	case *BinaryExpr:
+		switch x.Op {
+		case OpAnd:
+			return EvalPredicate(x.L, lookup) && EvalPredicate(x.R, lookup)
+		case OpOr:
+			return EvalPredicate(x.L, lookup) || EvalPredicate(x.R, lookup)
+		case OpXor:
+			return EvalPredicate(x.L, lookup) != EvalPredicate(x.R, lookup)
+		case OpIn:
+			l := EvalValue(x.L, lookup)
+			list, ok := x.R.(*ListExpr)
+			if !ok {
+				return false
+			}
+			for _, elem := range list.Elems {
+				if l.Equal(EvalValue(elem, lookup)) {
+					return true
+				}
+			}
+			return false
+		case OpStartsWith, OpEndsWith, OpContains:
+			l := EvalValue(x.L, lookup)
+			r := EvalValue(x.R, lookup)
+			if l.Type() != epgm.TypeString || r.Type() != epgm.TypeString {
+				return false
+			}
+			switch x.Op {
+			case OpStartsWith:
+				return strings.HasPrefix(l.Str(), r.Str())
+			case OpEndsWith:
+				return strings.HasSuffix(l.Str(), r.Str())
+			default:
+				return strings.Contains(l.Str(), r.Str())
+			}
+		default:
+			return evalComparison(x, lookup)
+		}
+	case *NotExpr:
+		return !EvalPredicate(x.X, lookup)
+	case *IsNullExpr:
+		isNull := EvalValue(x.X, lookup).IsNull()
+		if x.Negated {
+			return !isNull
+		}
+		return isNull
+	case *Literal:
+		return x.Value.Bool()
+	default:
+		return false
+	}
+}
+
+func evalComparison(b *BinaryExpr, lookup Lookup) bool {
+	l := EvalValue(b.L, lookup)
+	r := EvalValue(b.R, lookup)
+	switch b.Op {
+	case OpEQ:
+		return l.Equal(r)
+	case OpNEQ:
+		// <> is false when either side is NULL, true when both sides are
+		// non-null and not equal — including non-null values of different,
+		// incomparable types.
+		if l.IsNull() || r.IsNull() {
+			return false
+		}
+		return !l.Equal(r)
+	case OpLT:
+		c, ok := l.Compare(r)
+		return ok && c < 0
+	case OpLE:
+		c, ok := l.Compare(r)
+		return ok && c <= 0
+	case OpGT:
+		c, ok := l.Compare(r)
+		return ok && c > 0
+	case OpGE:
+		c, ok := l.Compare(r)
+		return ok && c >= 0
+	default:
+		return false
+	}
+}
+
+// EvalValue evaluates a scalar expression to a property value. Unknown
+// constructs and failing operations yield Null.
+func EvalValue(e Expr, lookup Lookup) epgm.PropertyValue {
+	switch x := e.(type) {
+	case *Literal:
+		return x.Value
+	case *PropertyAccess:
+		return lookup(x.Var, x.Key)
+	case *BinaryExpr:
+		switch x.Op {
+		case OpAdd, OpSub, OpMul, OpDiv, OpMod:
+			return evalArithmetic(x.Op, EvalValue(x.L, lookup), EvalValue(x.R, lookup))
+		}
+		return epgm.Null
+	default:
+		return epgm.Null
+	}
+}
+
+// evalArithmetic applies a numeric operator; + also concatenates strings.
+// Mixed or null operands yield Null; integer pairs stay integral (with /
+// truncating), anything else is computed in float64.
+func evalArithmetic(op BinaryOp, l, r epgm.PropertyValue) epgm.PropertyValue {
+	if op == OpAdd && l.Type() == epgm.TypeString && r.Type() == epgm.TypeString {
+		return epgm.PVString(l.Str() + r.Str())
+	}
+	numeric := func(v epgm.PropertyValue) bool {
+		return v.Type() == epgm.TypeInt64 || v.Type() == epgm.TypeFloat64
+	}
+	if !numeric(l) || !numeric(r) {
+		return epgm.Null
+	}
+	if l.Type() == epgm.TypeInt64 && r.Type() == epgm.TypeInt64 {
+		a, b := l.Int(), r.Int()
+		switch op {
+		case OpAdd:
+			return epgm.PVInt(a + b)
+		case OpSub:
+			return epgm.PVInt(a - b)
+		case OpMul:
+			return epgm.PVInt(a * b)
+		case OpDiv:
+			if b == 0 {
+				return epgm.Null
+			}
+			return epgm.PVInt(a / b)
+		case OpMod:
+			if b == 0 {
+				return epgm.Null
+			}
+			return epgm.PVInt(a % b)
+		}
+		return epgm.Null
+	}
+	a, b := l.Float(), r.Float()
+	switch op {
+	case OpAdd:
+		return epgm.PVFloat(a + b)
+	case OpSub:
+		return epgm.PVFloat(a - b)
+	case OpMul:
+		return epgm.PVFloat(a * b)
+	case OpDiv:
+		if b == 0 {
+			return epgm.Null
+		}
+		return epgm.PVFloat(a / b)
+	case OpMod:
+		return epgm.Null
+	}
+	return epgm.Null
+}
+
+// EvalElement evaluates a conjunction of element-centric predicates against
+// a single element's properties, binding every property access of variable
+// varName to props.
+func EvalElement(preds []Expr, varName string, props epgm.Properties) bool {
+	lookup := func(variable, key string) epgm.PropertyValue {
+		if variable != varName {
+			return epgm.Null
+		}
+		return props.Get(key)
+	}
+	for _, p := range preds {
+		if !EvalPredicate(p, lookup) {
+			return false
+		}
+	}
+	return true
+}
+
+// MatchesLabel reports whether an element label satisfies a label
+// alternation; an empty alternation matches everything.
+func MatchesLabel(label string, alternation []string) bool {
+	if len(alternation) == 0 {
+		return true
+	}
+	for _, l := range alternation {
+		if l == label {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,250 @@
+package cypher
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+	"unicode/utf8"
+)
+
+// SyntaxError reports a lexical or grammatical error with its byte position
+// in the query text.
+type SyntaxError struct {
+	Pos int
+	Msg string
+}
+
+// Error implements the error interface.
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("cypher: syntax error at offset %d: %s", e.Pos, e.Msg)
+}
+
+// lexer tokenizes a Cypher query string.
+type lexer struct {
+	src string
+	pos int
+}
+
+// Lex tokenizes the whole query, returning the token stream terminated by a
+// TokEOF token.
+func Lex(src string) ([]Token, error) {
+	l := &lexer{src: src}
+	var toks []Token
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, t)
+		if t.Kind == TokEOF {
+			return toks, nil
+		}
+	}
+}
+
+func (l *lexer) peekByte() byte {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *lexer) next() (Token, error) {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == ' ' || c == '\t' || c == '\n' || c == '\r' {
+			l.pos++
+			continue
+		}
+		// Line comments.
+		if c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '/' {
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+			continue
+		}
+		break
+	}
+	if l.pos >= len(l.src) {
+		return Token{Kind: TokEOF, Pos: l.pos}, nil
+	}
+	start := l.pos
+	c := l.src[l.pos]
+	switch {
+	case c == '(':
+		l.pos++
+		return Token{TokLParen, "(", start}, nil
+	case c == ')':
+		l.pos++
+		return Token{TokRParen, ")", start}, nil
+	case c == '[':
+		l.pos++
+		return Token{TokLBracket, "[", start}, nil
+	case c == ']':
+		l.pos++
+		return Token{TokRBracket, "]", start}, nil
+	case c == '{':
+		l.pos++
+		return Token{TokLBrace, "{", start}, nil
+	case c == '}':
+		l.pos++
+		return Token{TokRBrace, "}", start}, nil
+	case c == ':':
+		l.pos++
+		return Token{TokColon, ":", start}, nil
+	case c == ',':
+		l.pos++
+		return Token{TokComma, ",", start}, nil
+	case c == '|':
+		l.pos++
+		return Token{TokPipe, "|", start}, nil
+	case c == '*':
+		l.pos++
+		return Token{TokStar, "*", start}, nil
+	case c == '-':
+		l.pos++
+		return Token{TokDash, "-", start}, nil
+	case c == '=':
+		l.pos++
+		return Token{TokEQ, "=", start}, nil
+	case c == '+':
+		l.pos++
+		return Token{TokPlus, "+", start}, nil
+	case c == '%':
+		l.pos++
+		return Token{TokPercent, "%", start}, nil
+	case c == '/':
+		// A single slash is division; '//' comments were consumed above.
+		l.pos++
+		return Token{TokSlash, "/", start}, nil
+	case c == '<':
+		l.pos++
+		switch l.peekByte() {
+		case '=':
+			l.pos++
+			return Token{TokLE, "<=", start}, nil
+		case '>':
+			l.pos++
+			return Token{TokNEQ, "<>", start}, nil
+		}
+		return Token{TokLT, "<", start}, nil
+	case c == '>':
+		l.pos++
+		if l.peekByte() == '=' {
+			l.pos++
+			return Token{TokGE, ">=", start}, nil
+		}
+		return Token{TokGT, ">", start}, nil
+	case c == '.':
+		if l.pos+1 < len(l.src) && l.src[l.pos+1] == '.' {
+			l.pos += 2
+			return Token{TokRange, "..", start}, nil
+		}
+		l.pos++
+		return Token{TokDot, ".", start}, nil
+	case c == '\'' || c == '"':
+		return l.lexString(c)
+	case c == '$':
+		l.pos++
+		name := l.lexIdentText()
+		if name == "" {
+			return Token{}, &SyntaxError{Pos: start, Msg: "expected parameter name after '$'"}
+		}
+		return Token{TokParam, name, start}, nil
+	case c == '`':
+		// Backquoted identifier.
+		l.pos++
+		end := strings.IndexByte(l.src[l.pos:], '`')
+		if end < 0 {
+			return Token{}, &SyntaxError{Pos: start, Msg: "unterminated backquoted identifier"}
+		}
+		text := l.src[l.pos : l.pos+end]
+		l.pos += end + 1
+		return Token{TokIdent, text, start}, nil
+	case c >= '0' && c <= '9':
+		return l.lexNumber()
+	default:
+		r, _ := utf8.DecodeRuneInString(l.src[l.pos:])
+		if isIdentStart(r) {
+			text := l.lexIdentText()
+			if kind, ok := keywords[strings.ToUpper(text)]; ok {
+				return Token{kind, text, start}, nil
+			}
+			return Token{TokIdent, text, start}, nil
+		}
+		return Token{}, &SyntaxError{Pos: start, Msg: fmt.Sprintf("unexpected character %q", r)}
+	}
+}
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentPart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}
+
+func (l *lexer) lexIdentText() string {
+	start := l.pos
+	for l.pos < len(l.src) {
+		r, sz := utf8.DecodeRuneInString(l.src[l.pos:])
+		if l.pos == start && !isIdentStart(r) {
+			break
+		}
+		if l.pos > start && !isIdentPart(r) {
+			break
+		}
+		l.pos += sz
+	}
+	return l.src[start:l.pos]
+}
+
+func (l *lexer) lexString(quote byte) (Token, error) {
+	start := l.pos
+	l.pos++ // opening quote
+	var sb strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch c {
+		case quote:
+			l.pos++
+			return Token{TokString, sb.String(), start}, nil
+		case '\\':
+			if l.pos+1 >= len(l.src) {
+				return Token{}, &SyntaxError{Pos: start, Msg: "unterminated string escape"}
+			}
+			esc := l.src[l.pos+1]
+			switch esc {
+			case 'n':
+				sb.WriteByte('\n')
+			case 't':
+				sb.WriteByte('\t')
+			case '\\', '\'', '"':
+				sb.WriteByte(esc)
+			default:
+				return Token{}, &SyntaxError{Pos: l.pos, Msg: fmt.Sprintf("unknown escape \\%c", esc)}
+			}
+			l.pos += 2
+		default:
+			sb.WriteByte(c)
+			l.pos++
+		}
+	}
+	return Token{}, &SyntaxError{Pos: start, Msg: "unterminated string literal"}
+}
+
+func (l *lexer) lexNumber() (Token, error) {
+	start := l.pos
+	for l.pos < len(l.src) && l.src[l.pos] >= '0' && l.src[l.pos] <= '9' {
+		l.pos++
+	}
+	// A float needs a single '.' followed by a digit; ".." is a range token.
+	if l.pos+1 < len(l.src) && l.src[l.pos] == '.' && l.src[l.pos+1] >= '0' && l.src[l.pos+1] <= '9' {
+		l.pos++
+		for l.pos < len(l.src) && l.src[l.pos] >= '0' && l.src[l.pos] <= '9' {
+			l.pos++
+		}
+		return Token{TokFloat, l.src[start:l.pos], start}, nil
+	}
+	return Token{TokInt, l.src[start:l.pos], start}, nil
+}

@@ -1,0 +1,713 @@
+package cypher
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"gradoop/internal/epgm"
+)
+
+// DefaultMaxHops bounds variable length path expressions written without an
+// explicit upper bound (`*` or `*2..`). The paper's queries always give
+// explicit bounds; an implicit bound keeps unbounded expansions finite.
+const DefaultMaxHops = 10
+
+// Parse lexes and parses a Cypher query.
+func Parse(src string) (*Query, error) {
+	toks, err := Lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	q, err := p.parseQuery()
+	if err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+type parser struct {
+	toks []Token
+	pos  int
+}
+
+func (p *parser) peek() Token         { return p.toks[p.pos] }
+func (p *parser) peekKind() TokenKind { return p.toks[p.pos].Kind }
+
+func (p *parser) advance() Token {
+	t := p.toks[p.pos]
+	if t.Kind != TokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) accept(kind TokenKind) (Token, bool) {
+	if p.peekKind() == kind {
+		return p.advance(), true
+	}
+	return Token{}, false
+}
+
+func (p *parser) expect(kind TokenKind) (Token, error) {
+	if t, ok := p.accept(kind); ok {
+		return t, nil
+	}
+	t := p.peek()
+	return Token{}, &SyntaxError{Pos: t.Pos, Msg: fmt.Sprintf("expected %s, found %s %q", kind, t.Kind, t.Text)}
+}
+
+func (p *parser) parseQuery() (*Query, error) {
+	if _, err := p.expect(TokMatch); err != nil {
+		return nil, err
+	}
+	q := &Query{}
+	for {
+		part, err := p.parsePatternPart()
+		if err != nil {
+			return nil, err
+		}
+		q.Patterns = append(q.Patterns, part)
+		if _, ok := p.accept(TokComma); !ok {
+			break
+		}
+	}
+	if _, ok := p.accept(TokWhere); ok {
+		expr, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		q.Where = expr
+	}
+	for p.peekKind() == TokOptional {
+		p.advance()
+		if _, err := p.expect(TokMatch); err != nil {
+			return nil, err
+		}
+		var om OptionalMatch
+		for {
+			part, err := p.parsePatternPart()
+			if err != nil {
+				return nil, err
+			}
+			om.Patterns = append(om.Patterns, part)
+			if _, ok := p.accept(TokComma); !ok {
+				break
+			}
+		}
+		if _, ok := p.accept(TokWhere); ok {
+			expr, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			om.Where = expr
+		}
+		q.Optional = append(q.Optional, om)
+	}
+	if _, ok := p.accept(TokReturn); ok {
+		ret, err := p.parseReturn()
+		if err != nil {
+			return nil, err
+		}
+		q.Return = ret
+	} else {
+		q.Return = ReturnClause{Star: true, Skip: -1, Limit: -1}
+	}
+	if t := p.peek(); t.Kind != TokEOF {
+		return nil, &SyntaxError{Pos: t.Pos, Msg: fmt.Sprintf("unexpected %s %q after query", t.Kind, t.Text)}
+	}
+	return q, nil
+}
+
+func (p *parser) parsePatternPart() (PatternPart, error) {
+	var part PatternPart
+	node, err := p.parseNodePattern()
+	if err != nil {
+		return part, err
+	}
+	part.Nodes = append(part.Nodes, node)
+	for p.peekKind() == TokDash || p.peekKind() == TokLT {
+		rel, err := p.parseRelPattern()
+		if err != nil {
+			return part, err
+		}
+		next, err := p.parseNodePattern()
+		if err != nil {
+			return part, err
+		}
+		part.Rels = append(part.Rels, rel)
+		part.Nodes = append(part.Nodes, next)
+	}
+	return part, nil
+}
+
+func (p *parser) parseNodePattern() (NodePattern, error) {
+	var n NodePattern
+	if _, err := p.expect(TokLParen); err != nil {
+		return n, err
+	}
+	if t, ok := p.accept(TokIdent); ok {
+		n.Var = t.Text
+	}
+	if _, ok := p.accept(TokColon); ok {
+		labels, err := p.parseAlternation()
+		if err != nil {
+			return n, err
+		}
+		n.Labels = labels
+	}
+	if p.peekKind() == TokLBrace {
+		props, err := p.parsePropMap()
+		if err != nil {
+			return n, err
+		}
+		n.Props = props
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return n, err
+	}
+	return n, nil
+}
+
+// parseAlternation parses `Label1|Label2|...`.
+func (p *parser) parseAlternation() ([]string, error) {
+	var out []string
+	for {
+		t, err := p.expect(TokIdent)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t.Text)
+		if _, ok := p.accept(TokPipe); !ok {
+			return out, nil
+		}
+	}
+}
+
+func (p *parser) parsePropMap() ([]PropEq, error) {
+	if _, err := p.expect(TokLBrace); err != nil {
+		return nil, err
+	}
+	var props []PropEq
+	if _, ok := p.accept(TokRBrace); ok {
+		return props, nil
+	}
+	for {
+		key, err := p.expect(TokIdent)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokColon); err != nil {
+			return nil, err
+		}
+		val, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		switch val.(type) {
+		case *Literal, *Param:
+		default:
+			return nil, &SyntaxError{Pos: p.peek().Pos, Msg: "property map values must be literals or parameters"}
+		}
+		props = append(props, PropEq{Key: key.Text, Value: val})
+		if _, ok := p.accept(TokComma); !ok {
+			break
+		}
+	}
+	if _, err := p.expect(TokRBrace); err != nil {
+		return nil, err
+	}
+	return props, nil
+}
+
+func (p *parser) parseRelPattern() (RelPattern, error) {
+	rel := RelPattern{MinHops: 1, MaxHops: 1}
+	leftArrow := false
+	if _, ok := p.accept(TokLT); ok {
+		leftArrow = true
+	}
+	if _, err := p.expect(TokDash); err != nil {
+		return rel, err
+	}
+	if _, ok := p.accept(TokLBracket); ok {
+		if t, ok := p.accept(TokIdent); ok {
+			rel.Var = t.Text
+		}
+		if _, ok := p.accept(TokColon); ok {
+			types, err := p.parseAlternation()
+			if err != nil {
+				return rel, err
+			}
+			rel.Types = types
+		}
+		if _, ok := p.accept(TokStar); ok {
+			if err := p.parseHops(&rel); err != nil {
+				return rel, err
+			}
+		}
+		if p.peekKind() == TokLBrace {
+			props, err := p.parsePropMap()
+			if err != nil {
+				return rel, err
+			}
+			rel.Props = props
+		}
+		if _, err := p.expect(TokRBracket); err != nil {
+			return rel, err
+		}
+	}
+	if _, err := p.expect(TokDash); err != nil {
+		return rel, err
+	}
+	rightArrow := false
+	if !leftArrow {
+		if _, ok := p.accept(TokGT); ok {
+			rightArrow = true
+		}
+	}
+	switch {
+	case leftArrow:
+		rel.Direction = DirIn
+	case rightArrow:
+		rel.Direction = DirOut
+	default:
+		rel.Direction = DirUndirected
+	}
+	if rel.MinHops < 0 || rel.MaxHops < rel.MinHops {
+		return rel, &SyntaxError{Pos: p.peek().Pos,
+			Msg: fmt.Sprintf("invalid path bounds *%d..%d", rel.MinHops, rel.MaxHops)}
+	}
+	return rel, nil
+}
+
+// parseHops parses the hop bounds after '*': `*`, `*n`, `*l..u`, `*..u`,
+// `*l..`.
+func (p *parser) parseHops(rel *RelPattern) error {
+	rel.MinHops, rel.MaxHops = 1, DefaultMaxHops
+	if t, ok := p.accept(TokInt); ok {
+		n, err := strconv.Atoi(t.Text)
+		if err != nil {
+			return &SyntaxError{Pos: t.Pos, Msg: "invalid hop count"}
+		}
+		rel.MinHops = n
+		rel.MaxHops = n
+		if _, ok := p.accept(TokRange); ok {
+			rel.MaxHops = DefaultMaxHops
+			if t, ok := p.accept(TokInt); ok {
+				u, err := strconv.Atoi(t.Text)
+				if err != nil {
+					return &SyntaxError{Pos: t.Pos, Msg: "invalid hop bound"}
+				}
+				rel.MaxHops = u
+			}
+		}
+		return nil
+	}
+	if _, ok := p.accept(TokRange); ok {
+		if t, ok := p.accept(TokInt); ok {
+			u, err := strconv.Atoi(t.Text)
+			if err != nil {
+				return &SyntaxError{Pos: t.Pos, Msg: "invalid hop bound"}
+			}
+			rel.MaxHops = u
+		}
+	}
+	return nil
+}
+
+// Expression grammar, loosest binding first: OR, XOR, AND, NOT, comparison.
+
+func (p *parser) parseExpr() (Expr, error) { return p.parseOr() }
+
+func (p *parser) parseOr() (Expr, error) {
+	l, err := p.parseXor()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		if _, ok := p.accept(TokOr); !ok {
+			return l, nil
+		}
+		r, err := p.parseXor()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinaryExpr{Op: OpOr, L: l, R: r}
+	}
+}
+
+func (p *parser) parseXor() (Expr, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		if _, ok := p.accept(TokXor); !ok {
+			return l, nil
+		}
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinaryExpr{Op: OpXor, L: l, R: r}
+	}
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	l, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		if _, ok := p.accept(TokAnd); !ok {
+			return l, nil
+		}
+		r, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinaryExpr{Op: OpAnd, L: l, R: r}
+	}
+}
+
+func (p *parser) parseNot() (Expr, error) {
+	if _, ok := p.accept(TokNot); ok {
+		x, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return &NotExpr{X: x}, nil
+	}
+	return p.parseComparison()
+}
+
+var comparisonOps = map[TokenKind]BinaryOp{
+	TokEQ: OpEQ, TokNEQ: OpNEQ, TokLT: OpLT, TokLE: OpLE, TokGT: OpGT, TokGE: OpGE,
+}
+
+func (p *parser) parseComparison() (Expr, error) {
+	l, err := p.parseAdditive()
+	if err != nil {
+		return nil, err
+	}
+	switch {
+	case p.peekKind() == TokIs:
+		p.advance()
+		negated := false
+		if _, ok := p.accept(TokNot); ok {
+			negated = true
+		}
+		if _, err := p.expect(TokNull); err != nil {
+			return nil, err
+		}
+		return &IsNullExpr{X: l, Negated: negated}, nil
+	case p.peekKind() == TokIn:
+		p.advance()
+		r, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		if _, ok := r.(*ListExpr); !ok {
+			return nil, &SyntaxError{Pos: p.peek().Pos, Msg: "IN requires a list literal"}
+		}
+		return &BinaryExpr{Op: OpIn, L: l, R: r}, nil
+	case p.peekKind() == TokStarts:
+		p.advance()
+		if _, err := p.expect(TokWith); err != nil {
+			return nil, err
+		}
+		r, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		return &BinaryExpr{Op: OpStartsWith, L: l, R: r}, nil
+	case p.peekKind() == TokEnds:
+		p.advance()
+		if _, err := p.expect(TokWith); err != nil {
+			return nil, err
+		}
+		r, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		return &BinaryExpr{Op: OpEndsWith, L: l, R: r}, nil
+	case p.peekKind() == TokContains:
+		p.advance()
+		r, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		return &BinaryExpr{Op: OpContains, L: l, R: r}, nil
+	}
+	if op, ok := comparisonOps[p.peekKind()]; ok {
+		p.advance()
+		r, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		return &BinaryExpr{Op: op, L: l, R: r}, nil
+	}
+	return l, nil
+}
+
+func (p *parser) parseAdditive() (Expr, error) {
+	l, err := p.parseMultiplicative()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op BinaryOp
+		switch p.peekKind() {
+		case TokPlus:
+			op = OpAdd
+		case TokDash:
+			op = OpSub
+		default:
+			return l, nil
+		}
+		p.advance()
+		r, err := p.parseMultiplicative()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinaryExpr{Op: op, L: l, R: r}
+	}
+}
+
+func (p *parser) parseMultiplicative() (Expr, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op BinaryOp
+		switch p.peekKind() {
+		case TokStar:
+			op = OpMul
+		case TokSlash:
+			op = OpDiv
+		case TokPercent:
+			op = OpMod
+		default:
+			return l, nil
+		}
+		p.advance()
+		r, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinaryExpr{Op: op, L: l, R: r}
+	}
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	if _, ok := p.accept(TokDash); ok {
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		if lit, ok := x.(*Literal); ok {
+			switch lit.Value.Type() {
+			case epgm.TypeInt64:
+				return &Literal{Value: epgm.PVInt(-lit.Value.Int())}, nil
+			case epgm.TypeFloat64:
+				return &Literal{Value: epgm.PVFloat(-lit.Value.Float())}, nil
+			}
+		}
+		return &BinaryExpr{Op: OpSub, L: &Literal{Value: epgm.PVInt(0)}, R: x}, nil
+	}
+	return p.parseAtom()
+}
+
+func (p *parser) parseAtom() (Expr, error) {
+	t := p.peek()
+	switch t.Kind {
+	case TokLParen:
+		p.advance()
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokRParen); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case TokString:
+		p.advance()
+		return &Literal{Value: epgm.PVString(t.Text)}, nil
+	case TokInt:
+		p.advance()
+		n, err := strconv.ParseInt(t.Text, 10, 64)
+		if err != nil {
+			return nil, &SyntaxError{Pos: t.Pos, Msg: "invalid integer literal"}
+		}
+		return &Literal{Value: epgm.PVInt(n)}, nil
+	case TokFloat:
+		p.advance()
+		f, err := strconv.ParseFloat(t.Text, 64)
+		if err != nil {
+			return nil, &SyntaxError{Pos: t.Pos, Msg: "invalid float literal"}
+		}
+		return &Literal{Value: epgm.PVFloat(f)}, nil
+	case TokTrue:
+		p.advance()
+		return &Literal{Value: epgm.PVBool(true)}, nil
+	case TokFalse:
+		p.advance()
+		return &Literal{Value: epgm.PVBool(false)}, nil
+	case TokNull:
+		p.advance()
+		return &Literal{Value: epgm.Null}, nil
+	case TokParam:
+		p.advance()
+		return &Param{Name: t.Text}, nil
+	case TokLBracket:
+		p.advance()
+		list := &ListExpr{}
+		if _, ok := p.accept(TokRBracket); ok {
+			return list, nil
+		}
+		for {
+			elem, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			list.Elems = append(list.Elems, elem)
+			if _, ok := p.accept(TokComma); !ok {
+				break
+			}
+		}
+		if _, err := p.expect(TokRBracket); err != nil {
+			return nil, err
+		}
+		return list, nil
+	case TokIdent:
+		p.advance()
+		if _, ok := p.accept(TokDot); ok {
+			key, err := p.expect(TokIdent)
+			if err != nil {
+				return nil, err
+			}
+			return &PropertyAccess{Var: t.Text, Key: key.Text}, nil
+		}
+		if p.peekKind() == TokLParen {
+			return p.parseFuncCall(t)
+		}
+		return &VarRef{Var: t.Text}, nil
+	default:
+		return nil, &SyntaxError{Pos: t.Pos, Msg: fmt.Sprintf("expected expression, found %s %q", t.Kind, t.Text)}
+	}
+}
+
+// parseFuncCall parses `name(*)`, `name(expr)` after the identifier token,
+// or an `exists(<pattern>)` predicate.
+func (p *parser) parseFuncCall(name Token) (Expr, error) {
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	fn := &FuncCall{Name: strings.ToLower(name.Text)}
+	switch fn.Name {
+	case "count", "sum", "min", "max", "avg":
+	case "exists":
+		pattern, err := p.parsePatternPart()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokRParen); err != nil {
+			return nil, err
+		}
+		return &ExistsExpr{Pattern: pattern}, nil
+	default:
+		return nil, &SyntaxError{Pos: name.Pos, Msg: fmt.Sprintf("unknown function %q", name.Text)}
+	}
+	if _, ok := p.accept(TokStar); ok {
+		if fn.Name != "count" {
+			return nil, &SyntaxError{Pos: name.Pos, Msg: "only count(*) accepts '*'"}
+		}
+		fn.Star = true
+	} else {
+		arg, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		fn.Arg = arg
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return nil, err
+	}
+	return fn, nil
+}
+
+func (p *parser) parseReturn() (ReturnClause, error) {
+	ret := ReturnClause{Skip: -1, Limit: -1}
+	if _, ok := p.accept(TokDistinct); ok {
+		ret.Distinct = true
+	}
+	if _, ok := p.accept(TokStar); ok {
+		ret.Star = true
+	} else {
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return ret, err
+			}
+			item := ReturnItem{Expr: e}
+			if _, ok := p.accept(TokAs); ok {
+				alias, err := p.expect(TokIdent)
+				if err != nil {
+					return ret, err
+				}
+				item.Alias = alias.Text
+			}
+			ret.Items = append(ret.Items, item)
+			if _, ok := p.accept(TokComma); !ok {
+				break
+			}
+		}
+	}
+	if _, ok := p.accept(TokOrder); ok {
+		if _, err := p.expect(TokBy); err != nil {
+			return ret, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return ret, err
+			}
+			item := SortItem{Expr: e}
+			if _, ok := p.accept(TokDesc); ok {
+				item.Desc = true
+			} else {
+				p.accept(TokAsc)
+			}
+			ret.OrderBy = append(ret.OrderBy, item)
+			if _, ok := p.accept(TokComma); !ok {
+				break
+			}
+		}
+	}
+	if _, ok := p.accept(TokSkip); ok {
+		t, err := p.expect(TokInt)
+		if err != nil {
+			return ret, err
+		}
+		n, err := strconv.ParseInt(t.Text, 10, 64)
+		if err != nil {
+			return ret, &SyntaxError{Pos: t.Pos, Msg: "invalid SKIP count"}
+		}
+		ret.Skip = n
+	}
+	if _, ok := p.accept(TokLimit); ok {
+		t, err := p.expect(TokInt)
+		if err != nil {
+			return ret, err
+		}
+		n, err := strconv.ParseInt(t.Text, 10, 64)
+		if err != nil {
+			return ret, &SyntaxError{Pos: t.Pos, Msg: "invalid LIMIT count"}
+		}
+		ret.Limit = n
+	}
+	return ret, nil
+}

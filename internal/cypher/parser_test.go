@@ -1,0 +1,328 @@
+package cypher
+
+import (
+	"strings"
+	"testing"
+
+	"gradoop/internal/epgm"
+)
+
+func mustParse(t *testing.T, src string) *Query {
+	t.Helper()
+	q, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", src, err)
+	}
+	return q
+}
+
+func TestLexBasics(t *testing.T) {
+	toks, err := Lex(`MATCH (p:Person)-[e:knows*1..3]->(q) WHERE p.age >= 21 RETURN p.name`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := make([]TokenKind, len(toks))
+	for i, tok := range toks {
+		kinds[i] = tok.Kind
+	}
+	want := []TokenKind{
+		TokMatch, TokLParen, TokIdent, TokColon, TokIdent, TokRParen,
+		TokDash, TokLBracket, TokIdent, TokColon, TokIdent, TokStar, TokInt, TokRange, TokInt, TokRBracket, TokDash, TokGT,
+		TokLParen, TokIdent, TokRParen,
+		TokWhere, TokIdent, TokDot, TokIdent, TokGE, TokInt,
+		TokReturn, TokIdent, TokDot, TokIdent, TokEOF,
+	}
+	if len(kinds) != len(want) {
+		t.Fatalf("got %d tokens, want %d: %v", len(kinds), len(want), kinds)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Fatalf("token %d: got %s want %s", i, kinds[i], want[i])
+		}
+	}
+}
+
+func TestLexStringsAndEscapes(t *testing.T) {
+	toks, err := Lex(`'Uni Leipzig' "double" 'it\'s' 'tab\there'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"Uni Leipzig", "double", "it's", "tab\there"}
+	for i, w := range want {
+		if toks[i].Kind != TokString || toks[i].Text != w {
+			t.Fatalf("string %d: got %q", i, toks[i].Text)
+		}
+	}
+}
+
+func TestLexComments(t *testing.T) {
+	toks, err := Lex("MATCH // a comment\n(n)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Kind != TokMatch || toks[1].Kind != TokLParen {
+		t.Fatalf("comment not skipped: %v", toks)
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	for _, src := range []string{"'unterminated", "`unterminated", "$", "'bad\\q'", "@"} {
+		if _, err := Lex(src); err == nil {
+			t.Errorf("Lex(%q): expected error", src)
+		}
+	}
+}
+
+func TestLexKeywordsCaseInsensitive(t *testing.T) {
+	toks, err := Lex("match (n) where n.x = 1 return n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Kind != TokMatch {
+		t.Fatalf("lower-case match not recognized: %v", toks[0])
+	}
+}
+
+func TestParsePaperQuery(t *testing.T) {
+	// The flagship example from §2.3.
+	q := mustParse(t, `
+		MATCH (p1:Person)-[s:studyAt]->(u:University),
+		      (p2:Person)-[:studyAt]->(u),
+		      (p1)-[e:knows*1..3]->(p2)
+		WHERE p1.gender <> p2.gender
+		  AND u.name = 'Uni Leipzig'
+		  AND s.classYear > 2014
+		RETURN *`)
+	if len(q.Patterns) != 3 {
+		t.Fatalf("patterns=%d", len(q.Patterns))
+	}
+	p0 := q.Patterns[0]
+	if p0.Nodes[0].Var != "p1" || p0.Nodes[0].Labels[0] != "Person" {
+		t.Fatalf("first node: %+v", p0.Nodes[0])
+	}
+	if p0.Rels[0].Var != "s" || p0.Rels[0].Types[0] != "studyAt" || p0.Rels[0].Direction != DirOut {
+		t.Fatalf("first rel: %+v", p0.Rels[0])
+	}
+	p2 := q.Patterns[2]
+	rel := p2.Rels[0]
+	if !rel.IsVarLength() || rel.MinHops != 1 || rel.MaxHops != 3 {
+		t.Fatalf("var length: %+v", rel)
+	}
+	if q.Where == nil || !q.Return.Star {
+		t.Fatal("WHERE/RETURN missing")
+	}
+	conjuncts := splitConjuncts(q.Where)
+	if len(conjuncts) != 3 {
+		t.Fatalf("conjuncts=%d", len(conjuncts))
+	}
+}
+
+func TestParseLabelAlternationAndIncomingEdge(t *testing.T) {
+	// Query 1 of the appendix.
+	q := mustParse(t, `
+		MATCH (person:Person)<-[:hasCreator]-(message:Comment|Post)
+		WHERE person.firstName = "Alice"
+		RETURN message.creationDate, message.content`)
+	n := q.Patterns[0].Nodes[1]
+	if len(n.Labels) != 2 || n.Labels[0] != "Comment" || n.Labels[1] != "Post" {
+		t.Fatalf("alternation: %v", n.Labels)
+	}
+	rel := q.Patterns[0].Rels[0]
+	if rel.Direction != DirIn || rel.Types[0] != "hasCreator" || rel.Var != "" {
+		t.Fatalf("rel: %+v", rel)
+	}
+	if len(q.Return.Items) != 2 {
+		t.Fatalf("return items=%d", len(q.Return.Items))
+	}
+	pa := q.Return.Items[0].Expr.(*PropertyAccess)
+	if pa.Var != "message" || pa.Key != "creationDate" {
+		t.Fatalf("return item: %+v", pa)
+	}
+}
+
+func TestParseZeroLowerBound(t *testing.T) {
+	// Query 2 uses *0..10.
+	q := mustParse(t, `MATCH (m)-[:replyOf*0..10]->(p:Post) RETURN *`)
+	rel := q.Patterns[0].Rels[0]
+	if rel.MinHops != 0 || rel.MaxHops != 10 {
+		t.Fatalf("bounds: %d..%d", rel.MinHops, rel.MaxHops)
+	}
+}
+
+func TestParseHopVariants(t *testing.T) {
+	cases := []struct {
+		src      string
+		min, max int
+	}{
+		{`MATCH (a)-[:x*]->(b) RETURN *`, 1, DefaultMaxHops},
+		{`MATCH (a)-[:x*3]->(b) RETURN *`, 3, 3},
+		{`MATCH (a)-[:x*..4]->(b) RETURN *`, 1, 4},
+		{`MATCH (a)-[:x*2..]->(b) RETURN *`, 2, DefaultMaxHops},
+		{`MATCH (a)-[:x*2..5]->(b) RETURN *`, 2, 5},
+	}
+	for _, c := range cases {
+		q := mustParse(t, c.src)
+		rel := q.Patterns[0].Rels[0]
+		if rel.MinHops != c.min || rel.MaxHops != c.max {
+			t.Errorf("%s: got %d..%d want %d..%d", c.src, rel.MinHops, rel.MaxHops, c.min, c.max)
+		}
+	}
+}
+
+func TestParseInvalidHops(t *testing.T) {
+	if _, err := Parse(`MATCH (a)-[:x*5..2]->(b) RETURN *`); err == nil {
+		t.Fatal("expected error for inverted bounds")
+	}
+}
+
+func TestParsePropertyMaps(t *testing.T) {
+	q := mustParse(t, `MATCH (p:Person {name: 'Alice', yob: 1984})-[e:knows {since: 2010}]->(q) RETURN *`)
+	n := q.Patterns[0].Nodes[0]
+	if len(n.Props) != 2 || n.Props[0].Key != "name" {
+		t.Fatalf("props: %+v", n.Props)
+	}
+	lit := n.Props[1].Value.(*Literal)
+	if lit.Value.Int() != 1984 {
+		t.Fatalf("yob literal: %v", lit.Value)
+	}
+	rel := q.Patterns[0].Rels[0]
+	if len(rel.Props) != 1 || rel.Props[0].Key != "since" {
+		t.Fatalf("rel props: %+v", rel.Props)
+	}
+}
+
+func TestParseEmptyPropertyMap(t *testing.T) {
+	q := mustParse(t, `MATCH (p {}) RETURN *`)
+	if len(q.Patterns[0].Nodes[0].Props) != 0 {
+		t.Fatal("empty map should have no props")
+	}
+}
+
+func TestParseAnonymousAndUndirected(t *testing.T) {
+	q := mustParse(t, `MATCH (a)--(b), (b)-->(c), (c)<--(d) RETURN *`)
+	if q.Patterns[0].Rels[0].Direction != DirUndirected {
+		t.Fatal("undirected")
+	}
+	if q.Patterns[1].Rels[0].Direction != DirOut {
+		t.Fatal("abbreviated out")
+	}
+	if q.Patterns[2].Rels[0].Direction != DirIn {
+		t.Fatal("abbreviated in")
+	}
+}
+
+func TestParseWherePrecedence(t *testing.T) {
+	q := mustParse(t, `MATCH (a) WHERE a.x = 1 OR a.y = 2 AND NOT a.z = 3 RETURN *`)
+	or, ok := q.Where.(*BinaryExpr)
+	if !ok || or.Op != OpOr {
+		t.Fatalf("top is %v", ExprString(q.Where))
+	}
+	and, ok := or.R.(*BinaryExpr)
+	if !ok || and.Op != OpAnd {
+		t.Fatalf("right of OR is %v", ExprString(or.R))
+	}
+	if _, ok := and.R.(*NotExpr); !ok {
+		t.Fatalf("right of AND is %v", ExprString(and.R))
+	}
+}
+
+func TestParseParenthesesOverridePrecedence(t *testing.T) {
+	q := mustParse(t, `MATCH (a) WHERE (a.x = 1 OR a.y = 2) AND a.z = 3 RETURN *`)
+	and, ok := q.Where.(*BinaryExpr)
+	if !ok || and.Op != OpAnd {
+		t.Fatalf("top is %v", ExprString(q.Where))
+	}
+}
+
+func TestParseComparisonOperators(t *testing.T) {
+	q := mustParse(t, `MATCH (a) WHERE a.v < 1 AND a.v <= 2 AND a.v > 3 AND a.v >= 4 AND a.v <> 5 AND a.v = 6 RETURN *`)
+	conj := splitConjuncts(q.Where)
+	ops := []BinaryOp{OpLT, OpLE, OpGT, OpGE, OpNEQ, OpEQ}
+	if len(conj) != len(ops) {
+		t.Fatalf("conjuncts=%d", len(conj))
+	}
+	for i, c := range conj {
+		if c.(*BinaryExpr).Op != ops[i] {
+			t.Fatalf("conjunct %d: %v", i, ExprString(c))
+		}
+	}
+}
+
+func TestParseLiteralsInWhere(t *testing.T) {
+	q := mustParse(t, `MATCH (a) WHERE a.f = 1.5 AND a.b = true AND a.s = 'x' AND a.n = -3 AND a.g = -2.5 RETURN *`)
+	conj := splitConjuncts(q.Where)
+	vals := []epgm.PropertyValue{
+		epgm.PVFloat(1.5), epgm.PVBool(true), epgm.PVString("x"), epgm.PVInt(-3), epgm.PVFloat(-2.5),
+	}
+	for i, c := range conj {
+		lit := c.(*BinaryExpr).R.(*Literal)
+		if !lit.Value.Equal(vals[i]) {
+			t.Fatalf("literal %d: %v", i, lit.Value)
+		}
+	}
+}
+
+func TestParseParams(t *testing.T) {
+	q := mustParse(t, `MATCH (p:Person {city: $city}) WHERE p.firstName = $firstName RETURN p`)
+	if _, ok := q.Patterns[0].Nodes[0].Props[0].Value.(*Param); !ok {
+		t.Fatal("prop map param")
+	}
+	cmp := q.Where.(*BinaryExpr)
+	if prm, ok := cmp.R.(*Param); !ok || prm.Name != "firstName" {
+		t.Fatalf("where param: %v", ExprString(cmp.R))
+	}
+}
+
+func TestParseReturnVariants(t *testing.T) {
+	q := mustParse(t, `MATCH (p) RETURN p.name AS name, p`)
+	if q.Return.Star {
+		t.Fatal("not star")
+	}
+	if q.Return.Items[0].Name() != "name" {
+		t.Fatalf("alias: %q", q.Return.Items[0].Name())
+	}
+	if q.Return.Items[1].Name() != "p" {
+		t.Fatalf("bare var name: %q", q.Return.Items[1].Name())
+	}
+	// No RETURN clause implies RETURN *.
+	q2 := mustParse(t, `MATCH (p)`)
+	if !q2.Return.Star {
+		t.Fatal("implicit RETURN *")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		``,
+		`MATCH`,
+		`MATCH (`,
+		`MATCH (a`,
+		`MATCH (a)-`,
+		`MATCH (a)-[`,
+		`MATCH (a)-[]`,
+		`MATCH (a)-[]-(`,
+		`MATCH (a) WHERE`,
+		`MATCH (a) WHERE a.`,
+		`MATCH (a) WHERE a.x =`,
+		`MATCH (a) RETURN`,
+		`MATCH (a) garbage`,
+		`MATCH (a {x})`,
+		`MATCH (a {x: b.c})`,
+		`RETURN 1`,
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q): expected error", src)
+		}
+	}
+}
+
+func TestQueryStringRendering(t *testing.T) {
+	q := mustParse(t, `MATCH (p1:Person)-[e:knows*1..3]->(p2:Person) WHERE p1.gender <> p2.gender RETURN *`)
+	s := q.String()
+	for _, frag := range []string{"MATCH", "(p1:Person)", "knows", "*1..3", "WHERE", "<>"} {
+		if !strings.Contains(s, frag) {
+			t.Fatalf("rendered query %q missing %q", s, frag)
+		}
+	}
+}

@@ -1,0 +1,69 @@
+package cypher
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// TestParserNeverPanics feeds the lexer/parser mutated variants of valid
+// queries plus random token soup; every input must return cleanly (a Query
+// or an error), never panic.
+func TestParserNeverPanics(t *testing.T) {
+	seeds := []string{
+		`MATCH (p1:Person)-[s:studyAt]->(u:University), (p1)-[e:knows*1..3]->(p2)
+		 WHERE p1.gender <> p2.gender AND u.name = 'Uni Leipzig' RETURN *`,
+		`MATCH (a)-[e:x*0..10]->(b) WHERE a.r IN [1,2,3] AND NOT exists((a)-[:y]->(b))
+		 OPTIONAL MATCH (b)-[:z]->(c) RETURN DISTINCT a.n AS n, count(*) ORDER BY n DESC SKIP 1 LIMIT 5`,
+		`MATCH (p {k: 'v', n: -1.5}) WHERE p.s STARTS WITH 'x' AND p.v IS NOT NULL RETURN p.s + '!' AS bang`,
+	}
+	fragments := []string{
+		"MATCH", "WHERE", "RETURN", "OPTIONAL", "(", ")", "[", "]", "{", "}",
+		"-", "->", "<-", ":", ",", ".", "..", "*", "|", "'str'", "42", "1.5",
+		"$p", "AND", "OR", "NOT", "exists", "count", "IS", "NULL", "IN",
+		"STARTS", "WITH", "a", "b", "Person", "<>", "<=", ">", "=", "+", "/", "%",
+	}
+	rng := rand.New(rand.NewSource(1))
+	check := func(src string) {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("panic on %q: %v", src, r)
+			}
+		}()
+		q, err := Parse(src)
+		if err == nil && q != nil {
+			// Valid parses must also survive query-graph construction
+			// (unresolved parameters may error, but never panic).
+			_, _ = BuildQueryGraph(q, nil)
+		}
+	}
+	for _, seed := range seeds {
+		check(seed)
+		// Mutations: delete/duplicate random byte spans.
+		for i := 0; i < 200; i++ {
+			b := []byte(seed)
+			switch rng.Intn(3) {
+			case 0:
+				p := rng.Intn(len(b))
+				b = append(b[:p], b[p+rng.Intn(len(b)-p):]...)
+			case 1:
+				p := rng.Intn(len(b))
+				b = append(b[:p], append([]byte{b[rng.Intn(len(b))]}, b[p:]...)...)
+			case 2:
+				p := rng.Intn(len(b))
+				b[p] = byte(rng.Intn(128))
+			}
+			check(string(b))
+		}
+	}
+	// Pure token soup.
+	for i := 0; i < 500; i++ {
+		n := 1 + rng.Intn(20)
+		var sb strings.Builder
+		for j := 0; j < n; j++ {
+			sb.WriteString(fragments[rng.Intn(len(fragments))])
+			sb.WriteByte(' ')
+		}
+		check(sb.String())
+	}
+}

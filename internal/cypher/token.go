@@ -1,0 +1,117 @@
+// Package cypher implements the pattern-matching core of the Cypher query
+// language (§2.3): a lexer, a recursive-descent parser producing an AST, and
+// the query simplification step that turns a parsed query into the query
+// graph of Definition 2.2 — query vertices and edges annotated with
+// element-centric predicate functions, plus residual cross-element
+// predicates evaluated on embeddings.
+package cypher
+
+import "fmt"
+
+// TokenKind enumerates lexical token classes.
+type TokenKind int
+
+// Token kinds.
+const (
+	TokEOF TokenKind = iota
+	TokIdent
+	TokString
+	TokInt
+	TokFloat
+	TokParam // $name
+
+	TokLParen   // (
+	TokRParen   // )
+	TokLBracket // [
+	TokRBracket // ]
+	TokLBrace   // {
+	TokRBrace   // }
+	TokColon    // :
+	TokComma    // ,
+	TokDot      // .
+	TokRange    // ..
+	TokPipe     // |
+	TokStar     // *
+	TokDash     // -
+	TokLT       // <
+	TokGT       // >
+	TokLE       // <=
+	TokGE       // >=
+	TokEQ       // =
+	TokNEQ      // <>
+	TokPlus     // +
+	TokSlash    // /
+	TokPercent  // %
+
+	// Keywords (case-insensitive in the source).
+	TokMatch
+	TokWhere
+	TokReturn
+	TokAnd
+	TokOr
+	TokXor
+	TokNot
+	TokTrue
+	TokFalse
+	TokNull
+	TokAs
+	TokDistinct
+	TokOrder
+	TokBy
+	TokAsc
+	TokDesc
+	TokSkip
+	TokLimit
+	TokIs
+	TokStarts
+	TokEnds
+	TokContains
+	TokIn
+	TokWith
+	TokOptional
+)
+
+var kindNames = map[TokenKind]string{
+	TokEOF: "end of query", TokIdent: "identifier", TokString: "string",
+	TokInt: "integer", TokFloat: "float", TokParam: "parameter",
+	TokLParen: "'('", TokRParen: "')'", TokLBracket: "'['", TokRBracket: "']'",
+	TokLBrace: "'{'", TokRBrace: "'}'", TokColon: "':'", TokComma: "','",
+	TokDot: "'.'", TokRange: "'..'", TokPipe: "'|'", TokStar: "'*'",
+	TokDash: "'-'", TokLT: "'<'", TokGT: "'>'", TokLE: "'<='", TokGE: "'>='",
+	TokEQ: "'='", TokNEQ: "'<>'", TokPlus: "'+'", TokSlash: "'/'", TokPercent: "'%'",
+	TokMatch: "MATCH", TokWhere: "WHERE", TokReturn: "RETURN",
+	TokAnd: "AND", TokOr: "OR", TokXor: "XOR", TokNot: "NOT",
+	TokTrue: "TRUE", TokFalse: "FALSE", TokNull: "NULL", TokAs: "AS",
+	TokDistinct: "DISTINCT", TokOrder: "ORDER", TokBy: "BY",
+	TokAsc: "ASC", TokDesc: "DESC", TokSkip: "SKIP", TokLimit: "LIMIT",
+	TokIs: "IS", TokStarts: "STARTS", TokEnds: "ENDS",
+	TokContains: "CONTAINS", TokIn: "IN", TokWith: "WITH",
+	TokOptional: "OPTIONAL",
+}
+
+// String returns a human-readable token-kind name for error messages.
+func (k TokenKind) String() string {
+	if n, ok := kindNames[k]; ok {
+		return n
+	}
+	return fmt.Sprintf("token(%d)", int(k))
+}
+
+// Token is one lexical unit with its source position (byte offset).
+type Token struct {
+	Kind TokenKind
+	Text string
+	Pos  int
+}
+
+var keywords = map[string]TokenKind{
+	"MATCH": TokMatch, "WHERE": TokWhere, "RETURN": TokReturn,
+	"AND": TokAnd, "OR": TokOr, "XOR": TokXor, "NOT": TokNot,
+	"TRUE": TokTrue, "FALSE": TokFalse, "NULL": TokNull, "AS": TokAs,
+	"DISTINCT": TokDistinct, "ORDER": TokOrder, "BY": TokBy,
+	"ASC": TokAsc, "ASCENDING": TokAsc, "DESC": TokDesc, "DESCENDING": TokDesc,
+	"SKIP": TokSkip, "LIMIT": TokLimit,
+	"IS": TokIs, "STARTS": TokStarts, "ENDS": TokEnds,
+	"CONTAINS": TokContains, "IN": TokIn, "WITH": TokWith,
+	"OPTIONAL": TokOptional,
+}

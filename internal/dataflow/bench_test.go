@@ -1,0 +1,71 @@
+package dataflow
+
+import (
+	"fmt"
+	"testing"
+)
+
+// Micro-benchmarks for the engine primitives: these measure the real local
+// throughput of the substrate (the simulated-time model is orthogonal).
+
+func benchData(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i * 2654435761 % (n | 1)
+	}
+	return out
+}
+
+func BenchmarkFlatMap(b *testing.B) {
+	for _, workers := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			e := NewEnv(DefaultConfig(workers))
+			d := FromSlice(e, benchData(100000))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				FlatMap(d, func(x int, emit func(int)) {
+					if x%3 != 0 {
+						emit(x + 1)
+					}
+				})
+			}
+		})
+	}
+}
+
+func BenchmarkShuffle(b *testing.B) {
+	for _, workers := range []int{4, 16} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			e := NewEnv(DefaultConfig(workers))
+			d := FromSlice(e, benchData(100000))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				shuffle(d, func(x int) uint64 { return uint64(x) })
+			}
+		})
+	}
+}
+
+func BenchmarkRepartitionJoin(b *testing.B) {
+	for _, workers := range []int{1, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			e := NewEnv(Config{Workers: workers, MemoryPerWorker: 1 << 30})
+			l := FromSlice(e, benchData(50000))
+			r := FromSlice(e, benchData(50000))
+			key := func(x int) uint64 { return uint64(x) }
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				Join(l, r, key, key, func(a, c int, emit func(int)) { emit(a) }, RepartitionHash)
+			}
+		})
+	}
+}
+
+func BenchmarkReduceByKey(b *testing.B) {
+	e := NewEnv(DefaultConfig(8))
+	d := FromSlice(e, benchData(100000))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ReduceByKey(d, func(x int) int { return x % 1024 }, func(a, c int) int { return a + c })
+	}
+}

@@ -1,0 +1,180 @@
+package dataflow
+
+// Sized is implemented by element types that can report their serialized
+// size. The engine uses it to account network and spill bytes exactly;
+// types that do not implement it are charged defaultElementSize bytes.
+type Sized interface {
+	SizeBytes() int
+}
+
+// defaultElementSize is the byte charge for elements that do not implement
+// Sized — roughly the wire size of a small fixed-width record.
+const defaultElementSize = 16
+
+// sizeOf returns the accounted byte size of an element.
+func sizeOf(v any) int64 {
+	if s, ok := v.(Sized); ok {
+		return int64(s.SizeBytes())
+	}
+	return defaultElementSize
+}
+
+// A Dataset is an immutable, partitioned collection of elements, the
+// engine's equivalent of a Flink DataSet. Transformations derive new
+// datasets; partitions are processed by independent goroutines with no
+// shared state, and elements move between partitions only via shuffles.
+type Dataset[T any] struct {
+	env   *Env
+	parts [][]T
+	// partTag identifies the hash partitioning the dataset currently
+	// satisfies (0 = unknown). Joins announced with the same tag skip the
+	// redundant shuffle — the partition-reuse optimization Flink's
+	// optimizer performs and the paper's future work calls out for further
+	// runtime reduction. Tags are preserved by order-stable, row-preserving
+	// transformations (Filter, Union of equally-tagged inputs) and cleared
+	// by everything that rewrites rows.
+	partTag uint64
+}
+
+// Env returns the execution environment the dataset belongs to.
+func (d *Dataset[T]) Env() *Env { return d.env }
+
+// Partitions returns the number of partitions (= workers).
+func (d *Dataset[T]) Partitions() int { return len(d.parts) }
+
+// FromSlice creates a dataset by splitting data into env.Workers()
+// contiguous chunks. The input slice is not copied; callers must not
+// mutate it afterwards.
+func FromSlice[T any](env *Env, data []T) *Dataset[T] {
+	w := env.Workers()
+	parts := make([][]T, w)
+	n := len(data)
+	for p := 0; p < w; p++ {
+		lo, hi := p*n/w, (p+1)*n/w
+		parts[p] = data[lo:hi]
+	}
+	return &Dataset[T]{env: env, parts: parts}
+}
+
+// FromPartitions wraps pre-partitioned data. len(parts) must equal
+// env.Workers(); shorter inputs are padded with empty partitions and longer
+// inputs are folded round-robin so downstream operators always see exactly
+// one partition per worker.
+func FromPartitions[T any](env *Env, parts [][]T) *Dataset[T] {
+	w := env.Workers()
+	out := make([][]T, w)
+	for i, p := range parts {
+		out[i%w] = append(out[i%w], p...)
+	}
+	return &Dataset[T]{env: env, parts: out}
+}
+
+// Empty returns a dataset with no elements.
+func Empty[T any](env *Env) *Dataset[T] {
+	return &Dataset[T]{env: env, parts: make([][]T, env.Workers())}
+}
+
+// Collect gathers all elements into a single slice, partition by partition.
+// The result order is deterministic for a deterministic pipeline.
+func (d *Dataset[T]) Collect() []T {
+	var n int
+	for _, p := range d.parts {
+		n += len(p)
+	}
+	out := make([]T, 0, n)
+	for _, p := range d.parts {
+		out = append(out, p...)
+	}
+	return out
+}
+
+// Count returns the total number of elements.
+func (d *Dataset[T]) Count() int64 {
+	var n int64
+	for _, p := range d.parts {
+		n += int64(len(p))
+	}
+	return n
+}
+
+// IsEmpty reports whether the dataset has no elements.
+func (d *Dataset[T]) IsEmpty() bool { return d.Count() == 0 }
+
+// Map applies f to every element, preserving partitioning.
+func Map[T, U any](d *Dataset[T], f func(T) U) *Dataset[U] {
+	return FlatMap(d, func(t T, emit func(U)) { emit(f(t)) })
+}
+
+// Filter keeps the elements for which pred returns true, preserving
+// partitioning (including any partition tag — rows do not move or change).
+func Filter[T any](d *Dataset[T], pred func(T) bool) *Dataset[T] {
+	out := FlatMap(d, func(t T, emit func(T)) {
+		if pred(t) {
+			emit(t)
+		}
+	})
+	out.partTag = d.partTag
+	return out
+}
+
+// FlatMap applies f to every element; f may emit zero or more outputs. This
+// is the transformation the paper's FilterAndProject operators fuse their
+// Select→Project→Transform steps into (§3.1).
+func FlatMap[T, U any](d *Dataset[T], f func(T, func(U))) *Dataset[U] {
+	env := d.env
+	env.metrics.addStage(false)
+	out := make([][]U, len(d.parts))
+	env.runParts(len(d.parts), func(p int) {
+		var res []U
+		emit := func(u U) { res = append(res, u) }
+		for _, t := range d.parts[p] {
+			f(t, emit)
+		}
+		env.metrics.addCPU(p, int64(len(d.parts[p])))
+		out[p] = res
+	})
+	return &Dataset[U]{env: env, parts: out}
+}
+
+// MapPartition applies f once per partition, giving it the whole partition
+// and an emit callback.
+func MapPartition[T, U any](d *Dataset[T], f func(part []T, emit func(U))) *Dataset[U] {
+	env := d.env
+	env.metrics.addStage(false)
+	out := make([][]U, len(d.parts))
+	env.runParts(len(d.parts), func(p int) {
+		var res []U
+		f(d.parts[p], func(u U) { res = append(res, u) })
+		env.metrics.addCPU(p, int64(len(d.parts[p])))
+		out[p] = res
+	})
+	return &Dataset[U]{env: env, parts: out}
+}
+
+// Union concatenates two datasets partition-wise. Like Flink's union it
+// moves no data; a shared partition tag survives.
+func Union[T any](a, b *Dataset[T]) *Dataset[T] {
+	env := a.env
+	env.metrics.addStage(false)
+	out := make([][]T, len(a.parts))
+	for p := range out {
+		if len(b.parts[p]) == 0 {
+			out[p] = a.parts[p]
+			continue
+		}
+		merged := make([]T, 0, len(a.parts[p])+len(b.parts[p]))
+		merged = append(merged, a.parts[p]...)
+		merged = append(merged, b.parts[p]...)
+		out[p] = merged
+	}
+	tag := uint64(0)
+	if a.partTag == b.partTag {
+		tag = a.partTag
+	}
+	if b.IsEmpty() {
+		tag = a.partTag
+	} else if a.IsEmpty() {
+		tag = b.partTag
+	}
+	return &Dataset[T]{env: env, parts: out, partTag: tag}
+}

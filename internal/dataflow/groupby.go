@@ -1,0 +1,110 @@
+package dataflow
+
+import "hash/maphash"
+
+var groupSeed = maphash.MakeSeed()
+
+// hashComparable hashes any comparable key for partitioning. The seed is
+// process-local; partition assignment is therefore stable within a run,
+// which is all the engine requires.
+func hashComparable[K comparable](k K) uint64 {
+	return maphash.Comparable(groupSeed, k)
+}
+
+// DistinctBy removes duplicates by key. It shuffles by key hash so that all
+// candidates for a key meet on one worker, then deduplicates locally; the
+// first occurrence (in deterministic partition order) wins.
+func DistinctBy[T any, K comparable](d *Dataset[T], key func(T) K) *Dataset[T] {
+	s := shuffle(d, func(t T) uint64 { return hashComparable(key(t)) })
+	return MapPartition(s, func(part []T, emit func(T)) {
+		seen := make(map[K]struct{}, len(part))
+		for _, t := range part {
+			k := key(t)
+			if _, ok := seen[k]; ok {
+				continue
+			}
+			seen[k] = struct{}{}
+			emit(t)
+		}
+	})
+}
+
+// Distinct removes duplicate elements of a comparable type.
+func Distinct[T comparable](d *Dataset[T]) *Dataset[T] {
+	return DistinctBy(d, func(t T) T { return t })
+}
+
+// KV is a key/value pair produced by grouping transformations.
+type KV[K comparable, V any] struct {
+	Key   K
+	Value V
+}
+
+// ReduceByKey groups elements by key and folds each group with reduce,
+// combining locally before the shuffle (a combiner, as Flink does) so only
+// one partial per key and partition crosses the network.
+func ReduceByKey[T any, K comparable](d *Dataset[T], key func(T) K, reduce func(T, T) T) *Dataset[KV[K, T]] {
+	// Local pre-aggregation.
+	partials := MapPartition(d, func(part []T, emit func(KV[K, T])) {
+		acc := make(map[K]T, len(part))
+		order := make([]K, 0, len(part))
+		for _, t := range part {
+			k := key(t)
+			if prev, ok := acc[k]; ok {
+				acc[k] = reduce(prev, t)
+			} else {
+				acc[k] = t
+				order = append(order, k)
+			}
+		}
+		for _, k := range order {
+			emit(KV[K, T]{Key: k, Value: acc[k]})
+		}
+	})
+	// Global aggregation after shuffling partials by key.
+	s := shuffle(partials, func(kv KV[K, T]) uint64 { return hashComparable(kv.Key) })
+	return MapPartition(s, func(part []KV[K, T], emit func(KV[K, T])) {
+		acc := make(map[K]T, len(part))
+		order := make([]K, 0, len(part))
+		for _, kv := range part {
+			if prev, ok := acc[kv.Key]; ok {
+				acc[kv.Key] = reduce(prev, kv.Value)
+			} else {
+				acc[kv.Key] = kv.Value
+				order = append(order, kv.Key)
+			}
+		}
+		for _, k := range order {
+			emit(KV[K, T]{Key: k, Value: acc[k]})
+		}
+	})
+}
+
+// CountByKey counts elements per key.
+func CountByKey[T any, K comparable](d *Dataset[T], key func(T) K) *Dataset[KV[K, int64]] {
+	ones := Map(d, func(t T) KV[K, int64] { return KV[K, int64]{Key: key(t), Value: 1} })
+	counted := ReduceByKey(ones, func(kv KV[K, int64]) K { return kv.Key },
+		func(a, b KV[K, int64]) KV[K, int64] { return KV[K, int64]{Key: a.Key, Value: a.Value + b.Value} })
+	return Map(counted, func(kv KV[K, KV[K, int64]]) KV[K, int64] { return kv.Value })
+}
+
+// GroupBy collects all elements of each group on one worker and hands the
+// complete group to f. Use ReduceByKey where a fold suffices; GroupBy exists
+// for holistic aggregates (e.g. building grouped super-vertices).
+func GroupBy[T, U any, K comparable](d *Dataset[T], key func(T) K, f func(K, []T, func(U))) *Dataset[U] {
+	s := shuffle(d, func(t T) uint64 { return hashComparable(key(t)) })
+	return MapPartition(s, func(part []T, emit func(U)) {
+		groups := make(map[K][]T)
+		order := make([]K, 0)
+		for _, t := range part {
+			k := key(t)
+			if _, ok := groups[k]; !ok {
+				order = append(order, k)
+			}
+			groups[k] = append(groups[k], t)
+		}
+		for _, k := range order {
+			f(k, groups[k], emit)
+		}
+	})
+}

@@ -1,0 +1,28 @@
+package dataflow
+
+// BulkIteration runs Flink-style while-loop semantics over a working set
+// (§3.1, ExpandEmbeddings): body receives the current working set and the
+// 1-based iteration number, and returns the next working set plus the
+// elements to add to the result. Iteration stops when the working set
+// becomes empty or maxIterations is reached. The returned dataset is the
+// union of all per-iteration results.
+func BulkIteration[T any](initial *Dataset[T], maxIterations int,
+	body func(iteration int, working *Dataset[T]) (next *Dataset[T], results *Dataset[T])) *Dataset[T] {
+	env := initial.Env()
+	acc := Empty[T](env)
+	working := initial
+	for it := 1; it <= maxIterations; it++ {
+		if working.IsEmpty() {
+			break
+		}
+		next, results := body(it, working)
+		if results != nil {
+			acc = Union(acc, results)
+		}
+		if next == nil {
+			break
+		}
+		working = next
+	}
+	return acc
+}

@@ -1,0 +1,148 @@
+package dataflow
+
+// JoinHint selects the physical join strategy, mirroring the choice Flink's
+// optimizer makes between repartitioning both inputs and broadcasting the
+// smaller one.
+type JoinHint int
+
+const (
+	// RepartitionHash shuffles both inputs by key hash and runs a
+	// per-partition hash join (build = left, probe = right).
+	RepartitionHash JoinHint = iota
+	// BroadcastLeft replicates the left input to every worker and probes it
+	// with the unmoved right input.
+	BroadcastLeft
+)
+
+// Join performs an equi-join of l and r on uint64 keys. The joiner is a
+// FlatJoin: it may emit zero or more outputs per matching pair, which is how
+// JoinEmbeddings discards pairs that violate isomorphism semantics without a
+// separate filter stage (§3.1).
+func Join[L, R, U any](l *Dataset[L], r *Dataset[R], lkey func(L) uint64, rkey func(R) uint64,
+	joiner func(L, R, func(U)), hint JoinHint) *Dataset[U] {
+	return JoinTagged(l, r, lkey, rkey, joiner, hint, 0)
+}
+
+// JoinTagged is Join with partition reuse: tag identifies the logical join
+// key. Inputs already partitioned under tag skip their shuffle, and the
+// result is marked as partitioned under tag (a repartition hash join leaves
+// output rows on the partition their key hashes to).
+func JoinTagged[L, R, U any](l *Dataset[L], r *Dataset[R], lkey func(L) uint64, rkey func(R) uint64,
+	joiner func(L, R, func(U)), hint JoinHint, tag uint64) *Dataset[U] {
+	switch hint {
+	case BroadcastLeft:
+		return broadcastJoin(l, r, lkey, rkey, joiner)
+	default:
+		return repartitionJoin(l, r, lkey, rkey, joiner, tag)
+	}
+}
+
+func repartitionJoin[L, R, U any](l *Dataset[L], r *Dataset[R], lkey func(L) uint64, rkey func(R) uint64,
+	joiner func(L, R, func(U)), tag uint64) *Dataset[U] {
+	env := l.env
+	ls := shuffleTagged(l, lkey, tag)
+	rs := shuffleTagged(r, rkey, tag)
+	env.metrics.addStage(false)
+	w := len(ls.parts)
+	out := make([][]U, w)
+	env.runParts(w, func(p int) {
+		out[p] = hashJoinPartition(env, p, ls.parts[p], rs.parts[p], lkey, rkey, joiner)
+	})
+	return &Dataset[U]{env: env, parts: out, partTag: tag}
+}
+
+func broadcastJoin[L, R, U any](l *Dataset[L], r *Dataset[R], lkey func(L) uint64, rkey func(R) uint64,
+	joiner func(L, R, func(U))) *Dataset[U] {
+	env := l.env
+	build := broadcast(l)
+	env.metrics.addStage(false)
+	w := len(r.parts)
+	out := make([][]U, w)
+	env.runParts(w, func(p int) {
+		out[p] = hashJoinPartition(env, p, build, r.parts[p], lkey, rkey, joiner)
+	})
+	return &Dataset[U]{env: env, parts: out}
+}
+
+// CoGroup groups both inputs by key and hands each key's complete groups to
+// f — Flink's coGroup transformation. Keys appear in deterministic order:
+// left-side keys in first-occurrence order, then right-only keys. A left
+// key with no right partner receives an empty right group (the building
+// block of outer joins, e.g. OPTIONAL MATCH).
+func CoGroup[L, R, U any](l *Dataset[L], r *Dataset[R], lkey func(L) uint64, rkey func(R) uint64,
+	f func(key uint64, ls []L, rs []R, emit func(U))) *Dataset[U] {
+	env := l.env
+	ls := shuffle(l, lkey)
+	rs := shuffle(r, rkey)
+	env.metrics.addStage(false)
+	w := len(ls.parts)
+	out := make([][]U, w)
+	env.runParts(w, func(p int) {
+		leftGroups := map[uint64][]L{}
+		var order []uint64
+		for _, lv := range ls.parts[p] {
+			k := lkey(lv)
+			if _, ok := leftGroups[k]; !ok {
+				order = append(order, k)
+			}
+			leftGroups[k] = append(leftGroups[k], lv)
+		}
+		rightGroups := map[uint64][]R{}
+		var rightOnly []uint64
+		for _, rv := range rs.parts[p] {
+			k := rkey(rv)
+			if _, inLeft := leftGroups[k]; !inLeft {
+				if _, ok := rightGroups[k]; !ok {
+					rightOnly = append(rightOnly, k)
+				}
+			}
+			rightGroups[k] = append(rightGroups[k], rv)
+		}
+		var res []U
+		emit := func(u U) { res = append(res, u) }
+		for _, k := range order {
+			f(k, leftGroups[k], rightGroups[k], emit)
+		}
+		for _, k := range rightOnly {
+			f(k, nil, rightGroups[k], emit)
+		}
+		env.metrics.addCPU(p, int64(len(ls.parts[p])+len(rs.parts[p])))
+		out[p] = res
+	})
+	return &Dataset[U]{env: env, parts: out}
+}
+
+// hashJoinPartition builds a hash table over the left side and probes it
+// with the right side. If the build side exceeds the worker's simulated
+// memory budget, the excess — and a proportional share of the probe side —
+// is charged as spill, modelling a grace hash join's partition files.
+func hashJoinPartition[L, R, U any](env *Env, p int, left []L, right []R,
+	lkey func(L) uint64, rkey func(R) uint64, joiner func(L, R, func(U))) []U {
+	table := make(map[uint64][]L, len(left))
+	var buildBytes int64
+	for _, lv := range left {
+		k := lkey(lv)
+		table[k] = append(table[k], lv)
+		buildBytes += sizeOf(lv)
+	}
+	if mem := env.cfg.MemoryPerWorker; mem > 0 && buildBytes > mem {
+		// Grace hash join: the overflow fraction of both sides goes to disk
+		// once on write and once on read.
+		overflow := float64(buildBytes-mem) / float64(buildBytes)
+		var probeBytes int64
+		for _, rv := range right {
+			probeBytes += sizeOf(rv)
+		}
+		spilled := int64(overflow*float64(buildBytes)) + int64(overflow*float64(probeBytes))
+		env.metrics.addSpill(p, 2*spilled)
+	}
+	var res []U
+	emit := func(u U) { res = append(res, u) }
+	for _, rv := range right {
+		for _, lv := range table[rkey(rv)] {
+			joiner(lv, rv, emit)
+		}
+	}
+	env.metrics.addCPU(p, int64(len(left)+len(right)))
+	return res
+}

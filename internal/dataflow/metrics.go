@@ -1,0 +1,118 @@
+package dataflow
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Metrics accumulates the cost drivers of a dataflow job per worker. All
+// counters are written under a mutex by the engine; user code never touches
+// Metrics directly.
+type Metrics struct {
+	mu          sync.Mutex
+	cpuElements []int64 // elements processed, per worker
+	netBytes    []int64 // bytes received over the simulated network, per worker
+	spillBytes  []int64 // bytes written+read to simulated disk, per worker
+	stages      int64   // transformations executed
+	shuffles    int64   // transformations that required a network exchange
+}
+
+func (m *Metrics) init(workers int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.cpuElements = make([]int64, workers)
+	m.netBytes = make([]int64, workers)
+	m.spillBytes = make([]int64, workers)
+	m.stages = 0
+	m.shuffles = 0
+}
+
+func (m *Metrics) addStage(shuffle bool) {
+	m.mu.Lock()
+	m.stages++
+	if shuffle {
+		m.shuffles++
+	}
+	m.mu.Unlock()
+}
+
+func (m *Metrics) addCPU(worker int, elements int64) {
+	m.mu.Lock()
+	m.cpuElements[worker] += elements
+	m.mu.Unlock()
+}
+
+func (m *Metrics) addNet(worker int, bytes int64) {
+	m.mu.Lock()
+	m.netBytes[worker] += bytes
+	m.mu.Unlock()
+}
+
+func (m *Metrics) addSpill(worker int, bytes int64) {
+	m.mu.Lock()
+	m.spillBytes[worker] += bytes
+	m.mu.Unlock()
+}
+
+// MetricsSnapshot is an immutable copy of a job's accumulated metrics
+// together with the simulated runtime derived from them.
+type MetricsSnapshot struct {
+	Workers      int
+	CPUElements  []int64 // per worker
+	NetBytes     []int64 // per worker
+	SpillBytes   []int64 // per worker
+	Stages       int64
+	Shuffles     int64
+	TotalCPU     int64 // sum of CPUElements
+	TotalNet     int64 // sum of NetBytes
+	TotalSpill   int64 // sum of SpillBytes
+	SimTime      time.Duration
+	MaxWorkerCPU int64 // the busiest worker's element count (skew indicator)
+}
+
+func (m *Metrics) snapshot(cfg Config) MetricsSnapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := MetricsSnapshot{
+		Workers:     len(m.cpuElements),
+		CPUElements: append([]int64(nil), m.cpuElements...),
+		NetBytes:    append([]int64(nil), m.netBytes...),
+		SpillBytes:  append([]int64(nil), m.spillBytes...),
+		Stages:      m.stages,
+		Shuffles:    m.shuffles,
+	}
+	var worst time.Duration
+	for w := range s.CPUElements {
+		s.TotalCPU += s.CPUElements[w]
+		s.TotalNet += s.NetBytes[w]
+		s.TotalSpill += s.SpillBytes[w]
+		if s.CPUElements[w] > s.MaxWorkerCPU {
+			s.MaxWorkerCPU = s.CPUElements[w]
+		}
+		t := time.Duration(s.CPUElements[w])*cfg.CPUTimePerElement +
+			time.Duration(s.NetBytes[w])*cfg.NetTimePerByte +
+			time.Duration(s.SpillBytes[w])*cfg.DiskTimePerByte
+		if t > worst {
+			worst = t
+		}
+	}
+	s.SimTime = worst + time.Duration(s.Stages)*cfg.StageOverhead
+	return s
+}
+
+// Skew reports the ratio between the busiest worker's element count and the
+// mean element count; 1.0 means a perfectly balanced job.
+func (s MetricsSnapshot) Skew() float64 {
+	if s.TotalCPU == 0 || s.Workers == 0 {
+		return 1
+	}
+	mean := float64(s.TotalCPU) / float64(s.Workers)
+	return float64(s.MaxWorkerCPU) / mean
+}
+
+// String renders a single-line human-readable summary.
+func (s MetricsSnapshot) String() string {
+	return fmt.Sprintf("workers=%d stages=%d shuffles=%d cpuElems=%d netBytes=%d spillBytes=%d skew=%.2f simTime=%s",
+		s.Workers, s.Stages, s.Shuffles, s.TotalCPU, s.TotalNet, s.TotalSpill, s.Skew(), s.SimTime)
+}

@@ -1,0 +1,151 @@
+package dataflow
+
+import (
+	"sort"
+	"testing"
+)
+
+func TestShuffleTaggedSkipsRedundantExchange(t *testing.T) {
+	e := env(4)
+	d := FromSlice(e, ints(1000))
+	key := func(x int) uint64 { return uint64(x % 7) }
+	const tag = 42
+
+	first := shuffleTagged(d, key, tag)
+	m1 := e.Metrics()
+	if m1.TotalNet == 0 {
+		t.Fatal("first shuffle moved nothing")
+	}
+	second := shuffleTagged(first, key, tag)
+	m2 := e.Metrics()
+	if m2.TotalNet != m1.TotalNet {
+		t.Fatalf("second shuffle moved data: %d -> %d", m1.TotalNet, m2.TotalNet)
+	}
+	if m2.Shuffles != m1.Shuffles {
+		t.Fatal("second shuffle counted as an exchange")
+	}
+	if second.Count() != 1000 {
+		t.Fatal("data lost")
+	}
+	// A different tag forces a real shuffle again.
+	shuffleTagged(first, key, 43)
+	if m3 := e.Metrics(); m3.Shuffles != m1.Shuffles+1 {
+		t.Fatal("different tag should shuffle")
+	}
+}
+
+func TestFilterPreservesPartitionTag(t *testing.T) {
+	e := env(4)
+	d := FromSlice(e, ints(100))
+	key := func(x int) uint64 { return uint64(x) }
+	tagged := shuffleTagged(d, key, 7)
+	filtered := Filter(tagged, func(x int) bool { return x%2 == 0 })
+	if filtered.partTag != 7 {
+		t.Fatalf("filter dropped tag: %d", filtered.partTag)
+	}
+	mapped := Map(tagged, func(x int) int { return x + 1 })
+	if mapped.partTag != 0 {
+		t.Fatal("map must clear the tag (rows rewritten)")
+	}
+}
+
+func TestUnionPartitionTag(t *testing.T) {
+	e := env(3)
+	key := func(x int) uint64 { return uint64(x) }
+	a := shuffleTagged(FromSlice(e, ints(50)), key, 9)
+	b := shuffleTagged(FromSlice(e, []int{100, 101}), key, 9)
+	if Union(a, b).partTag != 9 {
+		t.Fatal("union of same-tag inputs should keep tag")
+	}
+	c := shuffleTagged(FromSlice(e, []int{200}), key, 10)
+	if Union(a, c).partTag != 0 {
+		t.Fatal("union of different tags must clear tag")
+	}
+	if Union(a, Empty[int](e)).partTag != 9 {
+		t.Fatal("union with empty should keep tag")
+	}
+}
+
+func TestCoGroup(t *testing.T) {
+	e := env(4)
+	l := FromSlice(e, []int{1, 1, 2, 3})
+	r := FromSlice(e, []int{2, 2, 3, 9})
+	key := func(x int) uint64 { return uint64(x) }
+	type row struct{ k, ls, rs int }
+	out := CoGroup(l, r, key, key, func(k uint64, ls, rs []int, emit func(row)) {
+		emit(row{k: int(k), ls: len(ls), rs: len(rs)})
+	}).Collect()
+	byKey := map[int]row{}
+	for _, g := range out {
+		byKey[g.k] = g
+	}
+	if len(byKey) != 4 {
+		t.Fatalf("groups: %v", byKey)
+	}
+	if byKey[1].ls != 2 || byKey[1].rs != 0 {
+		t.Fatalf("key 1: %+v", byKey[1])
+	}
+	if byKey[2].ls != 1 || byKey[2].rs != 2 {
+		t.Fatalf("key 2: %+v", byKey[2])
+	}
+	if byKey[9].ls != 0 || byKey[9].rs != 1 {
+		t.Fatalf("key 9 (right-only): %+v", byKey[9])
+	}
+}
+
+func TestCoGroupLeftOuterShape(t *testing.T) {
+	e := env(2)
+	l := FromSlice(e, []int{1, 2})
+	r := FromSlice(e, []int{2})
+	key := func(x int) uint64 { return uint64(x) }
+	// A classic left outer join via CoGroup.
+	out := CoGroup(l, r, key, key, func(_ uint64, ls, rs []int, emit func([2]int)) {
+		for _, lv := range ls {
+			if len(rs) == 0 {
+				emit([2]int{lv, -1})
+				continue
+			}
+			for _, rv := range rs {
+				emit([2]int{lv, rv})
+			}
+		}
+	}).Collect()
+	sort.Slice(out, func(i, j int) bool { return out[i][0] < out[j][0] })
+	if len(out) != 2 || out[0] != [2]int{1, -1} || out[1] != [2]int{2, 2} {
+		t.Fatalf("outer join: %v", out)
+	}
+}
+
+func TestJoinTaggedReusesPartitioning(t *testing.T) {
+	run := func(tag uint64) (MetricsSnapshot, []int) {
+		e := env(4)
+		l := FromSlice(e, ints(500))
+		r := FromSlice(e, ints(500))
+		key := func(x int) uint64 { return uint64(x) }
+		pair := func(a, b int, emit func(int)) { emit(a) }
+		j1 := JoinTagged(l, r, key, key, pair, RepartitionHash, tag)
+		// Second join on the same key: with a tag, j1 needs no reshuffle.
+		j2 := JoinTagged(j1, r, key, key, pair, RepartitionHash, tag)
+		got := j2.Collect()
+		sort.Ints(got)
+		return e.Metrics(), got
+	}
+	tagged, resTagged := run(77)
+	untagged, resUntagged := run(0)
+	// The reused exchange would have moved no bytes (rows already sit on
+	// their hash partition); the saving is the exchange stage and its scan.
+	if tagged.Shuffles != untagged.Shuffles-1 {
+		t.Fatalf("tagged should save one exchange: %d vs %d", tagged.Shuffles, untagged.Shuffles)
+	}
+	if tagged.TotalCPU >= untagged.TotalCPU {
+		t.Fatalf("tagged joins should scan less: %d vs %d", tagged.TotalCPU, untagged.TotalCPU)
+	}
+	if len(resTagged) != len(resUntagged) {
+		t.Fatalf("results differ: %d vs %d", len(resTagged), len(resUntagged))
+	}
+	for i := range resTagged {
+		if resTagged[i] != resUntagged[i] {
+			t.Fatal("partition reuse changed results")
+		}
+	}
+}

@@ -1,0 +1,122 @@
+package dataflow
+
+// mix64 is the splitmix64 finalizer, used to spread keys over partitions.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// HashString hashes a string key to a uint64 (FNV-1a, then mixed).
+func HashString(s string) uint64 {
+	const offset, prime = 14695981039346656037, 1099511628211
+	h := uint64(offset)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime
+	}
+	return mix64(h)
+}
+
+// shuffle redistributes d's elements so that every element lands on
+// partition mix64(key(t)) % P. It accounts network bytes for every element
+// that changes partitions and is deterministic: destination partitions
+// concatenate the buckets of source partitions in source order.
+func shuffle[T any](d *Dataset[T], key func(T) uint64) *Dataset[T] {
+	return shuffleTagged(d, key, 0)
+}
+
+// shuffleTagged is shuffle with partition-reuse awareness: when tag is
+// non-zero and the dataset is already partitioned under that tag, the
+// exchange is skipped entirely (Flink's partition reuse). Otherwise the
+// result carries the tag.
+func shuffleTagged[T any](d *Dataset[T], key func(T) uint64, tag uint64) *Dataset[T] {
+	env := d.env
+	if tag != 0 && d.partTag == tag {
+		return d
+	}
+	env.metrics.addStage(true)
+	w := len(d.parts)
+	if w == 1 {
+		// Single worker: nothing moves, but the pass over the data is real.
+		env.metrics.addCPU(0, int64(len(d.parts[0])))
+		if tag != 0 {
+			tagged := *d
+			tagged.partTag = tag
+			return &tagged
+		}
+		return d
+	}
+	// buckets[src][dst]
+	buckets := make([][][]T, w)
+	moved := make([][]int64, w) // bytes sent from src destined to dst
+	env.runParts(w, func(p int) {
+		b := make([][]T, w)
+		mv := make([]int64, w)
+		for _, t := range d.parts[p] {
+			q := int(mix64(key(t)) % uint64(w))
+			b[q] = append(b[q], t)
+			if q != p {
+				mv[q] += sizeOf(t)
+			}
+		}
+		env.metrics.addCPU(p, int64(len(d.parts[p])))
+		buckets[p] = b
+		moved[p] = mv
+	})
+	out := make([][]T, w)
+	for q := 0; q < w; q++ {
+		var n int
+		var bytes int64
+		for p := 0; p < w; p++ {
+			n += len(buckets[p][q])
+			bytes += moved[p][q]
+		}
+		part := make([]T, 0, n)
+		for p := 0; p < w; p++ {
+			part = append(part, buckets[p][q]...)
+		}
+		out[q] = part
+		env.metrics.addNet(q, bytes)
+	}
+	return &Dataset[T]{env: env, parts: out, partTag: tag}
+}
+
+// Rebalance redistributes elements round-robin so all partitions have equal
+// sizes, charging network cost for moved elements. It models Flink's
+// rebalance() and is used to break skew after expensive filters.
+func Rebalance[T any](d *Dataset[T]) *Dataset[T] {
+	i := 0
+	return shuffle(d, func(T) uint64 {
+		i++
+		return uint64(i)
+	})
+}
+
+// PartitionByKey exposes the hash shuffle for callers that want explicit
+// co-partitioning before repeated joins on the same key.
+func PartitionByKey[T any](d *Dataset[T], key func(T) uint64) *Dataset[T] {
+	return shuffle(d, key)
+}
+
+// broadcast replicates all of d's elements to every partition, charging
+// network cost of size × (P-1). It returns the replicated slice.
+func broadcast[T any](d *Dataset[T]) []T {
+	env := d.env
+	env.metrics.addStage(true)
+	all := d.Collect()
+	var bytes int64
+	for _, t := range all {
+		bytes += sizeOf(t)
+	}
+	w := len(d.parts)
+	for q := 0; q < w; q++ {
+		// Every worker receives the full copy except the share it already had;
+		// approximating as full size keeps the model simple and pessimistic.
+		env.metrics.addNet(q, bytes)
+	}
+	return all
+}

@@ -1,0 +1,68 @@
+package embedding
+
+import (
+	"testing"
+
+	"gradoop/internal/epgm"
+)
+
+// Micro-benchmarks for the §3.3 byte-array embedding: constant-time column
+// access and append-only merges are the design goals.
+
+func benchEmbedding() Embedding {
+	var e Embedding
+	e = e.AppendID(10).AppendPath([]epgm.ID{5, 20, 7}).AppendID(30)
+	return e.AppendProps(epgm.PVString("Alice"), epgm.PVInt(1984), epgm.PVString("Leipzig"))
+}
+
+func BenchmarkIDAccess(b *testing.B) {
+	e := benchEmbedding()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if e.ID(0) != 10 {
+			b.Fatal("wrong id")
+		}
+	}
+}
+
+func BenchmarkPathAccess(b *testing.B) {
+	e := benchEmbedding()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if len(e.Path(1)) != 3 {
+			b.Fatal("wrong path")
+		}
+	}
+}
+
+func BenchmarkPropAccess(b *testing.B) {
+	e := benchEmbedding()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if e.Prop(2).Str() != "Leipzig" {
+			b.Fatal("wrong prop")
+		}
+	}
+}
+
+func BenchmarkMerge(b *testing.B) {
+	l := benchEmbedding()
+	r := benchEmbedding()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if l.Merge(r, []int{0}).Columns() != 5 {
+			b.Fatal("wrong merge")
+		}
+	}
+}
+
+func BenchmarkDistinctAt(b *testing.B) {
+	e := benchEmbedding()
+	cols := []int{0, 1, 2}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if !e.DistinctAt(cols) {
+			b.Fatal("should be distinct")
+		}
+	}
+}

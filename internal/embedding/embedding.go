@@ -1,0 +1,281 @@
+// Package embedding implements the paper's compact embedding representation
+// (§3.3): each (partial) match is a row made of three byte arrays —
+// idData[] mapping query elements to graph element identifiers or
+// variable-length-path offsets, pathData[] storing the paths themselves, and
+// propData[] storing the property values referenced by predicates and
+// projections. Embeddings are the elements shuffled between workers, so the
+// encoding doubles as the wire format and the engine's byte accounting is
+// exact.
+package embedding
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"gradoop/internal/epgm"
+)
+
+// Entry flags in idData (the paper's ID and PATH markers, plus NULL for
+// unmatched OPTIONAL MATCH variables).
+const (
+	flagID   byte = 0
+	flagPath byte = 1
+	flagNull byte = 2
+)
+
+// entrySize is the fixed width of one idData entry: a flag byte plus an
+// 8-byte identifier or offset, giving constant-time column access.
+const entrySize = 9
+
+// Embedding is one row of a pattern-matching intermediate result. The zero
+// value is an empty embedding ready for appends. Embeddings have value
+// semantics: operations that grow an embedding return a new one and never
+// mutate shared backing arrays in place.
+type Embedding struct {
+	idData   []byte
+	pathData []byte
+	propData []byte
+}
+
+// Columns returns the number of idData entries.
+func (e Embedding) Columns() int { return len(e.idData) / entrySize }
+
+// IsPath reports whether column i holds a variable-length path rather than
+// a single identifier.
+func (e Embedding) IsPath(i int) bool { return e.idData[i*entrySize] == flagPath }
+
+// IsNullAt reports whether column i holds no binding (an unmatched
+// OPTIONAL MATCH variable).
+func (e Embedding) IsNullAt(i int) bool { return e.idData[i*entrySize] == flagNull }
+
+// ID returns the graph element identifier at column i. It panics if the
+// column holds a path; callers consult the metadata first.
+func (e Embedding) ID(i int) epgm.ID {
+	off := i * entrySize
+	if e.idData[off] == flagPath {
+		panic(fmt.Sprintf("embedding: column %d holds a path, not an id", i))
+	}
+	return epgm.ID(binary.BigEndian.Uint64(e.idData[off+1 : off+entrySize]))
+}
+
+// Path returns the identifier list of the path at column i: the alternating
+// edge and vertex identifiers between the path's endpoints (the paper's
+// "via" field). It panics if the column holds a plain id.
+func (e Embedding) Path(i int) []epgm.ID {
+	off := i * entrySize
+	if e.idData[off] != flagPath {
+		panic(fmt.Sprintf("embedding: column %d holds an id, not a path", i))
+	}
+	p := int(binary.BigEndian.Uint64(e.idData[off+1 : off+entrySize]))
+	n := int(binary.BigEndian.Uint32(e.pathData[p : p+4]))
+	ids := make([]epgm.ID, n)
+	for j := 0; j < n; j++ {
+		ids[j] = epgm.ID(binary.BigEndian.Uint64(e.pathData[p+4+8*j:]))
+	}
+	return ids
+}
+
+// PathLen returns the number of identifiers in the path at column i without
+// materializing them.
+func (e Embedding) PathLen(i int) int {
+	off := i * entrySize
+	p := int(binary.BigEndian.Uint64(e.idData[off+1 : off+entrySize]))
+	return int(binary.BigEndian.Uint32(e.pathData[p : p+4]))
+}
+
+// PropCount returns the number of property values stored in propData.
+func (e Embedding) PropCount() int {
+	n, off := 0, 0
+	for off < len(e.propData) {
+		_, sz, err := epgm.DecodePropertyValue(e.propData[off:])
+		if err != nil {
+			panic("embedding: corrupt propData: " + err.Error())
+		}
+		off += sz
+		n++
+	}
+	return n
+}
+
+// Prop returns the property value at property column i. As in the paper,
+// access walks the length information of the preceding entries.
+func (e Embedding) Prop(i int) epgm.PropertyValue {
+	off := 0
+	for j := 0; ; j++ {
+		v, sz, err := epgm.DecodePropertyValue(e.propData[off:])
+		if err != nil {
+			panic(fmt.Sprintf("embedding: property column %d out of range: %v", i, err))
+		}
+		if j == i {
+			return v
+		}
+		off += sz
+	}
+}
+
+// SizeBytes implements dataflow.Sized with the exact wire size.
+func (e Embedding) SizeBytes() int { return len(e.idData) + len(e.pathData) + len(e.propData) }
+
+// AppendID returns a copy of e with an identifier column appended.
+func (e Embedding) AppendID(id epgm.ID) Embedding {
+	idData := make([]byte, len(e.idData), len(e.idData)+entrySize)
+	copy(idData, e.idData)
+	idData = append(idData, flagID)
+	idData = binary.BigEndian.AppendUint64(idData, uint64(id))
+	return Embedding{idData: idData, pathData: e.pathData, propData: e.propData}
+}
+
+// AppendNull returns a copy of e with an unbound column appended.
+func (e Embedding) AppendNull() Embedding {
+	idData := make([]byte, len(e.idData), len(e.idData)+entrySize)
+	copy(idData, e.idData)
+	idData = append(idData, flagNull)
+	idData = binary.BigEndian.AppendUint64(idData, 0)
+	return Embedding{idData: idData, pathData: e.pathData, propData: e.propData}
+}
+
+// AppendPath returns a copy of e with a path column appended.
+func (e Embedding) AppendPath(ids []epgm.ID) Embedding {
+	idData := make([]byte, len(e.idData), len(e.idData)+entrySize)
+	copy(idData, e.idData)
+	idData = append(idData, flagPath)
+	idData = binary.BigEndian.AppendUint64(idData, uint64(len(e.pathData)))
+
+	pathData := make([]byte, len(e.pathData), len(e.pathData)+4+8*len(ids))
+	copy(pathData, e.pathData)
+	pathData = binary.BigEndian.AppendUint32(pathData, uint32(len(ids)))
+	for _, id := range ids {
+		pathData = binary.BigEndian.AppendUint64(pathData, uint64(id))
+	}
+	return Embedding{idData: idData, pathData: pathData, propData: e.propData}
+}
+
+// AppendProps returns a copy of e with property values appended to propData.
+func (e Embedding) AppendProps(values ...epgm.PropertyValue) Embedding {
+	sz := 0
+	for _, v := range values {
+		sz += v.EncodedSize()
+	}
+	propData := make([]byte, len(e.propData), len(e.propData)+sz)
+	copy(propData, e.propData)
+	for _, v := range values {
+		propData = v.Encode(propData)
+	}
+	return Embedding{idData: e.idData, pathData: e.pathData, propData: propData}
+}
+
+// Merge combines two embeddings after a join: all of o's columns except the
+// ones listed in dropColumns (the join keys, already present in e) are
+// appended to e, path offsets in o are rebased onto the combined pathData,
+// and o's property values are appended. dropColumns must be sorted
+// ascending. Merging is append-only for ids and properties, exactly as the
+// paper describes; only o's path offsets need adjustment.
+func (e Embedding) Merge(o Embedding, dropColumns []int) Embedding {
+	keep := o.Columns() - len(dropColumns)
+	idData := make([]byte, len(e.idData), len(e.idData)+keep*entrySize)
+	copy(idData, e.idData)
+	pathData := make([]byte, len(e.pathData), len(e.pathData)+len(o.pathData))
+	copy(pathData, e.pathData)
+	pathBase := uint64(len(e.pathData))
+	pathData = append(pathData, o.pathData...)
+
+	di := 0
+	for c := 0; c < o.Columns(); c++ {
+		if di < len(dropColumns) && dropColumns[di] == c {
+			di++
+			continue
+		}
+		off := c * entrySize
+		flag := o.idData[off]
+		payload := binary.BigEndian.Uint64(o.idData[off+1 : off+entrySize])
+		if flag == flagPath {
+			payload += pathBase
+		}
+		idData = append(idData, flag)
+		idData = binary.BigEndian.AppendUint64(idData, payload)
+	}
+
+	propData := make([]byte, len(e.propData), len(e.propData)+len(o.propData))
+	copy(propData, e.propData)
+	propData = append(propData, o.propData...)
+	return Embedding{idData: idData, pathData: pathData, propData: propData}
+}
+
+// Project returns an embedding that keeps only the given id columns (in the
+// given order) and property columns. It is the physical counterpart of
+// ProjectEmbeddings.
+func (e Embedding) Project(idColumns []int, propColumns []int) Embedding {
+	var out Embedding
+	for _, c := range idColumns {
+		switch {
+		case e.IsNullAt(c):
+			out = out.AppendNull()
+		case e.IsPath(c):
+			out = out.AppendPath(e.Path(c))
+		default:
+			out = out.AppendID(e.ID(c))
+		}
+	}
+	if len(propColumns) > 0 {
+		values := make([]epgm.PropertyValue, len(propColumns))
+		for i, pc := range propColumns {
+			values[i] = e.Prop(pc)
+		}
+		out = out.AppendProps(values...)
+	}
+	return out
+}
+
+// IDsAt returns the identifiers at the given columns. Path columns
+// contribute all of their identifiers; null columns contribute nothing.
+func (e Embedding) IDsAt(columns []int) []epgm.ID {
+	var out []epgm.ID
+	for _, c := range columns {
+		switch {
+		case e.IsNullAt(c):
+		case e.IsPath(c):
+			out = append(out, e.Path(c)...)
+		default:
+			out = append(out, e.ID(c))
+		}
+	}
+	return out
+}
+
+// DistinctAt reports whether the identifiers at the given columns (paths
+// expanded) are pairwise distinct — the uniqueness check behind isomorphism
+// semantics.
+func (e Embedding) DistinctAt(columns []int) bool {
+	ids := e.IDsAt(columns)
+	seen := make(map[epgm.ID]struct{}, len(ids))
+	for _, id := range ids {
+		if _, ok := seen[id]; ok {
+			return false
+		}
+		seen[id] = struct{}{}
+	}
+	return true
+}
+
+// String renders the embedding for debugging.
+func (e Embedding) String() string {
+	s := "["
+	for i := 0; i < e.Columns(); i++ {
+		if i > 0 {
+			s += " "
+		}
+		switch {
+		case e.IsNullAt(i):
+			s += "null"
+		case e.IsPath(i):
+			s += fmt.Sprintf("path%v", e.Path(i))
+		default:
+			s += fmt.Sprintf("%d", e.ID(i))
+		}
+	}
+	s += " |"
+	for i := 0; i < e.PropCount(); i++ {
+		s += " " + e.Prop(i).String()
+	}
+	return s + "]"
+}

@@ -1,0 +1,193 @@
+package embedding
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// EntryKind describes what a metadata column refers to.
+type EntryKind byte
+
+// Column kinds.
+const (
+	VertexEntry EntryKind = iota
+	EdgeEntry
+	PathEntry
+)
+
+// String returns the kind's name.
+func (k EntryKind) String() string {
+	switch k {
+	case VertexEntry:
+		return "vertex"
+	case EdgeEntry:
+		return "edge"
+	case PathEntry:
+		return "path"
+	default:
+		return "?"
+	}
+}
+
+// Meta is the query-compile-time companion of an Embedding: it maps query
+// variables to idData columns and (variable, property key) pairs to propData
+// columns. Per the paper it is "utilized and updated by the query operators
+// but not part of the embedding data structure" — one Meta describes every
+// embedding in a dataset.
+type Meta struct {
+	vars  []string    // column -> variable name
+	kinds []EntryKind // column -> kind
+	props []PropRef   // property column -> reference
+}
+
+// PropRef names a stored property value.
+type PropRef struct {
+	Var string
+	Key string
+}
+
+// NewMeta returns an empty metadata object.
+func NewMeta() *Meta { return &Meta{} }
+
+// Clone returns an independent copy.
+func (m *Meta) Clone() *Meta {
+	return &Meta{
+		vars:  append([]string(nil), m.vars...),
+		kinds: append([]EntryKind(nil), m.kinds...),
+		props: append([]PropRef(nil), m.props...),
+	}
+}
+
+// Columns returns the number of id columns.
+func (m *Meta) Columns() int { return len(m.vars) }
+
+// PropColumns returns the number of property columns.
+func (m *Meta) PropColumns() int { return len(m.props) }
+
+// AddEntry appends an id column for a variable and returns its column index.
+func (m *Meta) AddEntry(variable string, kind EntryKind) int {
+	m.vars = append(m.vars, variable)
+	m.kinds = append(m.kinds, kind)
+	return len(m.vars) - 1
+}
+
+// AddProp appends a property column and returns its index.
+func (m *Meta) AddProp(variable, key string) int {
+	m.props = append(m.props, PropRef{Var: variable, Key: key})
+	return len(m.props) - 1
+}
+
+// Column returns the id column of a variable.
+func (m *Meta) Column(variable string) (int, bool) {
+	for i, v := range m.vars {
+		if v == variable {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// Kind returns the kind of column i.
+func (m *Meta) Kind(i int) EntryKind { return m.kinds[i] }
+
+// Var returns the variable at column i.
+func (m *Meta) Var(i int) string { return m.vars[i] }
+
+// Vars returns all variables in column order.
+func (m *Meta) Vars() []string { return append([]string(nil), m.vars...) }
+
+// HasVar reports whether the metadata contains the variable.
+func (m *Meta) HasVar(variable string) bool {
+	_, ok := m.Column(variable)
+	return ok
+}
+
+// PropColumn returns the property column holding variable.key.
+func (m *Meta) PropColumn(variable, key string) (int, bool) {
+	for i, p := range m.props {
+		if p.Var == variable && p.Key == key {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// PropRefAt returns the reference stored at property column i.
+func (m *Meta) PropRefAt(i int) PropRef { return m.props[i] }
+
+// VertexColumns returns the indices of all vertex columns.
+func (m *Meta) VertexColumns() []int { return m.columnsOfKind(VertexEntry) }
+
+// EdgeColumns returns the indices of all edge and path columns (paths are
+// sequences of edges and intermediate vertices; for edge-uniqueness checks
+// their edge ids participate).
+func (m *Meta) EdgeColumns() []int {
+	out := m.columnsOfKind(EdgeEntry)
+	out = append(out, m.columnsOfKind(PathEntry)...)
+	sort.Ints(out)
+	return out
+}
+
+func (m *Meta) columnsOfKind(k EntryKind) []int {
+	var out []int
+	for i, kk := range m.kinds {
+		if kk == k {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// SharedVars returns the variables present in both metadata objects —
+// the join keys of a JoinEmbeddings operator.
+func (m *Meta) SharedVars(o *Meta) []string {
+	var shared []string
+	for _, v := range m.vars {
+		if o.HasVar(v) {
+			shared = append(shared, v)
+		}
+	}
+	return shared
+}
+
+// Merge computes the metadata resulting from joining embeddings described
+// by m and o on their shared variables: o's shared columns are dropped, all
+// other columns and all property columns are appended. It returns the new
+// metadata and the sorted list of o's columns that Embedding.Merge must
+// drop.
+func (m *Meta) Merge(o *Meta) (*Meta, []int) {
+	out := m.Clone()
+	var drop []int
+	for c, v := range o.vars {
+		if m.HasVar(v) {
+			drop = append(drop, c)
+			continue
+		}
+		out.vars = append(out.vars, v)
+		out.kinds = append(out.kinds, o.kinds[c])
+	}
+	out.props = append(out.props, o.props...)
+	return out, drop
+}
+
+// String renders the mapping like the paper's example
+// {p1:0, p1.name:0, ...}.
+func (m *Meta) String() string {
+	var sb strings.Builder
+	sb.WriteByte('{')
+	for i, v := range m.vars {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		fmt.Fprintf(&sb, "%s:%d(%s)", v, i, m.kinds[i])
+	}
+	for i, p := range m.props {
+		if i > 0 || len(m.vars) > 0 {
+			sb.WriteString(", ")
+		}
+		fmt.Fprintf(&sb, "%s.%s:%d", p.Var, p.Key, i)
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}

@@ -1,0 +1,54 @@
+package epgm
+
+import "fmt"
+
+// GraphHead carries the data of one logical graph: its identifier, type
+// label and properties (the first dataset of a graph collection, Table 1).
+type GraphHead struct {
+	ID         ID
+	Label      string
+	Properties Properties
+}
+
+// SizeBytes implements dataflow.Sized.
+func (h GraphHead) SizeBytes() int { return 8 + len(h.Label) + h.Properties.EncodedSize() }
+
+// Vertex is a data vertex: identifier, type label, properties and graph
+// membership (l(v) of Definition 2.1).
+type Vertex struct {
+	ID         ID
+	Label      string
+	Properties Properties
+	GraphIDs   IDSet
+}
+
+// SizeBytes implements dataflow.Sized.
+func (v Vertex) SizeBytes() int {
+	return 8 + len(v.Label) + v.Properties.EncodedSize() + 8*len(v.GraphIDs)
+}
+
+// String renders the vertex like the paper's Table 1 rows.
+func (v Vertex) String() string {
+	return fmt.Sprintf("(id:%d, label:%s, graphs:%v, %v)", v.ID, v.Label, v.GraphIDs, v.Properties)
+}
+
+// Edge is a data edge directed from Source to Target.
+type Edge struct {
+	ID         ID
+	Label      string
+	Source     ID
+	Target     ID
+	Properties Properties
+	GraphIDs   IDSet
+}
+
+// SizeBytes implements dataflow.Sized.
+func (e Edge) SizeBytes() int {
+	return 8 + 16 + len(e.Label) + e.Properties.EncodedSize() + 8*len(e.GraphIDs)
+}
+
+// String renders the edge like the paper's Table 1 rows.
+func (e Edge) String() string {
+	return fmt.Sprintf("(id:%d, label:%s, graphs:%v, sid:%d, tid:%d, %v)",
+		e.ID, e.Label, e.GraphIDs, e.Source, e.Target, e.Properties)
+}

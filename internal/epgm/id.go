@@ -1,0 +1,94 @@
+// Package epgm implements the Extended Property Graph Model (EPGM) of
+// Junghanns et al.: directed, labeled, attributed multigraphs organized into
+// logical graphs and graph collections, backed by partitioned dataflow
+// datasets, together with the Gradoop analytical operators the Cypher
+// pattern-matching operator composes with.
+package epgm
+
+import (
+	"sort"
+	"strconv"
+	"sync/atomic"
+)
+
+// ID identifies a graph, vertex or edge. IDs are unique across all element
+// kinds, like Gradoop's GradoopId.
+type ID uint64
+
+// NilID is the zero ID; no element ever carries it.
+const NilID ID = 0
+
+// String renders the id in decimal.
+func (id ID) String() string { return strconv.FormatUint(uint64(id), 10) }
+
+var idCounter atomic.Uint64
+
+// NewID returns a process-unique ID. IDs are dense and ascending, which the
+// LDBC generator relies on for determinism (it allocates them in a fixed
+// order).
+func NewID() ID { return ID(idCounter.Add(1)) }
+
+// EnsureIDsAbove advances the id allocator past max, so that ids loaded
+// from storage never collide with subsequently generated ones.
+func EnsureIDsAbove(max ID) {
+	for {
+		cur := idCounter.Load()
+		if cur >= uint64(max) {
+			return
+		}
+		if idCounter.CompareAndSwap(cur, uint64(max)) {
+			return
+		}
+	}
+}
+
+// IDSet is a small sorted set of IDs, used for graph membership (the l(v)
+// mapping of Definition 2.1).
+type IDSet []ID
+
+// NewIDSet builds a set from the given ids.
+func NewIDSet(ids ...ID) IDSet {
+	s := IDSet{}
+	for _, id := range ids {
+		s = s.Add(id)
+	}
+	return s
+}
+
+// Contains reports set membership.
+func (s IDSet) Contains(id ID) bool {
+	i := sort.Search(len(s), func(i int) bool { return s[i] >= id })
+	return i < len(s) && s[i] == id
+}
+
+// Add returns a set containing id; the receiver is unchanged if id is
+// already present. Add may reuse the receiver's backing array.
+func (s IDSet) Add(id ID) IDSet {
+	i := sort.Search(len(s), func(i int) bool { return s[i] >= id })
+	if i < len(s) && s[i] == id {
+		return s
+	}
+	s = append(s, 0)
+	copy(s[i+1:], s[i:])
+	s[i] = id
+	return s
+}
+
+// Clone returns an independent copy.
+func (s IDSet) Clone() IDSet { return append(IDSet(nil), s...) }
+
+// Intersects reports whether the two sets share an element.
+func (s IDSet) Intersects(o IDSet) bool {
+	i, j := 0, 0
+	for i < len(s) && j < len(o) {
+		switch {
+		case s[i] == o[j]:
+			return true
+		case s[i] < o[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return false
+}

@@ -1,0 +1,103 @@
+package epgm
+
+import (
+	"sort"
+
+	"gradoop/internal/dataflow"
+)
+
+// IndexedLogicalGraph is the alternative graph representation of §3.4: it
+// partitions vertices and edges by type label and manages one dataset per
+// label. When a query element carries a label predicate, the planner loads
+// only the matching dataset instead of scanning (and replicating) the union
+// of all elements.
+type IndexedLogicalGraph struct {
+	env             *dataflow.Env
+	Head            GraphHead
+	VerticesByLabel map[string]*dataflow.Dataset[Vertex]
+	EdgesByLabel    map[string]*dataflow.Dataset[Edge]
+}
+
+// BuildIndex converts a logical graph into its label-indexed representation.
+func BuildIndex(g *LogicalGraph) *IndexedLogicalGraph {
+	idx := &IndexedLogicalGraph{
+		env:             g.env,
+		Head:            g.Head,
+		VerticesByLabel: map[string]*dataflow.Dataset[Vertex]{},
+		EdgesByLabel:    map[string]*dataflow.Dataset[Edge]{},
+	}
+	vparts := map[string][]Vertex{}
+	for _, v := range g.Vertices.Collect() {
+		vparts[v.Label] = append(vparts[v.Label], v)
+	}
+	for label, vs := range vparts {
+		idx.VerticesByLabel[label] = dataflow.FromSlice(g.env, vs)
+	}
+	eparts := map[string][]Edge{}
+	for _, e := range g.Edges.Collect() {
+		eparts[e.Label] = append(eparts[e.Label], e)
+	}
+	for label, es := range eparts {
+		idx.EdgesByLabel[label] = dataflow.FromSlice(g.env, es)
+	}
+	return idx
+}
+
+// Env returns the execution environment.
+func (x *IndexedLogicalGraph) Env() *dataflow.Env { return x.env }
+
+// Vertices returns the dataset for one or more vertex labels. With no
+// labels (or an unindexed label mix) it returns the union of all per-label
+// datasets, i.e. a full scan.
+func (x *IndexedLogicalGraph) Vertices(labels ...string) *dataflow.Dataset[Vertex] {
+	if len(labels) == 0 {
+		labels = x.VertexLabels()
+	}
+	out := dataflow.Empty[Vertex](x.env)
+	for _, l := range labels {
+		if ds, ok := x.VerticesByLabel[l]; ok {
+			out = dataflow.Union(out, ds)
+		}
+	}
+	return out
+}
+
+// Edges returns the dataset for one or more edge labels, or all edges when
+// no label is given.
+func (x *IndexedLogicalGraph) Edges(labels ...string) *dataflow.Dataset[Edge] {
+	if len(labels) == 0 {
+		labels = x.EdgeLabels()
+	}
+	out := dataflow.Empty[Edge](x.env)
+	for _, l := range labels {
+		if ds, ok := x.EdgesByLabel[l]; ok {
+			out = dataflow.Union(out, ds)
+		}
+	}
+	return out
+}
+
+// VertexLabels returns the indexed vertex labels in sorted order.
+func (x *IndexedLogicalGraph) VertexLabels() []string {
+	labels := make([]string, 0, len(x.VerticesByLabel))
+	for l := range x.VerticesByLabel {
+		labels = append(labels, l)
+	}
+	sort.Strings(labels)
+	return labels
+}
+
+// EdgeLabels returns the indexed edge labels in sorted order.
+func (x *IndexedLogicalGraph) EdgeLabels() []string {
+	labels := make([]string, 0, len(x.EdgesByLabel))
+	for l := range x.EdgesByLabel {
+		labels = append(labels, l)
+	}
+	sort.Strings(labels)
+	return labels
+}
+
+// ToLogicalGraph flattens the index back into a plain logical graph.
+func (x *IndexedLogicalGraph) ToLogicalGraph() *LogicalGraph {
+	return &LogicalGraph{env: x.env, Head: x.Head, Vertices: x.Vertices(), Edges: x.Edges()}
+}

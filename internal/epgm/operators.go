@@ -1,0 +1,387 @@
+package epgm
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"gradoop/internal/dataflow"
+)
+
+// This file implements the Gradoop analytical operators the paper lists as
+// the framework's existing toolbox (§2.1): subgraph extraction, graph
+// transformation, graph grouping, set operations on graphs and collections,
+// and property-based aggregation and selection. The Cypher pattern-matching
+// operator composes with these in analytical programs.
+
+// Subgraph returns the subgraph induced by the given vertex and edge
+// predicates. Edges survive only if their predicate holds and both
+// endpoints survive the vertex predicate, so the result is always a
+// consistent graph (Definition 2.3's subgraph condition).
+func (g *LogicalGraph) Subgraph(vertexPred func(Vertex) bool, edgePred func(Edge) bool) *LogicalGraph {
+	if vertexPred == nil {
+		vertexPred = func(Vertex) bool { return true }
+	}
+	if edgePred == nil {
+		edgePred = func(Edge) bool { return true }
+	}
+	head := GraphHead{ID: NewID(), Label: g.Head.Label, Properties: g.Head.Properties.Clone()}
+	vs := dataflow.Filter(g.Vertices, vertexPred)
+	es := dataflow.Filter(g.Edges, edgePred)
+	es = semiJoinEdges(es, vs, func(e Edge) ID { return e.Source })
+	es = semiJoinEdges(es, vs, func(e Edge) ID { return e.Target })
+	return &LogicalGraph{env: g.env, Head: head,
+		Vertices: stampVertices(vs, head.ID), Edges: stampEdges(es, head.ID)}
+}
+
+// semiJoinEdges keeps edges whose endpoint (selected by key) exists in vs.
+func semiJoinEdges(es *dataflow.Dataset[Edge], vs *dataflow.Dataset[Vertex], key func(Edge) ID) *dataflow.Dataset[Edge] {
+	ids := dataflow.Map(vs, func(v Vertex) ID { return v.ID })
+	return dataflow.Join(ids, es,
+		func(id ID) uint64 { return uint64(id) },
+		func(e Edge) uint64 { return uint64(key(e)) },
+		func(_ ID, e Edge, emit func(Edge)) { emit(e) },
+		dataflow.RepartitionHash)
+}
+
+func stampVertices(vs *dataflow.Dataset[Vertex], id ID) *dataflow.Dataset[Vertex] {
+	return dataflow.Map(vs, func(v Vertex) Vertex {
+		v.GraphIDs = v.GraphIDs.Clone().Add(id)
+		return v
+	})
+}
+
+func stampEdges(es *dataflow.Dataset[Edge], id ID) *dataflow.Dataset[Edge] {
+	return dataflow.Map(es, func(e Edge) Edge {
+		e.GraphIDs = e.GraphIDs.Clone().Add(id)
+		return e
+	})
+}
+
+// Transform applies element-wise transformation functions to the graph head,
+// vertices and edges (nil functions are identity) and returns a new graph.
+func (g *LogicalGraph) Transform(headFn func(GraphHead) GraphHead, vertexFn func(Vertex) Vertex, edgeFn func(Edge) Edge) *LogicalGraph {
+	head := g.Head
+	if headFn != nil {
+		head = headFn(head)
+	}
+	vs := g.Vertices
+	if vertexFn != nil {
+		vs = dataflow.Map(vs, vertexFn)
+	}
+	es := g.Edges
+	if edgeFn != nil {
+		es = dataflow.Map(es, edgeFn)
+	}
+	return &LogicalGraph{env: g.env, Head: head, Vertices: vs, Edges: es}
+}
+
+// An AggregateFunc folds a graph into a single property value stored on the
+// graph head under Name.
+type AggregateFunc struct {
+	Name string
+	Eval func(g *LogicalGraph) PropertyValue
+}
+
+// VertexCountAgg counts vertices.
+func VertexCountAgg() AggregateFunc {
+	return AggregateFunc{Name: "vertexCount", Eval: func(g *LogicalGraph) PropertyValue {
+		return PVInt(g.VertexCount())
+	}}
+}
+
+// EdgeCountAgg counts edges.
+func EdgeCountAgg() AggregateFunc {
+	return AggregateFunc{Name: "edgeCount", Eval: func(g *LogicalGraph) PropertyValue {
+		return PVInt(g.EdgeCount())
+	}}
+}
+
+// SumVertexPropertyAgg sums a numeric vertex property across the graph.
+func SumVertexPropertyAgg(key string) AggregateFunc {
+	return AggregateFunc{Name: "sum_" + key, Eval: func(g *LogicalGraph) PropertyValue {
+		vals := dataflow.FlatMap(g.Vertices, func(v Vertex, emit func(float64)) {
+			if pv := v.Properties.Get(key); !pv.IsNull() {
+				emit(pv.Float())
+			}
+		})
+		var sum float64
+		for _, f := range vals.Collect() {
+			sum += f
+		}
+		return PVFloat(sum)
+	}}
+}
+
+// MinVertexPropertyAgg computes the minimum of a numeric vertex property.
+func MinVertexPropertyAgg(key string) AggregateFunc {
+	return AggregateFunc{Name: "min_" + key, Eval: func(g *LogicalGraph) PropertyValue {
+		vals := dataflow.FlatMap(g.Vertices, func(v Vertex, emit func(float64)) {
+			if pv := v.Properties.Get(key); !pv.IsNull() {
+				emit(pv.Float())
+			}
+		})
+		all := vals.Collect()
+		if len(all) == 0 {
+			return Null
+		}
+		min := all[0]
+		for _, f := range all[1:] {
+			if f < min {
+				min = f
+			}
+		}
+		return PVFloat(min)
+	}}
+}
+
+// MaxVertexPropertyAgg computes the maximum of a numeric vertex property.
+func MaxVertexPropertyAgg(key string) AggregateFunc {
+	return AggregateFunc{Name: "max_" + key, Eval: func(g *LogicalGraph) PropertyValue {
+		vals := dataflow.FlatMap(g.Vertices, func(v Vertex, emit func(float64)) {
+			if pv := v.Properties.Get(key); !pv.IsNull() {
+				emit(pv.Float())
+			}
+		})
+		all := vals.Collect()
+		if len(all) == 0 {
+			return Null
+		}
+		max := all[0]
+		for _, f := range all[1:] {
+			if f > max {
+				max = f
+			}
+		}
+		return PVFloat(max)
+	}}
+}
+
+// Aggregate evaluates the given aggregate functions and stores their results
+// as properties on a copy of the graph head.
+func (g *LogicalGraph) Aggregate(fns ...AggregateFunc) *LogicalGraph {
+	head := g.Head
+	head.Properties = head.Properties.Clone()
+	for _, fn := range fns {
+		head.Properties = head.Properties.Set(fn.Name, fn.Eval(g))
+	}
+	return &LogicalGraph{env: g.env, Head: head, Vertices: g.Vertices, Edges: g.Edges}
+}
+
+// GroupingConfig configures structural graph grouping: vertices are grouped
+// by label (if GroupByVertexLabel) and the listed property keys; one
+// super-vertex per group carries a "count" property. Edges are grouped by
+// their endpoint groups and label analogously.
+type GroupingConfig struct {
+	GroupByVertexLabel bool
+	VertexPropertyKeys []string
+	GroupByEdgeLabel   bool
+	EdgePropertyKeys   []string
+}
+
+// GroupBy summarizes the graph into a grouped graph (Gradoop's grouping
+// operator): structurally equivalent vertices collapse into super-vertices
+// and parallel edges between groups collapse into counted super-edges.
+func (g *LogicalGraph) GroupBy(cfg GroupingConfig) *LogicalGraph {
+	head := GraphHead{ID: NewID(), Label: "GroupedGraph"}
+
+	vertexKey := func(v Vertex) string {
+		var sb strings.Builder
+		if cfg.GroupByVertexLabel {
+			sb.WriteString(v.Label)
+		}
+		for _, k := range cfg.VertexPropertyKeys {
+			sb.WriteByte(0)
+			sb.WriteString(v.Properties.Get(k).String())
+		}
+		return sb.String()
+	}
+
+	type superVertex struct {
+		key   string
+		v     Vertex
+		count int64
+	}
+	supers := dataflow.GroupBy(g.Vertices, vertexKey, func(key string, group []Vertex, emit func(superVertex)) {
+		rep := group[0]
+		sv := Vertex{ID: NewID(), GraphIDs: NewIDSet(head.ID)}
+		if cfg.GroupByVertexLabel {
+			sv.Label = rep.Label
+		} else {
+			sv.Label = "Group"
+		}
+		for _, k := range cfg.VertexPropertyKeys {
+			sv.Properties = sv.Properties.Set(k, rep.Properties.Get(k))
+		}
+		sv.Properties = sv.Properties.Set("count", PVInt(int64(len(group))))
+		emit(superVertex{key: key, v: sv, count: int64(len(group))})
+	})
+
+	// Mapping from original vertex id to its super-vertex id.
+	type mapping struct {
+		orig  ID
+		super ID
+	}
+	superByKey := map[string]ID{}
+	for _, sv := range supers.Collect() {
+		superByKey[sv.key] = sv.v.ID
+	}
+	mappings := dataflow.Map(g.Vertices, func(v Vertex) mapping {
+		return mapping{orig: v.ID, super: superByKey[vertexKey(v)]}
+	})
+
+	// Route edges to super endpoints.
+	type routedEdge struct {
+		e              Edge
+		superS, superT ID
+	}
+	routedS := dataflow.Join(mappings, g.Edges,
+		func(m mapping) uint64 { return uint64(m.orig) },
+		func(e Edge) uint64 { return uint64(e.Source) },
+		func(m mapping, e Edge, emit func(routedEdge)) { emit(routedEdge{e: e, superS: m.super}) },
+		dataflow.RepartitionHash)
+	routed := dataflow.Join(mappings, routedS,
+		func(m mapping) uint64 { return uint64(m.orig) },
+		func(r routedEdge) uint64 { return uint64(r.e.Target) },
+		func(m mapping, r routedEdge, emit func(routedEdge)) {
+			r.superT = m.super
+			emit(r)
+		},
+		dataflow.RepartitionHash)
+
+	edgeKey := func(r routedEdge) string {
+		var sb strings.Builder
+		fmt.Fprintf(&sb, "%d>%d", r.superS, r.superT)
+		if cfg.GroupByEdgeLabel {
+			sb.WriteByte(0)
+			sb.WriteString(r.e.Label)
+		}
+		for _, k := range cfg.EdgePropertyKeys {
+			sb.WriteByte(0)
+			sb.WriteString(r.e.Properties.Get(k).String())
+		}
+		return sb.String()
+	}
+	superEdges := dataflow.GroupBy(routed, edgeKey, func(key string, group []routedEdge, emit func(Edge)) {
+		rep := group[0]
+		se := Edge{ID: NewID(), Source: rep.superS, Target: rep.superT, GraphIDs: NewIDSet(head.ID)}
+		if cfg.GroupByEdgeLabel {
+			se.Label = rep.e.Label
+		} else {
+			se.Label = "Group"
+		}
+		for _, k := range cfg.EdgePropertyKeys {
+			se.Properties = se.Properties.Set(k, rep.e.Properties.Get(k))
+		}
+		se.Properties = se.Properties.Set("count", PVInt(int64(len(group))))
+		emit(se)
+	})
+
+	vs := dataflow.Map(supers, func(sv superVertex) Vertex { return sv.v })
+	return &LogicalGraph{env: g.env, Head: head, Vertices: vs, Edges: superEdges}
+}
+
+// Combination returns the union of two logical graphs' vertices and edges
+// (deduplicated by id).
+func (g *LogicalGraph) Combination(other *LogicalGraph) *LogicalGraph {
+	head := GraphHead{ID: NewID(), Label: g.Head.Label}
+	vs := dataflow.DistinctBy(dataflow.Union(g.Vertices, other.Vertices), func(v Vertex) ID { return v.ID })
+	es := dataflow.DistinctBy(dataflow.Union(g.Edges, other.Edges), func(e Edge) ID { return e.ID })
+	return &LogicalGraph{env: g.env, Head: head,
+		Vertices: stampVertices(vs, head.ID), Edges: stampEdges(es, head.ID)}
+}
+
+// Overlap returns the graph of vertices and edges present in both inputs.
+func (g *LogicalGraph) Overlap(other *LogicalGraph) *LogicalGraph {
+	head := GraphHead{ID: NewID(), Label: g.Head.Label}
+	vs := intersectByID(g.Vertices, other.Vertices, func(v Vertex) ID { return v.ID })
+	es := intersectByID(g.Edges, other.Edges, func(e Edge) ID { return e.ID })
+	return &LogicalGraph{env: g.env, Head: head,
+		Vertices: stampVertices(vs, head.ID), Edges: stampEdges(es, head.ID)}
+}
+
+// Exclusion returns the graph of g's elements that do not occur in other;
+// dangling edges are removed.
+func (g *LogicalGraph) Exclusion(other *LogicalGraph) *LogicalGraph {
+	head := GraphHead{ID: NewID(), Label: g.Head.Label}
+	vs := subtractByID(g.Vertices, other.Vertices, func(v Vertex) ID { return v.ID })
+	es := subtractByID(g.Edges, other.Edges, func(e Edge) ID { return e.ID })
+	es = semiJoinEdges(es, vs, func(e Edge) ID { return e.Source })
+	es = semiJoinEdges(es, vs, func(e Edge) ID { return e.Target })
+	return &LogicalGraph{env: g.env, Head: head,
+		Vertices: stampVertices(vs, head.ID), Edges: stampEdges(es, head.ID)}
+}
+
+func intersectByID[T any](a, b *dataflow.Dataset[T], id func(T) ID) *dataflow.Dataset[T] {
+	ids := dataflow.DistinctBy(b, id)
+	return dataflow.Join(dataflow.Map(ids, id), a,
+		func(i ID) uint64 { return uint64(i) },
+		func(t T) uint64 { return uint64(id(t)) },
+		func(_ ID, t T, emit func(T)) { emit(t) },
+		dataflow.RepartitionHash)
+}
+
+func subtractByID[T any](a, b *dataflow.Dataset[T], id func(T) ID) *dataflow.Dataset[T] {
+	exclude := map[ID]struct{}{}
+	for _, t := range b.Collect() {
+		exclude[id(t)] = struct{}{}
+	}
+	return dataflow.Filter(a, func(t T) bool {
+		_, ok := exclude[id(t)]
+		return !ok
+	})
+}
+
+// Select keeps the logical graphs of a collection whose head satisfies pred;
+// elements belonging only to dropped graphs are removed.
+func (c *GraphCollection) Select(pred func(GraphHead) bool) *GraphCollection {
+	heads := dataflow.Filter(c.Heads, pred)
+	keep := NewIDSet()
+	for _, h := range heads.Collect() {
+		keep = keep.Add(h.ID)
+	}
+	vs := dataflow.Filter(c.Vertices, func(v Vertex) bool { return v.GraphIDs.Intersects(keep) })
+	es := dataflow.Filter(c.Edges, func(e Edge) bool { return e.GraphIDs.Intersects(keep) })
+	return &GraphCollection{env: c.env, Heads: heads, Vertices: vs, Edges: es}
+}
+
+// Union merges two collections, deduplicating graphs and elements by id.
+func (c *GraphCollection) Union(other *GraphCollection) *GraphCollection {
+	heads := dataflow.DistinctBy(dataflow.Union(c.Heads, other.Heads), func(h GraphHead) ID { return h.ID })
+	vs := dataflow.DistinctBy(dataflow.Union(c.Vertices, other.Vertices), func(v Vertex) ID { return v.ID })
+	es := dataflow.DistinctBy(dataflow.Union(c.Edges, other.Edges), func(e Edge) ID { return e.ID })
+	return &GraphCollection{env: c.env, Heads: heads, Vertices: vs, Edges: es}
+}
+
+// Intersect keeps the graphs present in both collections (by head id).
+func (c *GraphCollection) Intersect(other *GraphCollection) *GraphCollection {
+	ids := NewIDSet()
+	for _, h := range other.Heads.Collect() {
+		ids = ids.Add(h.ID)
+	}
+	return c.Select(func(h GraphHead) bool { return ids.Contains(h.ID) })
+}
+
+// Difference keeps the graphs of c that are absent from other.
+func (c *GraphCollection) Difference(other *GraphCollection) *GraphCollection {
+	ids := NewIDSet()
+	for _, h := range other.Heads.Collect() {
+		ids = ids.Add(h.ID)
+	}
+	return c.Select(func(h GraphHead) bool { return !ids.Contains(h.ID) })
+}
+
+// SortedLabels returns the distinct vertex labels of the graph in sorted
+// order — a small utility shared by statistics and the indexed graph.
+func (g *LogicalGraph) SortedLabels() []string {
+	set := map[string]struct{}{}
+	for _, v := range g.Vertices.Collect() {
+		set[v.Label] = struct{}{}
+	}
+	labels := make([]string, 0, len(set))
+	for l := range set {
+		labels = append(labels, l)
+	}
+	sort.Strings(labels)
+	return labels
+}

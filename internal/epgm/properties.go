@@ -1,0 +1,77 @@
+package epgm
+
+// Property is a single key/value attribute.
+type Property struct {
+	Key   string
+	Value PropertyValue
+}
+
+// Properties is an ordered list of attributes. Order is insertion order;
+// lookups are linear, which is faster than a map for the small property
+// counts typical of property graphs and keeps serialization deterministic.
+type Properties []Property
+
+// Get returns the value bound to key, or Null if absent (the κ mapping of
+// Definition 2.1, with ε represented as Null).
+func (p Properties) Get(key string) PropertyValue {
+	for _, kv := range p {
+		if kv.Key == key {
+			return kv.Value
+		}
+	}
+	return Null
+}
+
+// Has reports whether key is present.
+func (p Properties) Has(key string) bool {
+	for _, kv := range p {
+		if kv.Key == key {
+			return true
+		}
+	}
+	return false
+}
+
+// Set binds key to value, replacing an existing binding, and returns the
+// updated list (which may share the receiver's backing array).
+func (p Properties) Set(key string, value PropertyValue) Properties {
+	for i, kv := range p {
+		if kv.Key == key {
+			p[i].Value = value
+			return p
+		}
+	}
+	return append(p, Property{Key: key, Value: value})
+}
+
+// Remove deletes key if present and returns the updated list.
+func (p Properties) Remove(key string) Properties {
+	for i, kv := range p {
+		if kv.Key == key {
+			return append(p[:i], p[i+1:]...)
+		}
+	}
+	return p
+}
+
+// Keys returns the property keys in order.
+func (p Properties) Keys() []string {
+	keys := make([]string, len(p))
+	for i, kv := range p {
+		keys[i] = kv.Key
+	}
+	return keys
+}
+
+// Clone returns an independent copy.
+func (p Properties) Clone() Properties { return append(Properties(nil), p...) }
+
+// EncodedSize returns the total byte size of all values plus keys, used for
+// shuffle accounting.
+func (p Properties) EncodedSize() int {
+	n := 0
+	for _, kv := range p {
+		n += len(kv.Key) + 1 + kv.Value.EncodedSize()
+	}
+	return n
+}

@@ -1,0 +1,133 @@
+package epgm
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Verify checks the structural consistency of a logical graph per
+// Definition 2.1: element ids are unique and every edge's endpoints exist.
+// It returns the first violation found, or nil.
+func (g *LogicalGraph) Verify() error {
+	vertexIDs := map[ID]struct{}{}
+	for _, v := range g.Vertices.Collect() {
+		if v.ID == NilID {
+			return fmt.Errorf("epgm: vertex with nil id (label %q)", v.Label)
+		}
+		if _, dup := vertexIDs[v.ID]; dup {
+			return fmt.Errorf("epgm: duplicate vertex id %d", v.ID)
+		}
+		vertexIDs[v.ID] = struct{}{}
+	}
+	edgeIDs := map[ID]struct{}{}
+	for _, e := range g.Edges.Collect() {
+		if e.ID == NilID {
+			return fmt.Errorf("epgm: edge with nil id (label %q)", e.Label)
+		}
+		if _, dup := edgeIDs[e.ID]; dup {
+			return fmt.Errorf("epgm: duplicate edge id %d", e.ID)
+		}
+		edgeIDs[e.ID] = struct{}{}
+		if _, ok := vertexIDs[e.Source]; !ok {
+			return fmt.Errorf("epgm: edge %d references missing source vertex %d", e.ID, e.Source)
+		}
+		if _, ok := vertexIDs[e.Target]; !ok {
+			return fmt.Errorf("epgm: edge %d references missing target vertex %d", e.ID, e.Target)
+		}
+	}
+	return nil
+}
+
+// EqualsByElementIDs reports whether two logical graphs contain exactly the
+// same vertex and edge identifiers.
+func (g *LogicalGraph) EqualsByElementIDs(other *LogicalGraph) bool {
+	ids := func(g *LogicalGraph) (map[ID]struct{}, map[ID]struct{}) {
+		vs := map[ID]struct{}{}
+		for _, v := range g.Vertices.Collect() {
+			vs[v.ID] = struct{}{}
+		}
+		es := map[ID]struct{}{}
+		for _, e := range g.Edges.Collect() {
+			es[e.ID] = struct{}{}
+		}
+		return vs, es
+	}
+	av, ae := ids(g)
+	bv, be := ids(other)
+	if len(av) != len(bv) || len(ae) != len(be) {
+		return false
+	}
+	for id := range av {
+		if _, ok := bv[id]; !ok {
+			return false
+		}
+	}
+	for id := range ae {
+		if _, ok := be[id]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// canonicalElement renders a vertex's data (label + sorted properties).
+func canonicalVertex(v Vertex) string {
+	return v.Label + "{" + canonicalProps(v.Properties) + "}"
+}
+
+func canonicalProps(p Properties) string {
+	parts := make([]string, len(p))
+	for i, kv := range p {
+		parts[i] = kv.Key + "=" + kv.Value.Type().String() + ":" + kv.Value.String()
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, ",")
+}
+
+// EqualsByData reports whether two logical graphs carry the same data,
+// ignoring identifiers: equal multisets of vertex (label, properties) pairs
+// and of edge (label, properties, source-data, target-data) tuples. This is
+// the canonical-form comparison Gradoop's equality operator uses; like any
+// polynomial invariant it can in principle conflate non-isomorphic graphs
+// with identical local structure, which suffices for test fixtures and
+// result comparison.
+func (g *LogicalGraph) EqualsByData(other *LogicalGraph) bool {
+	render := func(g *LogicalGraph) ([]string, []string, bool) {
+		vertexData := map[ID]string{}
+		var vs []string
+		for _, v := range g.Vertices.Collect() {
+			s := canonicalVertex(v)
+			vertexData[v.ID] = s
+			vs = append(vs, s)
+		}
+		var es []string
+		for _, e := range g.Edges.Collect() {
+			sd, okS := vertexData[e.Source]
+			td, okT := vertexData[e.Target]
+			if !okS || !okT {
+				return nil, nil, false
+			}
+			es = append(es, e.Label+"{"+canonicalProps(e.Properties)+"}("+sd+")->("+td+")")
+		}
+		sort.Strings(vs)
+		sort.Strings(es)
+		return vs, es, true
+	}
+	av, ae, okA := render(g)
+	bv, be, okB := render(other)
+	if !okA || !okB || len(av) != len(bv) || len(ae) != len(be) {
+		return false
+	}
+	for i := range av {
+		if av[i] != bv[i] {
+			return false
+		}
+	}
+	for i := range ae {
+		if ae[i] != be[i] {
+			return false
+		}
+	}
+	return true
+}

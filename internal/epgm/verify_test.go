@@ -1,0 +1,87 @@
+package epgm
+
+import (
+	"strings"
+	"testing"
+
+	"gradoop/internal/dataflow"
+)
+
+func TestVerifyAcceptsConsistentGraph(t *testing.T) {
+	g := socialGraph(t, 2)
+	if err := g.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVerifyDetectsViolations(t *testing.T) {
+	env := dataflow.NewEnv(dataflow.DefaultConfig(2))
+	v1 := Vertex{ID: NewID(), Label: "A"}
+	v2 := Vertex{ID: NewID(), Label: "B"}
+
+	dangling := NewLogicalGraph(env, GraphHead{ID: NewID()},
+		dataflow.FromSlice(env, []Vertex{v1}),
+		dataflow.FromSlice(env, []Edge{{ID: NewID(), Source: v1.ID, Target: v2.ID}}))
+	if err := dangling.Verify(); err == nil || !strings.Contains(err.Error(), "missing target") {
+		t.Fatalf("dangling edge: %v", err)
+	}
+
+	dupVertex := NewLogicalGraph(env, GraphHead{ID: NewID()},
+		dataflow.FromSlice(env, []Vertex{v1, v1}),
+		dataflow.Empty[Edge](env))
+	if err := dupVertex.Verify(); err == nil || !strings.Contains(err.Error(), "duplicate vertex") {
+		t.Fatalf("duplicate vertex: %v", err)
+	}
+
+	nilID := NewLogicalGraph(env, GraphHead{ID: NewID()},
+		dataflow.FromSlice(env, []Vertex{{Label: "X"}}),
+		dataflow.Empty[Edge](env))
+	if err := nilID.Verify(); err == nil || !strings.Contains(err.Error(), "nil id") {
+		t.Fatalf("nil id: %v", err)
+	}
+}
+
+func TestEqualsByElementIDs(t *testing.T) {
+	g := socialGraph(t, 2)
+	same := NewLogicalGraph(g.Env(), GraphHead{ID: NewID()}, g.Vertices, g.Edges)
+	if !g.EqualsByElementIDs(same) {
+		t.Fatal("same datasets should be equal")
+	}
+	sub := g.Subgraph(func(v Vertex) bool { return v.Label == "Person" }, nil)
+	if g.EqualsByElementIDs(sub) {
+		t.Fatal("subgraph should differ")
+	}
+}
+
+func TestEqualsByData(t *testing.T) {
+	env := dataflow.NewEnv(dataflow.DefaultConfig(2))
+	build := func() *LogicalGraph {
+		a := Vertex{ID: NewID(), Label: "P", Properties: Properties{}.Set("n", PVString("a"))}
+		b := Vertex{ID: NewID(), Label: "P", Properties: Properties{}.Set("n", PVString("b"))}
+		return GraphFromSlices(env, "G", []Vertex{a, b},
+			[]Edge{{ID: NewID(), Label: "k", Source: a.ID, Target: b.ID}})
+	}
+	g1, g2 := build(), build()
+	if !g1.EqualsByData(g2) {
+		t.Fatal("structurally identical graphs with fresh ids should be data-equal")
+	}
+	if g1.EqualsByElementIDs(g2) {
+		t.Fatal("fresh ids should differ")
+	}
+	// Change a property value: no longer data-equal.
+	g3 := g2.Transform(nil, func(v Vertex) Vertex {
+		v.Properties = v.Properties.Clone().Set("n", PVString("zzz"))
+		return v
+	}, nil)
+	if g1.EqualsByData(g3) {
+		t.Fatal("different data should not be equal")
+	}
+	// Reversed edge direction: not data-equal.
+	g4 := g2.Transform(nil, nil, func(e Edge) Edge {
+		e.Source, e.Target = e.Target, e.Source
+		return e
+	})
+	if g1.EqualsByData(g4) {
+		t.Fatal("reversed edge should not be equal")
+	}
+}

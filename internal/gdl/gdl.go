@@ -1,0 +1,451 @@
+// Package gdl implements a subset of GDL, the Graph Definition Language
+// Gradoop uses to declare test and example graphs concisely. A GDL document
+// declares logical graphs and their contents:
+//
+//	community:Community {region: "Leipzig"} [
+//	    (alice:Person {name: "Alice", yob: 1984})
+//	    (bob:Person {name: "Bob"})
+//	    (alice)-[e:knows {since: 2014}]->(bob)
+//	    (bob)-[:knows]->(alice)
+//	]
+//	other [ (alice)-[:follows]->(carl:Person) ]
+//
+// Variables are shared across the whole document: `alice` above is one
+// vertex belonging to both graphs. Paths outside any graph belong only to
+// the database. The lexer is shared with the Cypher front-end.
+package gdl
+
+import (
+	"fmt"
+	"strconv"
+
+	"gradoop/internal/cypher"
+	"gradoop/internal/dataflow"
+	"gradoop/internal/epgm"
+)
+
+// Database holds everything a GDL document declared.
+type Database struct {
+	env *dataflow.Env
+
+	graphOrder []string
+	graphs     map[string]*graphDecl
+	vertices   map[string]*epgm.Vertex
+	edges      []*epgm.Edge
+	vertexSeq  []string // declaration order
+}
+
+type graphDecl struct {
+	head epgm.GraphHead
+}
+
+// Parse builds a database from GDL source.
+func Parse(env *dataflow.Env, src string) (*Database, error) {
+	toks, err := cypher.Lex(src)
+	if err != nil {
+		return nil, fmt.Errorf("gdl: %w", err)
+	}
+	p := &parser{
+		toks: toks,
+		db: &Database{
+			env:      env,
+			graphs:   map[string]*graphDecl{},
+			vertices: map[string]*epgm.Vertex{},
+		},
+	}
+	if err := p.parseDocument(); err != nil {
+		return nil, err
+	}
+	return p.db, nil
+}
+
+// Graph materializes one declared logical graph by variable name.
+func (d *Database) Graph(name string) (*epgm.LogicalGraph, bool) {
+	decl, ok := d.graphs[name]
+	if !ok {
+		return nil, false
+	}
+	var vs []epgm.Vertex
+	for _, varName := range d.vertexSeq {
+		v := d.vertices[varName]
+		if v.GraphIDs.Contains(decl.head.ID) {
+			vs = append(vs, *v)
+		}
+	}
+	var es []epgm.Edge
+	for _, e := range d.edges {
+		if e.GraphIDs.Contains(decl.head.ID) {
+			es = append(es, *e)
+		}
+	}
+	return epgm.NewLogicalGraph(d.env, decl.head,
+		dataflow.FromSlice(d.env, vs), dataflow.FromSlice(d.env, es)), true
+}
+
+// GraphNames lists the declared graph variables in order.
+func (d *Database) GraphNames() []string { return append([]string(nil), d.graphOrder...) }
+
+// Collection materializes all declared graphs as a collection.
+func (d *Database) Collection() *epgm.GraphCollection {
+	heads := make([]epgm.GraphHead, 0, len(d.graphOrder))
+	for _, name := range d.graphOrder {
+		heads = append(heads, d.graphs[name].head)
+	}
+	return epgm.NewGraphCollection(d.env,
+		dataflow.FromSlice(d.env, heads),
+		dataflow.FromSlice(d.env, d.allVertices()),
+		dataflow.FromSlice(d.env, d.allEdges()))
+}
+
+// WholeGraph materializes every declared element as one logical graph,
+// regardless of graph membership.
+func (d *Database) WholeGraph() *epgm.LogicalGraph {
+	head := epgm.GraphHead{ID: epgm.NewID(), Label: "db"}
+	return epgm.NewLogicalGraph(d.env, head,
+		dataflow.FromSlice(d.env, d.allVertices()),
+		dataflow.FromSlice(d.env, d.allEdges()))
+}
+
+// Vertex returns a declared vertex by variable name.
+func (d *Database) Vertex(name string) (epgm.Vertex, bool) {
+	if v, ok := d.vertices[name]; ok {
+		return *v, true
+	}
+	return epgm.Vertex{}, false
+}
+
+func (d *Database) allVertices() []epgm.Vertex {
+	out := make([]epgm.Vertex, 0, len(d.vertexSeq))
+	for _, name := range d.vertexSeq {
+		out = append(out, *d.vertices[name])
+	}
+	return out
+}
+
+func (d *Database) allEdges() []epgm.Edge {
+	out := make([]epgm.Edge, 0, len(d.edges))
+	for _, e := range d.edges {
+		out = append(out, *e)
+	}
+	return out
+}
+
+type parser struct {
+	toks []Token
+	pos  int
+	db   *Database
+	anon int
+}
+
+// Token aliases the cypher token type.
+type Token = cypher.Token
+
+func (p *parser) peek() Token { return p.toks[p.pos] }
+
+func (p *parser) advance() Token {
+	t := p.toks[p.pos]
+	if t.Kind != cypher.TokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) accept(kind cypher.TokenKind) (Token, bool) {
+	if p.peek().Kind == kind {
+		return p.advance(), true
+	}
+	return Token{}, false
+}
+
+func (p *parser) expect(kind cypher.TokenKind) (Token, error) {
+	if t, ok := p.accept(kind); ok {
+		return t, nil
+	}
+	t := p.peek()
+	return Token{}, fmt.Errorf("gdl: offset %d: expected %s, found %q", t.Pos, kind, t.Text)
+}
+
+func (p *parser) parseDocument() error {
+	for {
+		switch p.peek().Kind {
+		case cypher.TokEOF:
+			return nil
+		case cypher.TokLParen:
+			// Path outside any graph.
+			if err := p.parsePath(epgm.NilID); err != nil {
+				return err
+			}
+		case cypher.TokIdent, cypher.TokColon, cypher.TokLBracket:
+			if err := p.parseGraph(); err != nil {
+				return err
+			}
+		default:
+			t := p.peek()
+			return fmt.Errorf("gdl: offset %d: unexpected %q", t.Pos, t.Text)
+		}
+	}
+}
+
+func (p *parser) parseGraph() error {
+	name := ""
+	if t, ok := p.accept(cypher.TokIdent); ok {
+		name = t.Text
+	}
+	label := ""
+	if _, ok := p.accept(cypher.TokColon); ok {
+		t, err := p.expect(cypher.TokIdent)
+		if err != nil {
+			return err
+		}
+		label = t.Text
+	}
+	props, err := p.parseOptionalProps()
+	if err != nil {
+		return err
+	}
+	if name == "" {
+		name = fmt.Sprintf("__g%d", p.anon)
+		p.anon++
+	}
+	decl, ok := p.db.graphs[name]
+	if !ok {
+		decl = &graphDecl{head: epgm.GraphHead{ID: epgm.NewID(), Label: label, Properties: props}}
+		p.db.graphs[name] = decl
+		p.db.graphOrder = append(p.db.graphOrder, name)
+	} else {
+		if label != "" {
+			decl.head.Label = label
+		}
+		for _, kv := range props {
+			decl.head.Properties = decl.head.Properties.Set(kv.Key, kv.Value)
+		}
+	}
+	if _, err := p.expect(cypher.TokLBracket); err != nil {
+		return err
+	}
+	for {
+		if _, ok := p.accept(cypher.TokRBracket); ok {
+			return nil
+		}
+		if err := p.parsePath(decl.head.ID); err != nil {
+			return err
+		}
+	}
+}
+
+// parsePath parses `(a)-[e]->(b)<-[f]-(c)...`, attaching elements to graph
+// (NilID = database only).
+func (p *parser) parsePath(graph epgm.ID) error {
+	prev, err := p.parseVertex(graph)
+	if err != nil {
+		return err
+	}
+	for {
+		var incoming bool
+		switch p.peek().Kind {
+		case cypher.TokDash:
+			incoming = false
+		case cypher.TokLT:
+			incoming = true
+		default:
+			return nil
+		}
+		edge, err := p.parseEdge(graph)
+		if err != nil {
+			return err
+		}
+		next, err := p.parseVertex(graph)
+		if err != nil {
+			return err
+		}
+		if incoming {
+			edge.Source, edge.Target = next.ID, prev.ID
+		} else {
+			edge.Source, edge.Target = prev.ID, next.ID
+		}
+		prev = next
+	}
+}
+
+func (p *parser) parseVertex(graph epgm.ID) (*epgm.Vertex, error) {
+	if _, err := p.expect(cypher.TokLParen); err != nil {
+		return nil, err
+	}
+	name := ""
+	if t, ok := p.accept(cypher.TokIdent); ok {
+		name = t.Text
+	}
+	label := ""
+	if _, ok := p.accept(cypher.TokColon); ok {
+		t, err := p.expect(cypher.TokIdent)
+		if err != nil {
+			return nil, err
+		}
+		label = t.Text
+	}
+	props, err := p.parseOptionalProps()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(cypher.TokRParen); err != nil {
+		return nil, err
+	}
+	if name == "" {
+		name = fmt.Sprintf("__v%d", p.anon)
+		p.anon++
+	}
+	v, ok := p.db.vertices[name]
+	if !ok {
+		v = &epgm.Vertex{ID: epgm.NewID()}
+		p.db.vertices[name] = v
+		p.db.vertexSeq = append(p.db.vertexSeq, name)
+	}
+	if label != "" {
+		v.Label = label
+	}
+	for _, kv := range props {
+		v.Properties = v.Properties.Set(kv.Key, kv.Value)
+	}
+	if graph != epgm.NilID {
+		v.GraphIDs = v.GraphIDs.Add(graph)
+	}
+	return v, nil
+}
+
+// parseEdge parses `-[e:label {...}]->` or `<-[...]-` (the caller has
+// peeked the direction token) and returns the new edge with endpoints
+// unset.
+func (p *parser) parseEdge(graph epgm.ID) (*epgm.Edge, error) {
+	incoming := false
+	if _, ok := p.accept(cypher.TokLT); ok {
+		incoming = true
+	}
+	if _, err := p.expect(cypher.TokDash); err != nil {
+		return nil, err
+	}
+	label := ""
+	if _, ok := p.accept(cypher.TokLBracket); ok {
+		if _, ok := p.accept(cypher.TokIdent); ok {
+			// Edge variables are accepted but, unlike vertex variables, each
+			// mention creates a distinct edge (matching GDL's semantics for
+			// repeated parallel edges in fixtures).
+			_ = ok
+		}
+		if _, ok := p.accept(cypher.TokColon); ok {
+			t, err := p.expect(cypher.TokIdent)
+			if err != nil {
+				return nil, err
+			}
+			label = t.Text
+		}
+		props, err := p.parseOptionalProps()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(cypher.TokRBracket); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(cypher.TokDash); err != nil {
+			return nil, err
+		}
+		if !incoming {
+			if _, err := p.expect(cypher.TokGT); err != nil {
+				return nil, err
+			}
+		}
+		e := &epgm.Edge{ID: epgm.NewID(), Label: label, Properties: props}
+		if graph != epgm.NilID {
+			e.GraphIDs = e.GraphIDs.Add(graph)
+		}
+		p.db.edges = append(p.db.edges, e)
+		return e, nil
+	}
+	// Abbreviated edge: --> or <--.
+	if _, err := p.expect(cypher.TokDash); err != nil {
+		return nil, err
+	}
+	if !incoming {
+		if _, err := p.expect(cypher.TokGT); err != nil {
+			return nil, err
+		}
+	}
+	e := &epgm.Edge{ID: epgm.NewID()}
+	if graph != epgm.NilID {
+		e.GraphIDs = e.GraphIDs.Add(graph)
+	}
+	p.db.edges = append(p.db.edges, e)
+	return e, nil
+}
+
+func (p *parser) parseOptionalProps() (epgm.Properties, error) {
+	if p.peek().Kind != cypher.TokLBrace {
+		return nil, nil
+	}
+	p.advance()
+	var props epgm.Properties
+	if _, ok := p.accept(cypher.TokRBrace); ok {
+		return props, nil
+	}
+	for {
+		key, err := p.expect(cypher.TokIdent)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(cypher.TokColon); err != nil {
+			return nil, err
+		}
+		val, err := p.parseLiteral()
+		if err != nil {
+			return nil, err
+		}
+		props = props.Set(key.Text, val)
+		if _, ok := p.accept(cypher.TokComma); !ok {
+			break
+		}
+	}
+	if _, err := p.expect(cypher.TokRBrace); err != nil {
+		return nil, err
+	}
+	return props, nil
+}
+
+func (p *parser) parseLiteral() (epgm.PropertyValue, error) {
+	neg := false
+	if _, ok := p.accept(cypher.TokDash); ok {
+		neg = true
+	}
+	t := p.advance()
+	switch t.Kind {
+	case cypher.TokString:
+		if neg {
+			return epgm.Null, fmt.Errorf("gdl: offset %d: cannot negate a string", t.Pos)
+		}
+		return epgm.PVString(t.Text), nil
+	case cypher.TokInt:
+		n, err := strconv.ParseInt(t.Text, 10, 64)
+		if err != nil {
+			return epgm.Null, fmt.Errorf("gdl: offset %d: bad integer %q", t.Pos, t.Text)
+		}
+		if neg {
+			n = -n
+		}
+		return epgm.PVInt(n), nil
+	case cypher.TokFloat:
+		f, err := strconv.ParseFloat(t.Text, 64)
+		if err != nil {
+			return epgm.Null, fmt.Errorf("gdl: offset %d: bad float %q", t.Pos, t.Text)
+		}
+		if neg {
+			f = -f
+		}
+		return epgm.PVFloat(f), nil
+	case cypher.TokTrue:
+		return epgm.PVBool(true), nil
+	case cypher.TokFalse:
+		return epgm.PVBool(false), nil
+	case cypher.TokNull:
+		return epgm.Null, nil
+	default:
+		return epgm.Null, fmt.Errorf("gdl: offset %d: expected literal, found %q", t.Pos, t.Text)
+	}
+}

@@ -1,0 +1,162 @@
+package gdl
+
+import (
+	"testing"
+
+	"gradoop/internal/core"
+	"gradoop/internal/dataflow"
+)
+
+func env() *dataflow.Env { return dataflow.NewEnv(dataflow.DefaultConfig(2)) }
+
+const fixture = `
+community:Community {region: "Leipzig"} [
+    (alice:Person {name: "Alice", yob: 1984, score: 1.5, active: true})
+    (bob:Person {name: "Bob"})
+    (alice)-[:knows {since: 2014}]->(bob)
+    (bob)-[:knows]->(alice)
+]
+other [ (alice)-[:follows]->(carl:Person {name: "Carl"}) ]
+(dave:Person)-->(alice)
+`
+
+func TestParseFixture(t *testing.T) {
+	db, err := Parse(env(), fixture)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := db.GraphNames()
+	if len(names) != 2 || names[0] != "community" || names[1] != "other" {
+		t.Fatalf("graphs: %v", names)
+	}
+
+	g, ok := db.Graph("community")
+	if !ok {
+		t.Fatal("community missing")
+	}
+	if g.Head.Label != "Community" || g.Head.Properties.Get("region").Str() != "Leipzig" {
+		t.Fatalf("head: %+v", g.Head)
+	}
+	if g.VertexCount() != 2 || g.EdgeCount() != 2 {
+		t.Fatalf("community: %d vertices %d edges", g.VertexCount(), g.EdgeCount())
+	}
+
+	alice, ok := db.Vertex("alice")
+	if !ok {
+		t.Fatal("alice missing")
+	}
+	if alice.Label != "Person" || alice.Properties.Get("yob").Int() != 1984 ||
+		alice.Properties.Get("score").Float() != 1.5 || !alice.Properties.Get("active").Bool() {
+		t.Fatalf("alice: %+v", alice)
+	}
+
+	// alice is shared between community and other.
+	other, _ := db.Graph("other")
+	if other.VertexCount() != 2 {
+		t.Fatalf("other vertices: %d", other.VertexCount())
+	}
+
+	// The whole database has 4 vertices (alice, bob, carl, dave) and 4
+	// edges (2 knows, follows, anonymous).
+	whole := db.WholeGraph()
+	if whole.VertexCount() != 4 || whole.EdgeCount() != 4 {
+		t.Fatalf("whole: %d vertices %d edges", whole.VertexCount(), whole.EdgeCount())
+	}
+}
+
+func TestCollection(t *testing.T) {
+	db, err := Parse(env(), fixture)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coll := db.Collection()
+	if coll.GraphCount() != 2 {
+		t.Fatalf("collection graphs: %d", coll.GraphCount())
+	}
+	// dave belongs to no declared graph, so he is absent from the
+	// collection's membership-stamped elements... the collection still
+	// carries him in the shared dataset, but he is a member of neither
+	// graph.
+	for _, name := range db.GraphNames() {
+		g, _ := db.Graph(name)
+		for _, v := range g.Vertices.Collect() {
+			if v.Properties.Get("name").IsNull() && v.Label == "Person" && name == "community" {
+				t.Fatalf("dave leaked into %s", name)
+			}
+		}
+	}
+}
+
+func TestIncomingEdgeAndNegativeLiteral(t *testing.T) {
+	db, err := Parse(env(), `g [ (a {t: -5})<-[:x {w: -1.5}]-(b) ]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, _ := db.Graph("g")
+	edges := g.Edges.Collect()
+	if len(edges) != 1 {
+		t.Fatalf("edges: %d", len(edges))
+	}
+	a, _ := db.Vertex("a")
+	b, _ := db.Vertex("b")
+	if edges[0].Source != b.ID || edges[0].Target != a.ID {
+		t.Fatal("incoming edge direction")
+	}
+	if a.Properties.Get("t").Int() != -5 || edges[0].Properties.Get("w").Float() != -1.5 {
+		t.Fatal("negative literals")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, src := range []string{
+		`g [ (a`,
+		`g [ (a) -`,
+		`g [ (a)-[ ->(b) ]`,
+		`g [ (a {x}) ]`,
+		`g [ (a {x: }) ]`,
+		`]`,
+		`g [ (a {s: -"x"}) ]`,
+	} {
+		if _, err := Parse(env(), src); err == nil {
+			t.Errorf("Parse(%q): expected error", src)
+		}
+	}
+}
+
+func TestGDLGraphIsQueryable(t *testing.T) {
+	db, err := Parse(env(), fixture)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, _ := db.Graph("community")
+	res, err := core.Execute(g, `MATCH (a:Person)-[:knows]->(b:Person) WHERE a.name = 'Alice' RETURN b.name`, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := res.Rows()
+	if len(rows) != 1 || rows[0].Values[0].Str() != "Bob" {
+		t.Fatalf("rows: %v", rows)
+	}
+}
+
+func TestAnonymousGraph(t *testing.T) {
+	db, err := Parse(env(), `[ (x)-->(y) ] [ (y)-->(z) ]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(db.GraphNames()) != 2 {
+		t.Fatalf("graphs: %v", db.GraphNames())
+	}
+	g, ok := db.Graph(db.GraphNames()[0])
+	if !ok || g.VertexCount() != 2 {
+		t.Fatal("anonymous graph content")
+	}
+	// y is shared.
+	if _, ok := db.Vertex("y"); !ok {
+		t.Fatal("y missing")
+	}
+	whole := db.WholeGraph()
+	if whole.VertexCount() != 3 {
+		t.Fatalf("whole vertices: %d", whole.VertexCount())
+	}
+}

@@ -1,0 +1,260 @@
+// Package ldbc generates LDBC-SNB-like social network graphs. The original
+// paper evaluates on LDBC SNB datasets (scale factors 10 and 100); that
+// generator's output is not available here, so this package produces a
+// deterministic synthetic equivalent that preserves the structural
+// properties the paper relies on: power-law node degrees (knows edges and
+// message authorship concentrate on hub persons), skewed property value
+// distributions (Zipf first names driving the Figure 5 selectivity
+// experiment), reply trees of bounded depth for the variable length path
+// queries, and a scale-factor knob for the data-volume experiment
+// (Figure 4).
+package ldbc
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"gradoop/internal/dataflow"
+	"gradoop/internal/epgm"
+)
+
+// Config parameterizes a generated dataset.
+type Config struct {
+	// ScaleFactor sizes the graph; 1.0 yields roughly 1,000 persons and
+	// 10x the vertices overall. The experiments use two factors 10x apart,
+	// mirroring the paper's SF10 vs SF100.
+	ScaleFactor float64
+	// Seed makes generation deterministic.
+	Seed int64
+}
+
+// Dataset is a generated social network with its entity counts.
+type Dataset struct {
+	Graph *epgm.LogicalGraph
+
+	Persons      int
+	Cities       int
+	Universities int
+	Tags         int
+	Forums       int
+	Posts        int
+	Comments     int
+	EdgeCount    int
+
+	firstNameCounts map[string]int
+}
+
+// Generate builds the dataset. Generation is single-threaded and depends
+// only on cfg, so equal configs produce structurally identical graphs.
+func Generate(env *dataflow.Env, cfg Config) *Dataset {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	persons := int(math.Round(1000 * cfg.ScaleFactor))
+	if persons < 20 {
+		persons = 20
+	}
+	d := &Dataset{
+		Persons:         persons,
+		Cities:          clampCount(persons/100, 4, len(cityNames)),
+		Universities:    clampCount(persons/200, 3, len(universityNames)),
+		Tags:            clampCount(persons/30, 10, len(tagNames)),
+		Forums:          persons / 2,
+		Posts:           3 * persons,
+		Comments:        6 * persons,
+		firstNameCounts: map[string]int{},
+	}
+
+	var vertices []epgm.Vertex
+	var edges []epgm.Edge
+	addV := func(label string, props epgm.Properties) epgm.ID {
+		id := epgm.NewID()
+		vertices = append(vertices, epgm.Vertex{ID: id, Label: label, Properties: props})
+		return id
+	}
+	addE := func(label string, src, tgt epgm.ID, props epgm.Properties) {
+		edges = append(edges, epgm.Edge{ID: epgm.NewID(), Label: label, Source: src, Target: tgt, Properties: props})
+	}
+
+	cities := make([]epgm.ID, d.Cities)
+	for i := range cities {
+		cities[i] = addV("City", epgm.Properties{}.Set("name", epgm.PVString(cityNames[i])))
+	}
+	unis := make([]epgm.ID, d.Universities)
+	for i := range unis {
+		unis[i] = addV("University", epgm.Properties{}.Set("name", epgm.PVString(universityNames[i])))
+	}
+	tags := make([]epgm.ID, d.Tags)
+	for i := range tags {
+		tags[i] = addV("Tag", epgm.Properties{}.Set("name", epgm.PVString(tagNames[i%len(tagNames)]))) // pool is large enough
+	}
+
+	// Zipf samplers: skewed picks concentrate on low indices.
+	nameZipf := rand.NewZipf(rng, 1.2, 1, uint64(len(firstNames)-1))
+	personZipf := rand.NewZipf(rng, 1.1, 8, uint64(persons-1))
+	tagZipf := rand.NewZipf(rng, 1.2, 2, uint64(d.Tags-1))
+	cityZipf := rand.NewZipf(rng, 1.2, 1, uint64(d.Cities-1))
+	degreeZipf := rand.NewZipf(rng, 1.6, 2, 49) // power-law out-degrees, max 50
+
+	personIDs := make([]epgm.ID, persons)
+	for i := range personIDs {
+		first := firstNames[nameZipf.Uint64()]
+		d.firstNameCounts[first]++
+		gender := "male"
+		if rng.Intn(2) == 0 {
+			gender = "female"
+		}
+		personIDs[i] = addV("Person", epgm.Properties{}.
+			Set("firstName", epgm.PVString(first)).
+			Set("lastName", epgm.PVString(lastNames[rng.Intn(len(lastNames))])).
+			Set("gender", epgm.PVString(gender)).
+			Set("birthday", epgm.PVInt(int64(1950+rng.Intn(55)))))
+	}
+
+	// Person environment: city, university, interests, friendships.
+	for i, p := range personIDs {
+		addE("isLocatedIn", p, cities[cityZipf.Uint64()], nil)
+		if rng.Float64() < 0.8 {
+			addE("studyAt", p, unis[rng.Intn(len(unis))],
+				epgm.Properties{}.Set("classYear", epgm.PVInt(int64(2000+rng.Intn(20)))))
+		}
+		interests := 1 + rng.Intn(5)
+		seenTags := map[epgm.ID]bool{}
+		for k := 0; k < interests; k++ {
+			tag := tags[tagZipf.Uint64()]
+			if !seenTags[tag] {
+				seenTags[tag] = true
+				addE("hasInterest", p, tag, nil)
+			}
+		}
+		deg := 1 + int(degreeZipf.Uint64())
+		seenFriends := map[epgm.ID]bool{}
+		for k := 0; k < deg; k++ {
+			f := personIDs[personZipf.Uint64()]
+			if f != p && !seenFriends[f] {
+				seenFriends[f] = true
+				addE("knows", p, f,
+					epgm.Properties{}.Set("since", epgm.PVInt(int64(2005+rng.Intn(15)))))
+			}
+		}
+		_ = i
+	}
+
+	// Forums with a moderator and members.
+	forumIDs := make([]epgm.ID, d.Forums)
+	for i := range forumIDs {
+		forumIDs[i] = addV("Forum", epgm.Properties{}.
+			Set("title", epgm.PVString(fmt.Sprintf("Forum %d", i))))
+		addE("hasModerator", forumIDs[i], personIDs[personZipf.Uint64()], nil)
+		members := 3 + rng.Intn(10)
+		seen := map[epgm.ID]bool{}
+		for k := 0; k < members; k++ {
+			m := personIDs[personZipf.Uint64()]
+			if !seen[m] {
+				seen[m] = true
+				addE("hasMember", forumIDs[i], m, nil)
+			}
+		}
+	}
+
+	// Posts: authored by (skewed) persons, contained in forums.
+	date := int64(20200101)
+	postIDs := make([]epgm.ID, d.Posts)
+	for i := range postIDs {
+		date++
+		postIDs[i] = addV("Post", epgm.Properties{}.
+			Set("creationDate", epgm.PVInt(date)).
+			Set("content", epgm.PVString(fmt.Sprintf("post-%d", i))).
+			Set("length", epgm.PVInt(int64(10+rng.Intn(200)))))
+		addE("hasCreator", postIDs[i], personIDs[personZipf.Uint64()], nil)
+		addE("containerOf", forumIDs[rng.Intn(len(forumIDs))], postIDs[i], nil)
+	}
+
+	// Comments: reply trees rooted at posts; each comment replies to a post
+	// or to an earlier comment, so reply chains have logarithmic expected
+	// depth and respect the *1..10 bounds of queries 2 and 3.
+	commentIDs := make([]epgm.ID, 0, d.Comments)
+	for i := 0; i < d.Comments; i++ {
+		date++
+		c := addV("Comment", epgm.Properties{}.
+			Set("creationDate", epgm.PVInt(date)).
+			Set("content", epgm.PVString(fmt.Sprintf("comment-%d", i))).
+			Set("length", epgm.PVInt(int64(5+rng.Intn(100)))))
+		addE("hasCreator", c, personIDs[personZipf.Uint64()], nil)
+		if len(commentIDs) == 0 || rng.Float64() < 0.45 {
+			addE("replyOf", c, postIDs[rng.Intn(len(postIDs))], nil)
+		} else {
+			addE("replyOf", c, commentIDs[rng.Intn(len(commentIDs))], nil)
+		}
+		commentIDs = append(commentIDs, c)
+	}
+
+	d.EdgeCount = len(edges)
+	d.Graph = epgm.GraphFromSlices(env, "LDBC-SNB-sim", vertices, edges)
+	return d
+}
+
+func clampCount(n, lo, hi int) int {
+	if n < lo {
+		return lo
+	}
+	if n > hi {
+		return hi
+	}
+	return n
+}
+
+// FirstNamesBySelectivity returns three first names whose frequencies in
+// the generated population are high, medium and low — the paper's "low",
+// "medium" and "high selectivity" parameters for queries 1–3 (note the
+// inversion: a very common name has LOW predicate selectivity and yields a
+// large result).
+func (d *Dataset) FirstNamesBySelectivity() (common, medium, rare string) {
+	type nc struct {
+		name  string
+		count int
+	}
+	var counts []nc
+	for n, c := range d.firstNameCounts {
+		counts = append(counts, nc{n, c})
+	}
+	sort.Slice(counts, func(i, j int) bool {
+		if counts[i].count != counts[j].count {
+			return counts[i].count > counts[j].count
+		}
+		return counts[i].name < counts[j].name
+	})
+	if len(counts) == 0 {
+		return "", "", ""
+	}
+	common = counts[0].name
+	rare = counts[len(counts)-1].name
+	// Medium sits between the extremes like the paper's medium-selectivity
+	// parameters: a name carried by roughly 1/15 of the most common name's
+	// population.
+	target := counts[0].count / 15
+	if target < 2 {
+		target = 2
+	}
+	medium = counts[len(counts)/2].name
+	bestDiff := int(^uint(0) >> 1)
+	for _, c := range counts[1 : len(counts)-1] {
+		diff := c.count - target
+		if diff < 0 {
+			diff = -diff
+		}
+		if diff < bestDiff {
+			bestDiff = diff
+			medium = c.name
+		}
+	}
+	return common, medium, rare
+}
+
+// FirstNameCount reports how many persons carry the given first name.
+func (d *Dataset) FirstNameCount(name string) int { return d.firstNameCounts[name] }
+
+// VertexCount returns the generated vertex total.
+func (d *Dataset) VertexCount() int {
+	return d.Persons + d.Cities + d.Universities + d.Tags + d.Forums + d.Posts + d.Comments
+}

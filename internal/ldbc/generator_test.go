@@ -1,0 +1,177 @@
+package ldbc
+
+import (
+	"sort"
+	"testing"
+
+	"gradoop/internal/dataflow"
+	"gradoop/internal/epgm"
+)
+
+func gen(t *testing.T, sf float64, seed int64) *Dataset {
+	t.Helper()
+	env := dataflow.NewEnv(dataflow.DefaultConfig(4))
+	return Generate(env, Config{ScaleFactor: sf, Seed: seed})
+}
+
+func TestGenerateCounts(t *testing.T) {
+	d := gen(t, 0.1, 7)
+	if d.Persons != 100 {
+		t.Fatalf("persons=%d", d.Persons)
+	}
+	if got := int(d.Graph.VertexCount()); got != d.VertexCount() {
+		t.Fatalf("vertex count mismatch: graph=%d expected=%d", got, d.VertexCount())
+	}
+	if got := int(d.Graph.EdgeCount()); got != d.EdgeCount {
+		t.Fatalf("edge count mismatch: %d vs %d", got, d.EdgeCount)
+	}
+	if d.Posts != 300 || d.Comments != 600 || d.Forums != 50 {
+		t.Fatalf("entity counts: %+v", d)
+	}
+}
+
+func TestGenerateScalesLinearly(t *testing.T) {
+	small := gen(t, 0.05, 1)
+	big := gen(t, 0.5, 1)
+	ratio := float64(big.Graph.VertexCount()) / float64(small.Graph.VertexCount())
+	if ratio < 7 || ratio > 13 {
+		t.Fatalf("10x scale factor gave %.1fx vertices", ratio)
+	}
+}
+
+func TestGenerateDeterministicStructure(t *testing.T) {
+	a := gen(t, 0.05, 42)
+	b := gen(t, 0.05, 42)
+	if a.EdgeCount != b.EdgeCount {
+		t.Fatalf("edge counts differ: %d vs %d", a.EdgeCount, b.EdgeCount)
+	}
+	// Same label histograms.
+	hist := func(d *Dataset) map[string]int {
+		h := map[string]int{}
+		for _, v := range d.Graph.Vertices.Collect() {
+			h[v.Label]++
+		}
+		for _, e := range d.Graph.Edges.Collect() {
+			h[e.Label]++
+		}
+		return h
+	}
+	ha, hb := hist(a), hist(b)
+	for k, v := range ha {
+		if hb[k] != v {
+			t.Fatalf("label %s: %d vs %d", k, v, hb[k])
+		}
+	}
+	// Same first-name distribution.
+	ca, _, ra := a.FirstNamesBySelectivity()
+	cb, _, rb := b.FirstNamesBySelectivity()
+	if ca != cb || ra != rb {
+		t.Fatalf("selectivity names differ: %s/%s vs %s/%s", ca, ra, cb, rb)
+	}
+}
+
+func TestFirstNameZipfSkew(t *testing.T) {
+	d := gen(t, 0.5, 3)
+	common, medium, rare := d.FirstNamesBySelectivity()
+	cc, mc, rc := d.FirstNameCount(common), d.FirstNameCount(medium), d.FirstNameCount(rare)
+	if !(cc > mc && mc >= rc && rc >= 1) {
+		t.Fatalf("selectivity ordering broken: %s=%d %s=%d %s=%d", common, cc, medium, mc, rare, rc)
+	}
+	// The head of the Zipf must dominate: most common name covers >10% of
+	// persons.
+	if float64(cc) < 0.1*float64(d.Persons) {
+		t.Fatalf("distribution not skewed: top name %d of %d", cc, d.Persons)
+	}
+}
+
+func TestKnowsDegreePowerLaw(t *testing.T) {
+	d := gen(t, 0.5, 5)
+	out := map[epgm.ID]int{}
+	for _, e := range d.Graph.Edges.Collect() {
+		if e.Label == "knows" {
+			out[e.Source]++
+		}
+	}
+	var degs []int
+	for _, n := range out {
+		degs = append(degs, n)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(degs)))
+	if len(degs) == 0 {
+		t.Fatal("no knows edges")
+	}
+	// Power law: the maximum degree should far exceed the median.
+	med := degs[len(degs)/2]
+	if degs[0] < 4*med {
+		t.Fatalf("degree distribution too flat: max=%d median=%d", degs[0], med)
+	}
+}
+
+func TestReplyTreesBounded(t *testing.T) {
+	d := gen(t, 0.1, 9)
+	// replyOf edges must point from Comment to Post or Comment and be
+	// acyclic (later comment -> earlier message).
+	labels := map[epgm.ID]string{}
+	for _, v := range d.Graph.Vertices.Collect() {
+		labels[v.ID] = v.Label
+	}
+	parent := map[epgm.ID]epgm.ID{}
+	for _, e := range d.Graph.Edges.Collect() {
+		if e.Label != "replyOf" {
+			continue
+		}
+		if labels[e.Source] != "Comment" {
+			t.Fatalf("replyOf source is %s", labels[e.Source])
+		}
+		if l := labels[e.Target]; l != "Post" && l != "Comment" {
+			t.Fatalf("replyOf target is %s", l)
+		}
+		if e.Target >= e.Source {
+			t.Fatalf("replyOf not pointing backwards: %d -> %d", e.Source, e.Target)
+		}
+		parent[e.Source] = e.Target
+	}
+	// Follow chains to their root posts; they must terminate.
+	maxDepth := 0
+	for c := range parent {
+		depth := 0
+		for cur := c; ; depth++ {
+			next, ok := parent[cur]
+			if !ok {
+				break
+			}
+			cur = next
+			if depth > 10000 {
+				t.Fatal("reply cycle")
+			}
+		}
+		if depth > maxDepth {
+			maxDepth = depth
+		}
+	}
+	if maxDepth < 2 {
+		t.Fatalf("reply trees too shallow: max depth %d", maxDepth)
+	}
+}
+
+func TestSchemaCoversPaperQueries(t *testing.T) {
+	d := gen(t, 0.05, 11)
+	vlabels := map[string]bool{}
+	elabels := map[string]bool{}
+	for _, v := range d.Graph.Vertices.Collect() {
+		vlabels[v.Label] = true
+	}
+	for _, e := range d.Graph.Edges.Collect() {
+		elabels[e.Label] = true
+	}
+	for _, l := range []string{"Person", "Comment", "Post", "Forum", "Tag", "University", "City"} {
+		if !vlabels[l] {
+			t.Fatalf("missing vertex label %s", l)
+		}
+	}
+	for _, l := range []string{"hasCreator", "replyOf", "knows", "hasInterest", "studyAt", "isLocatedIn", "hasMember", "hasModerator"} {
+		if !elabels[l] {
+			t.Fatalf("missing edge label %s", l)
+		}
+	}
+}

@@ -1,0 +1,52 @@
+package ldbc
+
+// firstNames is the pool of person first names. The generator draws from it
+// with a Zipf distribution, so low ranks are very common and high ranks very
+// rare — mirroring the skewed property value distributions of the LDBC SNB
+// generator that the paper's selectivity experiment (Figure 5) exploits.
+var firstNames = []string{
+	"Jan", "Chen", "Maria", "Jun", "Ali", "Ivan", "Anna", "Lei", "John", "Yang",
+	"Jose", "Wei", "Ana", "Amit", "Hans", "Olga", "Ken", "Li", "Carlos", "Mia",
+	"Omar", "Lin", "Peter", "Sara", "Raj", "Eva", "Tom", "Hui", "Luis", "Nina",
+	"Karl", "Ying", "Pablo", "Lena", "Igor", "Ming", "David", "Rosa", "Abdul", "Mei",
+	"Erik", "Tanya", "Ahmed", "Julia", "Bob", "Xiao", "Marco", "Ines", "Viktor", "Lan",
+	"Paul", "Vera", "Diego", "Ella", "Mohamed", "Ruth", "Andre", "Zara", "Felix", "Noor",
+	"Oscar", "Ida", "Hugo", "Lea", "Ravi", "Emma", "Sven", "Alia", "Nils", "Sofia",
+	"Timo", "Rana", "Lars", "Dana", "Otto", "Cleo", "Finn", "Juno", "Axel", "Wanda",
+	"Bruno", "Edith", "Casper", "Freya", "Dario", "Greta", "Elias", "Hilda", "Fabio", "Iris",
+	"Gustav", "Jade", "Henrik", "Kira", "Iker", "Luna", "Jonas", "Mara", "Klaus", "Nela",
+	"Leon", "Odessa", "Matti", "Petra", "Nico", "Queenie", "Olav", "Rhea", "Pietro", "Selma",
+	"Quentin", "Thea", "Rolf", "Uma", "Stefan", "Vilma", "Tariq", "Willa", "Ulrich", "Xenia",
+	"Vito", "Yvette", "Wim", "Zelda", "Xavier", "Abril", "Yusuf", "Beate", "Zeno", "Cilla",
+	"Arvid", "Delia", "Bernd", "Elva", "Corin", "Fanny", "Dustin", "Gilda", "Edgar", "Hedda",
+	"Frode", "Ilse", "Gideon", "Jorun", "Harald", "Katja", "Imre", "Lotte", "Jens", "Minna",
+}
+
+// lastNames is the pool of person last names (uniformly distributed).
+var lastNames = []string{
+	"Smith", "Mueller", "Zhang", "Garcia", "Kumar", "Petrov", "Sato", "Silva",
+	"Nguyen", "Kim", "Hansen", "Rossi", "Novak", "Khan", "Berg", "Costa",
+	"Weber", "Lindqvist", "Moreau", "Okafor", "Tanaka", "Varga", "Wolf", "Yilmaz",
+}
+
+// tagNames seeds the topic tags persons have interests in.
+var tagNames = []string{
+	"Metal", "Jazz", "Hiking", "Chess", "Football", "Cooking", "Photography",
+	"Databases", "Graphs", "Streaming", "Cycling", "Travel", "Movies", "Opera",
+	"Poetry", "Robotics", "Sailing", "Skiing", "Tennis", "Whisky", "Yoga", "Zen",
+	"History", "Physics", "Painting", "Gardening", "Running", "Baking", "Birding",
+	"Climbing", "Dancing", "Fishing",
+}
+
+// cityNames seeds the places persons live in.
+var cityNames = []string{
+	"Leipzig", "Dresden", "Berlin", "Hamburg", "Munich", "Cologne", "Frankfurt",
+	"Stuttgart", "Halle", "Erfurt", "Jena", "Chemnitz", "Magdeburg", "Potsdam",
+	"Rostock", "Kiel",
+}
+
+// universityNames seeds the universities persons study at.
+var universityNames = []string{
+	"Uni Leipzig", "TU Dresden", "HU Berlin", "Uni Hamburg", "LMU Munich",
+	"Uni Cologne", "Goethe Uni", "Uni Stuttgart", "MLU Halle", "Uni Erfurt",
+}

@@ -1,0 +1,155 @@
+package operators
+
+import (
+	"fmt"
+	"strings"
+
+	"gradoop/internal/cypher"
+	"gradoop/internal/dataflow"
+	"gradoop/internal/embedding"
+	"gradoop/internal/epgm"
+)
+
+// FilterAndProjectVertices is the leaf operator for a query vertex: in one
+// FlatMap it selects vertices satisfying the element-centric predicates,
+// projects the property keys required downstream and transforms each
+// survivor into a single-column embedding (§3.1's fused
+// Select→Project→Transform).
+type FilterAndProjectVertices struct {
+	In     *dataflow.Dataset[epgm.Vertex]
+	Vertex *cypher.QueryVertex
+
+	meta *embedding.Meta
+}
+
+// NewFilterAndProjectVertices builds the leaf and its output metadata.
+func NewFilterAndProjectVertices(in *dataflow.Dataset[epgm.Vertex], qv *cypher.QueryVertex) *FilterAndProjectVertices {
+	meta := embedding.NewMeta()
+	meta.AddEntry(qv.Var, embedding.VertexEntry)
+	for _, key := range qv.Projection {
+		meta.AddProp(qv.Var, key)
+	}
+	return &FilterAndProjectVertices{In: in, Vertex: qv, meta: meta}
+}
+
+// Meta implements Operator.
+func (op *FilterAndProjectVertices) Meta() *embedding.Meta { return op.meta }
+
+// Children implements Operator.
+func (op *FilterAndProjectVertices) Children() []Operator { return nil }
+
+// Description implements Operator.
+func (op *FilterAndProjectVertices) Description() string {
+	return fmt.Sprintf("FilterAndProjectVertices(%s%s, preds=%d)",
+		op.Vertex.Var, labelSuffix(op.Vertex.Labels), len(op.Vertex.Predicates))
+}
+
+// Evaluate implements Operator.
+func (op *FilterAndProjectVertices) Evaluate() *dataflow.Dataset[embedding.Embedding] {
+	qv := op.Vertex
+	return dataflow.FlatMap(op.In, func(v epgm.Vertex, emit func(embedding.Embedding)) {
+		if !cypher.MatchesLabel(v.Label, qv.Labels) {
+			return
+		}
+		if !cypher.EvalElement(qv.Predicates, qv.Var, v.Properties) {
+			return
+		}
+		var e embedding.Embedding
+		e = e.AppendID(v.ID)
+		if len(qv.Projection) > 0 {
+			values := make([]epgm.PropertyValue, len(qv.Projection))
+			for i, key := range qv.Projection {
+				values[i] = v.Properties.Get(key)
+			}
+			e = e.AppendProps(values...)
+		}
+		emit(e)
+	})
+}
+
+// FilterAndProjectEdges is the leaf operator for a simple (1-hop) query
+// edge. It emits three-column embeddings [source, edge, target]; undirected
+// query edges additionally emit the reversed orientation, and loop query
+// edges ((a)-[e]->(a)) emit two columns after checking source = target.
+type FilterAndProjectEdges struct {
+	In   *dataflow.Dataset[epgm.Edge]
+	Edge *cypher.QueryEdge
+
+	meta *embedding.Meta
+	loop bool
+}
+
+// NewFilterAndProjectEdges builds the leaf and its output metadata.
+func NewFilterAndProjectEdges(in *dataflow.Dataset[epgm.Edge], qe *cypher.QueryEdge) *FilterAndProjectEdges {
+	meta := embedding.NewMeta()
+	loop := qe.Source == qe.Target
+	meta.AddEntry(qe.Source, embedding.VertexEntry)
+	meta.AddEntry(qe.Var, embedding.EdgeEntry)
+	if !loop {
+		meta.AddEntry(qe.Target, embedding.VertexEntry)
+	}
+	for _, key := range qe.Projection {
+		meta.AddProp(qe.Var, key)
+	}
+	return &FilterAndProjectEdges{In: in, Edge: qe, meta: meta, loop: loop}
+}
+
+// Meta implements Operator.
+func (op *FilterAndProjectEdges) Meta() *embedding.Meta { return op.meta }
+
+// Children implements Operator.
+func (op *FilterAndProjectEdges) Children() []Operator { return nil }
+
+// Description implements Operator.
+func (op *FilterAndProjectEdges) Description() string {
+	dir := "->"
+	if op.Edge.Undirected {
+		dir = "--"
+	}
+	return fmt.Sprintf("FilterAndProjectEdges((%s)-[%s%s]%s(%s), preds=%d)",
+		op.Edge.Source, op.Edge.Var, labelSuffix(op.Edge.Types), dir, op.Edge.Target, len(op.Edge.Predicates))
+}
+
+// Evaluate implements Operator.
+func (op *FilterAndProjectEdges) Evaluate() *dataflow.Dataset[embedding.Embedding] {
+	qe := op.Edge
+	loop := op.loop
+	return dataflow.FlatMap(op.In, func(de epgm.Edge, emit func(embedding.Embedding)) {
+		if !cypher.MatchesLabel(de.Label, qe.Types) {
+			return
+		}
+		if !cypher.EvalElement(qe.Predicates, qe.Var, de.Properties) {
+			return
+		}
+		if loop && de.Source != de.Target {
+			return
+		}
+		build := func(src, tgt epgm.ID) {
+			var e embedding.Embedding
+			e = e.AppendID(src)
+			e = e.AppendID(de.ID)
+			if !loop {
+				e = e.AppendID(tgt)
+			}
+			if len(qe.Projection) > 0 {
+				values := make([]epgm.PropertyValue, len(qe.Projection))
+				for i, key := range qe.Projection {
+					values[i] = de.Properties.Get(key)
+				}
+				e = e.AppendProps(values...)
+			}
+			emit(e)
+		}
+		build(de.Source, de.Target)
+		if qe.Undirected && de.Source != de.Target {
+			build(de.Target, de.Source)
+		}
+	})
+}
+
+func labelSuffix(labels []string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	return ":" + strings.Join(labels, "|")
+}

@@ -1,0 +1,125 @@
+// Package operators implements the physical query operators of §3.1. Every
+// operator consumes and produces dataflow datasets of embeddings and carries
+// the embedding metadata describing its output columns. The planner
+// assembles operators into a tree; Evaluate walks the tree bottom-up.
+package operators
+
+import (
+	"gradoop/internal/dataflow"
+	"gradoop/internal/embedding"
+	"gradoop/internal/epgm"
+)
+
+// Semantics selects homomorphism or isomorphism for one element kind
+// (§2.2/§2.3: unlike Neo4j, the caller chooses both independently).
+type Semantics int
+
+// Matching semantics.
+const (
+	Homomorphism Semantics = iota
+	Isomorphism
+)
+
+// String returns "HOMO" or "ISO".
+func (s Semantics) String() string {
+	if s == Isomorphism {
+		return "ISO"
+	}
+	return "HOMO"
+}
+
+// Morphism bundles the vertex and edge semantics of one query execution.
+type Morphism struct {
+	Vertex Semantics
+	Edge   Semantics
+}
+
+// Operator is one node of a physical query plan.
+type Operator interface {
+	// Evaluate executes the subtree and returns its embeddings.
+	Evaluate() *dataflow.Dataset[embedding.Embedding]
+	// Meta describes the embedding columns Evaluate produces.
+	Meta() *embedding.Meta
+	// Description names the operator and its parameters for EXPLAIN output.
+	Description() string
+	// Children returns the operator's inputs.
+	Children() []Operator
+}
+
+// vertexIDs collects the data-vertex identifiers bound by an embedding:
+// every vertex column plus the interior vertices of every path column
+// (odd positions of the alternating edge/vertex id list).
+func vertexIDs(e embedding.Embedding, meta *embedding.Meta) []epgm.ID {
+	var out []epgm.ID
+	for c := 0; c < meta.Columns(); c++ {
+		if e.IsNullAt(c) {
+			continue
+		}
+		switch meta.Kind(c) {
+		case embedding.VertexEntry:
+			out = append(out, e.ID(c))
+		case embedding.PathEntry:
+			path := e.Path(c)
+			for i := 1; i < len(path); i += 2 {
+				out = append(out, path[i])
+			}
+		}
+	}
+	return out
+}
+
+// edgeIDs collects the data-edge identifiers bound by an embedding: every
+// edge column plus the edges of every path column (even positions).
+func edgeIDs(e embedding.Embedding, meta *embedding.Meta) []epgm.ID {
+	var out []epgm.ID
+	for c := 0; c < meta.Columns(); c++ {
+		if e.IsNullAt(c) {
+			continue
+		}
+		switch meta.Kind(c) {
+		case embedding.EdgeEntry:
+			out = append(out, e.ID(c))
+		case embedding.PathEntry:
+			path := e.Path(c)
+			for i := 0; i < len(path); i += 2 {
+				out = append(out, path[i])
+			}
+		}
+	}
+	return out
+}
+
+func allDistinct(ids []epgm.ID) bool {
+	seen := make(map[epgm.ID]struct{}, len(ids))
+	for _, id := range ids {
+		if _, ok := seen[id]; ok {
+			return false
+		}
+		seen[id] = struct{}{}
+	}
+	return true
+}
+
+// ValidMorphism checks an embedding against the configured semantics:
+// isomorphic vertices require all bound vertex ids to be pairwise distinct,
+// isomorphic edges likewise for edge ids. Homomorphism imposes nothing.
+func ValidMorphism(e embedding.Embedding, meta *embedding.Meta, m Morphism) bool {
+	if m.Vertex == Isomorphism && !allDistinct(vertexIDs(e, meta)) {
+		return false
+	}
+	if m.Edge == Isomorphism && !allDistinct(edgeIDs(e, meta)) {
+		return false
+	}
+	return true
+}
+
+// embeddingLookup builds a cypher predicate Lookup over an embedding's
+// property columns.
+func embeddingLookup(e embedding.Embedding, meta *embedding.Meta) func(variable, key string) epgm.PropertyValue {
+	return func(variable, key string) epgm.PropertyValue {
+		if col, ok := meta.PropColumn(variable, key); ok {
+			return e.Prop(col)
+		}
+		return epgm.Null
+	}
+}

@@ -1,0 +1,242 @@
+// Package csv implements a Gradoop-style CSV data source and sink for
+// logical graphs: a directory holding graphs.csv, vertices.csv, edges.csv
+// and a metadata.csv describing the property keys and types per label
+// (§2.4/§4's "Gradoop-specific CSV format").
+//
+// Line formats (fields separated by ';', property values by '|'):
+//
+//	graphs.csv:   id;label;v1|v2|...
+//	vertices.csv: id;[g1,g2,...];label;v1|v2|...
+//	edges.csv:    id;[g1,g2,...];sourceId;targetId;label;v1|v2|...
+//	metadata.csv: kind;label;key1:type1,key2:type2,...
+//
+// kind is g, v or e. Values are encoded per the metadata's key order; an
+// empty field is a null (absent) value.
+package csv
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"gradoop/internal/epgm"
+)
+
+// File names within a dataset directory.
+const (
+	MetadataFile = "metadata.csv"
+	GraphsFile   = "graphs.csv"
+	VerticesFile = "vertices.csv"
+	EdgesFile    = "edges.csv"
+)
+
+// escape protects the structural characters of the format.
+func escape(s string) string {
+	var sb strings.Builder
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; c {
+		case '\\':
+			sb.WriteString(`\\`)
+		case ';':
+			sb.WriteString(`\s`)
+		case '|':
+			sb.WriteString(`\p`)
+		case ',':
+			sb.WriteString(`\c`)
+		case '\n':
+			sb.WriteString(`\n`)
+		default:
+			sb.WriteByte(c)
+		}
+	}
+	return sb.String()
+}
+
+func unescape(s string) (string, error) {
+	if !strings.ContainsRune(s, '\\') {
+		return s, nil
+	}
+	var sb strings.Builder
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c != '\\' {
+			sb.WriteByte(c)
+			continue
+		}
+		i++
+		if i >= len(s) {
+			return "", fmt.Errorf("csv: dangling escape in %q", s)
+		}
+		switch s[i] {
+		case '\\':
+			sb.WriteByte('\\')
+		case 's':
+			sb.WriteByte(';')
+		case 'p':
+			sb.WriteByte('|')
+		case 'c':
+			sb.WriteByte(',')
+		case 'n':
+			sb.WriteByte('\n')
+		default:
+			return "", fmt.Errorf("csv: unknown escape \\%c in %q", s[i], s)
+		}
+	}
+	return sb.String(), nil
+}
+
+// splitUnescaped splits s on sep, honoring backslash escapes.
+func splitUnescaped(s string, sep byte) []string {
+	var parts []string
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			i++
+		case sep:
+			parts = append(parts, s[start:i])
+			start = i + 1
+		}
+	}
+	return append(parts, s[start:])
+}
+
+// typeName maps a property type to its metadata name.
+func typeName(t epgm.PropertyType) string {
+	switch t {
+	case epgm.TypeBool:
+		return "boolean"
+	case epgm.TypeInt64:
+		return "long"
+	case epgm.TypeFloat64:
+		return "double"
+	case epgm.TypeString:
+		return "string"
+	default:
+		return "null"
+	}
+}
+
+// emptyStringField marks an empty string value, distinguishing it from a
+// null (absent) value, which encodes as the empty field. A literal "\e"
+// never collides: escape() turns a real backslash into "\\".
+const emptyStringField = `\e`
+
+func encodeValue(v epgm.PropertyValue) string {
+	if v.IsNull() {
+		return ""
+	}
+	if v.Type() == epgm.TypeString && v.Str() == "" {
+		return emptyStringField
+	}
+	return escape(v.String())
+}
+
+func decodeValue(s, typ string) (epgm.PropertyValue, error) {
+	if s == "" {
+		return epgm.Null, nil
+	}
+	if s == emptyStringField && typ == "string" {
+		return epgm.PVString(""), nil
+	}
+	raw, err := unescape(s)
+	if err != nil {
+		return epgm.Null, err
+	}
+	switch typ {
+	case "boolean":
+		b, err := strconv.ParseBool(raw)
+		if err != nil {
+			return epgm.Null, fmt.Errorf("csv: bad boolean %q: %v", raw, err)
+		}
+		return epgm.PVBool(b), nil
+	case "long":
+		n, err := strconv.ParseInt(raw, 10, 64)
+		if err != nil {
+			return epgm.Null, fmt.Errorf("csv: bad long %q: %v", raw, err)
+		}
+		return epgm.PVInt(n), nil
+	case "double":
+		f, err := strconv.ParseFloat(raw, 64)
+		if err != nil {
+			return epgm.Null, fmt.Errorf("csv: bad double %q: %v", raw, err)
+		}
+		return epgm.PVFloat(f), nil
+	case "string":
+		return epgm.PVString(raw), nil
+	default:
+		return epgm.Null, fmt.Errorf("csv: unknown property type %q", typ)
+	}
+}
+
+// metadata records per (kind, label) the ordered property keys and types.
+type metadata struct {
+	keys  map[string][]string // kind+label -> keys
+	types map[string][]string // kind+label -> types
+}
+
+func newMetadata() *metadata {
+	return &metadata{keys: map[string][]string{}, types: map[string][]string{}}
+}
+
+func metaKey(kind, label string) string { return kind + "\x00" + label }
+
+func (m *metadata) observe(kind, label string, props epgm.Properties) {
+	k := metaKey(kind, label)
+	keys := m.keys[k]
+	types := m.types[k]
+	for _, p := range props {
+		if p.Value.IsNull() {
+			continue
+		}
+		found := false
+		for i, existing := range keys {
+			if existing == p.Key {
+				found = true
+				if types[i] == "null" {
+					types[i] = typeName(p.Value.Type())
+				}
+				break
+			}
+		}
+		if !found {
+			keys = append(keys, p.Key)
+			types = append(types, typeName(p.Value.Type()))
+		}
+	}
+	m.keys[k] = keys
+	m.types[k] = types
+}
+
+func (m *metadata) encodeProps(kind, label string, props epgm.Properties) string {
+	k := metaKey(kind, label)
+	keys := m.keys[k]
+	fields := make([]string, len(keys))
+	for i, key := range keys {
+		fields[i] = encodeValue(props.Get(key))
+	}
+	return strings.Join(fields, "|")
+}
+
+func (m *metadata) decodeProps(kind, label, field string) (epgm.Properties, error) {
+	k := metaKey(kind, label)
+	keys := m.keys[k]
+	if len(keys) == 0 || field == "" {
+		return nil, nil
+	}
+	parts := splitUnescaped(field, '|')
+	var props epgm.Properties
+	for i, key := range keys {
+		if i >= len(parts) {
+			break
+		}
+		v, err := decodeValue(parts[i], m.types[k][i])
+		if err != nil {
+			return nil, fmt.Errorf("csv: label %s key %s: %v", label, key, err)
+		}
+		if !v.IsNull() {
+			props = props.Set(key, v)
+		}
+	}
+	return props, nil
+}

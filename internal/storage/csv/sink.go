@@ -1,0 +1,110 @@
+package csv
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"gradoop/internal/epgm"
+)
+
+// WriteLogicalGraph writes a logical graph into dir (created if needed) in
+// the Gradoop CSV format.
+func WriteLogicalGraph(g *epgm.LogicalGraph, dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("csv: create dataset dir: %w", err)
+	}
+	vertices := g.Vertices.Collect()
+	edges := g.Edges.Collect()
+
+	meta := newMetadata()
+	meta.observe("g", g.Head.Label, g.Head.Properties)
+	for _, v := range vertices {
+		meta.observe("v", v.Label, v.Properties)
+	}
+	for _, e := range edges {
+		meta.observe("e", e.Label, e.Properties)
+	}
+	if err := writeMetadata(meta, filepath.Join(dir, MetadataFile)); err != nil {
+		return err
+	}
+
+	if err := writeLines(filepath.Join(dir, GraphsFile), func(w *bufio.Writer) error {
+		_, err := fmt.Fprintf(w, "%d;%s;%s\n", g.Head.ID, escape(g.Head.Label),
+			meta.encodeProps("g", g.Head.Label, g.Head.Properties))
+		return err
+	}); err != nil {
+		return err
+	}
+
+	if err := writeLines(filepath.Join(dir, VerticesFile), func(w *bufio.Writer) error {
+		for _, v := range vertices {
+			if _, err := fmt.Fprintf(w, "%d;%s;%s;%s\n", v.ID, idSet(v.GraphIDs), escape(v.Label),
+				meta.encodeProps("v", v.Label, v.Properties)); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+
+	return writeLines(filepath.Join(dir, EdgesFile), func(w *bufio.Writer) error {
+		for _, e := range edges {
+			if _, err := fmt.Fprintf(w, "%d;%s;%d;%d;%s;%s\n", e.ID, idSet(e.GraphIDs), e.Source, e.Target,
+				escape(e.Label), meta.encodeProps("e", e.Label, e.Properties)); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+func idSet(ids epgm.IDSet) string {
+	parts := make([]string, len(ids))
+	for i, id := range ids {
+		parts[i] = id.String()
+	}
+	return "[" + strings.Join(parts, ",") + "]"
+}
+
+func writeLines(path string, fill func(*bufio.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("csv: %w", err)
+	}
+	w := bufio.NewWriter(f)
+	if err := fill(w); err != nil {
+		f.Close()
+		return fmt.Errorf("csv: write %s: %w", path, err)
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return fmt.Errorf("csv: flush %s: %w", path, err)
+	}
+	return f.Close()
+}
+
+func writeMetadata(meta *metadata, path string) error {
+	return writeLines(path, func(w *bufio.Writer) error {
+		var keys []string
+		for k := range meta.keys {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			kind, label, _ := strings.Cut(k, "\x00")
+			cols := make([]string, len(meta.keys[k]))
+			for i, key := range meta.keys[k] {
+				cols[i] = escape(key) + ":" + meta.types[k][i]
+			}
+			if _, err := fmt.Fprintf(w, "%s;%s;%s\n", kind, escape(label), strings.Join(cols, ",")); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
