@@ -1,0 +1,32 @@
+# Build/verify entry points. `make check` is the CI gate: vet plus the full
+# test suite under the race detector — load-bearing, because runParts spawns
+# one goroutine per partition and the fault-tolerance layer (panic
+# containment, cancellation polling, retry loops) is concurrent by design.
+
+GO ?= go
+
+.PHONY: all build test vet race check bench clean
+
+all: check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+check: build vet race
+
+# Regenerate the paper's evaluation tables plus the recovery-overhead
+# experiment (runtime vs injected worker failures).
+bench:
+	$(GO) run ./cmd/bench -exp all
+
+clean:
+	$(GO) clean ./...

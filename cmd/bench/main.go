@@ -19,7 +19,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: figure3|figure4|figure5|table3|table4|cards|extended|all")
+	exp := flag.String("exp", "all", "experiment: figure3|figure4|figure5|table3|table4|cards|extended|recovery|all")
 	sfSmall := flag.Float64("sf-small", 0.1, "small scale factor (the paper's SF10 stand-in)")
 	sfLarge := flag.Float64("sf-large", 1.0, "large scale factor (the paper's SF100 stand-in)")
 	seed := flag.Int64("seed", 2017, "generator seed")
@@ -38,8 +38,9 @@ func main() {
 		"table4":   func() error { return benchkit.Table4(r, os.Stdout) },
 		"cards":    func() error { return benchkit.Cardinalities(r, os.Stdout) },
 		"extended": func() error { return benchkit.Extended(r, os.Stdout) },
+		"recovery": func() error { return benchkit.Recovery(r, os.Stdout) },
 	}
-	order := []string{"figure3", "figure4", "figure5", "table3", "table4", "cards", "extended"}
+	order := []string{"figure3", "figure4", "figure5", "table3", "table4", "cards", "extended", "recovery"}
 
 	run := func(name string) {
 		fn, ok := experiments[name]

@@ -72,6 +72,7 @@ func main() {
 	explain := flag.Bool("explain", false, "print the query plan")
 	countOnly := flag.Bool("count", false, "print only the match count")
 	maxRows := flag.Int("max-rows", 100, "print at most this many rows")
+	timeout := flag.Duration("timeout", 0, "abort a query after this duration (e.g. 5s; 0 = no limit)")
 	params := paramFlags{}
 	flag.Var(params, "param", "query parameter name=value (repeatable)")
 	flag.Parse()
@@ -105,7 +106,9 @@ func main() {
 	runQuery := func(q string) {
 		env.ResetMetrics()
 		start := time.Now()
-		res, err := core.Execute(g, q, core.Config{Vertex: vs, Edge: es, Params: params, Stats: st})
+		res, err := core.Execute(g, q, core.Config{
+			Vertex: vs, Edge: es, Params: params, Stats: st, Timeout: *timeout,
+		})
 		if err != nil {
 			if *interactive {
 				fmt.Fprintf(os.Stderr, "cypher: %v\n", err)

@@ -1,6 +1,9 @@
 package gradoop
 
 import (
+	"context"
+	"time"
+
 	"gradoop/internal/core"
 	"gradoop/internal/dataflow"
 	"gradoop/internal/epgm"
@@ -60,6 +63,21 @@ func WithIndex(idx *GraphIndex) QueryOption {
 // input instead of repartitioning both.
 func WithBroadcastJoin() QueryOption {
 	return func(q *queryConfig) { q.cfg.Hint = dataflow.BroadcastLeft }
+}
+
+// WithTimeout aborts query execution after d: the dataflow job is
+// cancelled mid-stage (a runaway variable-length expansion or cartesian
+// join stops within milliseconds) and the query returns
+// context.DeadlineExceeded. Partial metrics remain readable on the graph's
+// environment.
+func WithTimeout(d time.Duration) QueryOption {
+	return func(q *queryConfig) { q.cfg.Timeout = d }
+}
+
+// WithContext cancels query execution when ctx is done. It composes with
+// WithTimeout: whichever fires first cancels the job.
+func WithContext(ctx context.Context) QueryOption {
+	return func(q *queryConfig) { q.cfg.Context = ctx }
 }
 
 // WithoutSubqueryReuse disables recurring-subquery leaf sharing: by default,

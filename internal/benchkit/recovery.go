@@ -1,0 +1,121 @@
+package benchkit
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"gradoop/internal/core"
+	"gradoop/internal/dataflow"
+	"gradoop/internal/epgm"
+	"gradoop/internal/ldbc"
+	"gradoop/internal/stats"
+)
+
+// RecoveryFailureCounts is the injected-failure sweep of the
+// recovery-overhead experiment. Tests shrink it for speed.
+var RecoveryFailureCounts = []int{0, 1, 2, 4, 8}
+
+// RecoveryMeasurement is one run of a query under injected worker
+// failures.
+type RecoveryMeasurement struct {
+	Query    QueryID
+	Failures int // planned kills
+	Count    int64
+	SimTime  time.Duration
+	// Retries/RetriedStages/RecoveryTime mirror MetricsSnapshot: observed
+	// partition re-executions (a kill planned at a stage with no
+	// partitioned execution, e.g. a broadcast collect, never fires).
+	Retries       int64
+	RetriedStages int64
+	RecoveryTime  time.Duration
+}
+
+// RunRecovery executes one query on a dedicated environment with n
+// deterministic worker kills injected. The dataset and statistics are
+// prepared fault-free; faults are armed (and metrics reset, aligning kill
+// stage numbers with query stages) just before the measured execution.
+// Kills are spread over the stage count observed in a fault-free dry run
+// of the same query.
+func (r *Runner) RunRecovery(q QueryID, sf float64, workers int, sel Selectivity, n int) (RecoveryMeasurement, error) {
+	env := dataflow.NewEnv(dataflow.DefaultConfig(workers))
+	data := ldbc.Generate(env, ldbc.Config{ScaleFactor: sf, Seed: r.Seed})
+	st := stats.Collect(data.Graph)
+
+	cfg := paperMorphism
+	cfg.Stats = st
+	if q.Operational() {
+		common, medium, rare := data.FirstNamesBySelectivity()
+		name := common
+		switch sel {
+		case Medium:
+			name = medium
+		case High:
+			name = rare
+		}
+		cfg.Params = map[string]epgm.PropertyValue{"firstName": epgm.PVString(name)}
+	}
+
+	// Fault-free dry run: learn the job's stage count for kill placement.
+	env.ResetMetrics()
+	if _, err := core.Execute(data.Graph, q.Text(), cfg); err != nil {
+		return RecoveryMeasurement{}, fmt.Errorf("benchkit: recovery dry run %s: %w", q, err)
+	}
+	stages := env.Metrics().Stages
+
+	if n > 0 {
+		env.InjectFaults(&dataflow.FaultPlan{Kills: dataflow.RandomKills(r.Seed, n, stages, workers)})
+	}
+	env.ResetMetrics()
+	res, err := core.Execute(data.Graph, q.Text(), cfg)
+	if err != nil {
+		return RecoveryMeasurement{}, fmt.Errorf("benchkit: recovery %s (%d failures): %w", q, n, err)
+	}
+	count := res.Count()
+	m := env.Metrics()
+	return RecoveryMeasurement{
+		Query:         q,
+		Failures:      n,
+		Count:         count,
+		SimTime:       m.SimTime,
+		Retries:       m.Retries,
+		RetriedStages: m.RetriedStages,
+		RecoveryTime:  m.RecoveryTime,
+	}, nil
+}
+
+// Recovery runs the recovery-overhead experiment: simulated runtime as a
+// function of the injected worker-failure count for Q1 (operational, low
+// selectivity) and Q4 (analytical) on the small scale factor at 4 workers.
+// Every faulty run must produce the same match count as the failure-free
+// baseline — recovery is required to be transparent — and the overhead
+// column shows the runtime inflation caused by backoff plus recomputation.
+func Recovery(r *Runner, w io.Writer) error {
+	const workers = 4
+	fmt.Fprintf(w, "== Recovery overhead: runtime vs injected failures (SF%g-sim, %d workers) ==\n", r.SFSmall, workers)
+	fmt.Fprintf(w, "%-6s %-9s %-8s %-8s %14s %14s %9s %s\n",
+		"query", "failures", "retries", "rStages", "recovery", "simTime", "overhead", "result")
+	for _, q := range []QueryID{Q1, Q4} {
+		base := RecoveryMeasurement{}
+		for i, n := range RecoveryFailureCounts {
+			m, err := r.RunRecovery(q, r.SFSmall, workers, Low, n)
+			if err != nil {
+				return err
+			}
+			if i == 0 {
+				base = m
+			}
+			result := "ok"
+			if m.Count != base.Count {
+				result = fmt.Sprintf("MISMATCH (%d != %d)", m.Count, base.Count)
+			}
+			overhead := "-"
+			if base.SimTime > 0 {
+				overhead = fmt.Sprintf("%.2fx", float64(m.SimTime)/float64(base.SimTime))
+			}
+			fmt.Fprintf(w, "%-6s %-9d %-8d %-8d %14s %14s %9s %s\n",
+				q, m.Failures, m.Retries, m.RetriedStages, fmtDur(m.RecoveryTime), fmtDur(m.SimTime), overhead, result)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,44 @@
+package benchkit
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRecoveryExperiment runs the recovery-overhead experiment at a tiny
+// scale: every faulty run must match the failure-free baseline count
+// (transparent recovery) and injected failures must be observed as retries.
+func TestRecoveryExperiment(t *testing.T) {
+	orig := RecoveryFailureCounts
+	RecoveryFailureCounts = []int{0, 2}
+	defer func() { RecoveryFailureCounts = orig }()
+
+	r := NewRunner()
+	r.SFSmall = 0.02
+	var sb strings.Builder
+	if err := Recovery(r, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if strings.Contains(out, "MISMATCH") {
+		t.Fatalf("recovery not transparent:\n%s", out)
+	}
+	if !strings.Contains(out, "Q1") || !strings.Contains(out, "Q4") {
+		t.Fatalf("missing queries:\n%s", out)
+	}
+}
+
+// TestRunRecoveryObservesRetries checks the per-run measurement surface.
+func TestRunRecoveryObservesRetries(t *testing.T) {
+	r := NewRunner()
+	m, err := r.RunRecovery(Q4, 0.02, 4, Low, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Retries == 0 {
+		t.Error("expected at least one observed retry from 4 planned kills")
+	}
+	if m.RecoveryTime == 0 {
+		t.Error("recovery time should be charged to the metrics")
+	}
+}

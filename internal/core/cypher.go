@@ -7,7 +7,9 @@
 package core
 
 import (
+	"context"
 	"fmt"
+	"time"
 
 	"gradoop/internal/cypher"
 	"gradoop/internal/dataflow"
@@ -37,6 +39,14 @@ type Config struct {
 	Hint dataflow.JoinHint
 	// DisableSubqueryReuse turns off recurring-subquery leaf sharing.
 	DisableSubqueryReuse bool
+	// Context cancels the dataflow job when it is done; Execute then
+	// returns the context's error (with partial metrics intact on the
+	// environment). Nil means not cancellable.
+	Context context.Context
+	// Timeout aborts execution after the given duration (0 = none); an
+	// expired timeout surfaces as context.DeadlineExceeded. It composes
+	// with Context: whichever fires first cancels the job.
+	Timeout time.Duration
 }
 
 // Result is an executed query.
@@ -85,17 +95,42 @@ func Plan(g *epgm.LogicalGraph, query string, cfg Config) (*planner.QueryPlan, e
 	return plan, err
 }
 
-// Execute runs a Cypher query against a logical graph.
+// Execute runs a Cypher query against a logical graph. Execution is fault
+// tolerant: a panic inside the dataflow job is contained and returned as a
+// *dataflow.JobError, an expired Timeout or cancelled Context returns the
+// context's error, and worker failures injected through the environment's
+// FaultPlan are recovered transparently (bounded retries; only an
+// exhausted retry budget becomes an error). In every failure case the
+// environment's metrics remain readable, reflecting the work done up to
+// the failure.
 func Execute(g *epgm.LogicalGraph, query string, cfg Config) (*Result, error) {
 	qg, plan, err := prepare(g, query, cfg)
 	if err != nil {
 		return nil, err
 	}
+	env := g.Env()
+	if cfg.Access != nil {
+		env = cfg.Access.Env()
+	}
+	ctx := cfg.Context
+	if cfg.Timeout > 0 {
+		if ctx == nil {
+			ctx = context.Background()
+		}
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, cfg.Timeout)
+		defer cancel()
+	}
+	env.Begin(ctx)
+	embeddings := plan.Execute()
+	if err := env.Finish(); err != nil {
+		return nil, fmt.Errorf("core: execute %q: %w", query, err)
+	}
 	return &Result{
 		Graph:      g,
 		QueryGraph: qg,
 		Plan:       plan,
-		Embeddings: plan.Execute(),
+		Embeddings: embeddings,
 		Meta:       plan.Meta(),
 	}, nil
 }

@@ -44,8 +44,13 @@ func (d *Dataset[T]) Partitions() int { return len(d.parts) }
 
 // FromSlice creates a dataset by splitting data into env.Workers()
 // contiguous chunks. The input slice is not copied; callers must not
-// mutate it afterwards.
+// mutate it afterwards. Config.DebugDefensiveCopy enforces the contract by
+// copying the input (at real cost), which turns the silent aliasing hazard
+// into a non-issue while debugging.
 func FromSlice[T any](env *Env, data []T) *Dataset[T] {
+	if env.cfg.DebugDefensiveCopy {
+		data = append([]T(nil), data...)
+	}
 	w := env.Workers()
 	parts := make([][]T, w)
 	n := len(data)
@@ -122,12 +127,18 @@ func Filter[T any](d *Dataset[T], pred func(T) bool) *Dataset[T] {
 // Select→Project→Transform steps into (§3.1).
 func FlatMap[T, U any](d *Dataset[T], f func(T, func(U))) *Dataset[U] {
 	env := d.env
+	if env.Failed() {
+		return Empty[U](env)
+	}
 	env.metrics.addStage(false)
 	out := make([][]U, len(d.parts))
 	env.runParts(len(d.parts), func(p int) {
 		var res []U
 		emit := func(u U) { res = append(res, u) }
-		for _, t := range d.parts[p] {
+		for i, t := range d.parts[p] {
+			if i&cancelCheckMask == cancelCheckMask && env.aborted() {
+				return
+			}
 			f(t, emit)
 		}
 		env.metrics.addCPU(p, int64(len(d.parts[p])))
@@ -140,6 +151,9 @@ func FlatMap[T, U any](d *Dataset[T], f func(T, func(U))) *Dataset[U] {
 // and an emit callback.
 func MapPartition[T, U any](d *Dataset[T], f func(part []T, emit func(U))) *Dataset[U] {
 	env := d.env
+	if env.Failed() {
+		return Empty[U](env)
+	}
 	env.metrics.addStage(false)
 	out := make([][]U, len(d.parts))
 	env.runParts(len(d.parts), func(p int) {
@@ -155,6 +169,9 @@ func MapPartition[T, U any](d *Dataset[T], f func(part []T, emit func(U))) *Data
 // moves no data; a shared partition tag survives.
 func Union[T any](a, b *Dataset[T]) *Dataset[T] {
 	env := a.env
+	if mismatch(a.env, b.env, "Union") || env.Failed() {
+		return Empty[T](env)
+	}
 	env.metrics.addStage(false)
 	out := make([][]T, len(a.parts))
 	for p := range out {

@@ -10,9 +10,25 @@
 // derives a deterministic simulated cluster runtime from them (see Metrics).
 // Real wall-clock time on the local machine is available to callers as well;
 // the simulated time is what reproduces the paper's scalability figures.
+//
+// Like its model, the engine has a failure story (Flink restarts tasks and
+// re-reads their inputs; the GRADOOP report leans on exactly that for
+// production viability): partition goroutines recover panics into a
+// structured JobError, jobs can be cancelled through a context, and a
+// deterministic FaultPlan can kill workers mid-job to exercise the
+// lineage-based recovery path. Once an Env has failed, every subsequent
+// transformation short-circuits to an empty dataset and the error surfaces
+// from Env.Err (and from core.Execute as a real error).
 package dataflow
 
-import "time"
+import (
+	"context"
+	"fmt"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+	"time"
+)
 
 // Config describes a simulated cluster: how many workers execute a job and
 // the cost coefficients of the simulated-time model. The zero value is not
@@ -44,6 +60,19 @@ type Config struct {
 	// transformation (job stage), independent of the worker count. It models
 	// scheduling/deployment latency and bounds speedup on tiny inputs.
 	StageOverhead time.Duration
+
+	// FaultPlan injects deterministic worker failures; nil disables
+	// injection. Kill consumption is tracked per job and re-armed by
+	// ResetMetrics / Begin, so kill stage numbers refer to the stages of
+	// the job executed after the last reset. See also Env.InjectFaults.
+	FaultPlan *FaultPlan
+
+	// DebugDefensiveCopy makes FromSlice copy its input slice instead of
+	// aliasing it, guarding against callers that mutate the slice after
+	// dataset construction (a documented contract violation that is
+	// otherwise silent). Intended for tests and debugging; the copy costs
+	// real time and memory on large inputs.
+	DebugDefensiveCopy bool
 }
 
 // DefaultConfig returns a configuration resembling the paper's setup scaled
@@ -61,13 +90,38 @@ func DefaultConfig(workers int) Config {
 	}
 }
 
+// cancelCheckMask controls how often per-element partition loops poll for
+// cancellation: every (mask+1) elements. 256 elements keep the overhead of
+// the atomic load negligible while bounding the reaction latency to well
+// under 100ms even for expensive UDFs.
+const cancelCheckMask = 255
+
 // Env is an execution environment: a simulated cluster plus the metrics
 // accumulated by every dataset transformation executed against it. An Env is
 // safe for use by the goroutines the engine itself spawns; callers should
-// treat it as owned by one job at a time.
+// treat it as owned by one job at a time. Begin, Finish, InjectFaults and
+// ResetMetrics must only be called between jobs (no transformation in
+// flight).
 type Env struct {
 	cfg     Config
 	metrics Metrics
+
+	// ctx/done carry the current job's cancellation signal; nil when the
+	// job is not cancellable. Written only between jobs (Begin/Finish).
+	ctx  context.Context
+	done <-chan struct{}
+
+	// failed is the fast-path flag partition loops poll; the first error
+	// is kept under mu. killsUsed tracks fault-plan consumption per job.
+	failed    atomic.Bool
+	mu        sync.Mutex
+	err       error
+	killsUsed map[killKey]int
+}
+
+type killKey struct {
+	stage     int64
+	partition int
 }
 
 // NewEnv creates an execution environment for the given cluster config.
@@ -81,6 +135,14 @@ func NewEnv(cfg Config) *Env {
 	return e
 }
 
+// NewEnvContext creates an execution environment whose jobs are cancelled
+// when ctx is done. It is equivalent to NewEnv followed by Begin(ctx).
+func NewEnvContext(ctx context.Context, cfg Config) *Env {
+	e := NewEnv(cfg)
+	e.Begin(ctx)
+	return e
+}
+
 // Config returns the environment's cluster configuration.
 func (e *Env) Config() Config { return e.cfg }
 
@@ -91,20 +153,194 @@ func (e *Env) Workers() int { return e.cfg.Workers }
 func (e *Env) Metrics() MetricsSnapshot { return e.metrics.snapshot(e.cfg) }
 
 // ResetMetrics clears all accumulated metrics, e.g. between the load phase
-// and the query phase of a benchmark.
-func (e *Env) ResetMetrics() { e.metrics.init(e.cfg.Workers) }
+// and the query phase of a benchmark. It also re-arms the fault plan: kill
+// stage numbers refer to the stages executed after the reset.
+func (e *Env) ResetMetrics() {
+	e.metrics.init(e.cfg.Workers)
+	e.mu.Lock()
+	e.killsUsed = nil
+	e.mu.Unlock()
+}
+
+// Begin starts a new job on the environment: it installs ctx as the job's
+// cancellation signal (nil means not cancellable), clears any failure left
+// by a previous job and re-arms the fault plan. Metrics are not touched.
+func (e *Env) Begin(ctx context.Context) {
+	e.mu.Lock()
+	e.err = nil
+	e.killsUsed = nil
+	e.mu.Unlock()
+	e.failed.Store(false)
+	if ctx == nil {
+		e.ctx, e.done = nil, nil
+		return
+	}
+	e.ctx, e.done = ctx, ctx.Done()
+}
+
+// Finish ends the current job: it detaches the cancellation context and
+// returns the job's error, if any. A failed environment stays failed —
+// further transformations keep short-circuiting — until the next Begin.
+func (e *Env) Finish() error {
+	e.ctx, e.done = nil, nil
+	return e.Err()
+}
+
+// Err returns the first error recorded for the current job (a *JobError for
+// contained panics and exhausted retries, a context error for
+// cancellations, ErrEnvMismatch for mixed-environment operands), or nil.
+func (e *Env) Err() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.err
+}
+
+// Failed reports whether the current job has failed; transformations on a
+// failed environment short-circuit to empty datasets.
+func (e *Env) Failed() bool { return e.failed.Load() }
+
+// InjectFaults replaces the environment's fault plan and re-arms kill
+// consumption. It exists so benchmarks can load data fault-free and then
+// arm injection for the measured query. Must be called between jobs.
+func (e *Env) InjectFaults(p *FaultPlan) {
+	e.cfg.FaultPlan = p
+	e.mu.Lock()
+	e.killsUsed = nil
+	e.mu.Unlock()
+}
+
+// fail records err as the job's failure (first error wins) and raises the
+// short-circuit flag.
+func (e *Env) fail(err error) {
+	if err == nil {
+		return
+	}
+	e.mu.Lock()
+	if e.err == nil {
+		e.err = err
+	}
+	e.mu.Unlock()
+	e.failed.Store(true)
+}
+
+// aborted reports whether the current job should stop: either it already
+// failed, or its context was cancelled (in which case the context error is
+// recorded as the job failure). Partition loops poll it between batches of
+// elements; runParts polls it at every stage boundary.
+func (e *Env) aborted() bool {
+	if e.failed.Load() {
+		return true
+	}
+	if e.done != nil {
+		select {
+		case <-e.done:
+			e.fail(e.ctx.Err())
+			return true
+		default:
+		}
+	}
+	return false
+}
+
+// consumeKill reports whether the fault plan kills the given attempt of
+// (stage, partition), consuming one unit of the kill budget if so.
+func (e *Env) consumeKill(stage int64, partition int) bool {
+	budget := e.cfg.FaultPlan.killBudget(stage, partition)
+	if budget == 0 {
+		return false
+	}
+	key := killKey{stage: stage, partition: partition}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.killsUsed[key] >= budget {
+		return false
+	}
+	if e.killsUsed == nil {
+		e.killsUsed = map[killKey]int{}
+	}
+	e.killsUsed[key]++
+	return true
+}
 
 // runParts executes f(p) for every partition index in [0, n) concurrently
-// and waits for all of them. It is the engine's only parallelism primitive.
+// and waits for all of them. It is the engine's only parallelism primitive
+// and its fault boundary: panics inside f are recovered into a JobError,
+// injected worker failures are retried by re-executing the partition from
+// its materialized input (lineage-based restart), and a job that has
+// already failed is not started at all.
 func (e *Env) runParts(n int, f func(p int)) {
-	done := make(chan struct{}, n)
+	if e.aborted() {
+		return
+	}
+	stage := e.metrics.stageCount()
+	var wg sync.WaitGroup
+	wg.Add(n)
 	for p := 0; p < n; p++ {
 		go func(p int) {
-			defer func() { done <- struct{}{} }()
-			f(p)
+			defer wg.Done()
+			e.runPartition(stage, p, f)
 		}(p)
 	}
-	for p := 0; p < n; p++ {
-		<-done
+	wg.Wait()
+}
+
+// runPartition drives the retry loop of one partition's stage execution.
+// Injected worker failures are recovered with bounded retries and simulated
+// backoff; genuine panics and exhausted budgets fail the job.
+func (e *Env) runPartition(stage int64, p int, f func(int)) {
+	plan := e.cfg.FaultPlan
+	for attempt := 0; ; attempt++ {
+		err := e.runAttempt(stage, p, f)
+		if err == nil {
+			return
+		}
+		if _, injected := err.(*workerFailure); injected {
+			if attempt < plan.maxRetries() {
+				// Lineage-based recovery: charge the simulated redeployment
+				// (backoff + stage overhead) and loop to re-execute the
+				// partition; the recomputed work re-charges its own CPU.
+				e.metrics.addRecovery(p, stage, plan.backoff(attempt)+e.cfg.StageOverhead)
+				continue
+			}
+			err = &JobError{
+				Stage:     stage,
+				Partition: p,
+				Cause: fmt.Errorf("worker failed %d times, retry budget (%d) exhausted: %w",
+					attempt+1, plan.maxRetries(), err),
+			}
+		}
+		e.fail(err)
+		return
 	}
+}
+
+// runAttempt executes one attempt of f(p) with panic containment. It
+// returns a *workerFailure for injected (retryable) failures, a *JobError
+// for recovered panics, and nil on success or when the job is already
+// aborted (the abort reason is recorded elsewhere).
+func (e *Env) runAttempt(stage int64, p int, f func(int)) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if wf, ok := r.(*workerFailure); ok {
+				err = wf
+				return
+			}
+			cause, ok := r.(error)
+			if !ok {
+				cause = fmt.Errorf("panic: %v", r)
+			}
+			err = &JobError{Stage: stage, Partition: p, Cause: cause, Stack: debug.Stack()}
+		}
+	}()
+	if e.aborted() {
+		return nil
+	}
+	f(p)
+	// The injected kill fires after the partition's work: the worker dies
+	// before the stage commits, so recovery must redo the work — the
+	// re-execution cost shows up in the metrics, as on a real cluster.
+	if e.cfg.FaultPlan != nil && e.consumeKill(stage, p) {
+		panic(&workerFailure{stage: stage, partition: p})
+	}
+	return nil
 }

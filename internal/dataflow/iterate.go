@@ -4,7 +4,9 @@ package dataflow
 // (§3.1, ExpandEmbeddings): body receives the current working set and the
 // 1-based iteration number, and returns the next working set plus the
 // elements to add to the result. Iteration stops when the working set
-// becomes empty or maxIterations is reached. The returned dataset is the
+// becomes empty, maxIterations is reached, or the job fails (a cancelled or
+// failed environment drains the working set, so runaway expansions abort
+// between supersteps as well as inside them). The returned dataset is the
 // union of all per-iteration results.
 func BulkIteration[T any](initial *Dataset[T], maxIterations int,
 	body func(iteration int, working *Dataset[T]) (next *Dataset[T], results *Dataset[T])) *Dataset[T] {
@@ -12,7 +14,7 @@ func BulkIteration[T any](initial *Dataset[T], maxIterations int,
 	acc := Empty[T](env)
 	working := initial
 	for it := 1; it <= maxIterations; it++ {
-		if working.IsEmpty() {
+		if env.Failed() || working.IsEmpty() {
 			break
 		}
 		next, results := body(it, working)

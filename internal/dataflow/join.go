@@ -29,6 +29,9 @@ func Join[L, R, U any](l *Dataset[L], r *Dataset[R], lkey func(L) uint64, rkey f
 // output rows on the partition their key hashes to).
 func JoinTagged[L, R, U any](l *Dataset[L], r *Dataset[R], lkey func(L) uint64, rkey func(R) uint64,
 	joiner func(L, R, func(U)), hint JoinHint, tag uint64) *Dataset[U] {
+	if mismatch(l.env, r.env, "Join") || l.env.Failed() {
+		return Empty[U](l.env)
+	}
 	switch hint {
 	case BroadcastLeft:
 		return broadcastJoin(l, r, lkey, rkey, joiner)
@@ -72,6 +75,9 @@ func broadcastJoin[L, R, U any](l *Dataset[L], r *Dataset[R], lkey func(L) uint6
 func CoGroup[L, R, U any](l *Dataset[L], r *Dataset[R], lkey func(L) uint64, rkey func(R) uint64,
 	f func(key uint64, ls []L, rs []R, emit func(U))) *Dataset[U] {
 	env := l.env
+	if mismatch(l.env, r.env, "CoGroup") || env.Failed() {
+		return Empty[U](env)
+	}
 	ls := shuffle(l, lkey)
 	rs := shuffle(r, rkey)
 	env.metrics.addStage(false)
@@ -100,10 +106,16 @@ func CoGroup[L, R, U any](l *Dataset[L], r *Dataset[R], lkey func(L) uint64, rke
 		}
 		var res []U
 		emit := func(u U) { res = append(res, u) }
-		for _, k := range order {
+		for i, k := range order {
+			if i&cancelCheckMask == cancelCheckMask && env.aborted() {
+				return
+			}
 			f(k, leftGroups[k], rightGroups[k], emit)
 		}
-		for _, k := range rightOnly {
+		for i, k := range rightOnly {
+			if i&cancelCheckMask == cancelCheckMask && env.aborted() {
+				return
+			}
 			f(k, nil, rightGroups[k], emit)
 		}
 		env.metrics.addCPU(p, int64(len(ls.parts[p])+len(rs.parts[p])))
@@ -120,7 +132,10 @@ func hashJoinPartition[L, R, U any](env *Env, p int, left []L, right []R,
 	lkey func(L) uint64, rkey func(R) uint64, joiner func(L, R, func(U))) []U {
 	table := make(map[uint64][]L, len(left))
 	var buildBytes int64
-	for _, lv := range left {
+	for i, lv := range left {
+		if i&cancelCheckMask == cancelCheckMask && env.aborted() {
+			return nil
+		}
 		k := lkey(lv)
 		table[k] = append(table[k], lv)
 		buildBytes += sizeOf(lv)
@@ -138,8 +153,19 @@ func hashJoinPartition[L, R, U any](env *Env, p int, left []L, right []R,
 	}
 	var res []U
 	emit := func(u U) { res = append(res, u) }
+	// ops counts probes plus emitted pairs so that both many-small-buckets
+	// and few-huge-buckets probe patterns poll for cancellation promptly.
+	var ops int
 	for _, rv := range right {
+		if ops&cancelCheckMask == cancelCheckMask && env.aborted() {
+			return res
+		}
+		ops++
 		for _, lv := range table[rkey(rv)] {
+			if ops&cancelCheckMask == cancelCheckMask && env.aborted() {
+				return res
+			}
+			ops++
 			joiner(lv, rv, emit)
 		}
 	}

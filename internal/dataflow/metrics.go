@@ -10,12 +10,15 @@ import (
 // counters are written under a mutex by the engine; user code never touches
 // Metrics directly.
 type Metrics struct {
-	mu          sync.Mutex
-	cpuElements []int64 // elements processed, per worker
-	netBytes    []int64 // bytes received over the simulated network, per worker
-	spillBytes  []int64 // bytes written+read to simulated disk, per worker
-	stages      int64   // transformations executed
-	shuffles    int64   // transformations that required a network exchange
+	mu            sync.Mutex
+	cpuElements   []int64 // elements processed, per worker
+	netBytes      []int64 // bytes received over the simulated network, per worker
+	spillBytes    []int64 // bytes written+read to simulated disk, per worker
+	recoveryTime  []time.Duration // simulated redeployment/backoff time, per worker
+	stages        int64   // transformations executed
+	shuffles      int64   // transformations that required a network exchange
+	retries       int64   // partition re-executions after injected failures
+	retriedStages map[int64]struct{} // distinct stages that needed ≥1 retry
 }
 
 func (m *Metrics) init(workers int) {
@@ -24,8 +27,11 @@ func (m *Metrics) init(workers int) {
 	m.cpuElements = make([]int64, workers)
 	m.netBytes = make([]int64, workers)
 	m.spillBytes = make([]int64, workers)
+	m.recoveryTime = make([]time.Duration, workers)
 	m.stages = 0
 	m.shuffles = 0
+	m.retries = 0
+	m.retriedStages = nil
 }
 
 func (m *Metrics) addStage(shuffle bool) {
@@ -35,6 +41,14 @@ func (m *Metrics) addStage(shuffle bool) {
 		m.shuffles++
 	}
 	m.mu.Unlock()
+}
+
+// stageCount returns the number of the stage currently executing (stages
+// are counted by addStage immediately before their partitioned run).
+func (m *Metrics) stageCount() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.stages
 }
 
 func (m *Metrics) addCPU(worker int, elements int64) {
@@ -55,6 +69,21 @@ func (m *Metrics) addSpill(worker int, bytes int64) {
 	m.mu.Unlock()
 }
 
+// addRecovery charges one worker-failure recovery: the simulated
+// redeployment delay d on the failed worker, one retry, and the stage's
+// membership in the retried-stage set. The re-executed work itself
+// re-charges CPU/spill through the normal counters.
+func (m *Metrics) addRecovery(worker int, stage int64, d time.Duration) {
+	m.mu.Lock()
+	m.recoveryTime[worker] += d
+	m.retries++
+	if m.retriedStages == nil {
+		m.retriedStages = map[int64]struct{}{}
+	}
+	m.retriedStages[stage] = struct{}{}
+	m.mu.Unlock()
+}
+
 // MetricsSnapshot is an immutable copy of a job's accumulated metrics
 // together with the simulated runtime derived from them.
 type MetricsSnapshot struct {
@@ -69,30 +98,44 @@ type MetricsSnapshot struct {
 	TotalSpill   int64 // sum of SpillBytes
 	SimTime      time.Duration
 	MaxWorkerCPU int64 // the busiest worker's element count (skew indicator)
+
+	// Retries counts partition re-executions after injected worker
+	// failures; RetriedStages counts the distinct stages that needed at
+	// least one retry. RecoveryTime is the total simulated redeployment
+	// and backoff delay charged for those recoveries (the recomputed work
+	// is charged through the ordinary CPU/spill counters and therefore
+	// also inflates SimTime).
+	Retries       int64
+	RetriedStages int64
+	RecoveryTime  time.Duration
 }
 
 func (m *Metrics) snapshot(cfg Config) MetricsSnapshot {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	s := MetricsSnapshot{
-		Workers:     len(m.cpuElements),
-		CPUElements: append([]int64(nil), m.cpuElements...),
-		NetBytes:    append([]int64(nil), m.netBytes...),
-		SpillBytes:  append([]int64(nil), m.spillBytes...),
-		Stages:      m.stages,
-		Shuffles:    m.shuffles,
+		Workers:       len(m.cpuElements),
+		CPUElements:   append([]int64(nil), m.cpuElements...),
+		NetBytes:      append([]int64(nil), m.netBytes...),
+		SpillBytes:    append([]int64(nil), m.spillBytes...),
+		Stages:        m.stages,
+		Shuffles:      m.shuffles,
+		Retries:       m.retries,
+		RetriedStages: int64(len(m.retriedStages)),
 	}
 	var worst time.Duration
 	for w := range s.CPUElements {
 		s.TotalCPU += s.CPUElements[w]
 		s.TotalNet += s.NetBytes[w]
 		s.TotalSpill += s.SpillBytes[w]
+		s.RecoveryTime += m.recoveryTime[w]
 		if s.CPUElements[w] > s.MaxWorkerCPU {
 			s.MaxWorkerCPU = s.CPUElements[w]
 		}
 		t := time.Duration(s.CPUElements[w])*cfg.CPUTimePerElement +
 			time.Duration(s.NetBytes[w])*cfg.NetTimePerByte +
-			time.Duration(s.SpillBytes[w])*cfg.DiskTimePerByte
+			time.Duration(s.SpillBytes[w])*cfg.DiskTimePerByte +
+			m.recoveryTime[w]
 		if t > worst {
 			worst = t
 		}
@@ -113,6 +156,10 @@ func (s MetricsSnapshot) Skew() float64 {
 
 // String renders a single-line human-readable summary.
 func (s MetricsSnapshot) String() string {
-	return fmt.Sprintf("workers=%d stages=%d shuffles=%d cpuElems=%d netBytes=%d spillBytes=%d skew=%.2f simTime=%s",
+	line := fmt.Sprintf("workers=%d stages=%d shuffles=%d cpuElems=%d netBytes=%d spillBytes=%d skew=%.2f simTime=%s",
 		s.Workers, s.Stages, s.Shuffles, s.TotalCPU, s.TotalNet, s.TotalSpill, s.Skew(), s.SimTime)
+	if s.Retries > 0 {
+		line += fmt.Sprintf(" retries=%d retriedStages=%d recovery=%s", s.Retries, s.RetriedStages, s.RecoveryTime)
+	}
+	return line
 }

@@ -35,6 +35,9 @@ func shuffle[T any](d *Dataset[T], key func(T) uint64) *Dataset[T] {
 // result carries the tag.
 func shuffleTagged[T any](d *Dataset[T], key func(T) uint64, tag uint64) *Dataset[T] {
 	env := d.env
+	if env.Failed() {
+		return Empty[T](env)
+	}
 	if tag != 0 && d.partTag == tag {
 		return d
 	}
@@ -56,7 +59,10 @@ func shuffleTagged[T any](d *Dataset[T], key func(T) uint64, tag uint64) *Datase
 	env.runParts(w, func(p int) {
 		b := make([][]T, w)
 		mv := make([]int64, w)
-		for _, t := range d.parts[p] {
+		for i, t := range d.parts[p] {
+			if i&cancelCheckMask == cancelCheckMask && env.aborted() {
+				return
+			}
 			q := int(mix64(key(t)) % uint64(w))
 			b[q] = append(b[q], t)
 			if q != p {
@@ -67,6 +73,22 @@ func shuffleTagged[T any](d *Dataset[T], key func(T) uint64, tag uint64) *Datase
 		buckets[p] = b
 		moved[p] = mv
 	})
+	out, ok := gatherExchange(env, buckets, moved)
+	if !ok {
+		return Empty[T](env)
+	}
+	return &Dataset[T]{env: env, parts: out, partTag: tag}
+}
+
+// gatherExchange concatenates per-source destination buckets into the
+// destination partitions and charges received network bytes. It reports
+// failure (aborted partitions leave nil buckets behind) instead of
+// indexing into them.
+func gatherExchange[T any](env *Env, buckets [][][]T, moved [][]int64) ([][]T, bool) {
+	if env.Failed() {
+		return nil, false
+	}
+	w := len(buckets)
 	out := make([][]T, w)
 	for q := 0; q < w; q++ {
 		var n int
@@ -82,18 +104,55 @@ func shuffleTagged[T any](d *Dataset[T], key func(T) uint64, tag uint64) *Datase
 		out[q] = part
 		env.metrics.addNet(q, bytes)
 	}
-	return &Dataset[T]{env: env, parts: out, partTag: tag}
+	return out, true
 }
 
 // Rebalance redistributes elements round-robin so all partitions have equal
 // sizes, charging network cost for moved elements. It models Flink's
-// rebalance() and is used to break skew after expensive filters.
+// rebalance() and is used to break skew after expensive filters. An
+// element's destination is its global index modulo the worker count, which
+// is deterministic and needs no state shared between partition goroutines.
 func Rebalance[T any](d *Dataset[T]) *Dataset[T] {
-	i := 0
-	return shuffle(d, func(T) uint64 {
-		i++
-		return uint64(i)
+	env := d.env
+	if env.Failed() {
+		return Empty[T](env)
+	}
+	env.metrics.addStage(true)
+	w := len(d.parts)
+	if w == 1 {
+		env.metrics.addCPU(0, int64(len(d.parts[0])))
+		return d
+	}
+	offs := make([]int, w) // global index of each partition's first element
+	total := 0
+	for p := 0; p < w; p++ {
+		offs[p] = total
+		total += len(d.parts[p])
+	}
+	buckets := make([][][]T, w)
+	moved := make([][]int64, w)
+	env.runParts(w, func(p int) {
+		b := make([][]T, w)
+		mv := make([]int64, w)
+		for i, t := range d.parts[p] {
+			if i&cancelCheckMask == cancelCheckMask && env.aborted() {
+				return
+			}
+			q := (offs[p] + i) % w
+			b[q] = append(b[q], t)
+			if q != p {
+				mv[q] += sizeOf(t)
+			}
+		}
+		env.metrics.addCPU(p, int64(len(d.parts[p])))
+		buckets[p] = b
+		moved[p] = mv
 	})
+	out, ok := gatherExchange(env, buckets, moved)
+	if !ok {
+		return Empty[T](env)
+	}
+	return &Dataset[T]{env: env, parts: out}
 }
 
 // PartitionByKey exposes the hash shuffle for callers that want explicit
@@ -106,6 +165,9 @@ func PartitionByKey[T any](d *Dataset[T], key func(T) uint64) *Dataset[T] {
 // network cost of size × (P-1). It returns the replicated slice.
 func broadcast[T any](d *Dataset[T]) []T {
 	env := d.env
+	if env.Failed() {
+		return nil
+	}
 	env.metrics.addStage(true)
 	all := d.Collect()
 	var bytes int64

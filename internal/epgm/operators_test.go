@@ -10,7 +10,14 @@ import (
 // each other, studying at universities, located in cities.
 func socialGraph(t testing.TB, workers int) *LogicalGraph {
 	t.Helper()
-	env := dataflow.NewEnv(dataflow.DefaultConfig(workers))
+	return socialGraphOn(t, dataflow.NewEnv(dataflow.DefaultConfig(workers)))
+}
+
+// socialGraphOn builds the social graph on an existing environment, so
+// tests can combine several graphs without tripping the engine's
+// cross-environment guard (dataflow.ErrEnvMismatch).
+func socialGraphOn(t testing.TB, env *dataflow.Env) *LogicalGraph {
+	t.Helper()
 	person := func(name, gender string, yob int64) Vertex {
 		return Vertex{ID: NewID(), Label: "Person", Properties: Properties{}.
 			Set("name", PVString(name)).Set("gender", PVString(gender)).Set("yob", PVInt(yob))}
@@ -196,7 +203,7 @@ func TestCombinationOverlapExclusion(t *testing.T) {
 func TestCollectionSelectAndSetOps(t *testing.T) {
 	g := socialGraph(t, 2)
 	env := g.Env()
-	g2 := socialGraph(t, 2)
+	g2 := socialGraphOn(t, env)
 	c1 := g.AsCollection()
 	c2 := NewGraphCollection(env,
 		dataflow.FromSlice(env, []GraphHead{g.Head, g2.Head}),

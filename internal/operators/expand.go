@@ -126,8 +126,12 @@ func (op *ExpandEmbeddings) Evaluate() *dataflow.Dataset[embedding.Embedding] {
 		results = dataflow.Union(results, op.finalize(working))
 	}
 
+	env := in.Env()
 	for iter := 1; iter <= qe.MaxHops; iter++ {
-		if working.IsEmpty() {
+		// A failed or cancelled environment drains the working set, so the
+		// bulk iteration is abortable between supersteps, not only inside
+		// the per-partition join loops.
+		if env.Failed() || working.IsEmpty() {
 			break
 		}
 		expanded := dataflow.Join(triples, working,
