@@ -2,12 +2,15 @@
 // (§4): the speedup-over-workers experiment (Figure 3), the data-volume
 // experiment (Figure 4), the predicate-selectivity experiment (Figure 5),
 // the intermediate-result-size table (Table 3), the full runtime matrix
-// (Table 4) and the appendix result cardinalities.
+// (Table 4) and the appendix result cardinalities. The analyze experiment
+// prints every query's EXPLAIN ANALYZE plan and can export per-query
+// Chrome trace timelines.
 //
 // Usage:
 //
 //	bench -exp all
 //	bench -exp figure3 -sf-small 0.1 -sf-large 1.0
+//	bench -exp analyze -trace out   # writes out-Q1.json .. out-Q6.json
 package main
 
 import (
@@ -19,10 +22,11 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: figure3|figure4|figure5|table3|table4|cards|extended|recovery|all")
+	exp := flag.String("exp", "all", "experiment: figure3|figure4|figure5|table3|table4|cards|extended|recovery|analyze|all")
 	sfSmall := flag.Float64("sf-small", 0.1, "small scale factor (the paper's SF10 stand-in)")
 	sfLarge := flag.Float64("sf-large", 1.0, "large scale factor (the paper's SF100 stand-in)")
 	seed := flag.Int64("seed", 2017, "generator seed")
+	tracePrefix := flag.String("trace", "", "analyze experiment: write per-query Chrome traces to <prefix>-Q<n>.json")
 	flag.Parse()
 
 	r := benchkit.NewRunner()
@@ -39,8 +43,9 @@ func main() {
 		"cards":    func() error { return benchkit.Cardinalities(r, os.Stdout) },
 		"extended": func() error { return benchkit.Extended(r, os.Stdout) },
 		"recovery": func() error { return benchkit.Recovery(r, os.Stdout) },
+		"analyze":  func() error { return benchkit.Analyze(r, os.Stdout, *tracePrefix) },
 	}
-	order := []string{"figure3", "figure4", "figure5", "table3", "table4", "cards", "extended", "recovery"}
+	order := []string{"figure3", "figure4", "figure5", "table3", "table4", "cards", "extended", "recovery", "analyze"}
 
 	run := func(name string) {
 		fn, ok := experiments[name]

@@ -1,11 +1,21 @@
 // Command cypher runs a Cypher pattern matching query against a Gradoop-CSV
 // dataset directory and prints the result rows (or just the match count),
-// optionally with the query plan.
+// optionally with the query plan or its EXPLAIN ANALYZE rendering.
 //
 // Usage:
 //
 //	cypher -graph ./data/sf1 -query 'MATCH (p:Person)-[:knows]->(q) RETURN p.firstName' \
-//	       -workers 8 -vertex-sem homo -edge-sem iso -explain
+//	       -workers 8 -vertex-sem homo -edge-sem iso -analyze
+//
+// Observability flags:
+//
+//	-explain        print the query plan and exit without executing
+//	-analyze        execute, then print the plan annotated with estimated
+//	                vs. actual cardinality and per-operator time
+//	-trace out.json write a Chrome trace_event timeline of the execution
+//	                (open in chrome://tracing or Perfetto)
+//	-metrics text   print a per-worker metrics breakdown after the query
+//	-metrics json   print the metrics snapshot plus per-stage spans as JSON
 //
 // Parameters are passed as repeated -param name=value flags; values are
 // treated as strings unless they parse as integers or floats.
@@ -13,6 +23,7 @@ package main
 
 import (
 	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -26,7 +37,39 @@ import (
 	"gradoop/internal/operators"
 	"gradoop/internal/stats"
 	csvstore "gradoop/internal/storage/csv"
+	"gradoop/internal/trace"
 )
+
+// metricsDump is the -metrics json output: the aggregate snapshot plus the
+// per-stage spans recorded by the tracer.
+type metricsDump struct {
+	Metrics dataflow.MetricsSnapshot `json:"metrics"`
+	Stages  []trace.Span             `json:"stages"`
+}
+
+// printWorkerMetrics renders the -metrics text per-worker breakdown.
+func printWorkerMetrics(m dataflow.MetricsSnapshot) {
+	fmt.Printf("per-worker breakdown (skew %.2f):\n", m.Skew())
+	for p := 0; p < m.Workers; p++ {
+		fmt.Printf("  worker %d: cpu=%d elements, net=%dB, spill=%dB\n",
+			p, m.CPUElements[p], m.NetBytes[p], m.SpillBytes[p])
+	}
+}
+
+// writeTrace writes the collector's Chrome trace_event JSON to path,
+// overwriting any earlier trace (in interactive mode the file always holds
+// the most recent query).
+func writeTrace(path string, c *trace.Collector) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := c.WriteChromeTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
 
 type paramFlags map[string]epgm.PropertyValue
 
@@ -69,7 +112,10 @@ func main() {
 	workers := flag.Int("workers", 4, "number of dataflow workers")
 	vertexSem := flag.String("vertex-sem", "homo", "vertex semantics: homo|iso")
 	edgeSem := flag.String("edge-sem", "iso", "edge semantics: homo|iso")
-	explain := flag.Bool("explain", false, "print the query plan")
+	explain := flag.Bool("explain", false, "print the query plan without executing it")
+	analyze := flag.Bool("analyze", false, "execute, then print the plan with estimated vs. actual cardinalities (EXPLAIN ANALYZE)")
+	traceFile := flag.String("trace", "", "write a Chrome trace_event JSON timeline of the execution to this file")
+	metricsMode := flag.String("metrics", "", "print detailed metrics after the query: text or json")
 	countOnly := flag.Bool("count", false, "print only the match count")
 	maxRows := flag.Int("max-rows", 100, "print at most this many rows")
 	timeout := flag.Duration("timeout", 0, "abort a query after this duration (e.g. 5s; 0 = no limit)")
@@ -102,26 +148,51 @@ func main() {
 	}
 	fmt.Printf("loaded %s: %d vertices, %d edges\n", *graphDir, g.VertexCount(), g.EdgeCount())
 
+	if *metricsMode != "" && *metricsMode != "text" && *metricsMode != "json" {
+		fail(fmt.Errorf("unknown -metrics mode %q (want text or json)", *metricsMode))
+	}
+	// Tracing is enabled only when something consumes it; otherwise the
+	// engine runs its zero-cost untraced path.
+	tracing := *analyze || *traceFile != "" || *metricsMode == "json"
+
 	st := stats.Collect(g)
 	runQuery := func(q string) {
-		env.ResetMetrics()
-		start := time.Now()
-		res, err := core.Execute(g, q, core.Config{
+		cfg := core.Config{
 			Vertex: vs, Edge: es, Params: params, Stats: st, Timeout: *timeout,
-		})
-		if err != nil {
+		}
+		report := func(err error) {
 			if *interactive {
 				fmt.Fprintf(os.Stderr, "cypher: %v\n", err)
 				return
 			}
 			fail(err)
 		}
+		if *explain {
+			plan, err := core.Plan(g, q, cfg)
+			if err != nil {
+				report(err)
+				return
+			}
+			fmt.Println("plan:")
+			fmt.Print(plan.Explain())
+			return
+		}
+		if tracing {
+			cfg.Trace = trace.NewCollector()
+		}
+		env.ResetMetrics()
+		start := time.Now()
+		res, err := core.Execute(g, q, cfg)
+		if err != nil {
+			report(err)
+			return
+		}
 		count := res.Count()
 		elapsed := time.Since(start)
 
-		if *explain {
-			fmt.Println("plan:")
-			fmt.Print(res.Explain())
+		if *analyze {
+			fmt.Println("analyzed plan:")
+			fmt.Print(res.AnalyzedPlan())
 		}
 		if !*countOnly {
 			rows := res.Rows()
@@ -136,6 +207,24 @@ func main() {
 		m := env.Metrics()
 		fmt.Printf("%d matches in %s (simulated cluster time %s, %s)\n",
 			count, elapsed.Round(time.Millisecond), m.SimTime.Round(time.Microsecond), m)
+		switch *metricsMode {
+		case "text":
+			printWorkerMetrics(m)
+		case "json":
+			if err := json.NewEncoder(os.Stdout).Encode(metricsDump{
+				Metrics: m, Stages: cfg.Trace.Spans(),
+			}); err != nil {
+				report(err)
+				return
+			}
+		}
+		if *traceFile != "" {
+			if err := writeTrace(*traceFile, cfg.Trace); err != nil {
+				report(err)
+				return
+			}
+			fmt.Printf("wrote Chrome trace to %s (open in chrome://tracing or https://ui.perfetto.dev)\n", *traceFile)
+		}
 	}
 
 	if !*interactive {

@@ -1,0 +1,57 @@
+package benchkit
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"gradoop/internal/trace"
+)
+
+// Analyze runs every benchmark query once with execution tracing enabled
+// and prints its EXPLAIN ANALYZE rendering: the physical plan annotated,
+// per operator, with estimated vs. actual cardinality, the estimate's
+// q-error and the operator's self/simulated time. It is the drill-down
+// companion to Table 4 — where that table reports one runtime per query,
+// this view attributes it to operators.
+//
+// When tracePrefix is non-empty a Chrome trace_event timeline is written
+// per query to "<prefix>-Q<n>.json" (open in chrome://tracing or Perfetto).
+func Analyze(r *Runner, w io.Writer, tracePrefix string) error {
+	fmt.Fprintf(w, "== EXPLAIN ANALYZE (4 workers, Q1-3 on SF%g high sel., Q4-6 on SF%g) ==\n", r.SFLarge, r.SFSmall)
+	for _, q := range AllQueries {
+		sf := r.SFSmall
+		if q.Operational() {
+			sf = r.SFLarge
+		}
+		m, res, err := r.RunAnalyzed(q, sf, 4, High)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "-- %s: %d matches, sim %s, skew %.2f, shuffled %dB\n",
+			q, m.Count, fmtDur(m.SimTime), m.Skew, m.ShuffledBytes)
+		fmt.Fprint(w, res.AnalyzedPlan())
+		if tracePrefix != "" {
+			path := fmt.Sprintf("%s-%s.json", strings.TrimSuffix(tracePrefix, ".json"), q)
+			if err := writeChromeFile(path, res.Trace); err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "   trace: %s\n", path)
+		}
+	}
+	return nil
+}
+
+// writeChromeFile dumps one collector's Chrome trace_event JSON to path.
+func writeChromeFile(path string, c *trace.Collector) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := c.WriteChromeTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,94 @@
+package benchkit
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"gradoop/internal/baseline"
+	"gradoop/internal/cypher"
+	"gradoop/internal/operators"
+	"gradoop/internal/trace"
+)
+
+// TestRunAnalyzedMatchesOracle: the actual cardinalities EXPLAIN ANALYZE
+// reports must be ground truth — the root operator's actual count on an
+// LDBC-sim query is checked against the brute-force reference matcher, and
+// every plan line must carry the est/act annotation.
+func TestRunAnalyzedMatchesOracle(t *testing.T) {
+	r := NewRunner()
+	r.SFSmall = 0.05
+
+	m, res, err := r.RunAnalyzed(Q5, r.SFSmall, 3, High)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ast, err := cypher.Parse(Q5.Text())
+	if err != nil {
+		t.Fatal(err)
+	}
+	qg, err := cypher.BuildQueryGraph(ast, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := baseline.NewReference(res.Graph)
+	morph := operators.Morphism{Vertex: operators.Homomorphism, Edge: operators.Isomorphism}
+	want := int64(ref.Count(qg, morph))
+	if m.Count != want {
+		t.Fatalf("Q5 engine count %d != oracle %d", m.Count, want)
+	}
+
+	rootAct, ok := res.Trace.Op(res.Plan.Root)
+	if !ok {
+		t.Fatal("root operator missing from trace")
+	}
+	if rootAct.Rows != want {
+		t.Errorf("root actual %d != oracle %d", rootAct.Rows, want)
+	}
+	analyzed := res.AnalyzedPlan()
+	for i, line := range strings.Split(strings.TrimRight(analyzed, "\n"), "\n") {
+		if !strings.Contains(line, "~") || !strings.Contains(line, "act=") {
+			t.Errorf("plan line %d lacks est/act annotation: %q", i, line)
+		}
+	}
+}
+
+// TestAnalyzeExperiment: the bench experiment must render every query's
+// analyzed plan and write one valid Chrome trace file per query.
+func TestAnalyzeExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs all six queries")
+	}
+	r := NewRunner()
+	r.SFSmall, r.SFLarge = 0.02, 0.05
+	prefix := filepath.Join(t.TempDir(), "trace")
+
+	var buf bytes.Buffer
+	if err := Analyze(r, &buf, prefix); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, q := range AllQueries {
+		if !strings.Contains(out, "-- "+q.String()+":") {
+			t.Errorf("analyze output missing %s section", q)
+		}
+		data, err := os.ReadFile(prefix + "-" + q.String() + ".json")
+		if err != nil {
+			t.Fatalf("%s trace file: %v", q, err)
+		}
+		var doc trace.ChromeTrace
+		if err := json.Unmarshal(data, &doc); err != nil {
+			t.Fatalf("%s trace is not valid JSON: %v", q, err)
+		}
+		if len(doc.TraceEvents) == 0 {
+			t.Errorf("%s trace is empty", q)
+		}
+	}
+	if !strings.Contains(out, "act=") {
+		t.Error("analyze output carries no actual cardinalities")
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"gradoop/internal/ldbc"
 	"gradoop/internal/operators"
 	"gradoop/internal/stats"
+	"gradoop/internal/trace"
 )
 
 // Runner prepares datasets and executes measured queries. Prepared graphs
@@ -104,9 +105,23 @@ var paperMorphism = core.Config{
 // and counting them"); generation cost stands in for HDFS loading and is
 // excluded, which is noted in EXPERIMENTS.md.
 func (r *Runner) Run(q QueryID, sf float64, workers int, sel Selectivity) (Measurement, error) {
+	m, _, err := r.run(q, sf, workers, sel, nil)
+	return m, err
+}
+
+// RunAnalyzed executes one query with execution tracing enabled and returns
+// the measurement together with the full result; res.AnalyzedPlan() renders
+// the EXPLAIN ANALYZE view and res.Trace exports the Chrome timeline.
+func (r *Runner) RunAnalyzed(q QueryID, sf float64, workers int, sel Selectivity) (Measurement, *core.Result, error) {
+	return r.run(q, sf, workers, sel, trace.NewCollector())
+}
+
+// run is the shared measured-execution path; col is nil for untraced runs.
+func (r *Runner) run(q QueryID, sf float64, workers int, sel Selectivity, col *trace.Collector) (Measurement, *core.Result, error) {
 	p := r.Prepare(sf, workers)
 	cfg := paperMorphism
 	cfg.Stats = p.stats
+	cfg.Trace = col
 	if q.Operational() {
 		cfg.Params = map[string]epgm.PropertyValue{
 			"firstName": epgm.PVString(p.FirstName(sel)),
@@ -116,7 +131,7 @@ func (r *Runner) Run(q QueryID, sf float64, workers int, sel Selectivity) (Measu
 	start := time.Now()
 	res, err := core.Execute(p.Graph(), q.Text(), cfg)
 	if err != nil {
-		return Measurement{}, fmt.Errorf("benchkit: %s: %w", q, err)
+		return Measurement{}, nil, fmt.Errorf("benchkit: %s: %w", q, err)
 	}
 	count := res.Count()
 	real := time.Since(start)
@@ -131,7 +146,7 @@ func (r *Runner) Run(q QueryID, sf float64, workers int, sel Selectivity) (Measu
 		RealTime:      real,
 		Skew:          m.Skew(),
 		ShuffledBytes: m.TotalNet,
-	}, nil
+	}, res, nil
 }
 
 // runExtended executes an extended-workload query and returns its rows.

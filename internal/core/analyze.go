@@ -1,0 +1,86 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"gradoop/internal/operators"
+	"gradoop/internal/trace"
+)
+
+// This file implements EXPLAIN ANALYZE: the executed plan rendered with,
+// per operator, the planner's estimated cardinality next to the actual one
+// recorded by the execution tracer, the estimate's q-error, the operator's
+// self wall time and the simulated cluster time of its stages. It is the
+// direct lens on the evaluation's attribution questions — which operator
+// eats the time, and how far the cardinality estimates drift (Table 4).
+
+// traceToken unwraps the reuse wrappers to the operator that actually
+// recorded trace statistics: Alias and Cached pass evaluation through to
+// their inner operator, so their actuals live under its token.
+func traceToken(op operators.Operator) operators.Operator {
+	for {
+		switch o := op.(type) {
+		case *operators.Alias:
+			op = o.In
+		case *operators.Cached:
+			op = o.Inner
+		default:
+			return op
+		}
+	}
+}
+
+// qerror is the symmetric estimate-error factor: max(est/act, act/est),
+// with both sides clamped to ≥1 row so empty results stay finite. 1.0 is a
+// perfect estimate.
+func qerror(est float64, act int64) float64 {
+	e := math.Max(est, 1)
+	a := math.Max(float64(act), 1)
+	return math.Max(e/a, a/e)
+}
+
+// AnalyzedPlan renders the executed plan annotated, per operator, with
+// actual output cardinality, estimate q-error, self wall time (children
+// excluded) and the simulated cluster time of the operator's stages. It
+// requires the query to have run with Config.Trace set; without a trace it
+// degrades to the plain Explain rendering.
+func (r *Result) AnalyzedPlan() string {
+	c := r.Trace
+	if c == nil {
+		return r.Plan.Explain()
+	}
+	cfg := r.Env.Config()
+	spans := map[int64]trace.Span{}
+	for _, s := range c.Spans() {
+		spans[s.Stage] = s
+	}
+	return r.Plan.ExplainWith(func(op operators.Operator) string {
+		inner := traceToken(op)
+		st, ok := c.Op(inner)
+		if !ok {
+			// Never evaluated (e.g. a subtree skipped after a failure).
+			return "[not executed]"
+		}
+		var sim time.Duration
+		for _, stage := range st.Stages {
+			if s, found := spans[stage]; found {
+				sim += s.SimTime(cfg.CPUTimePerElement, cfg.NetTimePerByte,
+					cfg.DiskTimePerByte, cfg.StageOverhead)
+			}
+		}
+		est, hasEst := r.Plan.Estimates[op]
+		annot := fmt.Sprintf("act=%d", st.Rows)
+		if hasEst {
+			annot += fmt.Sprintf(" err=%.1fx", qerror(est, st.Rows))
+		}
+		annot += fmt.Sprintf(" self=%s sim=%s",
+			st.Wall.Round(time.Microsecond), sim.Round(time.Microsecond))
+		if inner != op {
+			// Reuse wrappers share the canonical operator's execution.
+			annot += " (shared)"
+		}
+		return "[" + annot + "]"
+	})
+}

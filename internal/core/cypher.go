@@ -18,6 +18,7 @@ import (
 	"gradoop/internal/operators"
 	"gradoop/internal/planner"
 	"gradoop/internal/stats"
+	"gradoop/internal/trace"
 )
 
 // Config controls one query execution.
@@ -47,6 +48,13 @@ type Config struct {
 	// expired timeout surfaces as context.DeadlineExceeded. It composes
 	// with Context: whichever fires first cancels the job.
 	Timeout time.Duration
+	// Trace, when non-nil, records per-stage execution spans (operator
+	// attribution, per-partition rows/bytes/wall time, retries) into the
+	// collector while the query runs. It powers Result.AnalyzedPlan and the
+	// Chrome trace export. Nil — the default — disables tracing entirely;
+	// execution takes the engine's zero-cost path and produces bit-identical
+	// results and metrics.
+	Trace *trace.Collector
 }
 
 // Result is an executed query.
@@ -56,6 +64,12 @@ type Result struct {
 	Plan       *planner.QueryPlan
 	Embeddings *dataflow.Dataset[embedding.Embedding]
 	Meta       *embedding.Meta
+	// Env is the environment the query executed on (the graph's, unless
+	// Config.Access overrode it).
+	Env *dataflow.Env
+	// Trace is the execution trace recorded during the run, or nil when
+	// Config.Trace was not set. AnalyzedPlan and the Chrome export read it.
+	Trace *trace.Collector
 }
 
 // prepare parses, simplifies and plans a query.
@@ -112,6 +126,10 @@ func Execute(g *epgm.LogicalGraph, query string, cfg Config) (*Result, error) {
 	if cfg.Access != nil {
 		env = cfg.Access.Env()
 	}
+	if cfg.Trace != nil {
+		env.SetTracer(cfg.Trace)
+		defer env.SetTracer(nil)
+	}
 	ctx := cfg.Context
 	if cfg.Timeout > 0 {
 		if ctx == nil {
@@ -132,6 +150,8 @@ func Execute(g *epgm.LogicalGraph, query string, cfg Config) (*Result, error) {
 		Plan:       plan,
 		Embeddings: embeddings,
 		Meta:       plan.Meta(),
+		Env:        env,
+		Trace:      cfg.Trace,
 	}, nil
 }
 

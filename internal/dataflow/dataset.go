@@ -130,7 +130,7 @@ func FlatMap[T, U any](d *Dataset[T], f func(T, func(U))) *Dataset[U] {
 	if env.Failed() {
 		return Empty[U](env)
 	}
-	env.metrics.addStage(false)
+	env.beginStage("FlatMap", false)
 	out := make([][]U, len(d.parts))
 	env.runParts(len(d.parts), func(p int) {
 		var res []U
@@ -141,7 +141,9 @@ func FlatMap[T, U any](d *Dataset[T], f func(T, func(U))) *Dataset[U] {
 			}
 			f(t, emit)
 		}
-		env.metrics.addCPU(p, int64(len(d.parts[p])))
+		env.chargeCPU(p, int64(len(d.parts[p])))
+		env.traceRowsIn(p, int64(len(d.parts[p])))
+		env.traceRowsOut(p, int64(len(res)))
 		out[p] = res
 	})
 	return &Dataset[U]{env: env, parts: out}
@@ -154,12 +156,14 @@ func MapPartition[T, U any](d *Dataset[T], f func(part []T, emit func(U))) *Data
 	if env.Failed() {
 		return Empty[U](env)
 	}
-	env.metrics.addStage(false)
+	env.beginStage("MapPartition", false)
 	out := make([][]U, len(d.parts))
 	env.runParts(len(d.parts), func(p int) {
 		var res []U
 		f(d.parts[p], func(u U) { res = append(res, u) })
-		env.metrics.addCPU(p, int64(len(d.parts[p])))
+		env.chargeCPU(p, int64(len(d.parts[p])))
+		env.traceRowsIn(p, int64(len(d.parts[p])))
+		env.traceRowsOut(p, int64(len(res)))
 		out[p] = res
 	})
 	return &Dataset[U]{env: env, parts: out}
@@ -172,7 +176,7 @@ func Union[T any](a, b *Dataset[T]) *Dataset[T] {
 	if mismatch(a.env, b.env, "Union") || env.Failed() {
 		return Empty[T](env)
 	}
-	env.metrics.addStage(false)
+	env.beginStage("Union", false)
 	out := make([][]T, len(a.parts))
 	for p := range out {
 		if len(b.parts[p]) == 0 {
@@ -183,6 +187,13 @@ func Union[T any](a, b *Dataset[T]) *Dataset[T] {
 		merged = append(merged, a.parts[p]...)
 		merged = append(merged, b.parts[p]...)
 		out[p] = merged
+	}
+	if env.tracer != nil {
+		for p := range out {
+			n := int64(len(out[p]))
+			env.traceRowsIn(p, n)
+			env.traceRowsOut(p, n)
+		}
 	}
 	tag := uint64(0)
 	if a.partTag == b.partTag {

@@ -28,6 +28,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"gradoop/internal/trace"
 )
 
 // Config describes a simulated cluster: how many workers execute a job and
@@ -106,6 +108,11 @@ type Env struct {
 	cfg     Config
 	metrics Metrics
 
+	// tracer records per-stage execution spans; nil disables tracing (the
+	// default, and the zero-cost path: every hook is a nil check). Written
+	// only between jobs (SetTracer), like ctx.
+	tracer *trace.Collector
+
 	// ctx/done carry the current job's cancellation signal; nil when the
 	// job is not cancellable. Written only between jobs (Begin/Finish).
 	ctx  context.Context
@@ -178,12 +185,81 @@ func (e *Env) Begin(ctx context.Context) {
 	e.ctx, e.done = ctx, ctx.Done()
 }
 
-// Finish ends the current job: it detaches the cancellation context and
-// returns the job's error, if any. A failed environment stays failed —
-// further transformations keep short-circuiting — until the next Begin.
+// Finish ends the current job: it detaches the cancellation context,
+// closes the tracer's open span and returns the job's error, if any. A
+// failed environment stays failed — further transformations keep
+// short-circuiting — until the next Begin.
 func (e *Env) Finish() error {
 	e.ctx, e.done = nil, nil
+	if e.tracer != nil {
+		e.tracer.Finish()
+	}
 	return e.Err()
+}
+
+// SetTracer installs (or, with nil, removes) the execution-trace collector.
+// Must only be called between jobs. With no collector the engine's tracing
+// hooks reduce to a nil check, so disabled tracing is free.
+func (e *Env) SetTracer(c *trace.Collector) { e.tracer = c }
+
+// Tracer returns the installed trace collector, or nil.
+func (e *Env) Tracer() *trace.Collector { return e.tracer }
+
+// MarkIteration tags subsequently traced stages with a 1-based bulk
+// iteration superstep number (0 clears the tag). A no-op without a tracer.
+func (e *Env) MarkIteration(it int) {
+	if e.tracer != nil {
+		e.tracer.SetIteration(it)
+	}
+}
+
+// beginStage counts a new stage in the metrics and, when tracing, opens its
+// span. Every transformation calls it exactly once, immediately before its
+// partitioned run.
+func (e *Env) beginStage(kind string, shuffle bool) {
+	stage := e.metrics.addStage(shuffle)
+	if e.tracer != nil {
+		e.tracer.BeginStage(stage, kind, shuffle, e.cfg.Workers)
+	}
+}
+
+// chargeCPU accounts elements processed by a worker, mirroring the charge
+// into the active trace span.
+func (e *Env) chargeCPU(worker int, elements int64) {
+	e.metrics.addCPU(worker, elements)
+	if e.tracer != nil {
+		e.tracer.CPU(worker, elements)
+	}
+}
+
+// chargeNet accounts bytes received by a worker over the simulated network.
+func (e *Env) chargeNet(worker int, bytes int64) {
+	e.metrics.addNet(worker, bytes)
+	if e.tracer != nil {
+		e.tracer.Net(worker, bytes)
+	}
+}
+
+// chargeSpill accounts bytes spilled to simulated disk by a worker.
+func (e *Env) chargeSpill(worker int, bytes int64) {
+	e.metrics.addSpill(worker, bytes)
+	if e.tracer != nil {
+		e.tracer.Spill(worker, bytes)
+	}
+}
+
+// traceRowsIn records a partition's input row count for the active span.
+func (e *Env) traceRowsIn(worker int, rows int64) {
+	if e.tracer != nil {
+		e.tracer.RowsIn(worker, rows)
+	}
+}
+
+// traceRowsOut records a partition's output row count for the active span.
+func (e *Env) traceRowsOut(worker int, rows int64) {
+	if e.tracer != nil {
+		e.tracer.RowsOut(worker, rows)
+	}
 }
 
 // Err returns the first error recorded for the current job (a *JobError for
@@ -290,7 +366,14 @@ func (e *Env) runParts(n int, f func(p int)) {
 func (e *Env) runPartition(stage int64, p int, f func(int)) {
 	plan := e.cfg.FaultPlan
 	for attempt := 0; ; attempt++ {
+		var started time.Time
+		if e.tracer != nil {
+			started = time.Now()
+		}
 		err := e.runAttempt(stage, p, f)
+		if e.tracer != nil {
+			e.tracer.Attempt(stage, p, attempt, started, time.Now(), err != nil)
+		}
 		if err == nil {
 			return
 		}
@@ -299,7 +382,11 @@ func (e *Env) runPartition(stage int64, p int, f func(int)) {
 				// Lineage-based recovery: charge the simulated redeployment
 				// (backoff + stage overhead) and loop to re-execute the
 				// partition; the recomputed work re-charges its own CPU.
-				e.metrics.addRecovery(p, stage, plan.backoff(attempt)+e.cfg.StageOverhead)
+				recovery := plan.backoff(attempt) + e.cfg.StageOverhead
+				e.metrics.addRecovery(p, stage, recovery)
+				if e.tracer != nil {
+					e.tracer.Retry(stage, p, recovery)
+				}
 				continue
 			}
 			err = &JobError{

@@ -13,10 +13,14 @@ func BulkIteration[T any](initial *Dataset[T], maxIterations int,
 	env := initial.Env()
 	acc := Empty[T](env)
 	working := initial
+	// Tag traced stages with their superstep so trace exports show where
+	// each iteration's time went; cleared when the loop exits.
+	defer env.MarkIteration(0)
 	for it := 1; it <= maxIterations; it++ {
 		if env.Failed() || working.IsEmpty() {
 			break
 		}
+		env.MarkIteration(it)
 		next, results := body(it, working)
 		if results != nil {
 			acc = Union(acc, results)

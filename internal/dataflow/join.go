@@ -45,11 +45,14 @@ func repartitionJoin[L, R, U any](l *Dataset[L], r *Dataset[R], lkey func(L) uin
 	env := l.env
 	ls := shuffleTagged(l, lkey, tag)
 	rs := shuffleTagged(r, rkey, tag)
-	env.metrics.addStage(false)
+	env.beginStage("Join", false)
 	w := len(ls.parts)
 	out := make([][]U, w)
 	env.runParts(w, func(p int) {
-		out[p] = hashJoinPartition(env, p, ls.parts[p], rs.parts[p], lkey, rkey, joiner)
+		res := hashJoinPartition(env, p, ls.parts[p], rs.parts[p], lkey, rkey, joiner)
+		env.traceRowsIn(p, int64(len(ls.parts[p])+len(rs.parts[p])))
+		env.traceRowsOut(p, int64(len(res)))
+		out[p] = res
 	})
 	return &Dataset[U]{env: env, parts: out, partTag: tag}
 }
@@ -58,11 +61,14 @@ func broadcastJoin[L, R, U any](l *Dataset[L], r *Dataset[R], lkey func(L) uint6
 	joiner func(L, R, func(U))) *Dataset[U] {
 	env := l.env
 	build := broadcast(l)
-	env.metrics.addStage(false)
+	env.beginStage("Join", false)
 	w := len(r.parts)
 	out := make([][]U, w)
 	env.runParts(w, func(p int) {
-		out[p] = hashJoinPartition(env, p, build, r.parts[p], lkey, rkey, joiner)
+		res := hashJoinPartition(env, p, build, r.parts[p], lkey, rkey, joiner)
+		env.traceRowsIn(p, int64(len(build)+len(r.parts[p])))
+		env.traceRowsOut(p, int64(len(res)))
+		out[p] = res
 	})
 	return &Dataset[U]{env: env, parts: out}
 }
@@ -80,7 +86,7 @@ func CoGroup[L, R, U any](l *Dataset[L], r *Dataset[R], lkey func(L) uint64, rke
 	}
 	ls := shuffle(l, lkey)
 	rs := shuffle(r, rkey)
-	env.metrics.addStage(false)
+	env.beginStage("CoGroup", false)
 	w := len(ls.parts)
 	out := make([][]U, w)
 	env.runParts(w, func(p int) {
@@ -118,7 +124,9 @@ func CoGroup[L, R, U any](l *Dataset[L], r *Dataset[R], lkey func(L) uint64, rke
 			}
 			f(k, nil, rightGroups[k], emit)
 		}
-		env.metrics.addCPU(p, int64(len(ls.parts[p])+len(rs.parts[p])))
+		env.chargeCPU(p, int64(len(ls.parts[p])+len(rs.parts[p])))
+		env.traceRowsIn(p, int64(len(ls.parts[p])+len(rs.parts[p])))
+		env.traceRowsOut(p, int64(len(res)))
 		out[p] = res
 	})
 	return &Dataset[U]{env: env, parts: out}
@@ -149,7 +157,7 @@ func hashJoinPartition[L, R, U any](env *Env, p int, left []L, right []R,
 			probeBytes += sizeOf(rv)
 		}
 		spilled := int64(overflow*float64(buildBytes)) + int64(overflow*float64(probeBytes))
-		env.metrics.addSpill(p, 2*spilled)
+		env.chargeSpill(p, 2*spilled)
 	}
 	var res []U
 	emit := func(u U) { res = append(res, u) }
@@ -169,6 +177,6 @@ func hashJoinPartition[L, R, U any](env *Env, p int, left []L, right []R,
 			joiner(lv, rv, emit)
 		}
 	}
-	env.metrics.addCPU(p, int64(len(left)+len(right)))
+	env.chargeCPU(p, int64(len(left)+len(right)))
 	return res
 }

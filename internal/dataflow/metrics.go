@@ -3,70 +3,67 @@ package dataflow
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
-// Metrics accumulates the cost drivers of a dataflow job per worker. All
-// counters are written under a mutex by the engine; user code never touches
+// Metrics accumulates the cost drivers of a dataflow job per worker. The
+// per-worker counters are plain atomics — every partition goroutine hits
+// them on its hot path, and a shared mutex there serializes exactly the
+// workers the engine tries to run in parallel. Only the retried-stage set,
+// touched on the rare recovery path, keeps a lock. User code never touches
 // Metrics directly.
 type Metrics struct {
-	mu            sync.Mutex
-	cpuElements   []int64 // elements processed, per worker
-	netBytes      []int64 // bytes received over the simulated network, per worker
-	spillBytes    []int64 // bytes written+read to simulated disk, per worker
-	recoveryTime  []time.Duration // simulated redeployment/backoff time, per worker
-	stages        int64   // transformations executed
-	shuffles      int64   // transformations that required a network exchange
-	retries       int64   // partition re-executions after injected failures
+	cpuElements  []atomic.Int64 // elements processed, per worker
+	netBytes     []atomic.Int64 // bytes received over the simulated network, per worker
+	spillBytes   []atomic.Int64 // bytes written+read to simulated disk, per worker
+	recoveryNs   []atomic.Int64 // simulated redeployment/backoff nanoseconds, per worker
+	stages       atomic.Int64   // transformations executed
+	shuffles     atomic.Int64   // transformations that required a network exchange
+	retries      atomic.Int64   // partition re-executions after injected failures
+	mu           sync.Mutex     // guards retriedStages
 	retriedStages map[int64]struct{} // distinct stages that needed ≥1 retry
 }
 
+// init (re)allocates the counters. It must only run between jobs: the
+// slices are swapped wholesale and concurrent writers would update the old
+// ones.
 func (m *Metrics) init(workers int) {
+	m.cpuElements = make([]atomic.Int64, workers)
+	m.netBytes = make([]atomic.Int64, workers)
+	m.spillBytes = make([]atomic.Int64, workers)
+	m.recoveryNs = make([]atomic.Int64, workers)
+	m.stages.Store(0)
+	m.shuffles.Store(0)
+	m.retries.Store(0)
 	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.cpuElements = make([]int64, workers)
-	m.netBytes = make([]int64, workers)
-	m.spillBytes = make([]int64, workers)
-	m.recoveryTime = make([]time.Duration, workers)
-	m.stages = 0
-	m.shuffles = 0
-	m.retries = 0
 	m.retriedStages = nil
+	m.mu.Unlock()
 }
 
-func (m *Metrics) addStage(shuffle bool) {
-	m.mu.Lock()
-	m.stages++
+// addStage counts one transformation and returns its 1-based stage number.
+func (m *Metrics) addStage(shuffle bool) int64 {
+	n := m.stages.Add(1)
 	if shuffle {
-		m.shuffles++
+		m.shuffles.Add(1)
 	}
-	m.mu.Unlock()
+	return n
 }
 
 // stageCount returns the number of the stage currently executing (stages
 // are counted by addStage immediately before their partitioned run).
-func (m *Metrics) stageCount() int64 {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.stages
-}
+func (m *Metrics) stageCount() int64 { return m.stages.Load() }
 
 func (m *Metrics) addCPU(worker int, elements int64) {
-	m.mu.Lock()
-	m.cpuElements[worker] += elements
-	m.mu.Unlock()
+	m.cpuElements[worker].Add(elements)
 }
 
 func (m *Metrics) addNet(worker int, bytes int64) {
-	m.mu.Lock()
-	m.netBytes[worker] += bytes
-	m.mu.Unlock()
+	m.netBytes[worker].Add(bytes)
 }
 
 func (m *Metrics) addSpill(worker int, bytes int64) {
-	m.mu.Lock()
-	m.spillBytes[worker] += bytes
-	m.mu.Unlock()
+	m.spillBytes[worker].Add(bytes)
 }
 
 // addRecovery charges one worker-failure recovery: the simulated
@@ -74,9 +71,9 @@ func (m *Metrics) addSpill(worker int, bytes int64) {
 // membership in the retried-stage set. The re-executed work itself
 // re-charges CPU/spill through the normal counters.
 func (m *Metrics) addRecovery(worker int, stage int64, d time.Duration) {
+	m.recoveryNs[worker].Add(int64(d))
+	m.retries.Add(1)
 	m.mu.Lock()
-	m.recoveryTime[worker] += d
-	m.retries++
 	if m.retriedStages == nil {
 		m.retriedStages = map[int64]struct{}{}
 	}
@@ -112,30 +109,35 @@ type MetricsSnapshot struct {
 
 func (m *Metrics) snapshot(cfg Config) MetricsSnapshot {
 	m.mu.Lock()
-	defer m.mu.Unlock()
+	retriedStages := int64(len(m.retriedStages))
+	m.mu.Unlock()
 	s := MetricsSnapshot{
 		Workers:       len(m.cpuElements),
-		CPUElements:   append([]int64(nil), m.cpuElements...),
-		NetBytes:      append([]int64(nil), m.netBytes...),
-		SpillBytes:    append([]int64(nil), m.spillBytes...),
-		Stages:        m.stages,
-		Shuffles:      m.shuffles,
-		Retries:       m.retries,
-		RetriedStages: int64(len(m.retriedStages)),
+		CPUElements:   make([]int64, len(m.cpuElements)),
+		NetBytes:      make([]int64, len(m.netBytes)),
+		SpillBytes:    make([]int64, len(m.spillBytes)),
+		Stages:        m.stages.Load(),
+		Shuffles:      m.shuffles.Load(),
+		Retries:       m.retries.Load(),
+		RetriedStages: retriedStages,
 	}
 	var worst time.Duration
 	for w := range s.CPUElements {
+		s.CPUElements[w] = m.cpuElements[w].Load()
+		s.NetBytes[w] = m.netBytes[w].Load()
+		s.SpillBytes[w] = m.spillBytes[w].Load()
+		recovery := time.Duration(m.recoveryNs[w].Load())
 		s.TotalCPU += s.CPUElements[w]
 		s.TotalNet += s.NetBytes[w]
 		s.TotalSpill += s.SpillBytes[w]
-		s.RecoveryTime += m.recoveryTime[w]
+		s.RecoveryTime += recovery
 		if s.CPUElements[w] > s.MaxWorkerCPU {
 			s.MaxWorkerCPU = s.CPUElements[w]
 		}
 		t := time.Duration(s.CPUElements[w])*cfg.CPUTimePerElement +
 			time.Duration(s.NetBytes[w])*cfg.NetTimePerByte +
 			time.Duration(s.SpillBytes[w])*cfg.DiskTimePerByte +
-			m.recoveryTime[w]
+			recovery
 		if t > worst {
 			worst = t
 		}

@@ -1,0 +1,106 @@
+package dataflow
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestSkewEdgeCases: Skew must degrade to the neutral 1.0 instead of
+// dividing by zero on empty or zero-work snapshots.
+func TestSkewEdgeCases(t *testing.T) {
+	if s := (MetricsSnapshot{}).Skew(); s != 1 {
+		t.Errorf("zero-value snapshot skew = %v, want 1", s)
+	}
+	if s := (MetricsSnapshot{Workers: 4}).Skew(); s != 1 {
+		t.Errorf("zero-CPU snapshot skew = %v, want 1", s)
+	}
+	if s := (MetricsSnapshot{TotalCPU: 100, MaxWorkerCPU: 100}).Skew(); s != 1 {
+		t.Errorf("zero-workers snapshot skew = %v, want 1", s)
+	}
+	perfect := MetricsSnapshot{Workers: 4, TotalCPU: 400, MaxWorkerCPU: 100}
+	if s := perfect.Skew(); s != 1 {
+		t.Errorf("balanced skew = %v, want 1", s)
+	}
+	skewed := MetricsSnapshot{Workers: 4, TotalCPU: 400, MaxWorkerCPU: 400}
+	if s := skewed.Skew(); s != 4 {
+		t.Errorf("one-hot skew = %v, want 4", s)
+	}
+}
+
+// TestSnapshotString: the summary line must include the retry block exactly
+// when retries happened.
+func TestSnapshotString(t *testing.T) {
+	clean := MetricsSnapshot{Workers: 2, Stages: 3}
+	if s := clean.String(); strings.Contains(s, "retries=") {
+		t.Errorf("clean snapshot mentions retries: %q", s)
+	}
+	retried := MetricsSnapshot{
+		Workers: 2, Stages: 3,
+		Retries: 2, RetriedStages: 1, RecoveryTime: 3 * time.Millisecond,
+	}
+	s := retried.String()
+	for _, want := range []string{"retries=2", "retriedStages=1", "recovery=3ms"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("retried snapshot %q missing %q", s, want)
+		}
+	}
+	if !strings.Contains(s, "workers=2") || !strings.Contains(s, "skew=1.00") {
+		t.Errorf("summary %q missing base fields", s)
+	}
+}
+
+// TestMetricsConcurrentCounters: the lock-free per-worker counters must
+// accumulate correctly under concurrent hammering from all workers (run
+// with -race this also proves the atomics replaced the mutex soundly).
+func TestMetricsConcurrentCounters(t *testing.T) {
+	var m Metrics
+	const workers, rounds = 8, 1000
+	m.init(workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				m.addCPU(w, 1)
+				m.addNet(w, 2)
+				m.addSpill(w, 3)
+			}
+			m.addRecovery(w, int64(w%2)+1, time.Microsecond)
+		}(w)
+	}
+	wg.Wait()
+	s := m.snapshot(DefaultConfig(workers))
+	if s.TotalCPU != workers*rounds || s.TotalNet != 2*workers*rounds || s.TotalSpill != 3*workers*rounds {
+		t.Errorf("totals = %d/%d/%d, want %d/%d/%d",
+			s.TotalCPU, s.TotalNet, s.TotalSpill, workers*rounds, 2*workers*rounds, 3*workers*rounds)
+	}
+	if s.Retries != workers {
+		t.Errorf("retries = %d, want %d", s.Retries, workers)
+	}
+	if s.RetriedStages != 2 {
+		t.Errorf("retried stages = %d, want 2", s.RetriedStages)
+	}
+	if s.RecoveryTime != time.Duration(workers)*time.Microsecond {
+		t.Errorf("recovery = %v, want %v", s.RecoveryTime, time.Duration(workers)*time.Microsecond)
+	}
+}
+
+// TestAddStageNumbers: stage numbers are 1-based and sequential, and
+// shuffles are counted separately.
+func TestAddStageNumbers(t *testing.T) {
+	var m Metrics
+	m.init(2)
+	if n := m.addStage(false); n != 1 {
+		t.Errorf("first stage = %d, want 1", n)
+	}
+	if n := m.addStage(true); n != 2 {
+		t.Errorf("second stage = %d, want 2", n)
+	}
+	s := m.snapshot(DefaultConfig(2))
+	if s.Stages != 2 || s.Shuffles != 1 {
+		t.Errorf("stages/shuffles = %d/%d, want 2/1", s.Stages, s.Shuffles)
+	}
+}

@@ -41,11 +41,13 @@ func shuffleTagged[T any](d *Dataset[T], key func(T) uint64, tag uint64) *Datase
 	if tag != 0 && d.partTag == tag {
 		return d
 	}
-	env.metrics.addStage(true)
+	env.beginStage("Shuffle", true)
 	w := len(d.parts)
 	if w == 1 {
 		// Single worker: nothing moves, but the pass over the data is real.
-		env.metrics.addCPU(0, int64(len(d.parts[0])))
+		env.chargeCPU(0, int64(len(d.parts[0])))
+		env.traceRowsIn(0, int64(len(d.parts[0])))
+		env.traceRowsOut(0, int64(len(d.parts[0])))
 		if tag != 0 {
 			tagged := *d
 			tagged.partTag = tag
@@ -69,7 +71,8 @@ func shuffleTagged[T any](d *Dataset[T], key func(T) uint64, tag uint64) *Datase
 				mv[q] += sizeOf(t)
 			}
 		}
-		env.metrics.addCPU(p, int64(len(d.parts[p])))
+		env.chargeCPU(p, int64(len(d.parts[p])))
+		env.traceRowsIn(p, int64(len(d.parts[p])))
 		buckets[p] = b
 		moved[p] = mv
 	})
@@ -102,7 +105,8 @@ func gatherExchange[T any](env *Env, buckets [][][]T, moved [][]int64) ([][]T, b
 			part = append(part, buckets[p][q]...)
 		}
 		out[q] = part
-		env.metrics.addNet(q, bytes)
+		env.chargeNet(q, bytes)
+		env.traceRowsOut(q, int64(n))
 	}
 	return out, true
 }
@@ -117,10 +121,12 @@ func Rebalance[T any](d *Dataset[T]) *Dataset[T] {
 	if env.Failed() {
 		return Empty[T](env)
 	}
-	env.metrics.addStage(true)
+	env.beginStage("Rebalance", true)
 	w := len(d.parts)
 	if w == 1 {
-		env.metrics.addCPU(0, int64(len(d.parts[0])))
+		env.chargeCPU(0, int64(len(d.parts[0])))
+		env.traceRowsIn(0, int64(len(d.parts[0])))
+		env.traceRowsOut(0, int64(len(d.parts[0])))
 		return d
 	}
 	offs := make([]int, w) // global index of each partition's first element
@@ -144,7 +150,8 @@ func Rebalance[T any](d *Dataset[T]) *Dataset[T] {
 				mv[q] += sizeOf(t)
 			}
 		}
-		env.metrics.addCPU(p, int64(len(d.parts[p])))
+		env.chargeCPU(p, int64(len(d.parts[p])))
+		env.traceRowsIn(p, int64(len(d.parts[p])))
 		buckets[p] = b
 		moved[p] = mv
 	})
@@ -168,7 +175,7 @@ func broadcast[T any](d *Dataset[T]) []T {
 	if env.Failed() {
 		return nil
 	}
-	env.metrics.addStage(true)
+	env.beginStage("Broadcast", true)
 	all := d.Collect()
 	var bytes int64
 	for _, t := range all {
@@ -178,7 +185,8 @@ func broadcast[T any](d *Dataset[T]) []T {
 	for q := 0; q < w; q++ {
 		// Every worker receives the full copy except the share it already had;
 		// approximating as full size keeps the model simple and pessimistic.
-		env.metrics.addNet(q, bytes)
+		env.chargeNet(q, bytes)
+		env.traceRowsOut(q, int64(len(all)))
 	}
 	return all
 }

@@ -95,6 +95,12 @@ func (s pathState) SizeBytes() int { return s.base.SizeBytes() + 8*len(s.via) + 
 // Evaluate implements Operator.
 func (op *ExpandEmbeddings) Evaluate() *dataflow.Dataset[embedding.Embedding] {
 	in := op.In.Evaluate()
+	return traced(op, in.Env(), func() *dataflow.Dataset[embedding.Embedding] {
+		return op.evaluate(in)
+	})
+}
+
+func (op *ExpandEmbeddings) evaluate(in *dataflow.Dataset[embedding.Embedding]) *dataflow.Dataset[embedding.Embedding] {
 	qe := op.Edge
 
 	// Select the relevant edges once; the iteration reuses the dataset.
@@ -127,6 +133,8 @@ func (op *ExpandEmbeddings) Evaluate() *dataflow.Dataset[embedding.Embedding] {
 	}
 
 	env := in.Env()
+	// Tag traced stages with their superstep, as BulkIteration does.
+	defer env.MarkIteration(0)
 	for iter := 1; iter <= qe.MaxHops; iter++ {
 		// A failed or cancelled environment drains the working set, so the
 		// bulk iteration is abortable between supersteps, not only inside
@@ -134,6 +142,7 @@ func (op *ExpandEmbeddings) Evaluate() *dataflow.Dataset[embedding.Embedding] {
 		if env.Failed() || working.IsEmpty() {
 			break
 		}
+		env.MarkIteration(iter)
 		expanded := dataflow.Join(triples, working,
 			func(t edgeTriple) uint64 { return uint64(t.S) },
 			func(s pathState) uint64 { return uint64(s.end) },

@@ -41,14 +41,16 @@ func (op *FilterEmbeddings) Evaluate() *dataflow.Dataset[embedding.Embedding] {
 	in := op.In.Evaluate()
 	meta := op.In.Meta()
 	preds := op.Predicates
-	return dataflow.Filter(in, func(e embedding.Embedding) bool {
-		lookup := embeddingLookup(e, meta)
-		for _, p := range preds {
-			if !cypher.EvalPredicate(p, lookup) {
-				return false
+	return traced(op, in.Env(), func() *dataflow.Dataset[embedding.Embedding] {
+		return dataflow.Filter(in, func(e embedding.Embedding) bool {
+			lookup := embeddingLookup(e, meta)
+			for _, p := range preds {
+				if !cypher.EvalPredicate(p, lookup) {
+					return false
+				}
 			}
-		}
-		return true
+			return true
+		})
 	})
 }
 
@@ -104,7 +106,9 @@ func (op *ProjectEmbeddings) Description() string {
 func (op *ProjectEmbeddings) Evaluate() *dataflow.Dataset[embedding.Embedding] {
 	in := op.In.Evaluate()
 	idCols, propCols := op.idCols, op.propCols
-	return dataflow.Map(in, func(e embedding.Embedding) embedding.Embedding {
-		return e.Project(idCols, propCols)
+	return traced(op, in.Env(), func() *dataflow.Dataset[embedding.Embedding] {
+		return dataflow.Map(in, func(e embedding.Embedding) embedding.Embedding {
+			return e.Project(idCols, propCols)
+		})
 	})
 }

@@ -96,6 +96,12 @@ func partitionTag(vars []string) uint64 {
 func (op *JoinEmbeddings) Evaluate() *dataflow.Dataset[embedding.Embedding] {
 	left := op.Left.Evaluate()
 	right := op.Right.Evaluate()
+	return traced(op, left.Env(), func() *dataflow.Dataset[embedding.Embedding] {
+		return op.evaluate(left, right)
+	})
+}
+
+func (op *JoinEmbeddings) evaluate(left, right *dataflow.Dataset[embedding.Embedding]) *dataflow.Dataset[embedding.Embedding] {
 	lc, rc := op.leftCols, op.rightCols
 	drop := op.dropCols
 	meta := op.outputMeta
@@ -145,13 +151,15 @@ func (op *CartesianProduct) Evaluate() *dataflow.Dataset[embedding.Embedding] {
 	right := op.Right.Evaluate()
 	meta := op.outputMeta
 	morph := op.Morph
-	return dataflow.Join(left, right,
-		func(embedding.Embedding) uint64 { return 0 },
-		func(embedding.Embedding) uint64 { return 0 },
-		func(l, r embedding.Embedding, emit func(embedding.Embedding)) {
-			merged := l.Merge(r, nil)
-			if ValidMorphism(merged, meta, morph) {
-				emit(merged)
-			}
-		}, dataflow.BroadcastLeft)
+	return traced(op, left.Env(), func() *dataflow.Dataset[embedding.Embedding] {
+		return dataflow.Join(left, right,
+			func(embedding.Embedding) uint64 { return 0 },
+			func(embedding.Embedding) uint64 { return 0 },
+			func(l, r embedding.Embedding, emit func(embedding.Embedding)) {
+				merged := l.Merge(r, nil)
+				if ValidMorphism(merged, meta, morph) {
+					emit(merged)
+				}
+			}, dataflow.BroadcastLeft)
+	})
 }

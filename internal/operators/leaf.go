@@ -46,6 +46,10 @@ func (op *FilterAndProjectVertices) Description() string {
 
 // Evaluate implements Operator.
 func (op *FilterAndProjectVertices) Evaluate() *dataflow.Dataset[embedding.Embedding] {
+	return traced(op, op.In.Env(), op.evaluate)
+}
+
+func (op *FilterAndProjectVertices) evaluate() *dataflow.Dataset[embedding.Embedding] {
 	qv := op.Vertex
 	return dataflow.FlatMap(op.In, func(v epgm.Vertex, emit func(embedding.Embedding)) {
 		if !cypher.MatchesLabel(v.Label, qv.Labels) {
@@ -112,6 +116,10 @@ func (op *FilterAndProjectEdges) Description() string {
 
 // Evaluate implements Operator.
 func (op *FilterAndProjectEdges) Evaluate() *dataflow.Dataset[embedding.Embedding] {
+	return traced(op, op.In.Env(), op.evaluate)
+}
+
+func (op *FilterAndProjectEdges) evaluate() *dataflow.Dataset[embedding.Embedding] {
 	qe := op.Edge
 	loop := op.loop
 	return dataflow.FlatMap(op.In, func(de epgm.Edge, emit func(embedding.Embedding)) {

@@ -34,6 +34,25 @@ type Morphism struct {
 	Edge   Semantics
 }
 
+// traced wraps the dataflow-facing part of an operator's evaluation in a
+// tracing scope: stages launched inside eval are attributed to the
+// operator's Description, and the operator's actual output cardinality and
+// self wall time are recorded under the operator itself as the lookup
+// token (EXPLAIN ANALYZE resolves plan nodes through it). Children must be
+// evaluated before entering the scope so their stages attribute to
+// themselves; eval therefore receives already-evaluated inputs. Without a
+// collector on the environment the wrapper is a single nil check.
+func traced(op Operator, env *dataflow.Env, eval func() *dataflow.Dataset[embedding.Embedding]) *dataflow.Dataset[embedding.Embedding] {
+	c := env.Tracer()
+	if c == nil {
+		return eval()
+	}
+	c.PushOp(op, op.Description())
+	out := eval()
+	c.PopOp(op, out.Count())
+	return out
+}
+
 // Operator is one node of a physical query plan.
 type Operator interface {
 	// Evaluate executes the subtree and returns its embeddings.

@@ -88,6 +88,12 @@ func (op *OptionalJoinEmbeddings) padNull(l embedding.Embedding) embedding.Embed
 func (op *OptionalJoinEmbeddings) Evaluate() *dataflow.Dataset[embedding.Embedding] {
 	left := op.Left.Evaluate()
 	right := op.Right.Evaluate()
+	return traced(op, left.Env(), func() *dataflow.Dataset[embedding.Embedding] {
+		return op.evaluate(left, right)
+	})
+}
+
+func (op *OptionalJoinEmbeddings) evaluate(left, right *dataflow.Dataset[embedding.Embedding]) *dataflow.Dataset[embedding.Embedding] {
 	lc, rc := op.leftCols, op.rightCols
 	drop := op.dropCols
 	meta := op.outputMeta

@@ -68,6 +68,12 @@ func (op *SemiJoinEmbeddings) Description() string {
 func (op *SemiJoinEmbeddings) Evaluate() *dataflow.Dataset[embedding.Embedding] {
 	left := op.Left.Evaluate()
 	right := op.Right.Evaluate()
+	return traced(op, left.Env(), func() *dataflow.Dataset[embedding.Embedding] {
+		return op.evaluate(left, right)
+	})
+}
+
+func (op *SemiJoinEmbeddings) evaluate(left, right *dataflow.Dataset[embedding.Embedding]) *dataflow.Dataset[embedding.Embedding] {
 	lc, rc := op.leftCols, op.rightCols
 	drop := op.dropCols
 	mergedMeta := op.mergedMeta

@@ -1,0 +1,66 @@
+package planner
+
+import (
+	"strings"
+	"testing"
+
+	"gradoop/internal/operators"
+)
+
+// TestExplainShapeMultiJoin: the rendering of a multi-join plan must be one
+// line per operator, indented by tree depth, each carrying a cardinality
+// estimate.
+func TestExplainShapeMultiJoin(t *testing.T) {
+	g := skewedGraph(2)
+	qp := plan(t, g, `MATCH (p:Person)-[:knows]->(q:Person)<-[:hasCreator]-(m:Post) RETURN *`)
+	explain := qp.Explain()
+
+	if strings.Count(explain, "JoinEmbeddings") < 2 {
+		t.Fatalf("expected a multi-join plan:\n%s", explain)
+	}
+	lines := strings.Split(strings.TrimRight(explain, "\n"), "\n")
+	if !strings.HasPrefix(lines[0], "JoinEmbeddings") {
+		t.Errorf("root line %q is not the top join", lines[0])
+	}
+	var ops int
+	var walk func(op operators.Operator)
+	walk = func(op operators.Operator) {
+		ops++
+		for _, c := range op.Children() {
+			walk(c)
+		}
+	}
+	walk(qp.Root)
+	if len(lines) != ops {
+		t.Errorf("explain has %d lines for %d operators:\n%s", len(lines), ops, explain)
+	}
+	for i, line := range lines {
+		if !strings.Contains(line, " rows") || !strings.Contains(line, "~") {
+			t.Errorf("line %d lacks a cardinality estimate: %q", i, line)
+		}
+		if i > 0 && !strings.HasPrefix(line, "  ") {
+			t.Errorf("non-root line %d is not indented: %q", i, line)
+		}
+	}
+}
+
+// TestExplainWithAnnotations: ExplainWith must append the annotator's text
+// to every line and skip empty annotations.
+func TestExplainWithAnnotations(t *testing.T) {
+	g := skewedGraph(2)
+	qp := plan(t, g, `MATCH (p:Person)-[:knows]->(q:Person) RETURN *`)
+
+	annotated := qp.ExplainWith(func(op operators.Operator) string {
+		if _, ok := op.(*operators.JoinEmbeddings); ok {
+			return "[marked]"
+		}
+		return ""
+	})
+	joins := strings.Count(qp.Explain(), "JoinEmbeddings")
+	if got := strings.Count(annotated, "[marked]"); got != joins {
+		t.Errorf("got %d annotations for %d joins:\n%s", got, joins, annotated)
+	}
+	if qp.ExplainWith(nil) != qp.Explain() {
+		t.Error("ExplainWith(nil) differs from Explain()")
+	}
+}

@@ -89,13 +89,25 @@ func (p *QueryPlan) Meta() *embedding.Meta { return p.Root.Meta() }
 
 // Explain renders the operator tree bottom-up with estimated cardinalities,
 // in the spirit of the paper's Figure 2.
-func (p *QueryPlan) Explain() string {
+func (p *QueryPlan) Explain() string { return p.ExplainWith(nil) }
+
+// ExplainWith renders the operator tree like Explain, appending annot(op)
+// to every operator's line (empty annotations are skipped). EXPLAIN ANALYZE
+// is built on it: core passes an annotator that joins each plan node with
+// the actual cardinalities and per-stage times recorded by the execution
+// tracer.
+func (p *QueryPlan) ExplainWith(annot func(operators.Operator) string) string {
 	var sb strings.Builder
 	var walk func(op operators.Operator, depth int)
 	walk = func(op operators.Operator, depth int) {
 		fmt.Fprintf(&sb, "%s%s", strings.Repeat("  ", depth), op.Description())
 		if est, ok := p.Estimates[op]; ok {
 			fmt.Fprintf(&sb, "  ~%.0f rows", est)
+		}
+		if annot != nil {
+			if a := annot(op); a != "" {
+				sb.WriteString("  " + a)
+			}
 		}
 		sb.WriteByte('\n')
 		for _, c := range op.Children() {
