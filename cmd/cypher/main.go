@@ -27,14 +27,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strconv"
 	"strings"
 	"time"
 
 	"gradoop/internal/core"
 	"gradoop/internal/dataflow"
-	"gradoop/internal/epgm"
 	"gradoop/internal/operators"
+	"gradoop/internal/params"
 	"gradoop/internal/stats"
 	csvstore "gradoop/internal/storage/csv"
 	"gradoop/internal/trace"
@@ -71,29 +70,6 @@ func writeTrace(path string, c *trace.Collector) error {
 	return f.Close()
 }
 
-type paramFlags map[string]epgm.PropertyValue
-
-// String implements flag.Value.
-func (p paramFlags) String() string { return fmt.Sprintf("%v", map[string]epgm.PropertyValue(p)) }
-
-// Set implements flag.Value, parsing name=value with type inference.
-func (p paramFlags) Set(s string) error {
-	name, value, ok := strings.Cut(s, "=")
-	if !ok {
-		return fmt.Errorf("expected name=value, got %q", s)
-	}
-	if n, err := strconv.ParseInt(value, 10, 64); err == nil {
-		p[name] = epgm.PVInt(n)
-	} else if f, err := strconv.ParseFloat(value, 64); err == nil {
-		p[name] = epgm.PVFloat(f)
-	} else if b, err := strconv.ParseBool(value); err == nil {
-		p[name] = epgm.PVBool(b)
-	} else {
-		p[name] = epgm.PVString(value)
-	}
-	return nil
-}
-
 func parseSemantics(s string) (operators.Semantics, error) {
 	switch strings.ToLower(s) {
 	case "homo", "homomorphism":
@@ -119,8 +95,8 @@ func main() {
 	countOnly := flag.Bool("count", false, "print only the match count")
 	maxRows := flag.Int("max-rows", 100, "print at most this many rows")
 	timeout := flag.Duration("timeout", 0, "abort a query after this duration (e.g. 5s; 0 = no limit)")
-	params := paramFlags{}
-	flag.Var(params, "param", "query parameter name=value (repeatable)")
+	qparams := params.Flags{}
+	flag.Var(qparams, "param", "query parameter name=value (repeatable)")
 	flag.Parse()
 
 	fail := func(err error) {
@@ -158,7 +134,7 @@ func main() {
 	st := stats.Collect(g)
 	runQuery := func(q string) {
 		cfg := core.Config{
-			Vertex: vs, Edge: es, Params: params, Stats: st, Timeout: *timeout,
+			Vertex: vs, Edge: es, Params: qparams, Stats: st, Timeout: *timeout,
 		}
 		report := func(err error) {
 			if *interactive {

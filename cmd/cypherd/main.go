@@ -1,0 +1,117 @@
+// Command cypherd serves Cypher queries over JSON-HTTP against a graph
+// loaded once into a long-lived session. The session pins graph statistics
+// and label indexes, caches compiled query plans and recent results, and
+// admission-controls concurrent requests with bounded job slots and a
+// bounded wait queue.
+//
+// Endpoints: POST/GET /query, /explain, /analyze, /metrics, /healthz.
+//
+//	cypherd -graph data/sample -addr :7474
+//	curl -s localhost:7474/query -d '{"query":"MATCH (a:Person) RETURN a.name"}'
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"gradoop/internal/operators"
+	"gradoop/internal/server"
+	"gradoop/internal/session"
+)
+
+func parseSemantics(s string) (operators.Semantics, error) {
+	switch strings.ToLower(s) {
+	case "homo", "homomorphism":
+		return operators.Homomorphism, nil
+	case "iso", "isomorphism":
+		return operators.Isomorphism, nil
+	default:
+		return 0, fmt.Errorf("unknown semantics %q (want homo or iso)", s)
+	}
+}
+
+func main() {
+	graphDir := flag.String("graph", "", "Gradoop-CSV dataset directory (required)")
+	addr := flag.String("addr", ":7474", "HTTP listen address")
+	workers := flag.Int("workers", 4, "number of dataflow workers per query job")
+	vertexSem := flag.String("vertex-sem", "homo", "vertex semantics: homo|iso")
+	edgeSem := flag.String("edge-sem", "iso", "edge semantics: homo|iso")
+	maxConcurrent := flag.Int("max-concurrent", 4, "query job slots (concurrent executions)")
+	maxQueued := flag.Int("max-queue", 16, "bounded wait queue beyond the job slots; -1 rejects immediately when slots are full")
+	timeout := flag.Duration("timeout", 30*time.Second, "default per-query deadline, including queue wait (0 = none)")
+	planEntries := flag.Int("plan-cache-entries", 128, "plan cache capacity (entries)")
+	resultMB := flag.Int("result-cache-mb", 16, "result cache byte budget in MiB")
+	noPlanCache := flag.Bool("no-plan-cache", false, "disable the plan cache (recompile every request)")
+	noResultCache := flag.Bool("no-result-cache", false, "disable the result cache (re-execute every request)")
+	flag.Parse()
+
+	fail := func(err error) {
+		fmt.Fprintf(os.Stderr, "cypherd: %v\n", err)
+		os.Exit(1)
+	}
+	if *graphDir == "" {
+		fmt.Fprintln(os.Stderr, "cypherd: -graph is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	vs, err := parseSemantics(*vertexSem)
+	if err != nil {
+		fail(err)
+	}
+	es, err := parseSemantics(*edgeSem)
+	if err != nil {
+		fail(err)
+	}
+
+	sess, err := session.Open(*graphDir, session.Options{
+		Workers:          *workers,
+		Vertex:           vs,
+		Edge:             es,
+		MaxConcurrent:    *maxConcurrent,
+		MaxQueued:        *maxQueued,
+		DefaultTimeout:   *timeout,
+		PlanCacheEntries: *planEntries,
+		ResultCacheBytes: int64(*resultMB) << 20,
+		NoPlanCache:      *noPlanCache,
+		NoResultCache:    *noResultCache,
+	})
+	if err != nil {
+		fail(err)
+	}
+	vertices, edges := sess.GraphSize()
+	log.Printf("cypherd: loaded %s: %d vertices, %d edges", *graphDir, vertices, edges)
+
+	httpSrv := &http.Server{Addr: *addr, Handler: server.New(sess)}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	done := make(chan error, 1)
+	go func() {
+		log.Printf("cypherd: listening on %s (slots=%d queue=%d timeout=%s)",
+			*addr, *maxConcurrent, *maxQueued, *timeout)
+		done <- httpSrv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-done:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fail(err)
+		}
+	case <-ctx.Done():
+		log.Printf("cypherd: shutting down")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+			fail(err)
+		}
+	}
+}

@@ -1,0 +1,235 @@
+package benchkit
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gradoop/internal/epgm"
+	"gradoop/internal/session"
+)
+
+// ServeConcurrencies is the client-concurrency sweep of the serving
+// experiment. Tests shrink it for speed.
+var ServeConcurrencies = []int{1, 4, 16}
+
+// ServeRequests is the request count per (mode, concurrency) cell. Tests
+// shrink it for speed.
+var ServeRequests = 90
+
+// ServeMode configures one cache configuration of the serving experiment.
+type ServeMode struct {
+	Name string
+	Opts func(o *session.Options)
+}
+
+// ServeModes are the cache configurations compared by the experiment: both
+// caches on, plan cache disabled (recompile every request) and result
+// cache disabled (re-execute every request).
+var ServeModes = []ServeMode{
+	{Name: "cached", Opts: func(o *session.Options) {}},
+	{Name: "no-plan-cache", Opts: func(o *session.Options) { o.NoPlanCache = true }},
+	{Name: "no-result-cache", Opts: func(o *session.Options) { o.NoResultCache = true }},
+}
+
+// ServeMeasurement is one cell of the serving-throughput matrix.
+type ServeMeasurement struct {
+	Mode        string
+	Concurrency int
+	Requests    int
+	Wall        time.Duration
+	QPS         float64
+	P50, P99    time.Duration
+	PlanHits    float64 // hit ratio
+	ResultHits  float64 // hit ratio
+	Errors      int64
+}
+
+// serveWorkload returns the request stream of the throughput measurement:
+// the parameterized operational query Q1 cycling through the three
+// selectivity parameter values, so the plan cache sees one template and
+// the result cache three distinct keys.
+func serveWorkload(p *prepared, n int) []session.Request {
+	names := []string{p.FirstName(Low), p.FirstName(Medium), p.FirstName(High)}
+	reqs := make([]session.Request, n)
+	for i := range reqs {
+		reqs[i] = session.Request{
+			Query:  Q1.Text(),
+			Params: map[string]epgm.PropertyValue{"firstName": epgm.PVString(names[i%len(names)])},
+		}
+	}
+	return reqs
+}
+
+// RunServe measures one cell: a fresh session in the given cache mode,
+// `concurrency` client goroutines draining `requests` workload requests.
+func (r *Runner) RunServe(sf float64, mode ServeMode, concurrency, requests int) (ServeMeasurement, error) {
+	p := r.Prepare(sf, 2)
+	opts := session.Options{Workers: 2, MaxConcurrent: concurrency, MaxQueued: 2 * requests}
+	mode.Opts(&opts)
+	s := session.New(p.Graph(), opts)
+
+	work := serveWorkload(p, requests)
+	latencies := make([]time.Duration, requests)
+	var next, errs atomic.Int64
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < concurrency; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= requests {
+					return
+				}
+				t0 := time.Now()
+				if _, err := s.Execute(work[i]); err != nil {
+					errs.Add(1)
+				}
+				latencies[i] = time.Since(t0)
+			}
+		}()
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	m := s.Metrics()
+	return ServeMeasurement{
+		Mode:        mode.Name,
+		Concurrency: concurrency,
+		Requests:    requests,
+		Wall:        wall,
+		QPS:         float64(requests) / wall.Seconds(),
+		P50:         latencies[requests/2],
+		P99:         latencies[(requests*99)/100],
+		PlanHits:    m.PlanHitRatio(),
+		ResultHits:  m.ResultHitRatio(),
+		Errors:      errs.Load(),
+	}, nil
+}
+
+// VerifyPlanCacheViaTrace proves, via trace spans, that a plan-cache hit
+// skips the parse+plan phase: the first (cold) traced execution carries a
+// "Prepare" operator span, the second (hit) does not. Returns the two span
+// presences.
+func (r *Runner) VerifyPlanCacheViaTrace(sf float64) (coldPrepared, warmPrepared bool, err error) {
+	p := r.Prepare(sf, 2)
+	s := session.New(p.Graph(), session.Options{Workers: 2})
+	req := session.Request{
+		Query:  Q1.Text(),
+		Params: map[string]epgm.PropertyValue{"firstName": epgm.PVString(p.FirstName(High))},
+		Trace:  true,
+	}
+	hasPrepare := func() (bool, error) {
+		res, err := s.Execute(req)
+		if err != nil {
+			return false, err
+		}
+		for _, op := range res.Trace.Ops() {
+			if op.Label == "Prepare" {
+				return true, nil
+			}
+		}
+		return false, nil
+	}
+	if coldPrepared, err = hasPrepare(); err != nil {
+		return false, false, fmt.Errorf("benchkit: serve trace verification (cold): %w", err)
+	}
+	if warmPrepared, err = hasPrepare(); err != nil {
+		return false, false, fmt.Errorf("benchkit: serve trace verification (warm): %w", err)
+	}
+	return coldPrepared, warmPrepared, nil
+}
+
+// AdmissionBurst is the admission-control demonstration: a session with one
+// job slot and a one-deep queue takes a burst of concurrent requests; every
+// request must terminate with either a result, a structured rejection or a
+// deadline — never a hang.
+type AdmissionBurst struct {
+	Burst    int
+	OK       int64
+	Rejected int64
+	Timeout  int64
+	Other    int64
+}
+
+// RunAdmissionBurst fires `burst` concurrent analytical queries at a
+// deliberately undersized session.
+func (r *Runner) RunAdmissionBurst(sf float64, burst int) (AdmissionBurst, error) {
+	p := r.Prepare(sf, 2)
+	s := session.New(p.Graph(), session.Options{
+		Workers:       2,
+		MaxConcurrent: 1,
+		MaxQueued:     1,
+		NoResultCache: true, // force every request onto the job slots
+	})
+	out := AdmissionBurst{Burst: burst}
+	var wg sync.WaitGroup
+	for i := 0; i < burst; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, err := s.Execute(session.Request{Query: Q5.Text()})
+			switch {
+			case err == nil:
+				atomic.AddInt64(&out.OK, 1)
+			case session.KindOf(err) == session.KindRejected:
+				atomic.AddInt64(&out.Rejected, 1)
+			case session.KindOf(err) == session.KindTimeout:
+				atomic.AddInt64(&out.Timeout, 1)
+			default:
+				atomic.AddInt64(&out.Other, 1)
+			}
+		}()
+	}
+	wg.Wait()
+	return out, nil
+}
+
+// Serve runs the query-service throughput experiment: QPS and latency
+// percentiles for the parameterized workload across client-concurrency
+// levels and cache modes, the trace-span proof that plan-cache hits skip
+// parse+plan, and the admission-control burst demonstration.
+func Serve(r *Runner, w io.Writer) error {
+	fmt.Fprintf(w, "== Query service: throughput vs concurrency and cache mode (SF%g-sim, Q1 workload) ==\n", r.SFSmall)
+	fmt.Fprintf(w, "%-16s %-7s %-9s %10s %12s %12s %9s %9s %s\n",
+		"mode", "clients", "requests", "QPS", "p50", "p99", "planHit", "resHit", "errors")
+	for _, mode := range ServeModes {
+		for _, c := range ServeConcurrencies {
+			m, err := r.RunServe(r.SFSmall, mode, c, ServeRequests)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "%-16s %-7d %-9d %10.1f %12s %12s %8.0f%% %8.0f%% %d\n",
+				m.Mode, m.Concurrency, m.Requests, m.QPS,
+				fmtDur(m.P50), fmtDur(m.P99), 100*m.PlanHits, 100*m.ResultHits, m.Errors)
+		}
+	}
+
+	cold, warm, err := r.VerifyPlanCacheViaTrace(r.SFSmall)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "\nplan-cache trace check: cold run Prepare span=%v, warm run Prepare span=%v", cold, warm)
+	if cold && !warm {
+		fmt.Fprintf(w, "  (hit skips parse+plan: verified)\n")
+	} else {
+		fmt.Fprintf(w, "  (UNEXPECTED)\n")
+	}
+
+	burst, err := r.RunAdmissionBurst(r.SFSmall, 8)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "admission burst (1 slot, queue 1, %d clients): ok=%d rejected=%d timeout=%d other=%d\n",
+		burst.Burst, burst.OK, burst.Rejected, burst.Timeout, burst.Other)
+	if burst.OK+burst.Rejected+burst.Timeout+burst.Other != int64(burst.Burst) {
+		return fmt.Errorf("benchkit: admission burst lost requests")
+	}
+	return nil
+}

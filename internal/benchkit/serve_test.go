@@ -1,0 +1,60 @@
+package benchkit
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestServeExperiment smoke-tests the full serving experiment at a reduced
+// scale: all (mode, concurrency) cells execute without errors, the
+// trace-span verification confirms a plan-cache hit skips parse+plan, and
+// the admission burst accounts for every request.
+func TestServeExperiment(t *testing.T) {
+	oldC, oldN := ServeConcurrencies, ServeRequests
+	ServeConcurrencies, ServeRequests = []int{1, 4}, 24
+	defer func() { ServeConcurrencies, ServeRequests = oldC, oldN }()
+
+	r := NewRunner()
+	r.SFSmall = 0.05
+	var sb strings.Builder
+	if err := Serve(r, &sb); err != nil {
+		t.Fatalf("serve experiment: %v\n%s", err, sb.String())
+	}
+	out := sb.String()
+	if strings.Contains(out, "UNEXPECTED") {
+		t.Fatalf("trace verification failed:\n%s", out)
+	}
+	if !strings.Contains(out, "hit skips parse+plan: verified") {
+		t.Fatalf("missing trace verification line:\n%s", out)
+	}
+}
+
+// TestRunServeCacheModes asserts the cache modes actually change the hit
+// ratios: the cached mode sees plan and result hits, -no-plan-cache sees
+// zero plan hits, -no-result-cache zero result hits.
+func TestRunServeCacheModes(t *testing.T) {
+	r := NewRunner()
+	r.SFSmall = 0.05
+	measure := func(mode ServeMode) ServeMeasurement {
+		m, err := r.RunServe(r.SFSmall, mode, 4, 24)
+		if err != nil {
+			t.Fatalf("%s: %v", mode.Name, err)
+		}
+		if m.Errors != 0 {
+			t.Fatalf("%s: %d request errors", mode.Name, m.Errors)
+		}
+		return m
+	}
+	cached := measure(ServeModes[0])
+	if cached.PlanHits == 0 || cached.ResultHits == 0 {
+		t.Fatalf("cached mode: planHit=%v resultHit=%v, want both > 0", cached.PlanHits, cached.ResultHits)
+	}
+	noPlan := measure(ServeModes[1])
+	if noPlan.PlanHits != 0 {
+		t.Fatalf("no-plan-cache mode still reports plan hits: %v", noPlan.PlanHits)
+	}
+	noResult := measure(ServeModes[2])
+	if noResult.ResultHits != 0 {
+		t.Fatalf("no-result-cache mode still reports result hits: %v", noResult.ResultHits)
+	}
+}

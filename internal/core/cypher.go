@@ -84,7 +84,7 @@ func prepare(g *epgm.LogicalGraph, query string, cfg Config) (*cypher.QueryGraph
 	}
 	st := cfg.Stats
 	if st == nil {
-		st = stats.Collect(g)
+		st = GraphStats(g)
 	}
 	access := cfg.Access
 	if access == nil {
@@ -118,41 +118,11 @@ func Plan(g *epgm.LogicalGraph, query string, cfg Config) (*planner.QueryPlan, e
 // environment's metrics remain readable, reflecting the work done up to
 // the failure.
 func Execute(g *epgm.LogicalGraph, query string, cfg Config) (*Result, error) {
-	qg, plan, err := prepare(g, query, cfg)
+	p, err := Prepare(g, query, cfg)
 	if err != nil {
 		return nil, err
 	}
-	env := g.Env()
-	if cfg.Access != nil {
-		env = cfg.Access.Env()
-	}
-	if cfg.Trace != nil {
-		env.SetTracer(cfg.Trace)
-		defer env.SetTracer(nil)
-	}
-	ctx := cfg.Context
-	if cfg.Timeout > 0 {
-		if ctx == nil {
-			ctx = context.Background()
-		}
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, cfg.Timeout)
-		defer cancel()
-	}
-	env.Begin(ctx)
-	embeddings := plan.Execute()
-	if err := env.Finish(); err != nil {
-		return nil, fmt.Errorf("core: execute %q: %w", query, err)
-	}
-	return &Result{
-		Graph:      g,
-		QueryGraph: qg,
-		Plan:       plan,
-		Embeddings: embeddings,
-		Meta:       plan.Meta(),
-		Env:        env,
-		Trace:      cfg.Trace,
-	}, nil
+	return p.Execute(g, cfg)
 }
 
 // Count returns the number of matches.

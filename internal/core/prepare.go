@@ -1,0 +1,160 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"gradoop/internal/cypher"
+	"gradoop/internal/dataflow"
+	"gradoop/internal/epgm"
+	"gradoop/internal/operators"
+	"gradoop/internal/planner"
+	"gradoop/internal/stats"
+)
+
+// Prepared is a compiled query: the parsed AST, the deferred query-graph
+// template ($parameters unresolved) and the physical plan built from it.
+// A Prepared is immutable and safe for concurrent use — Execute instantiates
+// a fresh operator tree per call — so it is what the session's plan cache
+// stores: parameterized calls reuse one Prepared and only bind differently.
+type Prepared struct {
+	Query    string
+	AST      *cypher.Query
+	Template *cypher.QueryGraph
+	Plan     *planner.QueryPlan
+	Stats    *stats.GraphStatistics
+	Morph    operators.Morphism
+	Hint     dataflow.JoinHint
+}
+
+// Prepare parses, simplifies and plans a query once, without binding
+// parameters, so the result can be cached and executed many times. Stats and
+// Access follow the same defaulting as Execute (memoized per-graph stats,
+// plain access).
+func Prepare(g *epgm.LogicalGraph, query string, cfg Config) (*Prepared, error) {
+	access := cfg.Access
+	if access == nil {
+		access = planner.PlainAccess{Graph: g}
+	}
+	st := cfg.Stats
+	if st == nil {
+		st = GraphStats(g)
+	}
+	return PrepareWith(access, st, query, cfg)
+}
+
+// PrepareWith is Prepare for callers that manage their own graph access and
+// statistics (the session engine): no defaulting, no graph handle needed.
+func PrepareWith(access planner.GraphAccess, st *stats.GraphStatistics, query string, cfg Config) (*Prepared, error) {
+	ast, err := cypher.Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	tpl, err := cypher.BuildQueryGraphDeferred(ast)
+	if err != nil {
+		return nil, err
+	}
+	morph := operators.Morphism{Vertex: cfg.Vertex, Edge: cfg.Edge}
+	pl := &planner.Planner{
+		Stats:        st,
+		Morph:        morph,
+		Hint:         cfg.Hint,
+		DisableReuse: cfg.DisableSubqueryReuse,
+	}
+	plan, err := pl.Plan(access, tpl)
+	if err != nil {
+		return nil, err
+	}
+	return &Prepared{
+		Query:    query,
+		AST:      ast,
+		Template: tpl,
+		Plan:     plan,
+		Stats:    st,
+		Morph:    morph,
+		Hint:     cfg.Hint,
+	}, nil
+}
+
+// Fingerprint returns the template plan's canonical key.
+func (p *Prepared) Fingerprint() string { return p.Plan.Fingerprint() }
+
+// Execute binds cfg.Params into the template, re-instantiates the cached
+// plan against the execution's graph access and runs it. Each call builds a
+// fresh operator tree, so one Prepared serves concurrent executions (each on
+// its own Env). Fault-tolerance semantics match Execute.
+func (p *Prepared) Execute(g *epgm.LogicalGraph, cfg Config) (*Result, error) {
+	access := cfg.Access
+	if access == nil {
+		access = planner.PlainAccess{Graph: g}
+	}
+	binding, err := p.Template.Bind(cfg.Params)
+	if err != nil {
+		return nil, err
+	}
+	bound, err := planner.Rebind(p.Plan, access, binding)
+	if err != nil {
+		return nil, err
+	}
+	env := access.Env()
+	if cfg.Trace != nil {
+		env.SetTracer(cfg.Trace)
+		defer env.SetTracer(nil)
+	}
+	ctx := cfg.Context
+	if cfg.Timeout > 0 {
+		if ctx == nil {
+			ctx = context.Background()
+		}
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, cfg.Timeout)
+		defer cancel()
+	}
+	env.Begin(ctx)
+	embeddings := bound.Execute()
+	if err := env.Finish(); err != nil {
+		return nil, fmt.Errorf("core: execute %q: %w", p.Query, err)
+	}
+	return &Result{
+		Graph:      g,
+		QueryGraph: binding.Graph,
+		Plan:       bound,
+		Embeddings: embeddings,
+		Meta:       bound.Meta(),
+		Env:        env,
+		Trace:      cfg.Trace,
+	}, nil
+}
+
+// Per-graph statistics memo: Execute with cfg.Stats == nil used to re-collect
+// statistics on every call; GraphStats collects once per graph for the
+// process lifetime. Entries are keyed by graph identity and are never
+// evicted — sessions hold few long-lived graphs, and a swapped-out graph's
+// entry dies with the graph only if callers drop it too, which is the
+// documented trade-off of the memo.
+var (
+	statsMu          sync.Mutex
+	statsMemo        = map[*epgm.LogicalGraph]*stats.GraphStatistics{}
+	statsCollections atomic.Int64
+)
+
+// GraphStats returns the memoized statistics for g, collecting them on the
+// first call.
+func GraphStats(g *epgm.LogicalGraph) *stats.GraphStatistics {
+	statsMu.Lock()
+	defer statsMu.Unlock()
+	if st, ok := statsMemo[g]; ok {
+		return st
+	}
+	st := stats.Collect(g)
+	statsCollections.Add(1)
+	statsMemo[g] = st
+	return st
+}
+
+// StatsCollections reports how many times GraphStats actually collected
+// statistics (memo misses) over the process lifetime; the regression test
+// for repeated collection asserts on its delta.
+func StatsCollections() int64 { return statsCollections.Load() }

@@ -1,0 +1,39 @@
+package core
+
+import (
+	"testing"
+
+	"gradoop/internal/operators"
+)
+
+// TestStatsCollectedOnceAcrossQueries is the regression test for repeated
+// on-the-fly statistics collection: Execute with cfg.Stats == nil used to
+// re-collect statistics on every call for the same graph; the memo must
+// collect exactly once across N queries.
+func TestStatsCollectedOnceAcrossQueries(t *testing.T) {
+	g := figure1(2)
+	before := StatsCollections()
+	for i := 0; i < 5; i++ {
+		res, err := Execute(g, `MATCH (p:Person)-[:knows]->(q:Person) RETURN p.name`,
+			Config{Vertex: operators.Homomorphism, Edge: operators.Isomorphism})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Count() != 5 {
+			t.Fatalf("count=%d want 5", res.Count())
+		}
+	}
+	if d := StatsCollections() - before; d != 1 {
+		t.Fatalf("stats collected %d times across 5 queries on one graph, want 1", d)
+	}
+
+	// A different graph is a different memo entry: one more collection.
+	g2 := figure1(2)
+	if _, err := Execute(g2, `MATCH (p:Person) RETURN p.name`,
+		Config{Vertex: operators.Homomorphism, Edge: operators.Isomorphism}); err != nil {
+		t.Fatal(err)
+	}
+	if d := StatsCollections() - before; d != 2 {
+		t.Fatalf("stats collected %d times across two graphs, want 2", d)
+	}
+}

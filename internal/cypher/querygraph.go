@@ -118,6 +118,54 @@ func AssembleQueryGraph(vertices []*QueryVertex, edges []*QueryEdge, global []Ex
 // $parameters from params. It validates that WHERE and RETURN reference only
 // declared variables.
 func BuildQueryGraph(q *Query, params map[string]epgm.PropertyValue) (*QueryGraph, error) {
+	return buildQueryGraph(q, resolver{params: params})
+}
+
+// BuildQueryGraphDeferred simplifies a parsed query into a query graph
+// template: $parameters are kept as Param expressions instead of being
+// resolved, so one template serves every binding of the same query. Bind
+// later substitutes concrete values (and reports missing parameters). The
+// input query AST is not mutated, so it may be cached alongside the result.
+func BuildQueryGraphDeferred(q *Query) (*QueryGraph, error) {
+	return buildQueryGraph(q, resolver{deferred: true})
+}
+
+// resolver is the parameter-substitution strategy of one query-graph build:
+// eager (substitute from params, erroring on missing values) or deferred
+// (keep Param expressions for a later Bind).
+type resolver struct {
+	params   map[string]epgm.PropertyValue
+	deferred bool
+}
+
+// expr resolves $parameters inside a full expression tree.
+func (r resolver) expr(e Expr) (Expr, error) {
+	if r.deferred {
+		return e, nil
+	}
+	return resolveParams(e, r.params)
+}
+
+// valueExpr resolves an inline property-map value (`{key: value}`) to the
+// expression stored in the equality predicate: a Literal eagerly, or the
+// original Literal/Param expression when deferred.
+func (r resolver) valueExpr(e Expr) (Expr, error) {
+	if r.deferred {
+		switch e.(type) {
+		case *Literal, *Param:
+			return e, nil
+		default:
+			return nil, fmt.Errorf("cypher: expected literal or parameter, got %s", ExprString(e))
+		}
+	}
+	lit, err := resolveValue(e, r.params)
+	if err != nil {
+		return nil, err
+	}
+	return &Literal{Value: lit}, nil
+}
+
+func buildQueryGraph(q *Query, res resolver) (*QueryGraph, error) {
 	g := &QueryGraph{
 		Return:      q.Return,
 		vertexByVar: map[string]*QueryVertex{},
@@ -165,14 +213,14 @@ func BuildQueryGraph(q *Query, params map[string]epgm.PropertyValue) (*QueryGrap
 			}
 		}
 		for _, pe := range n.Props {
-			lit, err := resolveValue(pe.Value, params)
+			value, err := res.valueExpr(pe.Value)
 			if err != nil {
 				return nil, err
 			}
 			qv.Predicates = append(qv.Predicates, &BinaryExpr{
 				Op: OpEQ,
 				L:  &PropertyAccess{Var: name, Key: pe.Key},
-				R:  &Literal{Value: lit},
+				R:  value,
 			})
 		}
 		return qv, nil
@@ -221,14 +269,14 @@ func BuildQueryGraph(q *Query, params map[string]epgm.PropertyValue) (*QueryGrap
 						qe.Undirected = true
 					}
 					for _, pe := range rel.Props {
-						lit, err := resolveValue(pe.Value, params)
+						value, err := res.valueExpr(pe.Value)
 						if err != nil {
 							return err
 						}
 						qe.Predicates = append(qe.Predicates, &BinaryExpr{
 							Op: OpEQ,
 							L:  &PropertyAccess{Var: name, Key: pe.Key},
-							R:  &Literal{Value: lit},
+							R:  value,
 						})
 					}
 					g.edgeByVar[name] = qe
@@ -253,7 +301,7 @@ func BuildQueryGraph(q *Query, params map[string]epgm.PropertyValue) (*QueryGrap
 		if containsAggregate(q.Where) {
 			return nil, fmt.Errorf("cypher: aggregate functions are not allowed in WHERE")
 		}
-		resolved, err := resolveParams(q.Where, params)
+		resolved, err := res.expr(q.Where)
 		if err != nil {
 			return nil, err
 		}
@@ -319,7 +367,7 @@ func BuildQueryGraph(q *Query, params map[string]epgm.PropertyValue) (*QueryGrap
 			if containsAggregate(om.Where) {
 				return nil, fmt.Errorf("cypher: aggregate functions are not allowed in WHERE")
 			}
-			resolved, err := resolveParams(om.Where, params)
+			resolved, err := res.expr(om.Where)
 			if err != nil {
 				return nil, err
 			}
@@ -369,7 +417,7 @@ func BuildQueryGraph(q *Query, params map[string]epgm.PropertyValue) (*QueryGrap
 	}
 	if !g.Return.Star {
 		for i, item := range g.Return.Items {
-			resolved, err := resolveParams(item.Expr, params)
+			resolved, err := res.expr(item.Expr)
 			if err != nil {
 				return nil, err
 			}
@@ -387,7 +435,7 @@ func BuildQueryGraph(q *Query, params map[string]epgm.PropertyValue) (*QueryGrap
 		}
 	}
 	for i, sortItem := range g.Return.OrderBy {
-		resolved, err := resolveParams(sortItem.Expr, params)
+		resolved, err := res.expr(sortItem.Expr)
 		if err != nil {
 			return nil, err
 		}

@@ -183,6 +183,14 @@ func Union[T any](a, b *Dataset[T]) *Dataset[T] {
 			out[p] = a.parts[p]
 			continue
 		}
+		if len(a.parts[p]) == 0 {
+			// Datasets are immutable, so an empty left partition can alias
+			// the right one instead of copying it (the mirror of the fast
+			// path above); per-label unions over a session's pinned slices
+			// stay zero-copy this way.
+			out[p] = b.parts[p]
+			continue
+		}
 		merged := make([]T, 0, len(a.parts[p])+len(b.parts[p]))
 		merged = append(merged, a.parts[p]...)
 		merged = append(merged, b.parts[p]...)

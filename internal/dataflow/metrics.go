@@ -105,6 +105,64 @@ type MetricsSnapshot struct {
 	Retries       int64
 	RetriedStages int64
 	RecoveryTime  time.Duration
+
+	// Jobs counts the dataflow jobs aggregated into the snapshot: 0 for a
+	// raw single-job snapshot taken from an Env, ≥1 after Merge (which
+	// treats a raw snapshot as one job). A query service accumulates its
+	// per-query snapshots into one running total through Merge.
+	Jobs int64
+	// SlotWait is the accumulated time jobs spent queued for an execution
+	// slot before starting (admission-control accounting; zero for jobs
+	// admitted immediately).
+	SlotWait time.Duration
+}
+
+// Merge accumulates another snapshot into s: totals, stage and retry
+// counters, simulated times and slot waits add up; per-worker breakdowns
+// add index-wise (growing to the wider worker count); MaxWorkerCPU takes
+// the maximum. Jobs sums, with a raw per-job snapshot (Jobs == 0) counting
+// as one job. The receiver owns its slices afterwards — Merge never aliases
+// o's.
+func (s *MetricsSnapshot) Merge(o MetricsSnapshot) {
+	if o.Workers > s.Workers {
+		s.Workers = o.Workers
+	}
+	grow := func(dst []int64, n int) []int64 {
+		for len(dst) < n {
+			dst = append(dst, 0)
+		}
+		return dst
+	}
+	s.CPUElements = grow(s.CPUElements, len(o.CPUElements))
+	s.NetBytes = grow(s.NetBytes, len(o.NetBytes))
+	s.SpillBytes = grow(s.SpillBytes, len(o.SpillBytes))
+	for w, v := range o.CPUElements {
+		s.CPUElements[w] += v
+	}
+	for w, v := range o.NetBytes {
+		s.NetBytes[w] += v
+	}
+	for w, v := range o.SpillBytes {
+		s.SpillBytes[w] += v
+	}
+	s.Stages += o.Stages
+	s.Shuffles += o.Shuffles
+	s.TotalCPU += o.TotalCPU
+	s.TotalNet += o.TotalNet
+	s.TotalSpill += o.TotalSpill
+	s.SimTime += o.SimTime
+	if o.MaxWorkerCPU > s.MaxWorkerCPU {
+		s.MaxWorkerCPU = o.MaxWorkerCPU
+	}
+	s.Retries += o.Retries
+	s.RetriedStages += o.RetriedStages
+	s.RecoveryTime += o.RecoveryTime
+	jobs := o.Jobs
+	if jobs == 0 {
+		jobs = 1
+	}
+	s.Jobs += jobs
+	s.SlotWait += o.SlotWait
 }
 
 func (m *Metrics) snapshot(cfg Config) MetricsSnapshot {

@@ -43,6 +43,28 @@ func BuildIndex(g *LogicalGraph) *IndexedLogicalGraph {
 	return idx
 }
 
+// IndexedFromSlices builds the label-indexed representation directly from
+// pre-partitioned element slices, without collecting through an existing
+// graph. The slices are split across workers zero-copy (FromSlice), so a
+// long-lived holder of the raw slices — the query service's session — can
+// rebind them onto a fresh per-query environment at no per-element cost.
+// Callers must not mutate the slices afterwards.
+func IndexedFromSlices(env *dataflow.Env, head GraphHead, vertices map[string][]Vertex, edges map[string][]Edge) *IndexedLogicalGraph {
+	idx := &IndexedLogicalGraph{
+		env:             env,
+		Head:            head,
+		VerticesByLabel: make(map[string]*dataflow.Dataset[Vertex], len(vertices)),
+		EdgesByLabel:    make(map[string]*dataflow.Dataset[Edge], len(edges)),
+	}
+	for label, vs := range vertices {
+		idx.VerticesByLabel[label] = dataflow.FromSlice(env, vs)
+	}
+	for label, es := range edges {
+		idx.EdgesByLabel[label] = dataflow.FromSlice(env, es)
+	}
+	return idx
+}
+
 // Env returns the execution environment.
 func (x *IndexedLogicalGraph) Env() *dataflow.Env { return x.env }
 

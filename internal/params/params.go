@@ -1,0 +1,81 @@
+// Package params parses query parameter values shared by the CLI's
+// repeated -param name=value flags and the HTTP server's request decoder,
+// with one type-inference rule for both front ends.
+package params
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"gradoop/internal/epgm"
+)
+
+// Infer converts a textual value to a property value: integers first, then
+// floats, then booleans, falling back to a string. The order matters —
+// "1" is an int (not a float or true), "1.5" a float, "true" a bool.
+func Infer(value string) epgm.PropertyValue {
+	if n, err := strconv.ParseInt(value, 10, 64); err == nil {
+		return epgm.PVInt(n)
+	}
+	if f, err := strconv.ParseFloat(value, 64); err == nil {
+		return epgm.PVFloat(f)
+	}
+	if b, err := strconv.ParseBool(value); err == nil {
+		return epgm.PVBool(b)
+	}
+	return epgm.PVString(value)
+}
+
+// ParsePair splits a "name=value" pair and infers the value's type.
+func ParsePair(s string) (string, epgm.PropertyValue, error) {
+	name, value, ok := strings.Cut(s, "=")
+	if !ok {
+		return "", epgm.PropertyValue{}, fmt.Errorf("expected name=value, got %q", s)
+	}
+	return name, Infer(value), nil
+}
+
+// Flags is a flag.Value collecting repeated -param name=value flags.
+type Flags map[string]epgm.PropertyValue
+
+// String implements flag.Value.
+func (p Flags) String() string { return fmt.Sprintf("%v", map[string]epgm.PropertyValue(p)) }
+
+// Set implements flag.Value, parsing name=value with type inference.
+func (p Flags) Set(s string) error {
+	name, v, err := ParsePair(s)
+	if err != nil {
+		return err
+	}
+	p[name] = v
+	return nil
+}
+
+// FromJSON converts decoded JSON parameter values (the HTTP request body's
+// "params" object) to property values: booleans and strings map directly,
+// and a number becomes an int when it is integral (JSON has only floats).
+func FromJSON(in map[string]any) (map[string]epgm.PropertyValue, error) {
+	if len(in) == 0 {
+		return nil, nil
+	}
+	out := make(map[string]epgm.PropertyValue, len(in))
+	for name, v := range in {
+		switch x := v.(type) {
+		case bool:
+			out[name] = epgm.PVBool(x)
+		case string:
+			out[name] = epgm.PVString(x)
+		case float64:
+			if x == math.Trunc(x) && math.Abs(x) < 1<<53 {
+				out[name] = epgm.PVInt(int64(x))
+			} else {
+				out[name] = epgm.PVFloat(x)
+			}
+		default:
+			return nil, fmt.Errorf("params: unsupported JSON type %T for parameter %q", v, name)
+		}
+	}
+	return out, nil
+}

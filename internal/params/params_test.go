@@ -1,0 +1,110 @@
+package params
+
+import (
+	"testing"
+
+	"gradoop/internal/epgm"
+)
+
+// TestInfer: the inference order is int, float, bool, string — "1" must be
+// an int (not a float or a bool), "1.5" a float, "true" a bool.
+func TestInfer(t *testing.T) {
+	cases := []struct {
+		in   string
+		want epgm.PropertyValue
+	}{
+		{"42", epgm.PVInt(42)},
+		{"-7", epgm.PVInt(-7)},
+		{"0", epgm.PVInt(0)},
+		{"1", epgm.PVInt(1)}, // int wins over bool's ParseBool("1")
+		{"1.5", epgm.PVFloat(1.5)},
+		{"-0.25", epgm.PVFloat(-0.25)},
+		{"1e3", epgm.PVFloat(1000)},
+		{"true", epgm.PVBool(true)},
+		{"false", epgm.PVBool(false)},
+		{"True", epgm.PVBool(true)},
+		{"t", epgm.PVBool(true)},
+		{"Alice", epgm.PVString("Alice")},
+		{"", epgm.PVString("")},
+		{"12abc", epgm.PVString("12abc")},
+		{"9223372036854775808", epgm.PVFloat(9223372036854775808)}, // int64 overflow falls to float
+		{"yes", epgm.PVString("yes")},                              // not a Go bool literal
+	}
+	for _, c := range cases {
+		if got := Infer(c.in); got != c.want {
+			t.Errorf("Infer(%q) = %v (%s), want %v (%s)", c.in, got, got.Type(), c.want, c.want.Type())
+		}
+	}
+}
+
+// TestParsePair: name=value splits on the first '=' so values may contain
+// '='; a missing '=' is an error.
+func TestParsePair(t *testing.T) {
+	name, v, err := ParsePair("firstName=Alice")
+	if err != nil || name != "firstName" || v != epgm.PVString("Alice") {
+		t.Fatalf("ParsePair: name=%q v=%v err=%v", name, v, err)
+	}
+	name, v, err = ParsePair("expr=a=b")
+	if err != nil || name != "expr" || v != epgm.PVString("a=b") {
+		t.Fatalf("ParsePair first-= split: name=%q v=%v err=%v", name, v, err)
+	}
+	if _, _, err := ParsePair("novalue"); err == nil {
+		t.Fatal("ParsePair accepted a pair without '='")
+	}
+	name, v, err = ParsePair("empty=")
+	if err != nil || name != "empty" || v != epgm.PVString("") {
+		t.Fatalf("ParsePair empty value: name=%q v=%v err=%v", name, v, err)
+	}
+}
+
+// TestFlags: the flag.Value accumulates repeated -param flags with
+// inference, rejecting malformed pairs.
+func TestFlags(t *testing.T) {
+	p := Flags{}
+	for _, s := range []string{"n=3", "f=2.5", "ok=true", "name=Bob"} {
+		if err := p.Set(s); err != nil {
+			t.Fatalf("Set(%q): %v", s, err)
+		}
+	}
+	want := Flags{
+		"n": epgm.PVInt(3), "f": epgm.PVFloat(2.5),
+		"ok": epgm.PVBool(true), "name": epgm.PVString("Bob"),
+	}
+	if len(p) != len(want) {
+		t.Fatalf("got %d params, want %d", len(p), len(want))
+	}
+	for k, v := range want {
+		if p[k] != v {
+			t.Errorf("param %q = %v, want %v", k, p[k], v)
+		}
+	}
+	if err := p.Set("malformed"); err == nil {
+		t.Fatal("Set accepted a malformed pair")
+	}
+}
+
+// TestFromJSON: JSON numbers become ints when integral, floats otherwise;
+// bools and strings map directly; other types are rejected.
+func TestFromJSON(t *testing.T) {
+	got, err := FromJSON(map[string]any{
+		"n": float64(3), "f": 2.5, "ok": true, "name": "Bob",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]epgm.PropertyValue{
+		"n": epgm.PVInt(3), "f": epgm.PVFloat(2.5),
+		"ok": epgm.PVBool(true), "name": epgm.PVString("Bob"),
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Errorf("param %q = %v, want %v", k, got[k], v)
+		}
+	}
+	if _, err := FromJSON(map[string]any{"bad": []any{1}}); err == nil {
+		t.Fatal("FromJSON accepted an array value")
+	}
+	if out, err := FromJSON(nil); err != nil || out != nil {
+		t.Fatalf("FromJSON(nil) = %v, %v; want nil, nil", out, err)
+	}
+}

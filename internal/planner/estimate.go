@@ -45,7 +45,14 @@ func (pl *Planner) predicateSelectivity(pred cypher.Expr, labels []string, isVer
 		return 0.5
 	}
 	pa, paOK := b.L.(*cypher.PropertyAccess)
-	_, litOK := b.R.(*cypher.Literal)
+	// A deferred $parameter estimates like the literal it will be bound to:
+	// selectivity is value-independent, so template plans keep the shape the
+	// eagerly-bound plan would have.
+	litOK := false
+	switch b.R.(type) {
+	case *cypher.Literal, *cypher.Param:
+		litOK = true
+	}
 	if !paOK || !litOK {
 		// literal op literal or access op access on the same element.
 		return 0.5

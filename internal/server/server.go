@@ -1,0 +1,308 @@
+// Package server exposes a session over JSON-HTTP: /query executes Cypher
+// (POST JSON body or GET with q= and param.NAME= pairs), /explain renders
+// the cached template plan, /analyze executes with tracing and returns the
+// EXPLAIN ANALYZE view, /metrics reports service counters and cache hit
+// ratios, /healthz liveness. Every response carries an X-Trace-Id header;
+// structured session errors map to structured HTTP statuses (400 invalid,
+// 429 queue full, 504 deadline, 500 execution failure) — an admitted or
+// rejected request always gets an answer, never a hang.
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"gradoop/internal/core"
+	"gradoop/internal/epgm"
+	"gradoop/internal/params"
+	"gradoop/internal/session"
+)
+
+// Server handles HTTP requests against one session.
+type Server struct {
+	session *session.Session
+	mux     *http.ServeMux
+	traceID atomic.Int64
+}
+
+// New builds a server over a session.
+func New(s *session.Session) *Server {
+	srv := &Server{session: s, mux: http.NewServeMux()}
+	srv.mux.HandleFunc("/query", srv.handleQuery)
+	srv.mux.HandleFunc("/explain", srv.handleExplain)
+	srv.mux.HandleFunc("/analyze", srv.handleAnalyze)
+	srv.mux.HandleFunc("/metrics", srv.handleMetrics)
+	srv.mux.HandleFunc("/healthz", srv.handleHealthz)
+	return srv
+}
+
+// ServeHTTP implements http.Handler, stamping the per-request trace ID.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	id := s.traceID.Add(1)
+	w.Header().Set("X-Trace-Id", fmt.Sprintf("%08x", id))
+	s.mux.ServeHTTP(w, r)
+}
+
+// queryRequest is the POST /query (and /analyze) body.
+type queryRequest struct {
+	Query string `json:"query"`
+	// Params are the $parameter bindings; JSON numbers become ints when
+	// integral.
+	Params map[string]any `json:"params"`
+	// Timeout is a Go duration string ("250ms", "5s"); empty inherits the
+	// server default.
+	Timeout string `json:"timeout"`
+	// Trace requests a Chrome trace of this execution in the response.
+	Trace bool `json:"trace"`
+}
+
+// queryResponse is the /query response.
+type queryResponse struct {
+	Columns         []string        `json:"columns,omitempty"`
+	Rows            [][]any         `json:"rows"`
+	Count           int64           `json:"count"`
+	Fingerprint     string          `json:"fingerprint,omitempty"`
+	PlanCacheHit    bool            `json:"planCacheHit"`
+	FromResultCache bool            `json:"fromResultCache"`
+	ElapsedMs       float64         `json:"elapsedMs"`
+	QueueWaitMs     float64         `json:"queueWaitMs"`
+	SimTimeMs       float64         `json:"simTimeMs"`
+	ChromeTrace     json.RawMessage `json:"chromeTrace,omitempty"`
+}
+
+// errorResponse is every non-2xx body.
+type errorResponse struct {
+	Error string `json:"error"`
+	Kind  string `json:"kind"`
+}
+
+// decodeQuery extracts a session request from either verb: POST parses the
+// JSON body, GET reads q= and repeated param.NAME=value pairs (CLI-style
+// type inference via the shared params package).
+func decodeQuery(r *http.Request) (session.Request, error) {
+	var req session.Request
+	switch r.Method {
+	case http.MethodPost:
+		var body queryRequest
+		dec := json.NewDecoder(r.Body)
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&body); err != nil {
+			return req, fmt.Errorf("bad request body: %w", err)
+		}
+		p, err := params.FromJSON(body.Params)
+		if err != nil {
+			return req, err
+		}
+		req.Query = body.Query
+		req.Params = p
+		req.Trace = body.Trace
+		if body.Timeout != "" {
+			d, err := time.ParseDuration(body.Timeout)
+			if err != nil {
+				return req, fmt.Errorf("bad timeout %q: %w", body.Timeout, err)
+			}
+			req.Timeout = d
+		}
+	case http.MethodGet:
+		q := r.URL.Query()
+		req.Query = q.Get("q")
+		for name, values := range q {
+			if !strings.HasPrefix(name, "param.") || len(values) == 0 {
+				continue
+			}
+			if req.Params == nil {
+				req.Params = map[string]epgm.PropertyValue{}
+			}
+			req.Params[strings.TrimPrefix(name, "param.")] = params.Infer(values[0])
+		}
+		if t := q.Get("timeout"); t != "" {
+			d, err := time.ParseDuration(t)
+			if err != nil {
+				return req, fmt.Errorf("bad timeout %q: %w", t, err)
+			}
+			req.Timeout = d
+		}
+		req.Trace = q.Get("trace") == "true"
+	default:
+		return req, fmt.Errorf("method %s not allowed", r.Method)
+	}
+	req.Context = r.Context()
+	return req, nil
+}
+
+// handleQuery executes a query and renders its rows.
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	req, err := decodeQuery(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	res, err := s.session.Execute(req)
+	if err != nil {
+		writeSessionError(w, err)
+		return
+	}
+	out := queryResponse{
+		Columns:         res.Columns,
+		Rows:            jsonRows(res.Rows),
+		Count:           res.Count,
+		Fingerprint:     res.Fingerprint,
+		PlanCacheHit:    res.PlanCacheHit,
+		FromResultCache: res.FromResultCache,
+		ElapsedMs:       ms(res.Elapsed),
+		QueueWaitMs:     ms(res.QueueWait),
+		SimTimeMs:       ms(res.Metrics.SimTime),
+	}
+	if res.Trace != nil {
+		var buf bytes.Buffer
+		if err := res.Trace.WriteChromeTrace(&buf); err == nil {
+			out.ChromeTrace = json.RawMessage(buf.Bytes())
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleExplain renders the cached template plan without executing.
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	req, err := decodeQuery(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	plan, fingerprint, err := s.session.Explain(req.Query)
+	if err != nil {
+		writeSessionError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{
+		"plan":        plan,
+		"fingerprint": fingerprint,
+	})
+}
+
+// handleAnalyze executes with tracing and returns the EXPLAIN ANALYZE
+// rendering (estimated vs. actual cardinalities, per-operator time).
+func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	req, err := decodeQuery(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	req.Trace = true
+	res, err := s.session.Execute(req)
+	if err != nil {
+		writeSessionError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"analyzedPlan": res.Result.AnalyzedPlan(),
+		"fingerprint":  res.Fingerprint,
+		"count":        res.Count,
+		"planCacheHit": res.PlanCacheHit,
+		"elapsedMs":    ms(res.Elapsed),
+	})
+}
+
+// handleMetrics reports service counters; ?format=text renders the CLI
+// style, anything else JSON.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	m := s.session.Metrics()
+	switch r.URL.Query().Get("format") {
+	case "text":
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, m.Text())
+	case "", "json":
+		writeJSON(w, http.StatusOK, struct {
+			session.Metrics
+			PlanHitRatio   float64 `json:"planHitRatio"`
+			ResultHitRatio float64 `json:"resultHitRatio"`
+		}{m, m.PlanHitRatio(), m.ResultHitRatio()})
+	default:
+		writeError(w, http.StatusBadRequest, fmt.Errorf("unknown format %q (want text or json)", r.URL.Query().Get("format")))
+	}
+}
+
+// handleHealthz reports liveness and the served graph's size.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	vertices, edges := s.session.GraphSize()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":   "ok",
+		"vertices": vertices,
+		"edges":    edges,
+	})
+}
+
+// writeSessionError maps a classified session error to its HTTP status.
+func writeSessionError(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	kind := session.KindFailed
+	var se *session.Error
+	if errors.As(err, &se) {
+		kind = se.Kind
+		switch se.Kind {
+		case session.KindInvalid:
+			status = http.StatusBadRequest
+		case session.KindRejected:
+			status = http.StatusTooManyRequests
+		case session.KindTimeout:
+			status = http.StatusGatewayTimeout
+		}
+	}
+	writeJSON(w, status, errorResponse{Error: err.Error(), Kind: kind.String()})
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorResponse{Error: err.Error(), Kind: session.KindInvalid.String()})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+// jsonRows converts result rows to JSON-encodable value arrays aligned
+// with the response's columns.
+func jsonRows(rows []core.Row) [][]any {
+	out := make([][]any, len(rows))
+	for i, row := range rows {
+		vals := make([]any, len(row.Values))
+		for j, v := range row.Values {
+			vals[j] = jsonValue(v)
+		}
+		out[i] = vals
+	}
+	return out
+}
+
+// jsonValue maps a property value to its JSON form; int64s beyond JSON's
+// exact range are stringified to avoid silent precision loss.
+func jsonValue(v epgm.PropertyValue) any {
+	switch v.Type() {
+	case epgm.TypeBool:
+		return v.Bool()
+	case epgm.TypeInt64:
+		n := v.Int()
+		if n > 1<<53 || n < -(1<<53) {
+			return strconv.FormatInt(n, 10)
+		}
+		return n
+	case epgm.TypeFloat64:
+		return v.Float()
+	case epgm.TypeString:
+		return v.Str()
+	default:
+		return nil
+	}
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }

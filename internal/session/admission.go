@@ -1,0 +1,136 @@
+package session
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// ErrQueueFull is returned when a request cannot even be queued: every job
+// slot is taken and the bounded wait queue is at capacity. Callers should
+// back off (the HTTP server maps it to 429 Too Many Requests).
+var ErrQueueFull = errors.New("session: job queue full")
+
+// Kind classifies a session error for transport mapping.
+type Kind int
+
+const (
+	// KindInvalid is a bad request: parse error, unknown variable, missing
+	// or malformed parameter (HTTP 400).
+	KindInvalid Kind = iota
+	// KindRejected is admission control refusing the request because the
+	// wait queue is full (HTTP 429).
+	KindRejected
+	// KindTimeout is a deadline that expired — while queued or mid-flight —
+	// or a cancelled request context (HTTP 504).
+	KindTimeout
+	// KindFailed is an execution failure: a contained dataflow panic or an
+	// exhausted fault-recovery budget (HTTP 500).
+	KindFailed
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindInvalid:
+		return "invalid"
+	case KindRejected:
+		return "rejected"
+	case KindTimeout:
+		return "timeout"
+	case KindFailed:
+		return "failed"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Error is a classified session failure. It wraps the underlying cause, so
+// errors.Is still matches context.DeadlineExceeded, ErrQueueFull, or a
+// *dataflow.JobError.
+type Error struct {
+	Kind Kind
+	Err  error
+}
+
+// Error implements error.
+func (e *Error) Error() string { return fmt.Sprintf("session: %s: %v", e.Kind, e.Err) }
+
+// Unwrap exposes the cause.
+func (e *Error) Unwrap() error { return e.Err }
+
+// KindOf extracts the classification of a session error; unclassified
+// errors report KindFailed.
+func KindOf(err error) Kind {
+	var se *Error
+	if errors.As(err, &se) {
+		return se.Kind
+	}
+	return KindFailed
+}
+
+// classify wraps an error with its kind, preserving an existing *Error.
+func classify(kind Kind, err error) *Error {
+	var se *Error
+	if errors.As(err, &se) {
+		return se
+	}
+	return &Error{Kind: kind, Err: err}
+}
+
+// gate is the admission controller: a fixed number of job slots plus a
+// bounded wait queue. Acquire blocks until a slot frees, the caller's
+// context expires, or the queue bound is exceeded — a request is never left
+// hanging.
+type gate struct {
+	slots    chan struct{}
+	maxQueue int64
+	waiting  atomic.Int64
+}
+
+func newGate(maxConcurrent, maxQueue int) *gate {
+	if maxConcurrent < 1 {
+		maxConcurrent = 1
+	}
+	if maxQueue < 0 {
+		maxQueue = 0
+	}
+	return &gate{slots: make(chan struct{}, maxConcurrent), maxQueue: int64(maxQueue)}
+}
+
+// acquire takes a job slot, reporting how long the request waited in the
+// queue. It fails fast with ErrQueueFull when the queue bound is exceeded
+// and with the context's error when the deadline expires while queued.
+func (g *gate) acquire(ctx context.Context) (time.Duration, error) {
+	select {
+	case g.slots <- struct{}{}:
+		return 0, nil
+	default:
+	}
+	if g.waiting.Add(1) > g.maxQueue {
+		g.waiting.Add(-1)
+		return 0, ErrQueueFull
+	}
+	start := time.Now()
+	defer g.waiting.Add(-1)
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	select {
+	case g.slots <- struct{}{}:
+		return time.Since(start), nil
+	case <-ctx.Done():
+		return time.Since(start), fmt.Errorf("session: expired while queued: %w", ctx.Err())
+	}
+}
+
+// release frees a slot taken by acquire.
+func (g *gate) release() { <-g.slots }
+
+// queued reports the current queue depth (for metrics/health output).
+func (g *gate) queued() int64 { return g.waiting.Load() }
+
+// inFlight reports the number of occupied job slots.
+func (g *gate) inFlight() int { return len(g.slots) }

@@ -1,0 +1,211 @@
+package session
+
+import (
+	"container/list"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"gradoop/internal/core"
+	"gradoop/internal/epgm"
+)
+
+// CanonicalQuery normalizes a query's whitespace so textually equivalent
+// requests share cache entries. Parameterized queries canonicalize to the
+// same text regardless of binding — that is the point of the plan cache.
+func CanonicalQuery(q string) string {
+	return strings.Join(strings.Fields(q), " ")
+}
+
+// paramsKey encodes a binding deterministically: sorted name=TYPE:value
+// pairs. It distinguishes PVInt(1) from PVString("1") — different bindings
+// must never collide in the result cache.
+func paramsKey(params map[string]epgm.PropertyValue) string {
+	if len(params) == 0 {
+		return ""
+	}
+	parts := make([]string, 0, len(params))
+	for name, v := range params {
+		parts = append(parts, fmt.Sprintf("%s=%s:%s", name, v.Type(), v))
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, "\x00")
+}
+
+// planEntry is one cached compilation. The once gives the cache
+// single-flight behaviour: concurrent first requests for the same query
+// build the plan exactly once and the rest wait for it.
+type planEntry struct {
+	once sync.Once
+	p    *core.Prepared
+	err  error
+}
+
+// planCache is an LRU cache of Prepared queries, keyed by canonical query
+// text (semantics, hint and reuse mode are session-wide, and the cache is
+// purged when the graph — and with it the statistics — is swapped).
+type planCache struct {
+	mu      sync.Mutex
+	max     int
+	entries map[string]*list.Element
+	order   *list.List // front = most recently used; values are *planItem
+}
+
+type planItem struct {
+	key   string
+	entry *planEntry
+}
+
+func newPlanCache(max int) *planCache {
+	if max < 1 {
+		max = 1
+	}
+	return &planCache{max: max, entries: map[string]*list.Element{}, order: list.New()}
+}
+
+// get returns the entry for key, creating it when absent; created reports
+// whether this call inserted it (a cache miss about to build).
+func (c *planCache) get(key string) (e *planEntry, created bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		c.order.MoveToFront(el)
+		return el.Value.(*planItem).entry, false
+	}
+	entry := &planEntry{}
+	c.entries[key] = c.order.PushFront(&planItem{key: key, entry: entry})
+	for c.order.Len() > c.max {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.entries, oldest.Value.(*planItem).key)
+	}
+	return entry, true
+}
+
+// drop removes a key (used when a build fails, so the error is not pinned).
+func (c *planCache) drop(key string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		c.order.Remove(el)
+		delete(c.entries, key)
+	}
+}
+
+// purge empties the cache (graph swap).
+func (c *planCache) purge() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries = map[string]*list.Element{}
+	c.order.Init()
+}
+
+// len reports the number of cached plans.
+func (c *planCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
+
+// cachedResult is one materialized query result: the rows and count of a
+// fully bound execution, reusable until the graph is swapped.
+type cachedResult struct {
+	Columns []string
+	Rows    []core.Row
+	Count   int64
+
+	key        string
+	generation uint64
+	bytes      int64
+}
+
+// estimateBytes approximates the retained size of a result for the byte
+// budget: slice headers and string payloads dominate.
+func (r *cachedResult) estimateBytes() int64 {
+	n := int64(len(r.key)) + 64
+	for _, c := range r.Columns {
+		n += int64(len(c)) + 16
+	}
+	for _, row := range r.Rows {
+		n += 48 // row headers
+		for _, v := range row.Values {
+			n += 32 + int64(len(v.Str()))
+		}
+	}
+	return n
+}
+
+// resultCache is a byte-budgeted LRU of materialized results. Entries from
+// an older graph generation are ignored on lookup and lazily dropped; a
+// graph swap purges everything eagerly.
+type resultCache struct {
+	mu      sync.Mutex
+	budget  int64
+	used    int64
+	entries map[string]*list.Element
+	order   *list.List // values are *cachedResult
+}
+
+func newResultCache(budget int64) *resultCache {
+	return &resultCache{budget: budget, entries: map[string]*list.Element{}, order: list.New()}
+}
+
+// get returns the cached result for key at the given graph generation.
+func (c *resultCache) get(key string, generation uint64) (*cachedResult, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		return nil, false
+	}
+	r := el.Value.(*cachedResult)
+	if r.generation != generation {
+		c.removeLocked(el)
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return r, true
+}
+
+// put inserts a result, evicting least-recently-used entries past the byte
+// budget. Results larger than the whole budget are not cached.
+func (c *resultCache) put(r *cachedResult) {
+	r.bytes = r.estimateBytes()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if r.bytes > c.budget {
+		return
+	}
+	if el, ok := c.entries[r.key]; ok {
+		c.removeLocked(el)
+	}
+	c.entries[r.key] = c.order.PushFront(r)
+	c.used += r.bytes
+	for c.used > c.budget && c.order.Len() > 1 {
+		c.removeLocked(c.order.Back())
+	}
+}
+
+func (c *resultCache) removeLocked(el *list.Element) {
+	r := el.Value.(*cachedResult)
+	c.order.Remove(el)
+	delete(c.entries, r.key)
+	c.used -= r.bytes
+}
+
+// purge empties the cache (graph swap).
+func (c *resultCache) purge() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries = map[string]*list.Element{}
+	c.order.Init()
+	c.used = 0
+}
+
+// usage reports the cache's current byte footprint and entry count.
+func (c *resultCache) usage() (bytes int64, entries int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.used, c.order.Len()
+}

@@ -1,0 +1,130 @@
+package session
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"gradoop/internal/core"
+	"gradoop/internal/dataflow"
+)
+
+// counters is the session's internal accounting: request and cache
+// counters as atomics, plus the running merge of every job's metrics
+// snapshot (job-slot accounting included) under a mutex.
+type counters struct {
+	queries      atomic.Int64
+	planHits     atomic.Int64
+	planMisses   atomic.Int64
+	resultHits   atomic.Int64
+	resultMisses atomic.Int64
+	rejected     atomic.Int64
+	timeouts     atomic.Int64
+	invalid      atomic.Int64
+	failed       atomic.Int64
+
+	mu      sync.Mutex
+	cluster dataflow.MetricsSnapshot
+}
+
+// mergeJob folds one finished job's snapshot into the running cluster
+// total.
+func (c *counters) mergeJob(m dataflow.MetricsSnapshot) {
+	c.mu.Lock()
+	c.cluster.Merge(m)
+	c.mu.Unlock()
+}
+
+// Metrics is an immutable snapshot of a session's service counters.
+type Metrics struct {
+	// Queries counts Execute calls; Rejected, Timeouts, Invalid and Failed
+	// partition the failures.
+	Queries  int64 `json:"queries"`
+	Rejected int64 `json:"rejected"`
+	Timeouts int64 `json:"timeouts"`
+	Invalid  int64 `json:"invalid"`
+	Failed   int64 `json:"failed"`
+
+	// Plan/Result cache hit and miss counters.
+	PlanHits     int64 `json:"planHits"`
+	PlanMisses   int64 `json:"planMisses"`
+	ResultHits   int64 `json:"resultHits"`
+	ResultMisses int64 `json:"resultMisses"`
+	// PlanEntries, ResultEntries and ResultBytes describe current cache
+	// occupancy.
+	PlanEntries   int   `json:"planEntries"`
+	ResultEntries int   `json:"resultEntries"`
+	ResultBytes   int64 `json:"resultBytes"`
+
+	// InFlight and Queued describe current admission state.
+	InFlight int   `json:"inFlight"`
+	Queued   int64 `json:"queued"`
+
+	// StatsCollections is the process-wide count of actual statistics
+	// collections (the per-graph memo's misses).
+	StatsCollections int64 `json:"statsCollections"`
+
+	// Cluster is the merged dataflow accounting of every executed job:
+	// Jobs counts them, SlotWait accumulates admission queueing.
+	Cluster dataflow.MetricsSnapshot `json:"cluster"`
+}
+
+// Metrics returns the session's current service counters.
+func (s *Session) Metrics() Metrics {
+	c := s.metrics
+	c.mu.Lock()
+	cluster := c.cluster
+	cluster.CPUElements = append([]int64(nil), cluster.CPUElements...)
+	cluster.NetBytes = append([]int64(nil), cluster.NetBytes...)
+	cluster.SpillBytes = append([]int64(nil), cluster.SpillBytes...)
+	c.mu.Unlock()
+	resultBytes, resultEntries := s.results.usage()
+	return Metrics{
+		Queries:          c.queries.Load(),
+		Rejected:         c.rejected.Load(),
+		Timeouts:         c.timeouts.Load(),
+		Invalid:          c.invalid.Load(),
+		Failed:           c.failed.Load(),
+		PlanHits:         c.planHits.Load(),
+		PlanMisses:       c.planMisses.Load(),
+		ResultHits:       c.resultHits.Load(),
+		ResultMisses:     c.resultMisses.Load(),
+		PlanEntries:      s.plans.len(),
+		ResultEntries:    resultEntries,
+		ResultBytes:      resultBytes,
+		InFlight:         s.gate.inFlight(),
+		Queued:           s.gate.queued(),
+		StatsCollections: core.StatsCollections(),
+		Cluster:          cluster,
+	}
+}
+
+// PlanHitRatio is hits/(hits+misses), 0 when the cache is untouched.
+func (m Metrics) PlanHitRatio() float64 { return ratio(m.PlanHits, m.PlanMisses) }
+
+// ResultHitRatio is hits/(hits+misses), 0 when the cache is untouched.
+func (m Metrics) ResultHitRatio() float64 { return ratio(m.ResultHits, m.ResultMisses) }
+
+func ratio(hits, misses int64) float64 {
+	if hits+misses == 0 {
+		return 0
+	}
+	return float64(hits) / float64(hits+misses)
+}
+
+// Text renders the metrics in the -metrics text style of the CLI.
+func (m Metrics) Text() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "queries=%d rejected=%d timeouts=%d invalid=%d failed=%d\n",
+		m.Queries, m.Rejected, m.Timeouts, m.Invalid, m.Failed)
+	fmt.Fprintf(&sb, "plan cache: hits=%d misses=%d ratio=%.2f entries=%d\n",
+		m.PlanHits, m.PlanMisses, m.PlanHitRatio(), m.PlanEntries)
+	fmt.Fprintf(&sb, "result cache: hits=%d misses=%d ratio=%.2f entries=%d bytes=%d\n",
+		m.ResultHits, m.ResultMisses, m.ResultHitRatio(), m.ResultEntries, m.ResultBytes)
+	fmt.Fprintf(&sb, "admission: inFlight=%d queued=%d slotWait=%s\n",
+		m.InFlight, m.Queued, m.Cluster.SlotWait)
+	fmt.Fprintf(&sb, "stats collections: %d\n", m.StatsCollections)
+	fmt.Fprintf(&sb, "cluster: jobs=%d %s\n", m.Cluster.Jobs, m.Cluster.String())
+	return sb.String()
+}

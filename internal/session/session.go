@@ -1,0 +1,481 @@
+// Package session implements the long-lived query service on top of the
+// one-shot core operator: a Session loads a graph once, pins its statistics
+// and label-partitioned representation, and serves many concurrent Cypher
+// queries against it. It layers a single-flight plan cache (parameterized
+// queries compile once and only bind per call), a byte-budgeted LRU result
+// cache, and admission control (bounded job slots plus a bounded wait queue
+// with per-request deadlines) over per-query dataflow environments, so one
+// resident graph serves heavy traffic the way the ROADMAP's production
+// target demands rather than one job at a time.
+package session
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"time"
+
+	"gradoop/internal/core"
+	"gradoop/internal/dataflow"
+	"gradoop/internal/epgm"
+	"gradoop/internal/operators"
+	"gradoop/internal/planner"
+	"gradoop/internal/stats"
+	csvstore "gradoop/internal/storage/csv"
+	"gradoop/internal/trace"
+)
+
+// Options configures a session. The zero value is usable: paper semantics
+// (vertex homomorphism, edge isomorphism), four workers, both caches on.
+type Options struct {
+	// Workers is the simulated cluster size of each query's environment.
+	Workers int
+	// Vertex and Edge are the session-wide morphism semantics.
+	Vertex operators.Semantics
+	Edge   operators.Semantics
+	// Hint selects the physical join strategy.
+	Hint dataflow.JoinHint
+	// DisableSubqueryReuse turns off recurring-subquery leaf sharing.
+	DisableSubqueryReuse bool
+
+	// NoPlanCache disables the plan cache (every request re-parses and
+	// re-plans); NoResultCache disables the result cache. Benchmarks use
+	// them to isolate each cache's contribution.
+	NoPlanCache   bool
+	NoResultCache bool
+	// PlanCacheEntries caps the plan cache (default 128 entries).
+	PlanCacheEntries int
+	// ResultCacheBytes is the result cache budget (default 16 MiB).
+	ResultCacheBytes int64
+
+	// MaxConcurrent bounds simultaneously executing dataflow jobs (default
+	// 4); MaxQueued bounds requests waiting for a slot (default 16,
+	// negative = no queue at all) — a request beyond both fails fast with
+	// ErrQueueFull.
+	MaxConcurrent int
+	MaxQueued     int
+	// DefaultTimeout applies to requests without their own (0 = none). The
+	// deadline covers queue wait and execution.
+	DefaultTimeout time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.Workers <= 0 {
+		o.Workers = 4
+	}
+	if o.Vertex == 0 && o.Edge == 0 {
+		o.Vertex, o.Edge = operators.Homomorphism, operators.Isomorphism
+	}
+	if o.PlanCacheEntries <= 0 {
+		o.PlanCacheEntries = 128
+	}
+	if o.ResultCacheBytes <= 0 {
+		o.ResultCacheBytes = 16 << 20
+	}
+	if o.MaxConcurrent <= 0 {
+		o.MaxConcurrent = 4
+	}
+	if o.MaxQueued == 0 {
+		o.MaxQueued = 16
+	} else if o.MaxQueued < 0 {
+		o.MaxQueued = 0
+	}
+	return o
+}
+
+// graphState is one pinned graph: the raw element slices (rebound zero-copy
+// onto each query's environment), the per-label partitioning, and the
+// statistics collected once at load. It is immutable after construction —
+// SwapGraph installs a whole new state.
+type graphState struct {
+	generation uint64
+	head       epgm.GraphHead
+	vertices   []epgm.Vertex
+	edges      []epgm.Edge
+	vByLabel   map[string][]epgm.Vertex
+	eByLabel   map[string][]epgm.Edge
+	stats      *stats.GraphStatistics
+}
+
+func newGraphState(g *epgm.LogicalGraph, generation uint64) *graphState {
+	st := &graphState{
+		generation: generation,
+		head:       g.Head,
+		vertices:   g.Vertices.Collect(),
+		edges:      g.Edges.Collect(),
+		vByLabel:   map[string][]epgm.Vertex{},
+		eByLabel:   map[string][]epgm.Edge{},
+		stats:      core.GraphStats(g),
+	}
+	for _, v := range st.vertices {
+		st.vByLabel[v.Label] = append(st.vByLabel[v.Label], v)
+	}
+	for _, e := range st.edges {
+		st.eByLabel[e.Label] = append(st.eByLabel[e.Label], e)
+	}
+	return st
+}
+
+// bind attaches the pinned slices to a fresh environment: a logical graph
+// over the full slices plus a hybrid access that scans the full dataset for
+// unlabeled query elements (pure slice-header splitting) and the per-label
+// datasets for labeled ones (§3.4).
+func (st *graphState) bind(env *dataflow.Env) (*epgm.LogicalGraph, planner.GraphAccess) {
+	g := epgm.NewLogicalGraph(env, st.head,
+		dataflow.FromSlice(env, st.vertices), dataflow.FromSlice(env, st.edges))
+	idx := epgm.IndexedFromSlices(env, st.head, st.vByLabel, st.eByLabel)
+	return g, hybridAccess{
+		plain:   planner.PlainAccess{Graph: g},
+		indexed: planner.IndexedAccess{Index: idx},
+	}
+}
+
+// hybridAccess serves unlabeled scans from the plain full datasets (no
+// per-label union work) and labeled scans from the index.
+type hybridAccess struct {
+	plain   planner.PlainAccess
+	indexed planner.IndexedAccess
+}
+
+// Env implements planner.GraphAccess.
+func (a hybridAccess) Env() *dataflow.Env { return a.plain.Env() }
+
+// VertexDataset implements planner.GraphAccess.
+func (a hybridAccess) VertexDataset(labels []string) *dataflow.Dataset[epgm.Vertex] {
+	if len(labels) == 0 {
+		return a.plain.VertexDataset(labels)
+	}
+	return a.indexed.VertexDataset(labels)
+}
+
+// EdgeDataset implements planner.GraphAccess.
+func (a hybridAccess) EdgeDataset(types []string) *dataflow.Dataset[epgm.Edge] {
+	if len(types) == 0 {
+		return a.plain.EdgeDataset(types)
+	}
+	return a.indexed.EdgeDataset(types)
+}
+
+// Session is a long-lived query service over one pinned graph.
+type Session struct {
+	opts    Options
+	gate    *gate
+	plans   *planCache
+	results *resultCache
+	metrics *counters
+
+	// state is swapped wholesale by SwapGraph; reads take the pointer once
+	// and work on the immutable snapshot.
+	stateMu sync.RWMutex
+	state   *graphState
+}
+
+// New creates a session serving the given graph.
+func New(g *epgm.LogicalGraph, opts Options) *Session {
+	opts = opts.withDefaults()
+	return &Session{
+		opts:    opts,
+		gate:    newGate(opts.MaxConcurrent, opts.MaxQueued),
+		plans:   newPlanCache(opts.PlanCacheEntries),
+		results: newResultCache(opts.ResultCacheBytes),
+		metrics: &counters{},
+		state:   newGraphState(g, 1),
+	}
+}
+
+// Open loads a Gradoop-CSV dataset directory into a new session.
+func Open(dir string, opts Options) (*Session, error) {
+	opts = opts.withDefaults()
+	env := dataflow.NewEnv(dataflow.DefaultConfig(opts.Workers))
+	g, err := csvstore.ReadLogicalGraph(env, dir)
+	if err != nil {
+		return nil, err
+	}
+	return New(g, opts), nil
+}
+
+// Options returns the session's effective (defaulted) options.
+func (s *Session) Options() Options { return s.opts }
+
+// SwapGraph atomically replaces the served graph. In-flight queries finish
+// against the old state (its slices are immutable); both caches are
+// invalidated — plans because the statistics changed, results because the
+// data did.
+func (s *Session) SwapGraph(g *epgm.LogicalGraph) {
+	s.stateMu.Lock()
+	generation := s.state.generation + 1
+	s.state = newGraphState(g, generation)
+	s.stateMu.Unlock()
+	s.plans.purge()
+	s.results.purge()
+}
+
+// snapshot returns the current immutable graph state.
+func (s *Session) snapshot() *graphState {
+	s.stateMu.RLock()
+	defer s.stateMu.RUnlock()
+	return s.state
+}
+
+// GraphSize reports the pinned graph's element counts (health output).
+func (s *Session) GraphSize() (vertices, edges int) {
+	st := s.snapshot()
+	return len(st.vertices), len(st.edges)
+}
+
+// Request is one query execution request.
+type Request struct {
+	Query string
+	// Params bind the query's $parameters.
+	Params map[string]epgm.PropertyValue
+	// Timeout overrides the session's DefaultTimeout (0 = inherit). It
+	// covers queue wait and execution.
+	Timeout time.Duration
+	// Context cancels the request (nil = not cancellable beyond Timeout).
+	Context context.Context
+	// Trace enables execution tracing: the response carries the collector
+	// for EXPLAIN ANALYZE and Chrome-trace export. Traced requests bypass
+	// the result cache so there is an execution to trace.
+	Trace bool
+	// Faults injects a worker-failure plan into the query's environment
+	// (tests and chaos benchmarks). Fault-injected requests bypass the
+	// result cache.
+	Faults *dataflow.FaultPlan
+}
+
+// Response is one served query.
+type Response struct {
+	Columns []string
+	Rows    []core.Row
+	Count   int64
+	// Fingerprint is the canonical plan key.
+	Fingerprint string
+	// PlanCacheHit reports whether the compilation was served from the plan
+	// cache; FromResultCache whether the whole result was (in which case no
+	// dataflow job ran and PlanCacheHit is false).
+	PlanCacheHit    bool
+	FromResultCache bool
+	// Elapsed is the total service time, QueueWait the admission-queue
+	// share of it.
+	Elapsed   time.Duration
+	QueueWait time.Duration
+	// Metrics is the query's own dataflow job snapshot (zero when served
+	// from the result cache), with SlotWait filled in.
+	Metrics dataflow.MetricsSnapshot
+	// Trace is the execution trace (Request.Trace only).
+	Trace *trace.Collector
+	// Result is the underlying execution (nil when served from the result
+	// cache): AnalyzedPlan, embeddings, graph collection.
+	Result *core.Result
+}
+
+// baseConfig assembles the session-wide parts of a core.Config.
+func (s *Session) baseConfig() core.Config {
+	return core.Config{
+		Vertex:               s.opts.Vertex,
+		Edge:                 s.opts.Edge,
+		Hint:                 s.opts.Hint,
+		DisableSubqueryReuse: s.opts.DisableSubqueryReuse,
+	}
+}
+
+// prepareToken is the trace token for the compile span.
+type prepareToken struct{}
+
+// compile returns the Prepared for a canonical query, through the plan
+// cache unless disabled. On a miss (or with the cache off) the build is
+// wrapped in a "Prepare" trace span when col is non-nil, which is how the
+// benchmark verifies that cache hits skip parse+plan: a hit's trace has no
+// such span.
+func (s *Session) compile(st *graphState, canonical string, col *trace.Collector) (*core.Prepared, bool, error) {
+	build := func() (*core.Prepared, error) {
+		if col != nil {
+			col.PushOp(prepareToken{}, "Prepare")
+			defer col.PopOp(prepareToken{}, 0)
+		}
+		env := dataflow.NewEnv(dataflow.DefaultConfig(s.opts.Workers))
+		_, access := st.bind(env)
+		return core.PrepareWith(access, st.stats, canonical, s.baseConfig())
+	}
+	if s.opts.NoPlanCache {
+		p, err := build()
+		s.metrics.planMisses.Add(1)
+		return p, false, err
+	}
+	entry, created := s.plans.get(canonical)
+	entry.once.Do(func() {
+		entry.p, entry.err = build()
+	})
+	if entry.err != nil {
+		s.plans.drop(canonical)
+		s.metrics.planMisses.Add(1)
+		return nil, false, entry.err
+	}
+	hit := !created
+	if hit {
+		s.metrics.planHits.Add(1)
+	} else {
+		s.metrics.planMisses.Add(1)
+	}
+	return entry.p, hit, nil
+}
+
+// Execute serves one query. Every failure is classified: *Error with
+// KindInvalid (bad query or binding), KindRejected (queue full),
+// KindTimeout (deadline or cancellation, queued or mid-flight) or
+// KindFailed (execution failure). A request never hangs: admission has a
+// bounded queue and the deadline covers the wait.
+func (s *Session) Execute(req Request) (*Response, error) {
+	start := time.Now()
+	s.metrics.queries.Add(1)
+	canonical := CanonicalQuery(req.Query)
+	if canonical == "" {
+		s.metrics.invalid.Add(1)
+		return nil, &Error{Kind: KindInvalid, Err: errors.New("empty query")}
+	}
+
+	// The deadline starts before queueing: time spent waiting for a slot
+	// counts against it.
+	ctx := req.Context
+	timeout := req.Timeout
+	if timeout <= 0 {
+		timeout = s.opts.DefaultTimeout
+	}
+	var cancel context.CancelFunc
+	if timeout > 0 {
+		if ctx == nil {
+			ctx = context.Background()
+		}
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+
+	st := s.snapshot()
+	cacheable := !s.opts.NoResultCache && !req.Trace && req.Faults == nil
+	resultKey := canonical + "\x00" + paramsKey(req.Params)
+	if cacheable {
+		if r, ok := s.results.get(resultKey, st.generation); ok {
+			s.metrics.resultHits.Add(1)
+			return &Response{
+				Columns:         r.Columns,
+				Rows:            r.Rows,
+				Count:           r.Count,
+				FromResultCache: true,
+				Elapsed:         time.Since(start),
+			}, nil
+		}
+		s.metrics.resultMisses.Add(1)
+	}
+
+	queueWait, err := s.gate.acquire(ctx)
+	if err != nil {
+		if errors.Is(err, ErrQueueFull) {
+			s.metrics.rejected.Add(1)
+			return nil, &Error{Kind: KindRejected, Err: err}
+		}
+		s.metrics.timeouts.Add(1)
+		return nil, &Error{Kind: KindTimeout, Err: err}
+	}
+	defer s.gate.release()
+
+	var col *trace.Collector
+	if req.Trace {
+		col = trace.NewCollector()
+	}
+	prep, planHit, err := s.compile(st, canonical, col)
+	if err != nil {
+		s.metrics.invalid.Add(1)
+		return nil, classify(KindInvalid, err)
+	}
+
+	env := dataflow.NewEnv(dataflow.DefaultConfig(s.opts.Workers))
+	if req.Faults != nil {
+		env.InjectFaults(req.Faults)
+	}
+	g, access := st.bind(env)
+	cfg := s.baseConfig()
+	cfg.Params = req.Params
+	cfg.Stats = st.stats
+	cfg.Access = access
+	cfg.Context = ctx
+	cfg.Trace = col
+
+	res, err := prep.Execute(g, cfg)
+	if err != nil {
+		return nil, s.classifyExec(err)
+	}
+	rows := res.Rows()
+	count := res.Count()
+	columns := columnsOf(rows)
+	m := env.Metrics()
+	m.SlotWait = queueWait
+	s.metrics.mergeJob(m)
+
+	if cacheable {
+		s.results.put(&cachedResult{
+			Columns:    columns,
+			Rows:       rows,
+			Count:      count,
+			key:        resultKey,
+			generation: st.generation,
+		})
+	}
+	return &Response{
+		Columns:      columns,
+		Rows:         rows,
+		Count:        count,
+		Fingerprint:  prep.Fingerprint(),
+		PlanCacheHit: planHit,
+		Elapsed:      time.Since(start),
+		QueueWait:    queueWait,
+		Metrics:      m,
+		Trace:        col,
+		Result:       res,
+	}, nil
+}
+
+// classifyExec maps an execution error to its kind.
+func (s *Session) classifyExec(err error) error {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		s.metrics.timeouts.Add(1)
+		return classify(KindTimeout, err)
+	case isMissingParam(err):
+		s.metrics.invalid.Add(1)
+		return classify(KindInvalid, err)
+	default:
+		s.metrics.failed.Add(1)
+		return classify(KindFailed, err)
+	}
+}
+
+// isMissingParam detects the binder's missing-parameter error, which
+// surfaces at execution time (binding) rather than compile time for
+// template plans.
+func isMissingParam(err error) bool {
+	return err != nil && strings.Contains(err.Error(), "parameter $")
+}
+
+// columnsOf extracts the column names of a row set.
+func columnsOf(rows []core.Row) []string {
+	if len(rows) == 0 {
+		return nil
+	}
+	return rows[0].Columns
+}
+
+// Explain compiles a query (through the plan cache, warming it for later
+// executions) and renders its template plan plus the canonical plan
+// fingerprint, without executing anything.
+func (s *Session) Explain(query string) (plan, fingerprint string, err error) {
+	canonical := CanonicalQuery(query)
+	if canonical == "" {
+		return "", "", &Error{Kind: KindInvalid, Err: errors.New("empty query")}
+	}
+	prep, _, err := s.compile(s.snapshot(), canonical, nil)
+	if err != nil {
+		return "", "", classify(KindInvalid, err)
+	}
+	return prep.Plan.Explain(), prep.Fingerprint(), nil
+}

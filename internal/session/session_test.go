@@ -1,0 +1,315 @@
+package session
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"gradoop/internal/dataflow"
+	"gradoop/internal/epgm"
+)
+
+// testGraph builds a small social graph: persons with names, knows edges,
+// a university with studyAt edges.
+func testGraph(workers int) *epgm.LogicalGraph {
+	env := dataflow.NewEnv(dataflow.DefaultConfig(workers))
+	person := func(name string) epgm.Vertex {
+		return epgm.Vertex{ID: epgm.NewID(), Label: "Person",
+			Properties: epgm.Properties{}.Set("name", epgm.PVString(name))}
+	}
+	alice, bob, eve, carol := person("Alice"), person("Bob"), person("Eve"), person("Carol")
+	uni := epgm.Vertex{ID: epgm.NewID(), Label: "University",
+		Properties: epgm.Properties{}.Set("name", epgm.PVString("Uni Leipzig"))}
+	e := func(label string, s, t epgm.Vertex) epgm.Edge {
+		return epgm.Edge{ID: epgm.NewID(), Label: label, Source: s.ID, Target: t.ID}
+	}
+	return epgm.GraphFromSlices(env, "Community",
+		[]epgm.Vertex{alice, bob, eve, carol, uni},
+		[]epgm.Edge{
+			e("knows", alice, bob), e("knows", bob, alice), e("knows", bob, eve),
+			e("knows", eve, carol), e("knows", carol, alice),
+			e("studyAt", alice, uni), e("studyAt", bob, uni), e("studyAt", eve, uni),
+		})
+}
+
+// TestExecuteBasics: a session serves a query, reports rows and a count,
+// and the second identical request is a result-cache hit with identical
+// rows.
+func TestExecuteBasics(t *testing.T) {
+	s := New(testGraph(4), Options{})
+	req := Request{Query: `MATCH (a:Person)-[:knows]->(b:Person) RETURN a.name, b.name`}
+	r1, err := s.Execute(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Count != 5 || len(r1.Rows) != 5 {
+		t.Fatalf("count=%d rows=%d want 5/5", r1.Count, len(r1.Rows))
+	}
+	if r1.FromResultCache || r1.PlanCacheHit {
+		t.Fatalf("first request must miss both caches: %+v", r1)
+	}
+	if r1.Fingerprint == "" {
+		t.Fatal("missing plan fingerprint")
+	}
+	if r1.Metrics.TotalCPU == 0 {
+		t.Fatal("first execution reported no work")
+	}
+
+	r2, err := s.Execute(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r2.FromResultCache {
+		t.Fatal("second identical request must hit the result cache")
+	}
+	if len(r2.Rows) != len(r1.Rows) {
+		t.Fatalf("cached rows=%d want %d", len(r2.Rows), len(r1.Rows))
+	}
+	m := s.Metrics()
+	if m.ResultHits != 1 || m.PlanMisses != 1 {
+		t.Fatalf("metrics: %+v", m)
+	}
+}
+
+// TestPlanCacheParameterized: two bindings of the same $param query share
+// one plan-cache entry (the second is a plan hit, not a result hit) and
+// return binding-specific results.
+func TestPlanCacheParameterized(t *testing.T) {
+	s := New(testGraph(4), Options{})
+	q := `MATCH (a:Person) WHERE a.name = $name RETURN a.name`
+	r1, err := s.Execute(Request{Query: q, Params: map[string]epgm.PropertyValue{"name": epgm.PVString("Alice")}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := s.Execute(Request{Query: q, Params: map[string]epgm.PropertyValue{"name": epgm.PVString("Bob")}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.PlanCacheHit {
+		t.Fatal("first binding cannot be a plan hit")
+	}
+	if !r2.PlanCacheHit || r2.FromResultCache {
+		t.Fatalf("second binding must hit the plan cache only: %+v", r2)
+	}
+	if r1.Count != 1 || r2.Count != 1 {
+		t.Fatalf("counts: %d, %d", r1.Count, r2.Count)
+	}
+	if r1.Rows[0].Values[0] == r2.Rows[0].Values[0] {
+		t.Fatal("bindings returned the same row")
+	}
+	if r1.Fingerprint != r2.Fingerprint {
+		t.Fatal("one template must have one fingerprint")
+	}
+	// Same binding again: now the result cache serves it.
+	r3, err := s.Execute(Request{Query: q, Params: map[string]epgm.PropertyValue{"name": epgm.PVString("Alice")}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r3.FromResultCache {
+		t.Fatal("repeated binding must hit the result cache")
+	}
+}
+
+// TestCanonicalization: whitespace variants of one query share cache
+// entries.
+func TestCanonicalization(t *testing.T) {
+	s := New(testGraph(2), Options{NoResultCache: true})
+	if _, err := s.Execute(Request{Query: "MATCH (a:Person)  RETURN a.name"}); err != nil {
+		t.Fatal(err)
+	}
+	r, err := s.Execute(Request{Query: "MATCH (a:Person)\n\tRETURN   a.name"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.PlanCacheHit {
+		t.Fatal("whitespace variant missed the plan cache")
+	}
+}
+
+// TestCacheEscapeHatches: NoPlanCache and NoResultCache force full
+// recompilation/re-execution on every request.
+func TestCacheEscapeHatches(t *testing.T) {
+	s := New(testGraph(2), Options{NoPlanCache: true, NoResultCache: true})
+	req := Request{Query: `MATCH (a:Person) RETURN a.name`}
+	for i := 0; i < 3; i++ {
+		r, err := s.Execute(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.PlanCacheHit || r.FromResultCache {
+			t.Fatalf("request %d hit a disabled cache", i)
+		}
+	}
+	m := s.Metrics()
+	if m.PlanHits != 0 || m.ResultHits != 0 || m.PlanMisses != 3 {
+		t.Fatalf("metrics: %+v", m)
+	}
+}
+
+// TestTraceSpansVerifyCacheHitSkipsPrepare: a traced cache miss carries a
+// "Prepare" op span; a traced hit does not — the observable proof that the
+// hit path skips parse+plan.
+func TestTraceSpansVerifyCacheHitSkipsPrepare(t *testing.T) {
+	s := New(testGraph(2), Options{})
+	req := Request{Query: `MATCH (a:Person)-[:knows]->(b) RETURN b.name`, Trace: true}
+	r1, err := s.Execute(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := r1.Trace.Op(prepareToken{}); !ok {
+		t.Fatal("traced miss has no Prepare span")
+	}
+	r2, err := s.Execute(req) // trace requests bypass the result cache
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r2.PlanCacheHit {
+		t.Fatal("second traced request should hit the plan cache")
+	}
+	if _, ok := r2.Trace.Op(prepareToken{}); ok {
+		t.Fatal("traced hit still ran Prepare")
+	}
+}
+
+// TestSwapGraphInvalidates: swapping the graph purges both caches and
+// queries see the new data.
+func TestSwapGraphInvalidates(t *testing.T) {
+	s := New(testGraph(2), Options{})
+	req := Request{Query: `MATCH (a:Person) RETURN a.name`}
+	r1, err := s.Execute(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Count != 4 {
+		t.Fatalf("count=%d want 4", r1.Count)
+	}
+
+	env := dataflow.NewEnv(dataflow.DefaultConfig(2))
+	small := epgm.GraphFromSlices(env, "Solo",
+		[]epgm.Vertex{{ID: epgm.NewID(), Label: "Person",
+			Properties: epgm.Properties{}.Set("name", epgm.PVString("Zoe"))}}, nil)
+	s.SwapGraph(small)
+
+	r2, err := s.Execute(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.FromResultCache || r2.PlanCacheHit {
+		t.Fatalf("caches must be purged on swap: %+v", r2)
+	}
+	if r2.Count != 1 || r2.Rows[0].Values[0].Str() != "Zoe" {
+		t.Fatalf("swap not visible: count=%d rows=%v", r2.Count, r2.Rows)
+	}
+}
+
+// TestAdmissionQueueFull: with one slot and no queue, a second concurrent
+// request is rejected with a structured ErrQueueFull — deterministically,
+// by occupying the slot directly.
+func TestAdmissionQueueFull(t *testing.T) {
+	s := New(testGraph(2), Options{MaxConcurrent: 1, MaxQueued: 1})
+	s.gate.slots <- struct{}{} // occupy the only slot
+	s.gate.waiting.Add(1)      // fill the only queue spot
+	_, err := s.Execute(Request{Query: `MATCH (a:Person) RETURN a.name`})
+	var se *Error
+	if !errors.As(err, &se) || se.Kind != KindRejected || !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("err=%v, want KindRejected wrapping ErrQueueFull", err)
+	}
+	if m := s.Metrics(); m.Rejected != 1 {
+		t.Fatalf("rejected=%d want 1", m.Rejected)
+	}
+	s.gate.waiting.Add(-1)
+	<-s.gate.slots
+}
+
+// TestDeadlineWhileQueued: a request whose deadline expires in the
+// admission queue returns a structured timeout, not a hang.
+func TestDeadlineWhileQueued(t *testing.T) {
+	s := New(testGraph(2), Options{MaxConcurrent: 1, MaxQueued: 4})
+	s.gate.slots <- struct{}{} // occupy the only slot; the request must queue
+	defer func() { <-s.gate.slots }()
+	start := time.Now()
+	_, err := s.Execute(Request{
+		Query:   `MATCH (a:Person) RETURN a.name`,
+		Timeout: 30 * time.Millisecond,
+	})
+	var se *Error
+	if !errors.As(err, &se) || se.Kind != KindTimeout {
+		t.Fatalf("err=%v, want KindTimeout", err)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("cause=%v, want DeadlineExceeded", err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("queued request took far longer than its deadline")
+	}
+}
+
+// TestInvalidQueries: parse errors and missing parameters classify as
+// KindInvalid.
+func TestInvalidQueries(t *testing.T) {
+	s := New(testGraph(2), Options{})
+	for _, q := range []string{"", "MATCH (", "MATCH (a:Person) RETURN zzz"} {
+		_, err := s.Execute(Request{Query: q})
+		var se *Error
+		if !errors.As(err, &se) || se.Kind != KindInvalid {
+			t.Fatalf("query %q: err=%v, want KindInvalid", q, err)
+		}
+	}
+	_, err := s.Execute(Request{Query: `MATCH (a:Person) WHERE a.name = $missing RETURN a.name`})
+	var se *Error
+	if !errors.As(err, &se) || se.Kind != KindInvalid {
+		t.Fatalf("missing param: err=%v, want KindInvalid", err)
+	}
+	if !strings.Contains(err.Error(), "$missing") {
+		t.Fatalf("missing param error does not name the parameter: %v", err)
+	}
+}
+
+// TestExplain: renders the template plan (parameters unresolved) without
+// executing, and reports the fingerprint the execution path also reports.
+func TestExplain(t *testing.T) {
+	s := New(testGraph(2), Options{})
+	q := `MATCH (a:Person) WHERE a.name = $name RETURN a.name`
+	plan, fp, err := s.Explain(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(plan, "FilterAndProjectVertices") || !strings.Contains(plan, "preds=1") {
+		t.Fatalf("unexpected template plan:\n%s", plan)
+	}
+	r, err := s.Execute(Request{Query: q, Params: map[string]epgm.PropertyValue{"name": epgm.PVString("Eve")}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Fingerprint != fp {
+		t.Fatalf("explain fingerprint %s != execute fingerprint %s", fp, r.Fingerprint)
+	}
+	if !r.PlanCacheHit {
+		t.Fatal("Explain should have warmed the plan cache")
+	}
+}
+
+// TestResultCacheEviction: a tiny byte budget evicts older results instead
+// of growing without bound.
+func TestResultCacheEviction(t *testing.T) {
+	s := New(testGraph(2), Options{ResultCacheBytes: 600})
+	queries := []string{
+		`MATCH (a:Person) RETURN a.name`,
+		`MATCH (a:Person)-[:knows]->(b) RETURN b.name`,
+		`MATCH (a:University) RETURN a.name`,
+	}
+	for _, q := range queries {
+		if _, err := s.Execute(Request{Query: q}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	bytes, entries := s.results.usage()
+	if bytes > 600 {
+		t.Fatalf("result cache exceeded budget: %d bytes", bytes)
+	}
+	if entries >= len(queries) {
+		t.Fatalf("no eviction happened: %d entries", entries)
+	}
+}
