@@ -129,11 +129,10 @@ func (p *Prepared) Execute(g *epgm.LogicalGraph, cfg Config) (*Result, error) {
 }
 
 // Per-graph statistics memo: Execute with cfg.Stats == nil used to re-collect
-// statistics on every call; GraphStats collects once per graph for the
-// process lifetime. Entries are keyed by graph identity and are never
-// evicted — sessions hold few long-lived graphs, and a swapped-out graph's
-// entry dies with the graph only if callers drop it too, which is the
-// documented trade-off of the memo.
+// statistics on every call; GraphStats collects once per graph. Entries are
+// keyed by graph identity; a long-lived holder that retires a graph (the
+// session engine on SwapGraph) evicts its entry via DropGraphStats so the
+// memo does not keep swapped-out graphs reachable for the process lifetime.
 var (
 	statsMu          sync.Mutex
 	statsMemo        = map[*epgm.LogicalGraph]*stats.GraphStatistics{}
@@ -152,6 +151,15 @@ func GraphStats(g *epgm.LogicalGraph) *stats.GraphStatistics {
 	statsCollections.Add(1)
 	statsMemo[g] = st
 	return st
+}
+
+// DropGraphStats evicts g's memoized statistics. Callers that hold graphs
+// long-term must drop retired graphs here, or the memo pins them forever;
+// statistics pointers already handed out stay valid.
+func DropGraphStats(g *epgm.LogicalGraph) {
+	statsMu.Lock()
+	delete(statsMemo, g)
+	statsMu.Unlock()
 }
 
 // StatsCollections reports how many times GraphStats actually collected

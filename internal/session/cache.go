@@ -2,35 +2,94 @@ package session
 
 import (
 	"container/list"
-	"fmt"
+	"encoding/binary"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
+	"unicode"
+	"unicode/utf8"
 
 	"gradoop/internal/core"
 	"gradoop/internal/epgm"
 )
 
-// CanonicalQuery normalizes a query's whitespace so textually equivalent
-// requests share cache entries. Parameterized queries canonicalize to the
-// same text regardless of binding — that is the point of the plan cache.
+// CanonicalQuery collapses runs of whitespace outside quoted regions into
+// single spaces, so textually equivalent requests share cache entries and
+// parameterized queries canonicalize to the same text regardless of binding.
+// Quoted regions — 'single'/"double" string literals (backslash escapes
+// respected, matching the lexer) and `backquoted` identifiers — are copied
+// byte for byte: the canonical text is what the session actually parses and
+// executes, so whitespace inside a literal is load-bearing and two queries
+// differing only inside a literal must not collide on one cache key.
 func CanonicalQuery(q string) string {
-	return strings.Join(strings.Fields(q), " ")
+	var sb strings.Builder
+	sb.Grow(len(q))
+	space := false // a pending separator between emitted tokens
+	for i := 0; i < len(q); {
+		if c := q[i]; c == '\'' || c == '"' || c == '`' {
+			j := i + 1
+			for j < len(q) && q[j] != c {
+				if c != '`' && q[j] == '\\' && j+1 < len(q) {
+					j++ // an escaped byte cannot close the literal
+				}
+				j++
+			}
+			if j < len(q) {
+				j++ // closing quote; unterminated literals keep the tail and fail in the parser
+			}
+			if space && sb.Len() > 0 {
+				sb.WriteByte(' ')
+			}
+			space = false
+			sb.WriteString(q[i:j])
+			i = j
+			continue
+		}
+		r, sz := utf8.DecodeRuneInString(q[i:])
+		if unicode.IsSpace(r) {
+			space = true
+		} else {
+			if space && sb.Len() > 0 {
+				sb.WriteByte(' ')
+			}
+			space = false
+			sb.WriteString(q[i : i+sz])
+		}
+		i += sz
+	}
+	return sb.String()
 }
 
-// paramsKey encodes a binding deterministically: sorted name=TYPE:value
-// pairs. It distinguishes PVInt(1) from PVString("1") — different bindings
-// must never collide in the result cache.
+// paramsKey encodes a binding deterministically and collision-proof: names
+// sorted, each length-prefixed and followed by the value's binary encoding
+// (type byte + length-prefixed payload). No value — including one carrying
+// NUL bytes — can forge a pair boundary, and PVInt(1) never collides with
+// PVString("1"): different bindings must never share a result-cache key.
 func paramsKey(params map[string]epgm.PropertyValue) string {
 	if len(params) == 0 {
 		return ""
 	}
-	parts := make([]string, 0, len(params))
-	for name, v := range params {
-		parts = append(parts, fmt.Sprintf("%s=%s:%s", name, v.Type(), v))
+	names := make([]string, 0, len(params))
+	for name := range params {
+		names = append(names, name)
 	}
-	sort.Strings(parts)
-	return strings.Join(parts, "\x00")
+	sort.Strings(names)
+	var buf []byte
+	for _, name := range names {
+		buf = binary.BigEndian.AppendUint32(buf, uint32(len(name)))
+		buf = append(buf, name...)
+		buf = params[name].Encode(buf)
+	}
+	return string(buf)
+}
+
+// planKey scopes a canonical query to one graph generation. A compile racing
+// with SwapGraph (snapshot taken before the swap, cache insert after the
+// purge) then parks its stale-statistics plan under the old generation's
+// key, where no post-swap request can find it.
+func planKey(generation uint64, canonical string) string {
+	return strconv.FormatUint(generation, 10) + "\x00" + canonical
 }
 
 // planEntry is one cached compilation. The once gives the cache
@@ -42,9 +101,10 @@ type planEntry struct {
 	err  error
 }
 
-// planCache is an LRU cache of Prepared queries, keyed by canonical query
-// text (semantics, hint and reuse mode are session-wide, and the cache is
-// purged when the graph — and with it the statistics — is swapped).
+// planCache is an LRU cache of Prepared queries, keyed by planKey —
+// generation-scoped canonical query text (semantics, hint and reuse mode are
+// session-wide). The cache is additionally purged when the graph — and with
+// it the statistics — is swapped.
 type planCache struct {
 	mu      sync.Mutex
 	max     int
@@ -64,14 +124,15 @@ func newPlanCache(max int) *planCache {
 	return &planCache{max: max, entries: map[string]*list.Element{}, order: list.New()}
 }
 
-// get returns the entry for key, creating it when absent; created reports
-// whether this call inserted it (a cache miss about to build).
-func (c *planCache) get(key string) (e *planEntry, created bool) {
+// get returns the entry for key, creating it when absent. Whether a call is
+// a hit or a miss is decided by whose once.Do closure runs the build, not by
+// who inserted the entry — the creator can lose that race to another caller.
+func (c *planCache) get(key string) *planEntry {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.entries[key]; ok {
 		c.order.MoveToFront(el)
-		return el.Value.(*planItem).entry, false
+		return el.Value.(*planItem).entry
 	}
 	entry := &planEntry{}
 	c.entries[key] = c.order.PushFront(&planItem{key: key, entry: entry})
@@ -80,7 +141,7 @@ func (c *planCache) get(key string) (e *planEntry, created bool) {
 		c.order.Remove(oldest)
 		delete(c.entries, oldest.Value.(*planItem).key)
 	}
-	return entry, true
+	return entry
 }
 
 // drop removes a key (used when a build fails, so the error is not pinned).

@@ -1,0 +1,77 @@
+package session
+
+import (
+	"testing"
+
+	"gradoop/internal/epgm"
+)
+
+// TestCanonicalQuery: whitespace collapses outside quoted regions only;
+// string literals and backquoted identifiers survive byte for byte.
+func TestCanonicalQuery(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"", ""},
+		{"  \t\n ", ""},
+		{"MATCH   (a)\n\tRETURN  a", "MATCH (a) RETURN a"},
+		// Whitespace inside literals is significant.
+		{"WHERE a.name = 'John  Smith'", "WHERE a.name = 'John  Smith'"},
+		{`WHERE a.name = "Uni  Leipzig"  RETURN a`, `WHERE a.name = "Uni  Leipzig" RETURN a`},
+		{"MATCH (a:`My  Label`)   RETURN a", "MATCH (a:`My  Label`) RETURN a"},
+		// Escaped quotes do not close the literal early.
+		{`WHERE a.name = 'it\'s  two  spaces'`, `WHERE a.name = 'it\'s  two  spaces'`},
+		{`WHERE a.name = "a\\"  RETURN  a`, `WHERE a.name = "a\\" RETURN a`},
+		// Adjacent tokens around a literal keep exactly one separator.
+		{"RETURN  'x'  ,  'y  z'", "RETURN 'x' , 'y  z'"},
+		// Unterminated literal: tail kept verbatim for the parser to reject.
+		{"WHERE a.name = 'oops  ", "WHERE a.name = 'oops  "},
+	}
+	for _, c := range cases {
+		if got := CanonicalQuery(c.in); got != c.want {
+			t.Errorf("CanonicalQuery(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+	// Queries differing only inside a literal must canonicalize differently.
+	a := CanonicalQuery("MATCH (v) WHERE v.name = 'John  Smith' RETURN v")
+	b := CanonicalQuery("MATCH (v) WHERE v.name = 'John Smith' RETURN v")
+	if a == b {
+		t.Fatal("distinct literals collided after canonicalization")
+	}
+}
+
+// TestParamsKeyCollisionProof: bindings must never share a key — not across
+// types, and not via NUL bytes forging pair boundaries (NULs in string
+// params are reachable over HTTP via JSON unicode escapes).
+func TestParamsKeyCollisionProof(t *testing.T) {
+	pv := func(s string) epgm.PropertyValue { return epgm.PVString(s) }
+	cases := []struct {
+		name string
+		a, b map[string]epgm.PropertyValue
+	}{
+		{"type distinction",
+			map[string]epgm.PropertyValue{"x": epgm.PVInt(1)},
+			map[string]epgm.PropertyValue{"x": epgm.PVString("1")}},
+		{"NUL forging a pair boundary",
+			map[string]epgm.PropertyValue{"a": pv("1\x00b=string:2")},
+			map[string]epgm.PropertyValue{"a": pv("1"), "b": pv("2")}},
+		{"NUL inside vs split values",
+			map[string]epgm.PropertyValue{"a": pv("x\x00y")},
+			map[string]epgm.PropertyValue{"a": pv("x"), "y": pv("")}},
+		{"name/value boundary shift",
+			map[string]epgm.PropertyValue{"ab": pv("c")},
+			map[string]epgm.PropertyValue{"a": pv("bc")}},
+	}
+	for _, c := range cases {
+		ka, kb := paramsKey(c.a), paramsKey(c.b)
+		if ka == kb {
+			t.Errorf("%s: %v and %v share key %q", c.name, c.a, c.b, ka)
+		}
+	}
+	// Determinism: iteration order must not leak into the key.
+	m := map[string]epgm.PropertyValue{"a": pv("1"), "b": pv("2"), "c": pv("3")}
+	k := paramsKey(m)
+	for i := 0; i < 32; i++ {
+		if paramsKey(m) != k {
+			t.Fatal("paramsKey is not deterministic")
+		}
+	}
+}

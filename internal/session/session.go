@@ -90,17 +90,21 @@ func (o Options) withDefaults() Options {
 // SwapGraph installs a whole new state.
 type graphState struct {
 	generation uint64
-	head       epgm.GraphHead
-	vertices   []epgm.Vertex
-	edges      []epgm.Edge
-	vByLabel   map[string][]epgm.Vertex
-	eByLabel   map[string][]epgm.Edge
-	stats      *stats.GraphStatistics
+	// graph is kept only so SwapGraph can evict the retired graph's entry
+	// from the process-wide statistics memo.
+	graph    *epgm.LogicalGraph
+	head     epgm.GraphHead
+	vertices []epgm.Vertex
+	edges    []epgm.Edge
+	vByLabel map[string][]epgm.Vertex
+	eByLabel map[string][]epgm.Edge
+	stats    *stats.GraphStatistics
 }
 
 func newGraphState(g *epgm.LogicalGraph, generation uint64) *graphState {
 	st := &graphState{
 		generation: generation,
+		graph:      g,
 		head:       g.Head,
 		vertices:   g.Vertices.Collect(),
 		edges:      g.Edges.Collect(),
@@ -204,9 +208,15 @@ func (s *Session) Options() Options { return s.opts }
 // data did.
 func (s *Session) SwapGraph(g *epgm.LogicalGraph) {
 	s.stateMu.Lock()
-	generation := s.state.generation + 1
-	s.state = newGraphState(g, generation)
+	old := s.state
+	s.state = newGraphState(g, old.generation+1)
 	s.stateMu.Unlock()
+	if old.graph != g {
+		// Release the retired graph's statistics memo entry so a long-lived
+		// server does not pin every graph it ever served. In-flight queries
+		// are unaffected: they hold old.stats directly.
+		core.DropGraphStats(old.graph)
+	}
 	s.plans.purge()
 	s.results.purge()
 }
@@ -303,22 +313,35 @@ func (s *Session) compile(st *graphState, canonical string, col *trace.Collector
 		s.metrics.planMisses.Add(1)
 		return p, false, err
 	}
-	entry, created := s.plans.get(canonical)
+	key := planKey(st.generation, canonical)
+	entry := s.plans.get(key)
+	// built records whether THIS call's closure ran the build. The goroutine
+	// that inserted the entry is not necessarily the one whose once.Do
+	// closure runs, and each caller's closure captures its own col — so the
+	// builder, and only the builder, is the miss and carries the Prepare
+	// span; everyone else is a hit with no span.
+	var built bool
 	entry.once.Do(func() {
+		built = true
 		entry.p, entry.err = build()
 	})
 	if entry.err != nil {
-		s.plans.drop(canonical)
+		s.plans.drop(key)
 		s.metrics.planMisses.Add(1)
 		return nil, false, entry.err
 	}
-	hit := !created
-	if hit {
-		s.metrics.planHits.Add(1)
-	} else {
-		s.metrics.planMisses.Add(1)
+	if s.snapshot().generation != st.generation {
+		// The graph was swapped since this request's snapshot: the plan is
+		// still valid for this execution (st is immutable) but must not
+		// linger in the cache pinning the retired graph's slices.
+		s.plans.drop(key)
 	}
-	return entry.p, hit, nil
+	if built {
+		s.metrics.planMisses.Add(1)
+	} else {
+		s.metrics.planHits.Add(1)
+	}
+	return entry.p, !built, nil
 }
 
 // Execute serves one query. Every failure is classified: *Error with

@@ -4,9 +4,11 @@ import (
 	"context"
 	"errors"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
+	"gradoop/internal/core"
 	"gradoop/internal/dataflow"
 	"gradoop/internal/epgm"
 )
@@ -288,6 +290,134 @@ func TestExplain(t *testing.T) {
 	}
 	if !r.PlanCacheHit {
 		t.Fatal("Explain should have warmed the plan cache")
+	}
+}
+
+// TestLiteralWhitespacePreserved: canonicalization must not rewrite string
+// literals — a predicate on 'John  Smith' (two spaces) matches only that
+// vertex, and the single-space variant is a different query with a
+// different (empty) result, not a cache collision.
+func TestLiteralWhitespacePreserved(t *testing.T) {
+	env := dataflow.NewEnv(dataflow.DefaultConfig(2))
+	g := epgm.GraphFromSlices(env, "Names",
+		[]epgm.Vertex{
+			{ID: epgm.NewID(), Label: "Person",
+				Properties: epgm.Properties{}.Set("name", epgm.PVString("John  Smith"))},
+			{ID: epgm.NewID(), Label: "Person",
+				Properties: epgm.Properties{}.Set("name", epgm.PVString("John Smith"))},
+		}, nil)
+	s := New(g, Options{})
+	two, err := s.Execute(Request{Query: "MATCH (a:Person)  WHERE a.name = 'John  Smith'  RETURN a.name"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if two.Count != 1 || two.Rows[0].Values[0].Str() != "John  Smith" {
+		t.Fatalf("double-space literal: count=%d rows=%v", two.Count, two.Rows)
+	}
+	one, err := s.Execute(Request{Query: "MATCH (a:Person)  WHERE a.name = 'John Smith'  RETURN a.name"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if one.FromResultCache || one.PlanCacheHit {
+		t.Fatalf("queries differing inside a literal shared a cache entry: %+v", one)
+	}
+	if one.Count != 1 || one.Rows[0].Values[0].Str() != "John Smith" {
+		t.Fatalf("single-space literal: count=%d rows=%v", one.Count, one.Rows)
+	}
+}
+
+// TestStaleCompileAfterSwap: a compile racing with SwapGraph (snapshot taken
+// before the swap, insert after the purge) must not leave its
+// stale-statistics plan where post-swap requests find it.
+func TestStaleCompileAfterSwap(t *testing.T) {
+	s := New(testGraph(2), Options{})
+	q := CanonicalQuery(`MATCH (a:Person) RETURN a.name`)
+	st := s.snapshot() // the racing request's pre-swap snapshot
+
+	env := dataflow.NewEnv(dataflow.DefaultConfig(2))
+	small := epgm.GraphFromSlices(env, "Solo",
+		[]epgm.Vertex{{ID: epgm.NewID(), Label: "Person",
+			Properties: epgm.Properties{}.Set("name", epgm.PVString("Zoe"))}}, nil)
+	s.SwapGraph(small)
+
+	// The stale request compiles after the purge, against the old snapshot.
+	if _, hit, err := s.compile(st, q, nil); err != nil || hit {
+		t.Fatalf("stale compile: hit=%v err=%v", hit, err)
+	}
+	if n := s.plans.len(); n != 0 {
+		t.Fatalf("stale plan lingers in the cache: %d entries", n)
+	}
+	// A post-swap request must rebuild against the new generation, not reuse
+	// the stale-stat plan.
+	r, err := s.Execute(Request{Query: q})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.PlanCacheHit {
+		t.Fatal("post-swap request hit the stale generation's plan")
+	}
+	if r.Count != 1 {
+		t.Fatalf("count=%d want 1", r.Count)
+	}
+}
+
+// TestSwapGraphEvictsStatsMemo: swapping out a graph must release its entry
+// in the process-wide statistics memo — re-requesting the old graph's stats
+// collects again instead of finding the pinned entry.
+func TestSwapGraphEvictsStatsMemo(t *testing.T) {
+	old := testGraph(2)
+	s := New(old, Options{})
+	before := core.StatsCollections()
+	s.SwapGraph(testGraph(2)) // +1 collection for the new graph
+	core.GraphStats(old)      // +1: the memo entry was evicted, so this re-collects
+	if d := core.StatsCollections() - before; d != 2 {
+		t.Fatalf("collections delta=%d, want 2 (memo entry not evicted on swap)", d)
+	}
+	core.DropGraphStats(old) // leave no test residue in the memo
+}
+
+// TestSingleFlightSpanAttribution: under a concurrent cold start, exactly
+// one request runs the build — and that same request is the one reporting a
+// plan-cache miss and carrying the Prepare trace span. Hit/miss labels and
+// spans must agree per response, not just in aggregate.
+func TestSingleFlightSpanAttribution(t *testing.T) {
+	for round := 0; round < 8; round++ {
+		s := New(testGraph(2), Options{})
+		const n = 8
+		responses := make([]*Response, n)
+		var wg sync.WaitGroup
+		for i := 0; i < n; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				r, err := s.Execute(Request{Query: `MATCH (a:Person)-[:knows]->(b) RETURN b.name`, Trace: true})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				responses[i] = r
+			}(i)
+		}
+		wg.Wait()
+		builders := 0
+		for _, r := range responses {
+			if r == nil {
+				t.Fatal("missing response")
+			}
+			_, hasSpan := r.Trace.Op(prepareToken{})
+			if hasSpan != !r.PlanCacheHit {
+				t.Fatalf("span/label disagree: hit=%v span=%v", r.PlanCacheHit, hasSpan)
+			}
+			if hasSpan {
+				builders++
+			}
+		}
+		if builders != 1 {
+			t.Fatalf("round %d: %d builders, want exactly 1", round, builders)
+		}
+		if m := s.Metrics(); m.PlanMisses != 1 || m.PlanHits != n-1 {
+			t.Fatalf("round %d: misses=%d hits=%d, want 1/%d", round, m.PlanMisses, m.PlanHits, n-1)
+		}
 	}
 }
 
