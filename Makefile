@@ -1,11 +1,18 @@
-# Build/verify entry points. `make check` is the CI gate: vet plus the full
-# test suite under the race detector — load-bearing, because runParts spawns
-# one goroutine per partition and the fault-tolerance layer (panic
-# containment, cancellation polling, retry loops) is concurrent by design.
+# Build/verify entry points. `make check` is the CI gate: vet, the project's
+# own static-analysis suite (cypherlint), plus the full test suite under the
+# race detector — load-bearing, because runParts spawns one goroutine per
+# partition and the fault-tolerance layer (panic containment, cancellation
+# polling, retry loops) is concurrent by design.
 
 GO ?= go
 
-.PHONY: all build test vet race check bench clean
+# Third-party linters, pinned. They are optional locally (this repo builds
+# offline; the tools are skipped when not installed) and mandatory in CI,
+# where `make lint-tools` installs exactly these versions.
+STATICCHECK_VERSION ?= 2025.1.1
+GOVULNCHECK_VERSION ?= v1.1.4
+
+.PHONY: all build test vet lint lint-tools fuzz-smoke race check bench clean
 
 all: check
 
@@ -18,10 +25,43 @@ test:
 vet:
 	$(GO) vet ./...
 
+# lint runs cypherlint (the in-tree go/analysis suite enforcing the engine's
+# concurrency, cost-model and tracing invariants; see internal/lint) over the
+# module, both standalone and as a vet tool so test files are covered too,
+# then staticcheck and govulncheck when they are on PATH.
+lint:
+	$(GO) run ./cmd/cypherlint ./...
+	$(GO) build -o bin/cypherlint ./cmd/cypherlint
+	$(GO) vet -vettool=bin/cypherlint ./...
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (make lint-tools)"; \
+	fi
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		echo "govulncheck not installed; skipping (make lint-tools)"; \
+	fi
+
+# lint-tools installs the pinned third-party linters (needs network access).
+lint-tools:
+	$(GO) install honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION)
+	$(GO) install golang.org/x/vuln/cmd/govulncheck@$(GOVULNCHECK_VERSION)
+
+# fuzz-smoke gives each native fuzz target a short budget — enough to catch
+# regressions in the properties (parser never panics, canonicalization is
+# idempotent and literal-preserving) without open-ended fuzzing.
+FUZZTIME ?= 10s
+fuzz-smoke:
+	$(GO) test ./internal/session -run '^FuzzCanonicalQuery$$' -fuzz '^FuzzCanonicalQuery$$' -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/cypher -run '^FuzzParse$$' -fuzz '^FuzzParse$$' -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/gdl -run '^FuzzParse$$' -fuzz '^FuzzParse$$' -fuzztime=$(FUZZTIME)
+
 race:
 	$(GO) test -race ./...
 
-check: build vet race
+check: build vet lint race
 
 # Regenerate the paper's evaluation tables plus the recovery-overhead
 # experiment (runtime vs injected worker failures).
@@ -30,3 +70,4 @@ bench:
 
 clean:
 	$(GO) clean ./...
+	rm -rf bin

@@ -1,0 +1,108 @@
+// Command cypherlint runs the project's static-analysis suite (see
+// internal/lint): envmix, partitioncapture, costcharge, tracepair and
+// ctxpoll. It has two modes:
+//
+//	cypherlint [-json] [packages]      standalone; defaults to ./...
+//	go vet -vettool=$(which cypherlint) ./...
+//
+// The vettool mode speaks the cmd/go vet protocol: `-V=full` prints a
+// version fingerprint for the build cache, `-flags` declares no extra
+// flags, and a single *.cfg argument carries the JSON unit description
+// (sources, import map, export-data files) for one package.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"gradoop/internal/lint"
+	"gradoop/internal/lint/analysis"
+	"gradoop/internal/lint/load"
+)
+
+func main() {
+	// The vet protocol probes come before flag parsing: cmd/go invokes the
+	// tool with exactly one of these as the first argument.
+	if len(os.Args) == 2 {
+		switch {
+		case strings.HasPrefix(os.Args[1], "-V"):
+			// The output format is fixed by cmd/go's vet tool handshake: it
+			// must end in a buildID= field (do-not-cache opts this tool's
+			// results out of the build cache, as x/tools' unitchecker does).
+			fmt.Printf("%s version devel buildID=do-not-cache\n", os.Args[0])
+			return
+		case os.Args[1] == "-flags":
+			fmt.Println("[]")
+			return
+		case strings.HasSuffix(os.Args[1], ".cfg"):
+			os.Exit(runVetUnit(os.Args[1]))
+		}
+	}
+
+	jsonOut := flag.Bool("json", false, "emit findings as JSON")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: cypherlint [-json] [packages]\n\nAnalyzers:\n")
+		for _, a := range lint.Analyzers() {
+			fmt.Fprintf(flag.CommandLine.Output(), "  %-18s %s\n", a.Name, a.Doc)
+		}
+	}
+	flag.Parse()
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	findings, err := runStandalone(patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cypherlint:", err)
+		os.Exit(1)
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(findings); err != nil {
+			fmt.Fprintln(os.Stderr, "cypherlint:", err)
+			os.Exit(1)
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Println(f)
+		}
+	}
+	if len(findings) > 0 {
+		os.Exit(1)
+	}
+}
+
+// runStandalone loads the patterns from the enclosing module and runs the
+// full suite over every matched package.
+func runStandalone(patterns []string) ([]analysis.Finding, error) {
+	wd, err := os.Getwd()
+	if err != nil {
+		return nil, err
+	}
+	root, err := load.ModuleRoot(wd)
+	if err != nil {
+		return nil, err
+	}
+	loader, err := load.New(root, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	pkgs, err := loader.Roots()
+	if err != nil {
+		return nil, err
+	}
+	findings := []analysis.Finding{}
+	for _, pkg := range pkgs {
+		fs, err := lint.Run(pkg, lint.Analyzers())
+		if err != nil {
+			return nil, err
+		}
+		findings = append(findings, fs...)
+	}
+	return findings, nil
+}

@@ -1,0 +1,34 @@
+package cypher
+
+import "testing"
+
+// FuzzParse feeds the Cypher lexer and parser arbitrary input. Two
+// properties: parsing never panics (errors are the contract — the query
+// service passes user text straight in), and the parsed form's String
+// rendering is a fixed point — it reparses successfully to a query that
+// renders identically. String is deliberately lossy (it renders the
+// MATCH/WHERE core, not OPTIONAL MATCH or RETURN), so the round trip pins
+// the pattern and predicate printers against the grammar without requiring
+// full-query fidelity.
+func FuzzParse(f *testing.F) {
+	f.Add("MATCH (a:Person)-[e:knows]->(b:Person) WHERE a.age > 20")
+	f.Add("MATCH (a)-[e:knows*2..4]->(b) WHERE a.name = 'Alice' RETURN a, b.name")
+	f.Add("MATCH (a:A|B)-[e]-(b), (b)-[f]->(c) WHERE NOT a.x = 1 AND (b.y < 2.5 OR c.z <> 'q')")
+	f.Add("MATCH (a) OPTIONAL MATCH (a)-[e]->(b) WHERE b.k >= 0 RETURN a")
+	f.Add("MATCH ()-[]->()")
+	f.Add("MATCH (a {name: 'x', n: 3})-[e {since: 2020}]->(b)")
+	f.Fuzz(func(t *testing.T, src string) {
+		q, err := Parse(src)
+		if err != nil {
+			return
+		}
+		s1 := q.String()
+		q2, err := Parse(s1)
+		if err != nil {
+			t.Fatalf("String rendering does not reparse\nsource: %q\nrender: %q\nerror:  %v", src, s1, err)
+		}
+		if s2 := q2.String(); s2 != s1 {
+			t.Fatalf("String rendering is not a fixed point\nfirst:  %q\nsecond: %q", s1, s2)
+		}
+	})
+}

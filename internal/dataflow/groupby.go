@@ -15,10 +15,14 @@ func hashComparable[K comparable](k K) uint64 {
 // candidates for a key meet on one worker, then deduplicates locally; the
 // first occurrence (in deterministic partition order) wins.
 func DistinctBy[T any, K comparable](d *Dataset[T], key func(T) K) *Dataset[T] {
+	env := d.env
 	s := shuffle(d, func(t T) uint64 { return hashComparable(key(t)) })
 	return MapPartition(s, func(part []T, emit func(T)) {
 		seen := make(map[K]struct{}, len(part))
-		for _, t := range part {
+		for i, t := range part {
+			if i&cancelCheckMask == cancelCheckMask && env.aborted() {
+				return
+			}
 			k := key(t)
 			if _, ok := seen[k]; ok {
 				continue
@@ -44,11 +48,15 @@ type KV[K comparable, V any] struct {
 // combining locally before the shuffle (a combiner, as Flink does) so only
 // one partial per key and partition crosses the network.
 func ReduceByKey[T any, K comparable](d *Dataset[T], key func(T) K, reduce func(T, T) T) *Dataset[KV[K, T]] {
+	env := d.env
 	// Local pre-aggregation.
 	partials := MapPartition(d, func(part []T, emit func(KV[K, T])) {
 		acc := make(map[K]T, len(part))
 		order := make([]K, 0, len(part))
-		for _, t := range part {
+		for i, t := range part {
+			if i&cancelCheckMask == cancelCheckMask && env.aborted() {
+				return
+			}
 			k := key(t)
 			if prev, ok := acc[k]; ok {
 				acc[k] = reduce(prev, t)
@@ -57,7 +65,10 @@ func ReduceByKey[T any, K comparable](d *Dataset[T], key func(T) K, reduce func(
 				order = append(order, k)
 			}
 		}
-		for _, k := range order {
+		for i, k := range order {
+			if i&cancelCheckMask == cancelCheckMask && env.aborted() {
+				return
+			}
 			emit(KV[K, T]{Key: k, Value: acc[k]})
 		}
 	})
@@ -66,7 +77,10 @@ func ReduceByKey[T any, K comparable](d *Dataset[T], key func(T) K, reduce func(
 	return MapPartition(s, func(part []KV[K, T], emit func(KV[K, T])) {
 		acc := make(map[K]T, len(part))
 		order := make([]K, 0, len(part))
-		for _, kv := range part {
+		for i, kv := range part {
+			if i&cancelCheckMask == cancelCheckMask && env.aborted() {
+				return
+			}
 			if prev, ok := acc[kv.Key]; ok {
 				acc[kv.Key] = reduce(prev, kv.Value)
 			} else {
@@ -74,7 +88,10 @@ func ReduceByKey[T any, K comparable](d *Dataset[T], key func(T) K, reduce func(
 				order = append(order, kv.Key)
 			}
 		}
-		for _, k := range order {
+		for i, k := range order {
+			if i&cancelCheckMask == cancelCheckMask && env.aborted() {
+				return
+			}
 			emit(KV[K, T]{Key: k, Value: acc[k]})
 		}
 	})
@@ -92,18 +109,25 @@ func CountByKey[T any, K comparable](d *Dataset[T], key func(T) K) *Dataset[KV[K
 // complete group to f. Use ReduceByKey where a fold suffices; GroupBy exists
 // for holistic aggregates (e.g. building grouped super-vertices).
 func GroupBy[T, U any, K comparable](d *Dataset[T], key func(T) K, f func(K, []T, func(U))) *Dataset[U] {
+	env := d.env
 	s := shuffle(d, func(t T) uint64 { return hashComparable(key(t)) })
 	return MapPartition(s, func(part []T, emit func(U)) {
 		groups := make(map[K][]T)
 		order := make([]K, 0)
-		for _, t := range part {
+		for i, t := range part {
+			if i&cancelCheckMask == cancelCheckMask && env.aborted() {
+				return
+			}
 			k := key(t)
 			if _, ok := groups[k]; !ok {
 				order = append(order, k)
 			}
 			groups[k] = append(groups[k], t)
 		}
-		for _, k := range order {
+		for i, k := range order {
+			if i&cancelCheckMask == cancelCheckMask && env.aborted() {
+				return
+			}
 			f(k, groups[k], emit)
 		}
 	})

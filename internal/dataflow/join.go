@@ -92,7 +92,10 @@ func CoGroup[L, R, U any](l *Dataset[L], r *Dataset[R], lkey func(L) uint64, rke
 	env.runParts(w, func(p int) {
 		leftGroups := map[uint64][]L{}
 		var order []uint64
-		for _, lv := range ls.parts[p] {
+		for i, lv := range ls.parts[p] {
+			if i&cancelCheckMask == cancelCheckMask && env.aborted() {
+				return
+			}
 			k := lkey(lv)
 			if _, ok := leftGroups[k]; !ok {
 				order = append(order, k)
@@ -101,7 +104,10 @@ func CoGroup[L, R, U any](l *Dataset[L], r *Dataset[R], lkey func(L) uint64, rke
 		}
 		rightGroups := map[uint64][]R{}
 		var rightOnly []uint64
-		for _, rv := range rs.parts[p] {
+		for i, rv := range rs.parts[p] {
+			if i&cancelCheckMask == cancelCheckMask && env.aborted() {
+				return
+			}
 			k := rkey(rv)
 			if _, inLeft := leftGroups[k]; !inLeft {
 				if _, ok := rightGroups[k]; !ok {

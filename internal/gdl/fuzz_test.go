@@ -1,0 +1,21 @@
+package gdl
+
+import (
+	"testing"
+
+	"gradoop/internal/dataflow"
+)
+
+// FuzzParse feeds the GDL graph-definition parser arbitrary input: it must
+// return an error for malformed text, never panic. (Panics would escape to
+// whoever loads a database definition — the CLI and the test harnesses.)
+func FuzzParse(f *testing.F) {
+	f.Add("g[(a:Person {name: \"Alice\", age: 23})-[:knows {since: 2014}]->(b:Person)]")
+	f.Add("(a)-->(b) (b)-->(c)")
+	f.Add("g1[(a)] g2[(a)-[e:t]->(b)]")
+	f.Add("[")
+	f.Fuzz(func(t *testing.T, src string) {
+		env := dataflow.NewEnv(dataflow.DefaultConfig(1))
+		_, _ = Parse(env, src)
+	})
+}

@@ -1,0 +1,62 @@
+// Package analysis is a self-contained reimplementation of the core of
+// golang.org/x/tools/go/analysis, built only on the standard library. The
+// repo's toolchain environment is hermetic (no module downloads), so the
+// project's analyzers — cypherlint — are written against this API instead.
+// It deliberately mirrors the upstream shape (Analyzer, Pass, Diagnostic)
+// so the analyzers could be ported to the real framework by changing one
+// import path.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one static check. Name identifies the analyzer in
+// diagnostics and //lint:ignore directives; Doc is a short description whose
+// first line is used as a summary; Run performs the check on one package.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass) (any, error)
+}
+
+// Pass gives an analyzer access to one type-checked package. The same
+// package is presented to every analyzer; passes must not mutate it.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Report delivers one diagnostic. The driver installs it.
+	Report func(Diagnostic)
+}
+
+// Diagnostic is one finding at a source position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Finding is a diagnostic resolved to its file position and originating
+// analyzer — the driver-level result type shared by cmd/cypherlint and the
+// in-process test harness.
+type Finding struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+// String renders the conventional file:line:col: [analyzer] message form.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Analyzer, f.Message)
+}

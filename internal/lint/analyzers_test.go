@@ -1,0 +1,32 @@
+package lint_test
+
+import (
+	"testing"
+
+	"gradoop/internal/lint"
+	"gradoop/internal/lint/analysis"
+	"gradoop/internal/lint/analysistest"
+)
+
+// TestAnalyzers runs each analyzer against its annotated fixture package
+// under testdata/src. costcharge and ctxpoll fixtures are type-checked
+// under the real dataflow import path because those analyzers match
+// unexported engine API.
+func TestAnalyzers(t *testing.T) {
+	cases := []struct {
+		analyzer   *analysis.Analyzer
+		dir        string
+		importPath string
+	}{
+		{lint.EnvMixAnalyzer, "envmix", ""},
+		{lint.PartitionCaptureAnalyzer, "partitioncapture", ""},
+		{lint.CostChargeAnalyzer, "costcharge", "gradoop/internal/dataflow"},
+		{lint.TracePairAnalyzer, "tracepair", ""},
+		{lint.CtxPollAnalyzer, "ctxpoll", "gradoop/internal/dataflow"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.analyzer.Name, func(t *testing.T) {
+			analysistest.Run(t, tc.analyzer, tc.dir, tc.importPath)
+		})
+	}
+}

@@ -1,0 +1,39 @@
+package lint_test
+
+import (
+	"testing"
+
+	"gradoop/internal/lint"
+	"gradoop/internal/lint/load"
+)
+
+// TestRepoIsClean asserts the cypherlint suite reports zero diagnostics
+// over the whole module — the invariant `make lint` enforces in CI. A
+// failure here means a change reintroduced one of the invariant violations
+// the analyzers police (or a new analyzer shipped with unfixed findings).
+func TestRepoIsClean(t *testing.T) {
+	root, err := load.ModuleRoot(".")
+	if err != nil {
+		t.Fatalf("locating module root: %v", err)
+	}
+	l, err := load.New(root, "./...")
+	if err != nil {
+		t.Fatalf("loading module packages: %v", err)
+	}
+	pkgs, err := l.Roots()
+	if err != nil {
+		t.Fatalf("type-checking module packages: %v", err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("loader returned no packages")
+	}
+	for _, pkg := range pkgs {
+		findings, err := lint.Run(pkg, lint.Analyzers())
+		if err != nil {
+			t.Fatalf("linting %s: %v", pkg.ImportPath, err)
+		}
+		for _, f := range findings {
+			t.Errorf("%s", f.String())
+		}
+	}
+}

@@ -1,0 +1,88 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"gradoop/internal/lint/analysis"
+)
+
+// CostChargeAnalyzer keeps the cost model honest: every per-partition
+// closure the engine executes through (*Env).runParts must charge the
+// simulated cluster — a call to chargeCPU, chargeNet or chargeSpill either
+// directly in the closure or in a same-package function it (transitively)
+// calls. A stage that moves or produces rows without charging silently
+// drifts the simulated runtime away from the GRADOOP/Flink cost heuristic
+// the paper's figures are reproduced with.
+var CostChargeAnalyzer = &analysis.Analyzer{
+	Name: "costcharge",
+	Doc:  "flags runParts closures that never charge the cost model",
+	Run:  runCostCharge,
+}
+
+// chargeFuncs are the Env methods that account simulated cost.
+var chargeFuncs = map[string]bool{
+	"chargeCPU":   true,
+	"chargeNet":   true,
+	"chargeSpill": true,
+}
+
+func runCostCharge(pass *analysis.Pass) (any, error) {
+	info := pass.TypesInfo
+	decls := funcDecls(pass.Files, info)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeOf(info, call)
+			if !isMethod(fn, dataflowPath, "Env", "runParts") || len(call.Args) < 2 {
+				return true
+			}
+			lit, ok := ast.Unparen(call.Args[1]).(*ast.FuncLit)
+			if !ok {
+				return true
+			}
+			if !chargesTransitively(info, decls, lit.Body, map[*types.Func]bool{}) {
+				pass.Reportf(call.Pos(),
+					"per-partition closure passed to runParts never charges the cost model (chargeCPU/chargeNet/chargeSpill); uncharged stages drift the simulated cluster time")
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// chargesTransitively reports whether body contains a charge* call, either
+// directly or inside a same-package function it calls. visited bounds the
+// walk on call cycles.
+func chargesTransitively(info *types.Info, decls map[*types.Func]*ast.FuncDecl, body ast.Node, visited map[*types.Func]bool) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeOf(info, call)
+		if fn == nil {
+			return true
+		}
+		if chargeFuncs[fn.Name()] && isMethod(fn, dataflowPath, "Env", fn.Name()) {
+			found = true
+			return false
+		}
+		if decl, ok := decls[fn]; ok && !visited[fn] && decl.Body != nil {
+			visited[fn] = true
+			if chargesTransitively(info, decls, decl.Body, visited) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}

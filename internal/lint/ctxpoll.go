@@ -1,0 +1,111 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"gradoop/internal/lint/analysis"
+)
+
+// CtxPollAnalyzer guards the engine's cancellation latency: inside a
+// per-partition execution context — a closure passed to (*Env).runParts or
+// a UDF passed to dataflow.MapPartition — every range loop over
+// partition-sized data must poll cancellation via (*Env).aborted (the
+// engine's cancelCheckMask idiom). An unpolled loop keeps a worker spinning
+// after the job's context expired, breaking the timeout guarantees the
+// fault-tolerance layer (PR 1) established.
+//
+// Loops over slice-of-slice values (the worker-count-sized partition
+// vectors, e.g. `for p := range out`) are exempt: their trip count is the
+// worker count, not the data size.
+var CtxPollAnalyzer = &analysis.Analyzer{
+	Name: "ctxpoll",
+	Doc:  "flags per-partition range loops that never poll cancellation",
+	Run:  runCtxPoll,
+}
+
+func runCtxPoll(pass *analysis.Pass) (any, error) {
+	info := pass.TypesInfo
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeOf(info, call)
+			var lit *ast.FuncLit
+			switch {
+			case isMethod(fn, dataflowPath, "Env", "runParts") && len(call.Args) >= 2:
+				lit, _ = ast.Unparen(call.Args[1]).(*ast.FuncLit)
+			case isPkgFunc(fn, dataflowPath, "MapPartition") && len(call.Args) >= 2:
+				lit, _ = ast.Unparen(call.Args[1]).(*ast.FuncLit)
+			}
+			if lit == nil {
+				return true
+			}
+			checkPolling(pass, info, lit)
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// checkPolling reports data-sized range loops in the literal whose bodies
+// never call aborted.
+func checkPolling(pass *analysis.Pass, info *types.Info, lit *ast.FuncLit) {
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		loop, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		if !dataSizedRange(info, loop.X) {
+			return true
+		}
+		if !pollsAborted(info, loop.Body) {
+			pass.Reportf(loop.Pos(),
+				"per-partition range loop never polls cancellation (env.aborted); a cancelled or failed job keeps this worker spinning")
+		}
+		return true
+	})
+}
+
+// dataSizedRange reports whether the ranged expression iterates over
+// element data rather than over the worker-count-sized partition vector: a
+// slice or map whose element type is not itself a slice.
+func dataSizedRange(info *types.Info, x ast.Expr) bool {
+	tv, ok := info.Types[x]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	var elem types.Type
+	switch t := tv.Type.Underlying().(type) {
+	case *types.Slice:
+		elem = t.Elem()
+	case *types.Map:
+		elem = t.Elem()
+	default:
+		return false
+	}
+	if _, isSlices := elem.Underlying().(*types.Slice); isSlices {
+		return false
+	}
+	return true
+}
+
+// pollsAborted reports whether the loop body contains a call to the Env's
+// aborted poll (which checks both the failure flag and the job context).
+func pollsAborted(info *types.Info, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if fn := calleeOf(info, call); isMethod(fn, dataflowPath, "Env", "aborted") {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,118 @@
+// Package lint implements cypherlint: project-specific static analyzers
+// that machine-check the invariants the engine's correctness rests on but
+// the compiler cannot see — single-environment dataflow plumbing (envmix),
+// race-free per-partition UDFs (partitioncapture), an honest cost model
+// (costcharge), balanced trace scopes (tracepair) and cancellable partition
+// loops (ctxpoll). See DESIGN.md decision 12 for why each invariant is
+// load-bearing for the reproduction.
+//
+// Analyzers run over packages loaded by internal/lint/load; findings on
+// lines annotated with `//lint:ignore <analyzer> reason` (on the flagged
+// line or the line directly above it, staticcheck-style) are suppressed.
+package lint
+
+import (
+	"sort"
+	"strings"
+
+	"gradoop/internal/lint/analysis"
+	"gradoop/internal/lint/load"
+)
+
+// Analyzers returns the full cypherlint suite.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		EnvMixAnalyzer,
+		PartitionCaptureAnalyzer,
+		CostChargeAnalyzer,
+		TracePairAnalyzer,
+		CtxPollAnalyzer,
+	}
+}
+
+// Run executes the given analyzers over one checked package and returns the
+// surviving findings in position order. Findings suppressed by an ignore
+// directive are dropped.
+func Run(c *load.Checked, analyzers []*analysis.Analyzer) ([]analysis.Finding, error) {
+	ignores := collectIgnores(c)
+	var out []analysis.Finding
+	for _, a := range analyzers {
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      c.Fset,
+			Files:     c.Files,
+			Pkg:       c.Pkg,
+			TypesInfo: c.Info,
+		}
+		name := a.Name
+		pass.Report = func(d analysis.Diagnostic) {
+			pos := c.Fset.Position(d.Pos)
+			if ignores.match(pos.Filename, pos.Line, name) {
+				return
+			}
+			out = append(out, analysis.Finding{Analyzer: name, Pos: pos, Message: d.Message})
+		}
+		if _, err := a.Run(pass); err != nil {
+			return nil, err
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return out, nil
+}
+
+// ignoreKey addresses one suppressed (file, line).
+type ignoreKey struct {
+	file string
+	line int
+}
+
+// ignoreSet maps suppressed positions to the analyzer names they suppress.
+type ignoreSet map[ignoreKey][]string
+
+func (s ignoreSet) match(file string, line int, analyzer string) bool {
+	for _, name := range s[ignoreKey{file, line}] {
+		if name == analyzer || name == "all" {
+			return true
+		}
+	}
+	return false
+}
+
+// collectIgnores scans the package's comments for lint:ignore directives. A
+// directive suppresses the named analyzers (comma-separated, or "all") on
+// its own line and on the line immediately below, covering both the
+// trailing-comment and line-above placements.
+func collectIgnores(c *load.Checked) ignoreSet {
+	out := ignoreSet{}
+	for _, f := range c.Files {
+		for _, cg := range f.Comments {
+			for _, cm := range cg.List {
+				text := strings.TrimPrefix(cm.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, "lint:ignore") {
+					continue
+				}
+				fields := strings.Fields(strings.TrimPrefix(text, "lint:ignore"))
+				if len(fields) == 0 {
+					continue
+				}
+				names := strings.Split(fields[0], ",")
+				pos := c.Fset.Position(cm.Pos())
+				for _, line := range []int{pos.Line, pos.Line + 1} {
+					key := ignoreKey{pos.Filename, line}
+					out[key] = append(out[key], names...)
+				}
+			}
+		}
+	}
+	return out
+}

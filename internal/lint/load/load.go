@@ -1,0 +1,187 @@
+// Package load turns Go package patterns into type-checked syntax trees
+// without golang.org/x/tools: it shells out to `go list -export -deps -json`
+// for the build graph and export data (the same information `go vet` hands
+// its vettool), parses the target packages' sources, and type-checks them
+// with the standard library's gc export-data importer. The result feeds the
+// cypherlint analyzers both in the standalone binary and in tests.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// listPackage is the subset of `go list -json` output the loader consumes.
+type listPackage struct {
+	ImportPath string
+	Dir        string
+	Name       string
+	Export     string
+	GoFiles    []string
+	Standard   bool
+	DepOnly    bool
+	Error      *struct{ Err string }
+}
+
+// Checked is one fully type-checked package ready for analysis.
+type Checked struct {
+	ImportPath string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Pkg        *types.Package
+	Info       *types.Info
+}
+
+// Loader resolves imports through the export data `go list` produced. One
+// Loader owns one FileSet; every package it checks shares it, so positions
+// from different packages can be compared and rendered uniformly.
+type Loader struct {
+	Fset    *token.FileSet
+	exports map[string]string // import path -> export data file
+	imp     types.Importer
+	pkgs    []*listPackage
+}
+
+// New lists patterns (with their full dependency closure) in dir and
+// prepares an importer over the resulting export data.
+func New(dir string, patterns ...string) (*Loader, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{"list", "-export", "-deps", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var out, errb bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &errb
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, errb.String())
+	}
+	l := &Loader{Fset: token.NewFileSet(), exports: map[string]string{}}
+	dec := json.NewDecoder(&out)
+	for {
+		var p listPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("decoding go list output: %v", err)
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("package %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if p.Export != "" {
+			l.exports[p.ImportPath] = p.Export
+		}
+		l.pkgs = append(l.pkgs, &p)
+	}
+	l.imp = importer.ForCompiler(l.Fset, "gc", func(path string) (io.ReadCloser, error) {
+		file, ok := l.exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	return l, nil
+}
+
+// Roots returns the packages that matched the patterns themselves (the
+// dependency closure is loaded for imports only), excluding packages with no
+// Go files.
+func (l *Loader) Roots() ([]*Checked, error) {
+	var out []*Checked
+	for _, p := range l.pkgs {
+		if p.DepOnly || len(p.GoFiles) == 0 {
+			continue
+		}
+		files := make([]string, len(p.GoFiles))
+		for i, f := range p.GoFiles {
+			files[i] = filepath.Join(p.Dir, f)
+		}
+		c, err := l.CheckFiles(p.ImportPath, files)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, c)
+	}
+	return out, nil
+}
+
+// CheckFiles parses and type-checks an explicit file list as one package
+// under the given import path. It serves both Roots and the analysistest
+// harness, whose testdata packages live outside the module's package graph
+// but import real module packages.
+func (l *Loader) CheckFiles(path string, filenames []string) (*Checked, error) {
+	var files []*ast.File
+	for _, name := range filenames {
+		f, err := parser.ParseFile(l.Fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+	conf := types.Config{Importer: l.imp}
+	pkg, err := conf.Check(path, l.Fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %v", path, err)
+	}
+	return &Checked{ImportPath: path, Fset: l.Fset, Files: files, Pkg: pkg, Info: info}, nil
+}
+
+// CheckDir parses and type-checks every non-test .go file in dir as one
+// package (analysistest entry point).
+func (l *Loader) CheckDir(path, dir string) (*Checked, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		files = append(files, filepath.Join(dir, name))
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no .go files in %s", dir)
+	}
+	return l.CheckFiles(path, files)
+}
+
+// ModuleRoot walks up from dir to the enclosing go.mod, the working
+// directory every `go list` invocation should run from.
+func ModuleRoot(dir string) (string, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}

@@ -1,0 +1,48 @@
+// Package dataflow is a miniature stand-in for the engine's dataflow
+// package. The costcharge analyzer matches the unexported Env methods
+// (runParts, chargeCPU, ...) by package path, so this fixture is
+// type-checked under the real import path gradoop/internal/dataflow with
+// stub implementations of just the matched API.
+package dataflow
+
+type Env struct{}
+
+func (e *Env) runParts(n int, f func(int)) {
+	for p := 0; p < n; p++ {
+		f(p)
+	}
+}
+
+func (e *Env) chargeCPU(p int, n int64) {}
+func (e *Env) chargeNet(p int, n int64) {}
+
+func uncharged(env *Env, parts [][]int) {
+	sums := make([]int, len(parts))
+	env.runParts(len(parts), func(p int) { // want `never charges the cost model`
+		for _, v := range parts[p] {
+			sums[p] += v
+		}
+	})
+}
+
+func chargedDirect(env *Env, parts [][]int) {
+	sums := make([]int, len(parts))
+	env.runParts(len(parts), func(p int) {
+		for _, v := range parts[p] {
+			sums[p] += v
+		}
+		env.chargeCPU(p, int64(len(parts[p])))
+	})
+}
+
+// chargedTransitive charges through a helper function in the same package;
+// the analyzer follows same-package calls.
+func chargedTransitive(env *Env, parts [][]int) {
+	env.runParts(len(parts), func(p int) {
+		ship(env, p, parts[p])
+	})
+}
+
+func ship(env *Env, p int, part []int) {
+	env.chargeNet(p, int64(len(part)*8))
+}

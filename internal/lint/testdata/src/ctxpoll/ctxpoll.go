@@ -1,0 +1,76 @@
+// Package dataflow is a miniature stand-in for the engine's dataflow
+// package. The ctxpoll analyzer matches the unexported (*Env).runParts and
+// (*Env).aborted by package path, so this fixture is type-checked under the
+// real import path gradoop/internal/dataflow with stub implementations of
+// just the matched API.
+package dataflow
+
+const cancelCheckMask = 255
+
+type Env struct{}
+
+func (e *Env) runParts(n int, f func(int)) {
+	for p := 0; p < n; p++ {
+		f(p)
+	}
+}
+
+func (e *Env) aborted() bool { return false }
+
+type Dataset[T any] struct{ env *Env }
+
+func MapPartition[T, U any](d *Dataset[T], f func([]T, func(U))) *Dataset[U] {
+	return &Dataset[U]{env: d.env}
+}
+
+func unpolledRunParts(env *Env, parts [][]int) {
+	sums := make([]int, len(parts))
+	env.runParts(len(parts), func(p int) {
+		for _, v := range parts[p] { // want `never polls cancellation`
+			sums[p] += v
+		}
+	})
+}
+
+func polledRunParts(env *Env, parts [][]int) {
+	sums := make([]int, len(parts))
+	env.runParts(len(parts), func(p int) {
+		for i, v := range parts[p] {
+			if i&cancelCheckMask == cancelCheckMask && env.aborted() {
+				return
+			}
+			sums[p] += v
+		}
+	})
+}
+
+func unpolledUDF(d *Dataset[int]) {
+	MapPartition(d, func(part []int, emit func(int)) {
+		for _, v := range part { // want `never polls cancellation`
+			emit(v)
+		}
+	})
+}
+
+// workerVector ranges over the worker-count-sized [][]int partition vector;
+// its trip count is the worker count, not the data size, so it is exempt.
+func workerVector(env *Env, out [][]int) {
+	env.runParts(len(out), func(p int) {
+		total := 0
+		for q := range out {
+			total += len(out[q])
+		}
+		_ = total
+	})
+}
+
+// unpolledMap ranges over a data-sized map; maps count too.
+func unpolledMap(env *Env, groups []map[uint64]int) {
+	env.runParts(len(groups), func(p int) {
+		total := 0
+		for _, v := range groups[p] { // want `never polls cancellation`
+			total += v
+		}
+		_ = total
+	})
+}

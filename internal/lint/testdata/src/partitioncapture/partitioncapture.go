@@ -1,0 +1,76 @@
+// Package partitioncapture exercises the partitioncapture analyzer:
+// per-partition UDF closures writing captured shared state race across
+// partition goroutines unless synchronized.
+package partitioncapture
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"gradoop/internal/dataflow"
+)
+
+func capturedAssign(d *dataflow.Dataset[int]) {
+	total := 0
+	dataflow.Map(d, func(v int) int {
+		total += v // want `UDF passed to dataflow\.Map writes captured variable "total"`
+		return v
+	})
+	_ = total
+}
+
+func capturedIncDec(d *dataflow.Dataset[int]) {
+	count := 0
+	dataflow.Filter(d, func(v int) bool {
+		count++ // want `UDF passed to dataflow\.Filter writes captured variable "count"`
+		return v > 0
+	})
+	_ = count
+}
+
+func capturedInJoiner(l, r *dataflow.Dataset[int]) {
+	pairs := 0
+	key := func(v int) uint64 { return uint64(v) }
+	dataflow.Join(l, r, key, key, func(x, y int, emit func(int)) {
+		pairs++ // want `UDF passed to dataflow\.Join writes captured variable "pairs"`
+		emit(x + y)
+	}, dataflow.RepartitionHash)
+	_ = pairs
+}
+
+// localState writes only variables declared inside the literal; nothing to
+// report.
+func localState(d *dataflow.Dataset[int]) {
+	dataflow.MapPartition(d, func(part []int, emit func(int)) {
+		sum := 0
+		for _, v := range part {
+			sum += v
+		}
+		emit(sum)
+	})
+}
+
+// mutexGuarded takes a lock before writing; the analyzer assumes the
+// literal synchronizes deliberately.
+func mutexGuarded(d *dataflow.Dataset[int]) {
+	var mu sync.Mutex
+	total := 0
+	dataflow.Map(d, func(v int) int {
+		mu.Lock()
+		total += v
+		mu.Unlock()
+		return v
+	})
+	_ = total
+}
+
+// atomicCounter mutates shared state through sync/atomic calls, which are
+// not assignments and stay legal.
+func atomicCounter(d *dataflow.Dataset[int]) {
+	var n atomic.Int64
+	dataflow.Map(d, func(v int) int {
+		n.Add(1)
+		return v
+	})
+	_ = n.Load()
+}

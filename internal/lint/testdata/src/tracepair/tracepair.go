@@ -1,0 +1,51 @@
+// Package tracepair exercises the tracepair analyzer: every PushOp needs a
+// deferred PopOp on the same token, or a panic in the scope leaks the
+// operator frame.
+package tracepair
+
+import "gradoop/internal/trace"
+
+type opToken struct{ name string }
+
+func balanced(c *trace.Collector, op opToken, eval func() int64) {
+	var rows int64
+	c.PushOp(op, op.name)
+	defer func() { c.PopOp(op, rows) }()
+	rows = eval()
+}
+
+func balancedDirect(c *trace.Collector, op opToken) {
+	c.PushOp(op, op.name)
+	defer c.PopOp(op, 0)
+}
+
+// straightLine pops on the fall-through path only; a panic between push and
+// pop leaks the frame.
+func straightLine(c *trace.Collector, op opToken, eval func() int64) {
+	c.PushOp(op, op.name) // want `PushOp\(op, \.\.\.\) without a deferred PopOp`
+	rows := eval()
+	c.PopOp(op, rows)
+}
+
+// wrongToken defers a pop, but on a different token; the collector drops
+// the mismatched pop and the frame stays open.
+func wrongToken(c *trace.Collector, a, b opToken) {
+	c.PushOp(a, a.name) // want `PushOp\(a, \.\.\.\) without a deferred PopOp`
+	defer c.PopOp(b, 0)
+}
+
+// nestedScope pushes inside a literal whose defer is in the outer function;
+// the defer does not run when the literal panics, so the push is uncovered.
+func nestedScope(c *trace.Collector, op opToken) {
+	defer c.PopOp(op, 0)
+	func() {
+		c.PushOp(op, op.name) // want `PushOp\(op, \.\.\.\) without a deferred PopOp`
+	}()
+}
+
+// compositeToken matches tokens structurally, the way session.compile pairs
+// PushOp(prepareToken{}, ...) with defer PopOp(prepareToken{}, ...).
+func compositeToken(c *trace.Collector) {
+	c.PushOp(opToken{}, "Prepare")
+	defer c.PopOp(opToken{}, 0)
+}

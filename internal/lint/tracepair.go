@@ -1,0 +1,106 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"gradoop/internal/lint/analysis"
+)
+
+// TracePairAnalyzer enforces balanced operator trace scopes: every call to
+// (*trace.Collector).PushOp must be paired with a PopOp on the same token
+// that runs on every exit path — which in Go means a deferred call. A
+// straight-line Push/Pop pair leaks the operator frame when the scope body
+// panics (the collector drops mismatched pops defensively, but every stage
+// traced after the leak attributes to the wrong operator), so the analyzer
+// requires a defer whose call — directly or inside a deferred function
+// literal — pops the same token expression.
+var TracePairAnalyzer = &analysis.Analyzer{
+	Name: "tracepair",
+	Doc:  "flags PushOp calls without a deferred PopOp on the same token",
+	Run:  runTracePair,
+}
+
+func runTracePair(pass *analysis.Pass) (any, error) {
+	info := pass.TypesInfo
+	// Check each function body independently: declarations and literals both
+	// open scopes, and a defer only covers its own function.
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					checkTracePairs(pass, info, fn.Body)
+				}
+			case *ast.FuncLit:
+				checkTracePairs(pass, info, fn.Body)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// checkTracePairs verifies the PushOp/PopOp pairing within one function
+// body, ignoring nested function literals (they are checked as their own
+// scopes, and a defer inside a nested literal does not protect this one).
+func checkTracePairs(pass *analysis.Pass, info *types.Info, body *ast.BlockStmt) {
+	var pushes []*ast.CallExpr
+	var deferredPops []string // token expressions popped by a defer
+	walkOwnScope(body, func(n ast.Node) {
+		switch s := n.(type) {
+		case *ast.CallExpr:
+			if fn := calleeOf(info, s); isMethod(fn, tracePath, "Collector", "PushOp") && len(s.Args) > 0 {
+				pushes = append(pushes, s)
+			}
+		case *ast.DeferStmt:
+			// defer c.PopOp(tok, ...) directly.
+			if fn := calleeOf(info, s.Call); isMethod(fn, tracePath, "Collector", "PopOp") && len(s.Call.Args) > 0 {
+				deferredPops = append(deferredPops, types.ExprString(s.Call.Args[0]))
+			}
+			// defer func() { ... c.PopOp(tok, ...) ... }()
+			if lit, ok := ast.Unparen(s.Call.Fun).(*ast.FuncLit); ok {
+				ast.Inspect(lit.Body, func(m ast.Node) bool {
+					call, ok := m.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					if fn := calleeOf(info, call); isMethod(fn, tracePath, "Collector", "PopOp") && len(call.Args) > 0 {
+						deferredPops = append(deferredPops, types.ExprString(call.Args[0]))
+					}
+					return true
+				})
+			}
+		}
+	})
+	for _, push := range pushes {
+		token := types.ExprString(push.Args[0])
+		covered := false
+		for _, popped := range deferredPops {
+			if popped == token {
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			pass.Reportf(push.Pos(),
+				"PushOp(%s, ...) without a deferred PopOp on the same token: a panic in the scope leaks the operator frame and corrupts trace attribution", token)
+		}
+	}
+}
+
+// walkOwnScope visits the nodes of body that belong to the enclosing
+// function itself, descending into blocks but not into nested function
+// literals.
+func walkOwnScope(body ast.Node, visit func(ast.Node)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == nil {
+			return false
+		}
+		if _, ok := n.(*ast.FuncLit); ok && n != body {
+			return false
+		}
+		visit(n)
+		return true
+	})
+}

@@ -1,0 +1,52 @@
+package session
+
+import (
+	"strings"
+	"testing"
+	"unicode"
+	"unicode/utf8"
+)
+
+// stripSpace removes every Unicode whitespace rune, decoding the string the
+// same way CanonicalQuery does (invalid UTF-8 bytes pass through), so the
+// comparison below treats both sides identically.
+func stripSpace(s string) string {
+	var sb strings.Builder
+	sb.Grow(len(s))
+	for i := 0; i < len(s); {
+		r, sz := utf8.DecodeRuneInString(s[i:])
+		if !unicode.IsSpace(r) {
+			sb.WriteString(s[i : i+sz])
+		}
+		i += sz
+	}
+	return sb.String()
+}
+
+// FuzzCanonicalQuery checks the cache-key canonicalization's contract on
+// arbitrary inputs: it never panics, never grows the input, is idempotent
+// (a canonical query is its own canonical form — the property the plan
+// cache keys rely on), and only ever touches whitespace, so the non-space
+// byte sequence — including every byte inside quoted literals — survives
+// unchanged.
+func FuzzCanonicalQuery(f *testing.F) {
+	f.Add("MATCH  (a:Person)-[e:knows]->(b)\n WHERE a.name = 'Alice  Smith'")
+	f.Add("MATCH (a) WHERE a.s = \"two  spaces\" RETURN a")
+	f.Add("MATCH (`weird  var`) RETURN `weird  var`")
+	f.Add("MATCH (a) WHERE a.s = 'esc \\' quote  '")
+	f.Add("MATCH (a) WHERE a.s = 'unterminated   ")
+	f.Add("  \t\n MATCH (a) RETURN a  ")
+	f.Add("''\"\"``")
+	f.Fuzz(func(t *testing.T, q string) {
+		c := CanonicalQuery(q)
+		if len(c) > len(q) {
+			t.Fatalf("canonicalization grew the query: %d -> %d bytes\nin:  %q\nout: %q", len(q), len(c), q, c)
+		}
+		if cc := CanonicalQuery(c); cc != c {
+			t.Fatalf("canonicalization is not idempotent\nonce:  %q\ntwice: %q", c, cc)
+		}
+		if got, want := stripSpace(c), stripSpace(q); got != want {
+			t.Fatalf("canonicalization changed non-whitespace bytes\nin:  %q\nout: %q", q, c)
+		}
+	})
+}

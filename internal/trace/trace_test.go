@@ -12,9 +12,11 @@ func TestCollectorSpansAndAttribution(t *testing.T) {
 	c := NewCollector()
 	parent, child := "parent-token", "child-token"
 
+	//lint:ignore tracepair straight-line scopes are the collector mechanics under test
 	c.PushOp(parent, "Join")
 	// Child evaluated inside the parent's wall-clock window but in its own
 	// scope: its stage must be attributed to the child, not the parent.
+	//lint:ignore tracepair straight-line scopes are the collector mechanics under test
 	c.PushOp(child, "Leaf")
 	c.BeginStage(1, "FlatMap", false, 2)
 	c.RowsIn(0, 10)
@@ -106,6 +108,7 @@ func TestSpanSimTime(t *testing.T) {
 func TestUnbalancedPopIsDropped(t *testing.T) {
 	c := NewCollector()
 	c.PopOp("never-pushed", 3) // must not panic or corrupt the stack
+	//lint:ignore tracepair unbalanced-pop handling is exactly what this test exercises
 	c.PushOp("a", "A")
 	c.PopOp("b", 1) // mismatched token: dropped
 	c.PopOp("a", 2)
