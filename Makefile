@@ -12,7 +12,7 @@ GO ?= go
 STATICCHECK_VERSION ?= 2025.1.1
 GOVULNCHECK_VERSION ?= v1.1.4
 
-.PHONY: all build test vet lint lint-tools fuzz-smoke race check bench clean
+.PHONY: all build test vet lint lint-tools fuzz-smoke race alloc-guard check bench clean
 
 all: check
 
@@ -61,7 +61,16 @@ fuzz-smoke:
 race:
 	$(GO) test -race ./...
 
-check: build vet lint race
+# alloc-guard pins the telemetry hot paths at zero allocations per
+# recorded event: both the disabled (nil-registry) and the warm enabled
+# paths must report 0 allocs/op, or the zero-cost guarantee of DESIGN.md
+# decision 13 is broken.
+alloc-guard:
+	$(GO) test ./internal/obs -run '^$$' -bench 'Registry' -benchmem | awk ' \
+		/^Benchmark/ { print; if ($$(NF-1)+0 != 0) bad = 1 } \
+		END { if (bad) { print "alloc-guard: telemetry hot path allocates"; exit 1 } }'
+
+check: build vet lint race alloc-guard
 
 # Regenerate the paper's evaluation tables plus the recovery-overhead
 # experiment (runtime vs injected worker failures).

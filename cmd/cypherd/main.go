@@ -2,12 +2,18 @@
 // loaded once into a long-lived session. The session pins graph statistics
 // and label indexes, caches compiled query plans and recent results, and
 // admission-controls concurrent requests with bounded job slots and a
-// bounded wait queue.
+// bounded wait queue. Telemetry is on by default: a metrics registry the
+// engine, session and server publish into (Prometheus exposition at
+// /metrics), structured logs correlated by X-Trace-Id, a slow-query log,
+// and a live /jobs view of in-flight queries. -ops-addr starts a second,
+// operator-only listener with the pprof endpoints.
 //
-// Endpoints: POST/GET /query, /explain, /analyze, /metrics, /healthz.
+// Endpoints: POST/GET /query, /explain, /analyze, /metrics,
+// /metrics.json, /jobs, /healthz.
 //
-//	cypherd -graph data/sample -addr :7474
+//	cypherd -graph data/sample -addr :7474 -ops-addr 127.0.0.1:7475
 //	curl -s localhost:7474/query -d '{"query":"MATCH (a:Person) RETURN a.name"}'
+//	curl -s localhost:7474/metrics | grep gradoop_query_duration
 package main
 
 import (
@@ -15,7 +21,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -23,6 +29,7 @@ import (
 	"syscall"
 	"time"
 
+	"gradoop/internal/obs"
 	"gradoop/internal/operators"
 	"gradoop/internal/server"
 	"gradoop/internal/session"
@@ -39,6 +46,36 @@ func parseSemantics(s string) (operators.Semantics, error) {
 	}
 }
 
+// newLogger builds the process logger: text or JSON handler at the chosen
+// level, wrapped so every record carries the trace_id stamped into its
+// context by the server.
+func newLogger(format, level string) (*slog.Logger, error) {
+	var lv slog.Level
+	switch strings.ToLower(level) {
+	case "debug":
+		lv = slog.LevelDebug
+	case "info":
+		lv = slog.LevelInfo
+	case "warn":
+		lv = slog.LevelWarn
+	case "error":
+		lv = slog.LevelError
+	default:
+		return nil, fmt.Errorf("unknown log level %q (want debug|info|warn|error)", level)
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	var h slog.Handler
+	switch strings.ToLower(format) {
+	case "text":
+		h = slog.NewTextHandler(os.Stderr, opts)
+	case "json":
+		h = slog.NewJSONHandler(os.Stderr, opts)
+	default:
+		return nil, fmt.Errorf("unknown log format %q (want text|json)", format)
+	}
+	return slog.New(obs.NewLogHandler(h)), nil
+}
+
 func main() {
 	graphDir := flag.String("graph", "", "Gradoop-CSV dataset directory (required)")
 	addr := flag.String("addr", ":7474", "HTTP listen address")
@@ -52,6 +89,11 @@ func main() {
 	resultMB := flag.Int("result-cache-mb", 16, "result cache byte budget in MiB")
 	noPlanCache := flag.Bool("no-plan-cache", false, "disable the plan cache (recompile every request)")
 	noResultCache := flag.Bool("no-result-cache", false, "disable the result cache (re-execute every request)")
+	noTelemetry := flag.Bool("no-telemetry", false, "disable the metrics registry (nil instruments; /metrics serves an empty exposition)")
+	logFormat := flag.String("log-format", "text", "structured log format: text|json")
+	logLevel := flag.String("log-level", "info", "minimum log level: debug|info|warn|error")
+	slowQuery := flag.Duration("slow-query", 500*time.Millisecond, "slow-query log threshold (0 disables)")
+	opsAddr := flag.String("ops-addr", "", "operator-only listen address for pprof (empty disables); bind to loopback")
 	flag.Parse()
 
 	fail := func(err error) {
@@ -71,33 +113,57 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
+	logger, err := newLogger(*logFormat, *logLevel)
+	if err != nil {
+		fail(err)
+	}
+
+	var registry *obs.Registry
+	if !*noTelemetry {
+		registry = obs.NewRegistry()
+	}
 
 	sess, err := session.Open(*graphDir, session.Options{
-		Workers:          *workers,
-		Vertex:           vs,
-		Edge:             es,
-		MaxConcurrent:    *maxConcurrent,
-		MaxQueued:        *maxQueued,
-		DefaultTimeout:   *timeout,
-		PlanCacheEntries: *planEntries,
-		ResultCacheBytes: int64(*resultMB) << 20,
-		NoPlanCache:      *noPlanCache,
-		NoResultCache:    *noResultCache,
+		Workers:            *workers,
+		Vertex:             vs,
+		Edge:               es,
+		MaxConcurrent:      *maxConcurrent,
+		MaxQueued:          *maxQueued,
+		DefaultTimeout:     *timeout,
+		PlanCacheEntries:   *planEntries,
+		ResultCacheBytes:   int64(*resultMB) << 20,
+		NoPlanCache:        *noPlanCache,
+		NoResultCache:      *noResultCache,
+		Metrics:            registry,
+		Logger:             logger,
+		SlowQueryThreshold: *slowQuery,
 	})
 	if err != nil {
 		fail(err)
 	}
 	vertices, edges := sess.GraphSize()
-	log.Printf("cypherd: loaded %s: %d vertices, %d edges", *graphDir, vertices, edges)
+	logger.Info("graph loaded", "dir", *graphDir, "vertices", vertices, "edges", edges)
 
-	httpSrv := &http.Server{Addr: *addr, Handler: server.New(sess)}
+	handler := server.New(sess, server.Config{Metrics: registry, Logger: logger})
+	httpSrv := &http.Server{Addr: *addr, Handler: handler}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	if *opsAddr != "" {
+		opsSrv := &http.Server{Addr: *opsAddr, Handler: server.NewOpsMux()}
+		go func() {
+			logger.Info("ops listener up", "addr", *opsAddr)
+			if err := opsSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Error("ops listener failed", "err", err)
+			}
+		}()
+		defer opsSrv.Close()
+	}
+
 	done := make(chan error, 1)
 	go func() {
-		log.Printf("cypherd: listening on %s (slots=%d queue=%d timeout=%s)",
-			*addr, *maxConcurrent, *maxQueued, *timeout)
+		logger.Info("listening", "addr", *addr,
+			"slots", *maxConcurrent, "queue", *maxQueued, "timeout", *timeout)
 		done <- httpSrv.ListenAndServe()
 	}()
 
@@ -107,7 +173,7 @@ func main() {
 			fail(err)
 		}
 	case <-ctx.Done():
-		log.Printf("cypherd: shutting down")
+		logger.Info("shutting down")
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		if err := httpSrv.Shutdown(shutdownCtx); err != nil {

@@ -1,6 +1,6 @@
 // Command cypherlint runs the project's static-analysis suite (see
-// internal/lint): envmix, partitioncapture, costcharge, tracepair and
-// ctxpoll. It has two modes:
+// internal/lint): envmix, partitioncapture, costcharge, tracepair,
+// ctxpoll and obsregister. It has two modes:
 //
 //	cypherlint [-json] [packages]      standalone; defaults to ./...
 //	go vet -vettool=$(which cypherlint) ./...

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"gradoop/internal/epgm"
+	"gradoop/internal/obs"
 	"gradoop/internal/session"
 )
 
@@ -111,6 +112,46 @@ func (r *Runner) RunServe(sf float64, mode ServeMode, concurrency, requests int)
 		ResultHits:  m.ResultHitRatio(),
 		Errors:      errs.Load(),
 	}, nil
+}
+
+// ServeOverhead compares the serving experiment's no-result-cache cell
+// with the metrics registry enabled vs disabled: every request executes a
+// real dataflow job, so the enabled run records per-stage histograms,
+// cache counters and admission waits on the hot path. The deltas quantify
+// what continuous telemetry costs.
+type ServeOverhead struct {
+	Disabled, Enabled ServeMeasurement
+}
+
+// QPSDelta is the relative throughput change when the registry is on
+// (negative = slower).
+func (o ServeOverhead) QPSDelta() float64 {
+	if o.Disabled.QPS == 0 {
+		return 0
+	}
+	return (o.Enabled.QPS - o.Disabled.QPS) / o.Disabled.QPS
+}
+
+// RunServeOverhead measures the registry-overhead pair at one concurrency.
+// Each enabled run gets a fresh registry (a registry serves one session;
+// duplicate instrument names panic by design).
+func (r *Runner) RunServeOverhead(sf float64, concurrency, requests int) (ServeOverhead, error) {
+	disabled := ServeMode{Name: "telemetry-off", Opts: func(o *session.Options) {
+		o.NoResultCache = true
+	}}
+	enabled := ServeMode{Name: "telemetry-on", Opts: func(o *session.Options) {
+		o.NoResultCache = true
+		o.Metrics = obs.NewRegistry()
+	}}
+	var out ServeOverhead
+	var err error
+	if out.Disabled, err = r.RunServe(sf, disabled, concurrency, requests); err != nil {
+		return out, err
+	}
+	if out.Enabled, err = r.RunServe(sf, enabled, concurrency, requests); err != nil {
+		return out, err
+	}
+	return out, nil
 }
 
 // VerifyPlanCacheViaTrace proves, via trace spans, that a plan-cache hit
@@ -231,5 +272,19 @@ func Serve(r *Runner, w io.Writer) error {
 	if burst.OK+burst.Rejected+burst.Timeout+burst.Other != int64(burst.Burst) {
 		return fmt.Errorf("benchkit: admission burst lost requests")
 	}
+
+	fmt.Fprintf(w, "\n== Registry overhead: telemetry on vs off (no-result-cache: every request is a real job) ==\n")
+	fmt.Fprintf(w, "%-16s %-7s %10s %12s %12s\n", "telemetry", "clients", "QPS", "p50", "p99")
+	maxC := ServeConcurrencies[len(ServeConcurrencies)-1]
+	oh, err := r.RunServeOverhead(r.SFSmall, maxC, ServeRequests)
+	if err != nil {
+		return err
+	}
+	for _, m := range []ServeMeasurement{oh.Disabled, oh.Enabled} {
+		fmt.Fprintf(w, "%-16s %-7d %10.1f %12s %12s\n",
+			m.Mode, m.Concurrency, m.QPS, fmtDur(m.P50), fmtDur(m.P99))
+	}
+	fmt.Fprintf(w, "registry overhead: QPS %+.1f%%, p99 %s -> %s\n",
+		100*oh.QPSDelta(), fmtDur(oh.Disabled.P99), fmtDur(oh.Enabled.P99))
 	return nil
 }

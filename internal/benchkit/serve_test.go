@@ -27,6 +27,29 @@ func TestServeExperiment(t *testing.T) {
 	if !strings.Contains(out, "hit skips parse+plan: verified") {
 		t.Fatalf("missing trace verification line:\n%s", out)
 	}
+	if !strings.Contains(out, "registry overhead: QPS") {
+		t.Fatalf("missing registry-overhead line:\n%s", out)
+	}
+}
+
+// TestRunServeOverhead asserts the telemetry pair runs clean in both
+// configurations and the enabled run actually executed every request as a
+// real job (no result hits in either leg).
+func TestRunServeOverhead(t *testing.T) {
+	r := NewRunner()
+	r.SFSmall = 0.05
+	oh, err := r.RunServeOverhead(r.SFSmall, 4, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []ServeMeasurement{oh.Disabled, oh.Enabled} {
+		if m.Errors != 0 {
+			t.Fatalf("%s: %d request errors", m.Mode, m.Errors)
+		}
+		if m.ResultHits != 0 {
+			t.Fatalf("%s: result hits pollute the overhead measurement", m.Mode)
+		}
+	}
 }
 
 // TestRunServeCacheModes asserts the cache modes actually change the hit

@@ -113,6 +113,19 @@ type Env struct {
 	// only between jobs (SetTracer), like ctx.
 	tracer *trace.Collector
 
+	// observer publishes continuous telemetry (stage-time histograms,
+	// shuffle/spill bytes, retries) into a process-wide obs.Registry; nil
+	// disables it at the same nil-check cost as a nil tracer. obsKind and
+	// obsStart carry the open stage's wall-clock timing; stage boundaries
+	// run serially on the job's driving goroutine, so they need no lock.
+	observer *Observer
+	obsKind  string
+	obsStart time.Time
+	// curKind publishes the executing stage's interned kind string for
+	// CurrentStage (live /jobs introspection); nil when no stage is open or
+	// no observer is installed.
+	curKind atomic.Pointer[string]
+
 	// ctx/done carry the current job's cancellation signal; nil when the
 	// job is not cancellable. Written only between jobs (Begin/Finish).
 	ctx  context.Context
@@ -178,6 +191,7 @@ func (e *Env) Begin(ctx context.Context) {
 	e.killsUsed = nil
 	e.mu.Unlock()
 	e.failed.Store(false)
+	e.obsKind = ""
 	if ctx == nil {
 		e.ctx, e.done = nil, nil
 		return
@@ -186,14 +200,15 @@ func (e *Env) Begin(ctx context.Context) {
 }
 
 // Finish ends the current job: it detaches the cancellation context,
-// closes the tracer's open span and returns the job's error, if any. A
-// failed environment stays failed — further transformations keep
-// short-circuiting — until the next Begin.
+// closes the tracer's open span, closes the observer's open stage timing
+// and returns the job's error, if any. A failed environment stays failed —
+// further transformations keep short-circuiting — until the next Begin.
 func (e *Env) Finish() error {
 	e.ctx, e.done = nil, nil
 	if e.tracer != nil {
 		e.tracer.Finish()
 	}
+	e.obsFinish()
 	return e.Err()
 }
 
@@ -221,6 +236,7 @@ func (e *Env) beginStage(kind string, shuffle bool) {
 	if e.tracer != nil {
 		e.tracer.BeginStage(stage, kind, shuffle, e.cfg.Workers)
 	}
+	e.obsStageBoundary(kind)
 }
 
 // chargeCPU accounts elements processed by a worker, mirroring the charge
@@ -238,6 +254,9 @@ func (e *Env) chargeNet(worker int, bytes int64) {
 	if e.tracer != nil {
 		e.tracer.Net(worker, bytes)
 	}
+	if e.observer != nil {
+		e.observer.shuffleBytes.Add(bytes)
+	}
 }
 
 // chargeSpill accounts bytes spilled to simulated disk by a worker.
@@ -245,6 +264,9 @@ func (e *Env) chargeSpill(worker int, bytes int64) {
 	e.metrics.addSpill(worker, bytes)
 	if e.tracer != nil {
 		e.tracer.Spill(worker, bytes)
+	}
+	if e.observer != nil {
+		e.observer.spillBytes.Add(bytes)
 	}
 }
 
@@ -386,6 +408,9 @@ func (e *Env) runPartition(stage int64, p int, f func(int)) {
 				e.metrics.addRecovery(p, stage, recovery)
 				if e.tracer != nil {
 					e.tracer.Retry(stage, p, recovery)
+				}
+				if e.observer != nil {
+					e.observer.retries.Inc()
 				}
 				continue
 			}

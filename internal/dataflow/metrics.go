@@ -14,14 +14,14 @@ import (
 // touched on the rare recovery path, keeps a lock. User code never touches
 // Metrics directly.
 type Metrics struct {
-	cpuElements  []atomic.Int64 // elements processed, per worker
-	netBytes     []atomic.Int64 // bytes received over the simulated network, per worker
-	spillBytes   []atomic.Int64 // bytes written+read to simulated disk, per worker
-	recoveryNs   []atomic.Int64 // simulated redeployment/backoff nanoseconds, per worker
-	stages       atomic.Int64   // transformations executed
-	shuffles     atomic.Int64   // transformations that required a network exchange
-	retries      atomic.Int64   // partition re-executions after injected failures
-	mu           sync.Mutex     // guards retriedStages
+	cpuElements   []atomic.Int64     // elements processed, per worker
+	netBytes      []atomic.Int64     // bytes received over the simulated network, per worker
+	spillBytes    []atomic.Int64     // bytes written+read to simulated disk, per worker
+	recoveryNs    []atomic.Int64     // simulated redeployment/backoff nanoseconds, per worker
+	stages        atomic.Int64       // transformations executed
+	shuffles      atomic.Int64       // transformations that required a network exchange
+	retries       atomic.Int64       // partition re-executions after injected failures
+	mu            sync.Mutex         // guards retriedStages
 	retriedStages map[int64]struct{} // distinct stages that needed ≥1 retry
 }
 
@@ -163,6 +163,18 @@ func (s *MetricsSnapshot) Merge(o MetricsSnapshot) {
 	}
 	s.Jobs += jobs
 	s.SlotWait += o.SlotWait
+}
+
+// Clone returns a deep copy of the snapshot: the per-worker slices are
+// copied, never aliased, so the clone can be handed to a serializer while
+// the original keeps accumulating under its owner's lock. Unlike Merge into
+// an empty snapshot, Clone preserves Jobs exactly (Merge counts a raw
+// snapshot's Jobs == 0 as one job).
+func (s MetricsSnapshot) Clone() MetricsSnapshot {
+	s.CPUElements = append([]int64(nil), s.CPUElements...)
+	s.NetBytes = append([]int64(nil), s.NetBytes...)
+	s.SpillBytes = append([]int64(nil), s.SpillBytes...)
+	return s
 }
 
 func (m *Metrics) snapshot(cfg Config) MetricsSnapshot {

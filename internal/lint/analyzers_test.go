@@ -23,6 +23,7 @@ func TestAnalyzers(t *testing.T) {
 		{lint.CostChargeAnalyzer, "costcharge", "gradoop/internal/dataflow"},
 		{lint.TracePairAnalyzer, "tracepair", ""},
 		{lint.CtxPollAnalyzer, "ctxpoll", "gradoop/internal/dataflow"},
+		{lint.ObsRegisterAnalyzer, "obsregister", ""},
 	}
 	for _, tc := range cases {
 		t.Run(tc.analyzer.Name, func(t *testing.T) {

@@ -63,8 +63,8 @@ func runEnvMix(pass *analysis.Pass) (any, error) {
 // callers write.
 func envMixFunc(pass *analysis.Pass, body *ast.BlockStmt) {
 	info := pass.TypesInfo
-	envOrigin := map[types.Object]ast.Node{}  // env var -> creating NewEnv call
-	dsOrigin := map[types.Object]ast.Node{}   // dataset var -> creating NewEnv call
+	envOrigin := map[types.Object]ast.Node{} // env var -> creating NewEnv call
+	dsOrigin := map[types.Object]ast.Node{}  // dataset var -> creating NewEnv call
 
 	// originOf resolves the environment origin of an expression that
 	// evaluates to a *dataflow.Env or *dataflow.Dataset, or nil if unknown.

@@ -2,9 +2,10 @@
 // that machine-check the invariants the engine's correctness rests on but
 // the compiler cannot see — single-environment dataflow plumbing (envmix),
 // race-free per-partition UDFs (partitioncapture), an honest cost model
-// (costcharge), balanced trace scopes (tracepair) and cancellable partition
-// loops (ctxpoll). See DESIGN.md decision 12 for why each invariant is
-// load-bearing for the reproduction.
+// (costcharge), balanced trace scopes (tracepair), cancellable partition
+// loops (ctxpoll) and setup-time telemetry registration (obsregister). See
+// DESIGN.md decision 12 for why each invariant is load-bearing for the
+// reproduction.
 //
 // Analyzers run over packages loaded by internal/lint/load; findings on
 // lines annotated with `//lint:ignore <analyzer> reason` (on the flagged
@@ -27,6 +28,7 @@ func Analyzers() []*analysis.Analyzer {
 		CostChargeAnalyzer,
 		TracePairAnalyzer,
 		CtxPollAnalyzer,
+		ObsRegisterAnalyzer,
 	}
 }
 

@@ -11,6 +11,7 @@ import (
 const (
 	dataflowPath = "gradoop/internal/dataflow"
 	tracePath    = "gradoop/internal/trace"
+	obsPath      = "gradoop/internal/obs"
 )
 
 // calleeOf resolves the function or method object a call expression invokes,

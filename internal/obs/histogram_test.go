@@ -1,0 +1,215 @@
+package obs
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"sort"
+	"sync"
+	"testing"
+)
+
+// quantiles is the grid the oracle comparison sweeps.
+var quantiles = []float64{0.5, 0.9, 0.95, 0.99, 0.999, 1.0}
+
+// oracle returns the exact nearest-rank quantile of a sorted slice, the
+// definition HistogramSnapshot.Quantile approximates.
+func oracle(sorted []int64, q float64) int64 {
+	rank := int(math.Ceil(q * float64(len(sorted))))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
+}
+
+// checkQuantiles records values into a histogram and asserts every grid
+// quantile is within one bucket width of the exact sorted-slice answer.
+func checkQuantiles(t *testing.T, name string, values []int64) {
+	t.Helper()
+	h := newHistogram("h", "", 1)
+	for _, v := range values {
+		h.Observe(v)
+	}
+	sorted := append([]int64(nil), values...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	s := h.Snapshot()
+	if s.Count != int64(len(values)) {
+		t.Fatalf("%s: count=%d want %d", name, s.Count, len(values))
+	}
+	for _, q := range quantiles {
+		got := s.Quantile(q)
+		want := oracle(sorted, q)
+		// The estimate lands in the exact bucket of the true rank value, so
+		// the error is bounded by that bucket's width: values < 32 are exact,
+		// larger ones within a relative 1/32.
+		tol := want >> hsubBits
+		if diff := got - want; diff > tol || diff < -tol {
+			t.Errorf("%s: q=%g got %d want %d (tol %d)", name, q, got, want, tol)
+		}
+	}
+	// Max and Sum are exact regardless of bucketing.
+	if s.Max != sorted[len(sorted)-1] {
+		t.Errorf("%s: max=%d want %d", name, s.Max, sorted[len(sorted)-1])
+	}
+	var sum int64
+	for _, v := range sorted {
+		sum += v
+	}
+	if s.Sum != sum {
+		t.Errorf("%s: sum=%d want %d", name, s.Sum, sum)
+	}
+}
+
+// TestQuantilesUniform: uniform values across five orders of magnitude.
+func TestQuantilesUniform(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	values := make([]int64, 20000)
+	for i := range values {
+		values[i] = rng.Int63n(5_000_000)
+	}
+	checkQuantiles(t, "uniform", values)
+}
+
+// TestQuantilesZipf: a heavy-tailed distribution, the shape query latencies
+// actually take.
+func TestQuantilesZipf(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	zipf := rand.NewZipf(rng, 1.2, 1, 10_000_000)
+	values := make([]int64, 20000)
+	for i := range values {
+		values[i] = int64(zipf.Uint64())
+	}
+	checkQuantiles(t, "zipf", values)
+}
+
+// TestQuantilesPointMass: every observation identical — all quantiles must
+// return a value in that observation's bucket, and small masses exactly.
+func TestQuantilesPointMass(t *testing.T) {
+	for _, v := range []int64{0, 7, 31, 32, 1000, 123_456_789} {
+		values := make([]int64, 5000)
+		for i := range values {
+			values[i] = v
+		}
+		checkQuantiles(t, "point-mass", values)
+	}
+}
+
+// TestQuantileSmallExact: values in the exact region (< 32) extract with
+// zero error at every quantile.
+func TestQuantileSmallExact(t *testing.T) {
+	h := newHistogram("h", "", 1)
+	var values []int64
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 4000; i++ {
+		v := rng.Int63n(hsub)
+		values = append(values, v)
+		h.Observe(v)
+	}
+	sort.Slice(values, func(i, j int) bool { return values[i] < values[j] })
+	s := h.Snapshot()
+	for _, q := range quantiles {
+		if got, want := s.Quantile(q), oracle(values, q); got != want {
+			t.Fatalf("q=%g got %d want exactly %d", q, got, want)
+		}
+	}
+}
+
+// TestBucketRoundTrip: every bucket index contains exactly the values its
+// bounds claim, across the whole int64 range.
+func TestBucketRoundTrip(t *testing.T) {
+	probes := []int64{0, 1, 31, 32, 33, 63, 64, 65, 1023, 1024, 1 << 20,
+		(1 << 20) + 12345, 1 << 40, math.MaxInt64}
+	for _, v := range probes {
+		i := bucketIndex(v)
+		lo, hi := bucketBounds(i)
+		if v < lo || v > hi {
+			t.Fatalf("value %d landed in bucket %d = [%d,%d]", v, i, lo, hi)
+		}
+	}
+	// Bucket bounds tile the range with no gaps or overlaps.
+	for i := 1; i < hbuckets; i++ {
+		_, prevHi := bucketBounds(i - 1)
+		lo, _ := bucketBounds(i)
+		if lo != prevHi+1 {
+			t.Fatalf("bucket %d starts at %d, previous ends at %d", i, lo, prevHi)
+		}
+	}
+}
+
+// TestMergeAssociativity: (a+b)+c equals a+(b+c) snapshot-for-snapshot,
+// including extracted quantiles.
+func TestMergeAssociativity(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	make3 := func() HistogramSnapshot {
+		h := newHistogram("h", "", 1)
+		n := 1000 + rng.Intn(1000)
+		for i := 0; i < n; i++ {
+			h.Observe(rng.Int63n(1 << uint(10+rng.Intn(20))))
+		}
+		return h.Snapshot()
+	}
+	a, b, c := make3(), make3(), make3()
+
+	clone := func(s HistogramSnapshot) HistogramSnapshot {
+		s.Buckets = append([]BucketCount(nil), s.Buckets...)
+		return s
+	}
+	left := clone(a)
+	left.Merge(b)
+	left.Merge(c)
+
+	bc := clone(b)
+	bc.Merge(c)
+	right := clone(a)
+	right.Merge(bc)
+
+	if !reflect.DeepEqual(left, right) {
+		t.Fatalf("merge not associative:\n(a+b)+c = %+v\na+(b+c) = %+v", left, right)
+	}
+	for _, q := range quantiles {
+		if left.Quantile(q) != right.Quantile(q) {
+			t.Fatalf("q=%g differs after re-associated merges", q)
+		}
+	}
+	// Commutativity for good measure.
+	ba := clone(b)
+	ba.Merge(a)
+	ab := clone(a)
+	ab.Merge(b)
+	if !reflect.DeepEqual(ab, ba) {
+		t.Fatalf("merge not commutative")
+	}
+}
+
+// TestConcurrentObserve: concurrent recorders under -race; totals must be
+// exact because every observation is counted, never sampled.
+func TestConcurrentObserve(t *testing.T) {
+	h := newHistogram("h", "", 1)
+	const goroutines, per = 8, 10000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			for i := 0; i < per; i++ {
+				h.Observe(rng.Int63n(1_000_000))
+			}
+		}(g)
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	if s.Count != goroutines*per {
+		t.Fatalf("count=%d want %d", s.Count, goroutines*per)
+	}
+	var bucketTotal int64
+	for _, b := range s.Buckets {
+		bucketTotal += b.Count
+	}
+	if bucketTotal != s.Count {
+		t.Fatalf("bucket total %d != count %d", bucketTotal, s.Count)
+	}
+}

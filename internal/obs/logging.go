@@ -1,0 +1,63 @@
+package obs
+
+import (
+	"context"
+	"log/slog"
+)
+
+// traceIDKey carries the request's trace ID through a context.
+type traceIDKey struct{}
+
+// WithTraceID returns a context carrying the given trace ID. The server
+// stamps every request's context with its X-Trace-Id so logs emitted
+// anywhere below the handler — session, engine, slow-query log — correlate
+// back to the response header.
+func WithTraceID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, traceIDKey{}, id)
+}
+
+// TraceIDFrom extracts the trace ID from a context, or "" when absent. Nil
+// contexts are accepted.
+func TraceIDFrom(ctx context.Context) string {
+	if ctx == nil {
+		return ""
+	}
+	id, _ := ctx.Value(traceIDKey{}).(string)
+	return id
+}
+
+// tracingHandler decorates a slog.Handler so every record logged with a
+// context carrying a trace ID gains a trace_id attribute.
+type tracingHandler struct {
+	inner slog.Handler
+}
+
+// NewLogHandler wraps a slog handler with trace-ID correlation: records
+// logged through a context stamped by WithTraceID carry trace_id=<id>.
+func NewLogHandler(inner slog.Handler) slog.Handler {
+	return tracingHandler{inner: inner}
+}
+
+// Enabled implements slog.Handler.
+func (h tracingHandler) Enabled(ctx context.Context, level slog.Level) bool {
+	return h.inner.Enabled(ctx, level)
+}
+
+// Handle implements slog.Handler, injecting the context's trace ID.
+func (h tracingHandler) Handle(ctx context.Context, r slog.Record) error {
+	if id := TraceIDFrom(ctx); id != "" {
+		r = r.Clone()
+		r.AddAttrs(slog.String("trace_id", id))
+	}
+	return h.inner.Handle(ctx, r)
+}
+
+// WithAttrs implements slog.Handler.
+func (h tracingHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	return tracingHandler{inner: h.inner.WithAttrs(attrs)}
+}
+
+// WithGroup implements slog.Handler.
+func (h tracingHandler) WithGroup(name string) slog.Handler {
+	return tracingHandler{inner: h.inner.WithGroup(name)}
+}

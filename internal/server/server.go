@@ -1,11 +1,16 @@
 // Package server exposes a session over JSON-HTTP: /query executes Cypher
 // (POST JSON body or GET with q= and param.NAME= pairs), /explain renders
 // the cached template plan, /analyze executes with tracing and returns the
-// EXPLAIN ANALYZE view, /metrics reports service counters and cache hit
-// ratios, /healthz liveness. Every response carries an X-Trace-Id header;
-// structured session errors map to structured HTTP statuses (400 invalid,
-// 429 queue full, 504 deadline, 500 execution failure) — an admitted or
-// rejected request always gets an answer, never a hang.
+// EXPLAIN ANALYZE view, /metrics serves the Prometheus text exposition,
+// /metrics.json the service counters and cache hit ratios as JSON, /jobs
+// the live table of in-flight queries with their current stage, /healthz
+// liveness. Every response carries an X-Trace-Id header that is also
+// stamped into the request context, so session log records (slow-query
+// log included) correlate with it; structured session errors map to
+// structured HTTP statuses (400 invalid, 429 queue full, 504 deadline,
+// 500 execution failure) — an admitted or rejected request always gets an
+// answer, never a hang. NewOpsMux serves pprof on a separate,
+// operator-only listener.
 package server
 
 import (
@@ -13,6 +18,8 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
+	"log/slog"
 	"net/http"
 	"strconv"
 	"strings"
@@ -21,33 +28,65 @@ import (
 
 	"gradoop/internal/core"
 	"gradoop/internal/epgm"
+	"gradoop/internal/obs"
 	"gradoop/internal/params"
 	"gradoop/internal/session"
 )
 
+// Config carries the server's observability wiring. Both fields are
+// optional: a nil Metrics registry leaves /metrics empty and all
+// instruments nil (zero recording cost), a nil Logger disables the
+// request log.
+type Config struct {
+	// Metrics is the registry the Prometheus exposition at /metrics reads.
+	// Pass the same registry the session publishes into so engine, session
+	// and server series share one scrape.
+	Metrics *obs.Registry
+	// Logger receives one structured record per request.
+	Logger *slog.Logger
+}
+
 // Server handles HTTP requests against one session.
 type Server struct {
-	session *session.Session
-	mux     *http.ServeMux
-	traceID atomic.Int64
+	session  *session.Session
+	mux      *http.ServeMux
+	traceID  atomic.Int64
+	registry *obs.Registry
+	logger   *slog.Logger
+	obs      httpInstruments
 }
 
 // New builds a server over a session.
-func New(s *session.Session) *Server {
-	srv := &Server{session: s, mux: http.NewServeMux()}
+func New(s *session.Session, cfg Config) *Server {
+	srv := &Server{
+		session:  s,
+		mux:      http.NewServeMux(),
+		registry: cfg.Metrics,
+		logger:   cfg.Logger,
+		obs:      newHTTPInstruments(cfg.Metrics),
+	}
 	srv.mux.HandleFunc("/query", srv.handleQuery)
 	srv.mux.HandleFunc("/explain", srv.handleExplain)
 	srv.mux.HandleFunc("/analyze", srv.handleAnalyze)
-	srv.mux.HandleFunc("/metrics", srv.handleMetrics)
+	srv.mux.HandleFunc("/metrics", srv.handlePrometheus)
+	srv.mux.HandleFunc("/metrics.json", srv.handleMetricsJSON)
+	srv.mux.HandleFunc("/jobs", srv.handleJobs)
 	srv.mux.HandleFunc("/healthz", srv.handleHealthz)
 	return srv
 }
 
-// ServeHTTP implements http.Handler, stamping the per-request trace ID.
+// ServeHTTP implements http.Handler. It stamps the per-request trace ID
+// into both the response header and the request context (the session's
+// job table and slow-query log read it back from there), then records the
+// request into the per-endpoint instruments and the request log.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	id := s.traceID.Add(1)
-	w.Header().Set("X-Trace-Id", fmt.Sprintf("%08x", id))
-	s.mux.ServeHTTP(w, r)
+	id := fmt.Sprintf("%08x", s.traceID.Add(1))
+	w.Header().Set("X-Trace-Id", id)
+	r = r.WithContext(obs.WithTraceID(r.Context(), id))
+	sw := &statusWriter{ResponseWriter: w}
+	start := time.Now()
+	s.mux.ServeHTTP(sw, r)
+	s.observe(r, sw, time.Since(start))
 }
 
 // queryRequest is the POST /query (and /analyze) body.
@@ -210,9 +249,28 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// handleMetrics reports service counters; ?format=text renders the CLI
+// handlePrometheus serves the registry's text exposition (Prometheus
+// format 0.0.4). A server without a registry serves a valid empty body —
+// scrapers see an up target with no series rather than an error.
+func (s *Server) handlePrometheus(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	io.WriteString(w, s.registry.Exposition())
+}
+
+// handleJobs lists the in-flight queries: canonical text, trace ID,
+// queued/running state, elapsed time and — for running jobs — the current
+// stage and, when traced, per-partition progress.
+func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	jobs := s.session.Jobs()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"count": len(jobs),
+		"jobs":  jobs,
+	})
+}
+
+// handleMetricsJSON reports service counters; ?format=text renders the CLI
 // style, anything else JSON.
-func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleMetricsJSON(w http.ResponseWriter, r *http.Request) {
 	m := s.session.Metrics()
 	switch r.URL.Query().Get("format") {
 	case "text":

@@ -5,12 +5,15 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"gradoop/internal/dataflow"
 	"gradoop/internal/epgm"
+	"gradoop/internal/obs"
 	"gradoop/internal/session"
 )
 
@@ -29,9 +32,13 @@ func testGraph() *epgm.LogicalGraph {
 		[]epgm.Edge{e(alice, bob), e(bob, eve), e(eve, alice)})
 }
 
+// newTestServer wires a registry through both session and server so tests
+// exercise the fully instrumented path end to end.
 func newTestServer(t *testing.T, opts session.Options) *httptest.Server {
 	t.Helper()
-	ts := httptest.NewServer(New(session.New(testGraph(), opts)))
+	r := obs.NewRegistry()
+	opts.Metrics = r
+	ts := httptest.NewServer(New(session.New(testGraph(), opts), Config{Metrics: r}))
 	t.Cleanup(ts.Close)
 	return ts
 }
@@ -181,9 +188,9 @@ func TestChromeTraceCapture(t *testing.T) {
 	}
 }
 
-// TestMetricsEndpoint: /metrics reports counters and hit ratios in both
-// formats.
-func TestMetricsEndpoint(t *testing.T) {
+// TestMetricsJSONEndpoint: /metrics.json reports counters and hit ratios
+// in both formats.
+func TestMetricsJSONEndpoint(t *testing.T) {
 	ts := newTestServer(t, session.Options{})
 	body := map[string]any{"query": "MATCH (a:Person) RETURN a.name"}
 	postJSON(t, ts.URL+"/query", body)
@@ -193,7 +200,7 @@ func TestMetricsEndpoint(t *testing.T) {
 	if resp.StatusCode != http.StatusOK || !out["fromResultCache"].(bool) {
 		t.Fatalf("warm-up failed: %v", out)
 	}
-	mresp, err := http.Get(ts.URL + "/metrics")
+	mresp, err := http.Get(ts.URL + "/metrics.json")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -208,7 +215,7 @@ func TestMetricsEndpoint(t *testing.T) {
 	if m["resultHitRatio"].(float64) <= 0 {
 		t.Fatalf("resultHitRatio=%v want > 0", m["resultHitRatio"])
 	}
-	tresp, err := http.Get(ts.URL + "/metrics?format=text")
+	tresp, err := http.Get(ts.URL + "/metrics.json?format=text")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -219,6 +226,157 @@ func TestMetricsEndpoint(t *testing.T) {
 	}
 	if !strings.Contains(sb.String(), "plan cache:") || !strings.Contains(sb.String(), "ratio=") {
 		t.Fatalf("text metrics:\n%s", sb.String())
+	}
+}
+
+// TestPrometheusEndpoint: after a small workload /metrics serves a parsable
+// Prometheus text exposition containing series from all three layers —
+// engine (stage histograms), session (query and cache counters, admission
+// wait) and server (per-endpoint request counts and latency).
+func TestPrometheusEndpoint(t *testing.T) {
+	ts := newTestServer(t, session.Options{})
+	body := map[string]any{"query": "MATCH (a:Person)-[:knows]->(b) RETURN a.name, b.name"}
+	postJSON(t, ts.URL+"/query", body)
+	postJSON(t, ts.URL+"/query", body)
+	postJSON(t, ts.URL+"/query", map[string]any{"query": "MATCH (a:Person"}) // 400
+
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	if ct := mresp.Header.Get("Content-Type"); !strings.Contains(ct, "text/plain") || !strings.Contains(ct, "version=0.0.4") {
+		t.Fatalf("Content-Type=%q want Prometheus text exposition", ct)
+	}
+	var sb strings.Builder
+	if _, err := copyAll(&sb, mresp); err != nil {
+		t.Fatal(err)
+	}
+	exp := sb.String()
+	checkExposition(t, exp)
+	for _, series := range []string{
+		"gradoop_queries_total 3",
+		`gradoop_query_errors_total{kind="invalid"} 1`,
+		`gradoop_result_cache_total{outcome="hit"} 1`,
+		`gradoop_plan_cache_total{outcome=`,
+		"gradoop_admission_wait_seconds_count",
+		`gradoop_query_duration_seconds{quantile="0.99"}`,
+		`gradoop_stage_duration_seconds{kind=`,
+		"gradoop_stages_total",
+		`gradoop_http_requests_total{endpoint="/query",code="200"} 2`,
+		`gradoop_http_requests_total{endpoint="/query",code="400"} 1`,
+		`gradoop_http_request_seconds{endpoint="/query",quantile="0.5"}`,
+	} {
+		if !strings.Contains(exp, series) {
+			t.Errorf("exposition missing %q:\n%s", series, exp)
+		}
+	}
+}
+
+// checkExposition asserts every line of a text exposition is structurally
+// valid format 0.0.4: comments are HELP/TYPE, samples are "name[{labels}]
+// value" with a parsable float.
+func checkExposition(t *testing.T, exp string) {
+	t.Helper()
+	if exp == "" {
+		t.Fatal("empty exposition")
+	}
+	for _, line := range strings.Split(strings.TrimRight(exp, "\n"), "\n") {
+		if strings.HasPrefix(line, "# HELP ") || strings.HasPrefix(line, "# TYPE ") {
+			continue
+		}
+		if strings.HasPrefix(line, "#") || line == "" {
+			t.Errorf("bad exposition line %q", line)
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			t.Errorf("sample line without value: %q", line)
+			continue
+		}
+		if _, err := strconv.ParseFloat(line[sp+1:], 64); err != nil {
+			t.Errorf("unparsable sample value in %q: %v", line, err)
+		}
+		name := line[:sp]
+		if i := strings.IndexByte(name, '{'); i >= 0 {
+			if !strings.HasSuffix(name, "}") {
+				t.Errorf("unclosed label set in %q", line)
+			}
+			name = name[:i]
+		}
+		for _, r := range name {
+			if !(r == '_' || r == ':' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') || (r >= '0' && r <= '9')) {
+				t.Errorf("bad metric name in %q", line)
+				break
+			}
+		}
+	}
+}
+
+// TestJobsEndpoint: /jobs is empty when idle and lists an in-flight query
+// with its running state and current stage while one executes.
+func TestJobsEndpoint(t *testing.T) {
+	ts := newTestServer(t, session.Options{NoResultCache: true})
+	getJobs := func() (int, []any) {
+		resp, err := http.Get(ts.URL + "/jobs")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var out struct {
+			Count int   `json:"count"`
+			Jobs  []any `json:"jobs"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+		return out.Count, out.Jobs
+	}
+	if n, _ := getJobs(); n != 0 {
+		t.Fatalf("idle server lists %d jobs", n)
+	}
+
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			postJSONNoFatal(t, ts.URL+"/query", map[string]any{
+				"query": "MATCH (a:Person)-[:knows]->(b:Person)-[:knows]->(c:Person) RETURN a.name, c.name",
+			})
+		}
+	}()
+	defer func() { close(stop); <-done }()
+
+	deadline := time.After(5 * time.Second)
+	for {
+		select {
+		case <-deadline:
+			t.Fatal("never caught an in-flight job on /jobs")
+		default:
+		}
+		_, jobs := getJobs()
+		if len(jobs) == 0 {
+			continue
+		}
+		j := jobs[0].(map[string]any)
+		if q, _ := j["query"].(string); !strings.Contains(q, "MATCH") {
+			t.Fatalf("job lost its query: %v", j)
+		}
+		if tid, _ := j["traceId"].(string); tid == "" {
+			t.Fatalf("job lost its trace ID: %v", j)
+		}
+		state, _ := j["state"].(string)
+		stage, _ := j["stage"].(float64)
+		kind, _ := j["kind"].(string)
+		if state == "running" && stage > 0 && kind != "" {
+			return // acceptance criterion: live stage while it runs
+		}
 	}
 }
 

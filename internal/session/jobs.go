@@ -1,0 +1,135 @@
+package session
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"gradoop/internal/dataflow"
+	"gradoop/internal/trace"
+)
+
+// job is one live Execute call in the session's in-flight table. The env
+// pointer is published under the table's mutex once the query holds a slot;
+// reading progress from it afterwards is safe (Env metrics are atomics).
+type job struct {
+	id      uint64
+	traceID string
+	query   string
+	started time.Time
+
+	mu      sync.Mutex
+	running bool
+	env     *dataflow.Env
+	col     *trace.Collector
+}
+
+// jobTable tracks in-flight queries for live introspection (/jobs).
+type jobTable struct {
+	mu     sync.Mutex
+	nextID uint64
+	jobs   map[uint64]*job
+}
+
+func newJobTable() *jobTable {
+	return &jobTable{jobs: map[uint64]*job{}}
+}
+
+// add registers a query entering the session (queued state) and returns its
+// table entry.
+func (t *jobTable) add(traceID, query string) *job {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.nextID++
+	j := &job{id: t.nextID, traceID: traceID, query: query, started: time.Now()}
+	t.jobs[j.id] = j
+	return j
+}
+
+// start transitions a job to running once it holds a slot and has an
+// environment to report progress from.
+func (j *job) start(env *dataflow.Env, col *trace.Collector) {
+	j.mu.Lock()
+	j.running, j.env, j.col = true, env, col
+	j.mu.Unlock()
+}
+
+// remove drops a finished (or failed, or rejected) job from the table.
+func (t *jobTable) remove(j *job) {
+	t.mu.Lock()
+	delete(t.jobs, j.id)
+	t.mu.Unlock()
+}
+
+// PartProgress is one partition's live contribution to the current stage of
+// an in-flight query (traced requests only).
+type PartProgress struct {
+	RowsIn  int64 `json:"rowsIn"`
+	RowsOut int64 `json:"rowsOut"`
+}
+
+// JobInfo is the live view of one in-flight query.
+type JobInfo struct {
+	ID      uint64 `json:"id"`
+	TraceID string `json:"traceId,omitempty"`
+	// Query is the canonicalized query text.
+	Query   string        `json:"query"`
+	State   string        `json:"state"` // "queued" | "running"
+	Started time.Time     `json:"started"`
+	Elapsed time.Duration `json:"elapsedNs"`
+	// Stage is the 1-based number of the stage currently executing and
+	// Stages the count of stages finished or started so far; Kind names the
+	// running transformation when the session publishes engine telemetry.
+	Stage int64  `json:"stage,omitempty"`
+	Kind  string `json:"kind,omitempty"`
+	// Op is the physical-plan operator the current stage belongs to and
+	// Parts its per-partition progress; both are filled for traced requests
+	// only, from the live trace span.
+	Op    string         `json:"op,omitempty"`
+	Parts []PartProgress `json:"parts,omitempty"`
+}
+
+// Jobs returns a snapshot of every in-flight query, oldest first. Progress
+// fields are read live from each query's running environment and — for
+// traced requests — its trace collector.
+func (s *Session) Jobs() []JobInfo {
+	s.jobs.mu.Lock()
+	live := make([]*job, 0, len(s.jobs.jobs))
+	for _, j := range s.jobs.jobs {
+		live = append(live, j)
+	}
+	s.jobs.mu.Unlock()
+
+	out := make([]JobInfo, 0, len(live))
+	for _, j := range live {
+		j.mu.Lock()
+		running, env, col := j.running, j.env, j.col
+		j.mu.Unlock()
+		info := JobInfo{
+			ID:      j.id,
+			TraceID: j.traceID,
+			Query:   j.query,
+			State:   "queued",
+			Started: j.started,
+			Elapsed: time.Since(j.started),
+		}
+		if running {
+			info.State = "running"
+			if env != nil {
+				info.Stage, info.Kind = env.CurrentStage()
+			}
+			if col != nil {
+				if span, ok := col.Current(); ok {
+					info.Stage, info.Kind, info.Op = span.Stage, span.Kind, span.Op
+					info.Parts = make([]PartProgress, len(span.Parts))
+					for p, ps := range span.Parts {
+						info.Parts[p] = PartProgress{RowsIn: ps.RowsIn, RowsOut: ps.RowsOut}
+					}
+				}
+			}
+		}
+		out = append(out, info)
+	}
+	sort.Slice(out, func(i, k int) bool { return out[i].ID < out[k].ID })
+	return out
+}

@@ -70,14 +70,15 @@ type Metrics struct {
 	Cluster dataflow.MetricsSnapshot `json:"cluster"`
 }
 
-// Metrics returns the session's current service counters.
+// Metrics returns the session's current service counters. The cluster
+// aggregate is deep-copied under the merge lock (MetricsSnapshot.Clone), so
+// a snapshot taken while queries are completing is never torn: its slices
+// are the serializer's own, and its totals are one consistent merge state —
+// concurrent mergeJob calls either fully precede or fully follow it.
 func (s *Session) Metrics() Metrics {
 	c := s.metrics
 	c.mu.Lock()
-	cluster := c.cluster
-	cluster.CPUElements = append([]int64(nil), cluster.CPUElements...)
-	cluster.NetBytes = append([]int64(nil), cluster.NetBytes...)
-	cluster.SpillBytes = append([]int64(nil), cluster.SpillBytes...)
+	cluster := c.cluster.Clone()
 	c.mu.Unlock()
 	resultBytes, resultEntries := s.results.usage()
 	return Metrics{

@@ -1,0 +1,110 @@
+package session
+
+import (
+	"context"
+	"log/slog"
+	"time"
+
+	"gradoop/internal/dataflow"
+	"gradoop/internal/obs"
+)
+
+// instruments is the session's continuous-telemetry surface: the engine
+// observer plus the service-level counters, gauges and histograms the
+// ISSUE's operators dashboard reads. Constructed once per session against
+// one registry; a nil registry yields nil instruments throughout, so every
+// recording below reduces to a nil check (the same zero-cost guarantee the
+// engine gives for a nil observer).
+type instruments struct {
+	observer *dataflow.Observer
+
+	queries       *obs.Counter
+	errors        *obs.CounterVec // by session.Kind name
+	planCache     *obs.CounterVec // outcome = hit | miss
+	resultCache   *obs.CounterVec // outcome = hit | miss
+	admissionWait *obs.Histogram  // slot-wait, nanoseconds scaled to seconds
+	queryTime     *obs.Histogram  // whole-request service time
+	slowQueries   *obs.Counter
+}
+
+// newInstruments registers the session's instruments and gauges into r.
+// The gauges read the session's admission gate and caches live at scrape
+// time. One registry serves one session: registering a second session into
+// the same registry panics on the duplicate names, which is the intended
+// guard against aggregating two sessions into one exposition by accident.
+func newInstruments(r *obs.Registry, s *Session) *instruments {
+	in := &instruments{
+		observer: dataflow.NewObserver(r),
+		queries: r.NewCounter("gradoop_queries_total",
+			"Queries received (all outcomes)"),
+		errors: r.NewCounterVec("gradoop_query_errors_total",
+			"Failed queries by error kind", "kind"),
+		planCache: r.NewCounterVec("gradoop_plan_cache_total",
+			"Plan cache lookups by outcome", "outcome"),
+		resultCache: r.NewCounterVec("gradoop_result_cache_total",
+			"Result cache lookups by outcome", "outcome"),
+		admissionWait: r.NewHistogram("gradoop_admission_wait_seconds",
+			"Time queries waited for an execution slot", obs.ScaleNanos),
+		queryTime: r.NewHistogram("gradoop_query_duration_seconds",
+			"Whole-request service time, queue wait included", obs.ScaleNanos),
+		slowQueries: r.NewCounter("gradoop_slow_queries_total",
+			"Queries over the slow-query threshold"),
+	}
+	if r != nil {
+		r.NewGaugeFunc("gradoop_admission_queue_depth",
+			"Requests currently waiting for an execution slot",
+			func() float64 { return float64(s.gate.queued()) })
+		r.NewGaugeFunc("gradoop_inflight_queries",
+			"Queries currently holding an execution slot",
+			func() float64 { return float64(s.gate.inFlight()) })
+		r.NewGaugeFunc("gradoop_plan_cache_entries",
+			"Plans currently cached",
+			func() float64 { return float64(s.plans.len()) })
+		r.NewGaugeFunc("gradoop_result_cache_bytes",
+			"Bytes currently held by the result cache",
+			func() float64 { bytes, _ := s.results.usage(); return float64(bytes) })
+		r.NewGaugeFunc("gradoop_result_cache_entries",
+			"Results currently cached",
+			func() float64 { _, entries := s.results.usage(); return float64(entries) })
+	}
+	return in
+}
+
+// errorKind records one classified failure into the per-kind counter.
+func (in *instruments) errorKind(k Kind) {
+	in.errors.With(k.String()).Inc()
+}
+
+// cacheOutcome turns a hit flag into the shared outcome label value.
+func cacheOutcome(hit bool) string {
+	if hit {
+		return "hit"
+	}
+	return "miss"
+}
+
+// logSlow emits the slow-query log record: canonicalized query, analyzed
+// plan, fingerprint and the request's timings, correlated with the trace ID
+// the server stamped into ctx. Called only when the session has a logger
+// and the request exceeded SlowQueryThreshold.
+func (s *Session) logSlow(ctx context.Context, canonical, fingerprint, plan string, resp *Response) {
+	s.obs.slowQueries.Inc()
+	if s.logger == nil {
+		return
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	s.logger.LogAttrs(ctx, slog.LevelWarn, "slow query",
+		slog.String("query", canonical),
+		slog.String("fingerprint", fingerprint),
+		slog.Duration("elapsed", resp.Elapsed),
+		slog.Duration("queue_wait", resp.QueueWait),
+		slog.Int64("rows", resp.Count),
+		slog.Bool("plan_cache_hit", resp.PlanCacheHit),
+		slog.String("plan", plan),
+	)
+}
+
+// slowThreshold returns the effective slow-query threshold (0 = disabled).
+func (s *Session) slowThreshold() time.Duration { return s.opts.SlowQueryThreshold }

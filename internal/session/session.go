@@ -12,6 +12,7 @@ package session
 import (
 	"context"
 	"errors"
+	"log/slog"
 	"strings"
 	"sync"
 	"time"
@@ -19,6 +20,7 @@ import (
 	"gradoop/internal/core"
 	"gradoop/internal/dataflow"
 	"gradoop/internal/epgm"
+	"gradoop/internal/obs"
 	"gradoop/internal/operators"
 	"gradoop/internal/planner"
 	"gradoop/internal/stats"
@@ -58,6 +60,19 @@ type Options struct {
 	// DefaultTimeout applies to requests without their own (0 = none). The
 	// deadline covers queue wait and execution.
 	DefaultTimeout time.Duration
+
+	// Metrics is the continuous-telemetry registry the session (and the
+	// engine underneath it) publishes into; nil disables telemetry at zero
+	// cost. One registry serves one session — instrument names collide
+	// otherwise.
+	Metrics *obs.Registry
+	// Logger receives the session's structured log records (currently the
+	// slow-query log); nil disables logging.
+	Logger *slog.Logger
+	// SlowQueryThreshold makes successful queries at or above this service
+	// time emit a slow-query log record with the canonicalized query and
+	// its analyzed plan (0 = disabled).
+	SlowQueryThreshold time.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -168,6 +183,9 @@ type Session struct {
 	plans   *planCache
 	results *resultCache
 	metrics *counters
+	obs     *instruments
+	logger  *slog.Logger
+	jobs    *jobTable
 
 	// state is swapped wholesale by SwapGraph; reads take the pointer once
 	// and work on the immutable snapshot.
@@ -178,14 +196,18 @@ type Session struct {
 // New creates a session serving the given graph.
 func New(g *epgm.LogicalGraph, opts Options) *Session {
 	opts = opts.withDefaults()
-	return &Session{
+	s := &Session{
 		opts:    opts,
 		gate:    newGate(opts.MaxConcurrent, opts.MaxQueued),
 		plans:   newPlanCache(opts.PlanCacheEntries),
 		results: newResultCache(opts.ResultCacheBytes),
 		metrics: &counters{},
+		logger:  opts.Logger,
+		jobs:    newJobTable(),
 		state:   newGraphState(g, 1),
 	}
+	s.obs = newInstruments(opts.Metrics, s)
+	return s
 }
 
 // Open loads a Gradoop-CSV dataset directory into a new session.
@@ -311,6 +333,7 @@ func (s *Session) compile(st *graphState, canonical string, col *trace.Collector
 	if s.opts.NoPlanCache {
 		p, err := build()
 		s.metrics.planMisses.Add(1)
+		s.obs.planCache.With("miss").Inc()
 		return p, false, err
 	}
 	key := planKey(st.generation, canonical)
@@ -328,6 +351,7 @@ func (s *Session) compile(st *graphState, canonical string, col *trace.Collector
 	if entry.err != nil {
 		s.plans.drop(key)
 		s.metrics.planMisses.Add(1)
+		s.obs.planCache.With("miss").Inc()
 		return nil, false, entry.err
 	}
 	if s.snapshot().generation != st.generation {
@@ -341,6 +365,7 @@ func (s *Session) compile(st *graphState, canonical string, col *trace.Collector
 	} else {
 		s.metrics.planHits.Add(1)
 	}
+	s.obs.planCache.With(cacheOutcome(!built)).Inc()
 	return entry.p, !built, nil
 }
 
@@ -352,9 +377,11 @@ func (s *Session) compile(st *graphState, canonical string, col *trace.Collector
 func (s *Session) Execute(req Request) (*Response, error) {
 	start := time.Now()
 	s.metrics.queries.Add(1)
+	s.obs.queries.Inc()
 	canonical := CanonicalQuery(req.Query)
 	if canonical == "" {
 		s.metrics.invalid.Add(1)
+		s.obs.errorKind(KindInvalid)
 		return nil, &Error{Kind: KindInvalid, Err: errors.New("empty query")}
 	}
 
@@ -380,6 +407,8 @@ func (s *Session) Execute(req Request) (*Response, error) {
 	if cacheable {
 		if r, ok := s.results.get(resultKey, st.generation); ok {
 			s.metrics.resultHits.Add(1)
+			s.obs.resultCache.With("hit").Inc()
+			s.obs.queryTime.ObserveSince(start)
 			return &Response{
 				Columns:         r.Columns,
 				Rows:            r.Rows,
@@ -389,15 +418,24 @@ func (s *Session) Execute(req Request) (*Response, error) {
 			}, nil
 		}
 		s.metrics.resultMisses.Add(1)
+		s.obs.resultCache.With("miss").Inc()
 	}
 
+	liveJob := s.jobs.add(obs.TraceIDFrom(req.Context), canonical)
+	defer s.jobs.remove(liveJob)
+
 	queueWait, err := s.gate.acquire(ctx)
+	if err == nil {
+		s.obs.admissionWait.Observe(int64(queueWait))
+	}
 	if err != nil {
 		if errors.Is(err, ErrQueueFull) {
 			s.metrics.rejected.Add(1)
+			s.obs.errorKind(KindRejected)
 			return nil, &Error{Kind: KindRejected, Err: err}
 		}
 		s.metrics.timeouts.Add(1)
+		s.obs.errorKind(KindTimeout)
 		return nil, &Error{Kind: KindTimeout, Err: err}
 	}
 	defer s.gate.release()
@@ -409,10 +447,13 @@ func (s *Session) Execute(req Request) (*Response, error) {
 	prep, planHit, err := s.compile(st, canonical, col)
 	if err != nil {
 		s.metrics.invalid.Add(1)
+		s.obs.errorKind(KindInvalid)
 		return nil, classify(KindInvalid, err)
 	}
 
 	env := dataflow.NewEnv(dataflow.DefaultConfig(s.opts.Workers))
+	env.SetObserver(s.obs.observer)
+	liveJob.start(env, col)
 	if req.Faults != nil {
 		env.InjectFaults(req.Faults)
 	}
@@ -444,7 +485,7 @@ func (s *Session) Execute(req Request) (*Response, error) {
 			generation: st.generation,
 		})
 	}
-	return &Response{
+	resp := &Response{
 		Columns:      columns,
 		Rows:         rows,
 		Count:        count,
@@ -455,7 +496,12 @@ func (s *Session) Execute(req Request) (*Response, error) {
 		Metrics:      m,
 		Trace:        col,
 		Result:       res,
-	}, nil
+	}
+	s.obs.queryTime.Observe(int64(resp.Elapsed))
+	if th := s.slowThreshold(); th > 0 && resp.Elapsed >= th {
+		s.logSlow(req.Context, canonical, resp.Fingerprint, prep.Plan.Explain(), resp)
+	}
+	return resp, nil
 }
 
 // classifyExec maps an execution error to its kind.
@@ -463,12 +509,15 @@ func (s *Session) classifyExec(err error) error {
 	switch {
 	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
 		s.metrics.timeouts.Add(1)
+		s.obs.errorKind(KindTimeout)
 		return classify(KindTimeout, err)
 	case isMissingParam(err):
 		s.metrics.invalid.Add(1)
+		s.obs.errorKind(KindInvalid)
 		return classify(KindInvalid, err)
 	default:
 		s.metrics.failed.Add(1)
+		s.obs.errorKind(KindFailed)
 		return classify(KindFailed, err)
 	}
 }

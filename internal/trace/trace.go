@@ -340,6 +340,23 @@ func (c *Collector) Spans() []Span {
 	return out
 }
 
+// Current returns a copy of the span of the stage executing right now, with
+// its per-partition progress so far, without closing it — unlike Spans, it
+// is safe to call while the job is still running (live /jobs introspection).
+// ok is false when no stage is open.
+func (c *Collector) Current() (cur Span, ok bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.cur == nil {
+		return Span{}, false
+	}
+	cur = *c.cur
+	cur.End = c.since()
+	cur.Parts = append([]PartStats(nil), c.cur.Parts...)
+	cur.Attempts = append([]Attempt(nil), c.cur.Attempts...)
+	return cur, true
+}
+
 // Op returns the statistics recorded for an operator token.
 func (c *Collector) Op(token any) (OpStats, bool) {
 	c.mu.Lock()
