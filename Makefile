@@ -12,7 +12,7 @@ GO ?= go
 STATICCHECK_VERSION ?= 2025.1.1
 GOVULNCHECK_VERSION ?= v1.1.4
 
-.PHONY: all build test vet lint lint-tools fuzz-smoke race alloc-guard check bench clean
+.PHONY: all build test vet lint lint-tools fuzz-smoke race chaos-smoke alloc-guard check bench clean
 
 all: check
 
@@ -60,6 +60,16 @@ fuzz-smoke:
 
 race:
 	$(GO) test -race ./...
+
+# chaos-smoke runs the seeded overload harness (internal/benchkit RunChaos)
+# under the race detector with a deliberately tight Go heap limit: blowup
+# queries interleaved with oracle-checked traffic against a governed,
+# HTTP-served session. The harness itself asserts the governance contract —
+# every blowup dies with a structured 503 + Retry-After, zero well-behaved
+# queries are killed or corrupted, the broker's reservations drain to zero
+# and no goroutines leak.
+chaos-smoke:
+	GOMEMLIMIT=256MiB $(GO) test ./internal/benchkit -run '^TestChaos' -race -count=1 -v
 
 # alloc-guard pins the telemetry hot paths at zero allocations per
 # recorded event: both the disabled (nil-registry) and the warm enabled

@@ -45,8 +45,9 @@ func main() {
 		"recovery": func() error { return benchkit.Recovery(r, os.Stdout) },
 		"analyze":  func() error { return benchkit.Analyze(r, os.Stdout, *tracePrefix) },
 		"serve":    func() error { return benchkit.Serve(r, os.Stdout) },
+		"chaos":    func() error { return benchkit.Chaos(r, os.Stdout) },
 	}
-	order := []string{"figure3", "figure4", "figure5", "table3", "table4", "cards", "extended", "recovery", "analyze", "serve"}
+	order := []string{"figure3", "figure4", "figure5", "table3", "table4", "cards", "extended", "recovery", "analyze", "serve", "chaos"}
 
 	run := func(name string) {
 		fn, ok := experiments[name]

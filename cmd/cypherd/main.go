@@ -29,6 +29,7 @@ import (
 	"syscall"
 	"time"
 
+	"gradoop/internal/govern"
 	"gradoop/internal/obs"
 	"gradoop/internal/operators"
 	"gradoop/internal/server"
@@ -87,6 +88,8 @@ func main() {
 	timeout := flag.Duration("timeout", 30*time.Second, "default per-query deadline, including queue wait (0 = none)")
 	planEntries := flag.Int("plan-cache-entries", 128, "plan cache capacity (entries)")
 	resultMB := flag.Int("result-cache-mb", 16, "result cache byte budget in MiB")
+	memBudgetMB := flag.Int("mem-budget", 0, "process-wide memory budget for materialized embeddings, in MiB (0 disables governance)")
+	shedPolicy := flag.String("shed-policy", "largest", "victim selection on budget exhaustion: largest|self")
 	noPlanCache := flag.Bool("no-plan-cache", false, "disable the plan cache (recompile every request)")
 	noResultCache := flag.Bool("no-result-cache", false, "disable the result cache (re-execute every request)")
 	noTelemetry := flag.Bool("no-telemetry", false, "disable the metrics registry (nil instruments; /metrics serves an empty exposition)")
@@ -117,6 +120,10 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
+	policy, err := govern.ParsePolicy(*shedPolicy)
+	if err != nil {
+		fail(err)
+	}
 
 	var registry *obs.Registry
 	if !*noTelemetry {
@@ -132,6 +139,8 @@ func main() {
 		DefaultTimeout:     *timeout,
 		PlanCacheEntries:   *planEntries,
 		ResultCacheBytes:   int64(*resultMB) << 20,
+		MemoryBudget:       int64(*memBudgetMB) << 20,
+		ShedPolicy:         policy,
 		NoPlanCache:        *noPlanCache,
 		NoResultCache:      *noResultCache,
 		Metrics:            registry,

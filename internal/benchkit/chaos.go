@@ -1,0 +1,320 @@
+package benchkit
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gradoop/internal/baseline"
+	"gradoop/internal/cypher"
+	"gradoop/internal/epgm"
+	"gradoop/internal/govern"
+	"gradoop/internal/obs"
+	"gradoop/internal/operators"
+	"gradoop/internal/server"
+	"gradoop/internal/session"
+)
+
+// chaosBlowup is the adversarial query of the overload harness: an
+// unconstrained four-way cartesian product over every Person, whose
+// materialized embeddings exceed any budget the harness configures by
+// orders of magnitude. It is syntactically valid, planner-approved work —
+// exactly the traffic an admission gate cannot reject up front and only a
+// memory governor can stop.
+const chaosBlowup = `MATCH (a:Person),(b:Person),(c:Person),(d:Person) RETURN a, b, c, d`
+
+// ChaosConfig parameterizes one deterministic overload run.
+type ChaosConfig struct {
+	// Seed drives both the LDBC generator and the request schedule; two
+	// runs with the same config issue the same sequence of queries.
+	Seed int64
+	// SF is the LDBC scale factor of the served graph.
+	SF float64
+	// Requests is the total number of scheduled queries; roughly
+	// BlowupFraction of them are the cartesian blowup, the rest are the
+	// parameterized operational query Q1 cycling its selectivity values.
+	Requests       int
+	BlowupFraction float64
+	// Concurrency is the number of client goroutines draining the schedule.
+	Concurrency int
+	// MemoryBudget is the governed session's process budget in bytes. It
+	// must sit well above the well-behaved working set and well below one
+	// blowup's output, so largest-first shedding always finds a blowup.
+	MemoryBudget int64
+	Workers      int
+}
+
+// DefaultChaosConfig is the smoke configuration CI runs under -race and a
+// tight GOMEMLIMIT: small graph, 2 MiB budget, every fourth request a
+// blowup. The budget is sized against measured footprints: one operational
+// query peaks at ~125 KiB of charged embeddings, so even with every slot
+// held by well-behaved traffic (~500 KiB) a blowup must reserve the
+// remaining ~1.5 MiB before the budget overflows — at the overflow the
+// largest reservation is always a blowup, and largest-first shedding never
+// takes collateral. The four-way cartesian charges tens of megabytes if
+// left alone, far past the budget at any seed.
+func DefaultChaosConfig() ChaosConfig {
+	return ChaosConfig{
+		Seed:           2017,
+		SF:             0.05,
+		Requests:       48,
+		BlowupFraction: 0.25,
+		Concurrency:    4,
+		MemoryBudget:   2 << 20,
+		Workers:        2,
+	}
+}
+
+// ChaosReport aggregates one run's per-request classifications and the
+// broker's end state. Check() is the pass/fail gate.
+type ChaosReport struct {
+	Requests, Blowups, WellBehaved int
+
+	// BlowupsKilled counts blowups that came back 503/memory-budget with a
+	// Retry-After header; BlowupEscapes counts blowups that finished (the
+	// governor failed) or failed any other way.
+	BlowupsKilled int
+	BlowupEscapes int
+
+	// WellBehavedOK counts well-behaved requests answered 200 with the
+	// oracle-verified row count; WellBehavedKilled counts collateral
+	// memory-budget kills (must be zero under largest-first shedding);
+	// WrongResults counts 200s whose count disagreed with the oracle.
+	WellBehavedOK     int
+	WellBehavedKilled int
+	WrongResults      int
+	OtherFailures     int
+
+	// Broker end state: counters plus the reservation gauge after the run,
+	// which must drain to zero.
+	Kills, Sheds, Brownouts int64
+	ReservedAfter           int64
+	LiveAfter               int
+
+	// GoroutineGrowth is the post-run goroutine count minus the pre-run
+	// count after the server shut down (leak detector; small scheduler
+	// noise is tolerated by Check).
+	GoroutineGrowth int
+
+	Wall time.Duration
+}
+
+// Check returns the first violated invariant, or nil for a clean run.
+func (rep ChaosReport) Check() error {
+	switch {
+	case rep.Blowups == 0 || rep.WellBehaved == 0:
+		return fmt.Errorf("degenerate schedule: %d blowups, %d well-behaved", rep.Blowups, rep.WellBehaved)
+	case rep.BlowupsKilled != rep.Blowups:
+		return fmt.Errorf("governor missed blowups: %d/%d killed (%d escaped)",
+			rep.BlowupsKilled, rep.Blowups, rep.BlowupEscapes)
+	case rep.WellBehavedKilled != 0:
+		return fmt.Errorf("%d well-behaved queries killed for memory (collateral damage)", rep.WellBehavedKilled)
+	case rep.WrongResults != 0:
+		return fmt.Errorf("%d well-behaved queries returned non-oracle counts under pressure", rep.WrongResults)
+	case rep.OtherFailures != 0:
+		return fmt.Errorf("%d requests failed outside the governed taxonomy", rep.OtherFailures)
+	case rep.WellBehavedOK != rep.WellBehaved:
+		return fmt.Errorf("well-behaved accounting leak: %d ok of %d", rep.WellBehavedOK, rep.WellBehaved)
+	case rep.ReservedAfter != 0 || rep.LiveAfter != 0:
+		return fmt.Errorf("broker did not drain: %d B across %d live reservations", rep.ReservedAfter, rep.LiveAfter)
+	case rep.GoroutineGrowth > 4:
+		return fmt.Errorf("goroutine leak: %d more goroutines than before the run", rep.GoroutineGrowth)
+	}
+	return nil
+}
+
+// RunChaos executes one seeded overload schedule against a fully governed
+// session served over HTTP and classifies every response: blowups must die
+// with 503 + Retry-After and kind "memory-budget", well-behaved queries
+// must return their oracle-verified counts, and afterwards every broker
+// reservation must be released and every goroutine gone.
+func RunChaos(cfg ChaosConfig) (ChaosReport, error) {
+	var rep ChaosReport
+
+	// Dataset plus ground truth. The oracle counts are computed against the
+	// brute-force reference matcher before any pressure exists, so a wrong
+	// count under load is attributable to the governor, not to the oracle.
+	r := &Runner{Seed: cfg.Seed, SFSmall: cfg.SF, SFLarge: cfg.SF, cache: map[string]*prepared{}}
+	p := r.Prepare(cfg.SF, cfg.Workers)
+	ref := baseline.NewReference(p.Graph())
+	morph := operators.Morphism{Vertex: operators.Homomorphism, Edge: operators.Isomorphism}
+	names := []string{p.FirstName(Low), p.FirstName(Medium), p.FirstName(High)}
+	oracle := make(map[string]int64, len(names))
+	for _, name := range names {
+		ast, err := cypher.Parse(Q1.Text())
+		if err != nil {
+			return rep, err
+		}
+		params := map[string]epgm.PropertyValue{"firstName": epgm.PVString(name)}
+		qg, err := cypher.BuildQueryGraph(ast, params)
+		if err != nil {
+			return rep, err
+		}
+		oracle[name] = int64(ref.Count(qg, morph))
+	}
+
+	registry := obs.NewRegistry()
+	sess := session.New(p.Graph(), session.Options{
+		Workers:       cfg.Workers,
+		Vertex:        morph.Vertex,
+		Edge:          morph.Edge,
+		MaxConcurrent: cfg.Concurrency,
+		MaxQueued:     2 * cfg.Requests, // never 429: every scheduled query must run
+		MemoryBudget:  cfg.MemoryBudget,
+		ShedPolicy:    govern.ShedLargest,
+		Metrics:       registry,
+	})
+	ts := httptest.NewServer(server.New(sess, server.Config{Metrics: registry}))
+
+	// The deterministic schedule: kind and parameter of every request are
+	// fixed by the seed before any goroutine starts.
+	type chaosReq struct {
+		blowup bool
+		name   string
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	schedule := make([]chaosReq, cfg.Requests)
+	for i := range schedule {
+		if rng.Float64() < cfg.BlowupFraction {
+			schedule[i] = chaosReq{blowup: true}
+			rep.Blowups++
+		} else {
+			schedule[i] = chaosReq{name: names[rng.Intn(len(names))]}
+			rep.WellBehaved++
+		}
+	}
+
+	before := runtime.NumGoroutine()
+	var next atomic.Int64
+	var mu sync.Mutex // guards the classification counters below
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < cfg.Concurrency; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(schedule) {
+					return
+				}
+				req := schedule[i]
+				status, retryAfter, out, err := chaosPost(ts.URL, req.blowup, req.name)
+				mu.Lock()
+				classifyChaos(&rep, req.blowup, oracle[req.name], status, retryAfter, out, err)
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	rep.Wall = time.Since(start)
+	rep.Requests = len(schedule)
+
+	m := sess.Metrics()
+	rep.Kills, rep.Sheds, rep.Brownouts = m.MemKills, m.MemSheds, m.MemBrownouts
+
+	ts.Close()
+	// Settle: the HTTP server's handler goroutines and any kill unwinding
+	// finish asynchronously; poll briefly before declaring a leak. The
+	// result cache may legitimately hold broker bytes (weak reservations,
+	// reclaimable at any time) — the drain assertion is on everything
+	// beyond them: leaked per-query reservations.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		rep.ReservedAfter = sess.Broker().Reserved() - sess.Metrics().ResultBytes
+		rep.LiveAfter = sess.Broker().Live()
+		rep.GoroutineGrowth = runtime.NumGoroutine() - before
+		if (rep.ReservedAfter == 0 && rep.LiveAfter == 0 && rep.GoroutineGrowth <= 0) || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	return rep, nil
+}
+
+// chaosPost issues one request and returns the status, Retry-After header
+// and decoded body.
+func chaosPost(url string, blowup bool, name string) (int, string, map[string]any, error) {
+	body := map[string]any{"query": chaosBlowup}
+	if !blowup {
+		body = map[string]any{
+			"query":  Q1.Text(),
+			"params": map[string]any{"firstName": name},
+		}
+	}
+	b, err := json.Marshal(body)
+	if err != nil {
+		return 0, "", nil, err
+	}
+	resp, err := http.Post(url+"/query", "application/json", bytes.NewReader(b))
+	if err != nil {
+		return 0, "", nil, err
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return resp.StatusCode, resp.Header.Get("Retry-After"), nil, err
+	}
+	return resp.StatusCode, resp.Header.Get("Retry-After"), out, nil
+}
+
+// classifyChaos folds one response into the report under the harness's
+// contract: a blowup is only "killed" if the full structured surface is
+// present (503, Retry-After, kind memory-budget); a well-behaved query only
+// "ok" if its count matches the oracle.
+func classifyChaos(rep *ChaosReport, blowup bool, want int64, status int, retryAfter string, out map[string]any, err error) {
+	if err != nil {
+		rep.OtherFailures++
+		return
+	}
+	kind, _ := out["kind"].(string)
+	if blowup {
+		if status == http.StatusServiceUnavailable && kind == "memory-budget" && retryAfter != "" {
+			rep.BlowupsKilled++
+		} else {
+			rep.BlowupEscapes++
+		}
+		return
+	}
+	switch {
+	case status == http.StatusOK:
+		if count, ok := out["count"].(float64); ok && int64(count) == want {
+			rep.WellBehavedOK++
+		} else {
+			rep.WrongResults++
+		}
+	case kind == "memory-budget":
+		rep.WellBehavedKilled++
+	default:
+		rep.OtherFailures++
+	}
+}
+
+// Chaos is the CLI entry point: one default-config run, its report, and a
+// hard error when any invariant is violated.
+func Chaos(r *Runner, w io.Writer) error {
+	cfg := DefaultChaosConfig()
+	cfg.Seed = r.Seed
+	fmt.Fprintf(w, "== Overload chaos (SF%g, budget %d KiB, %d requests, %d clients) ==\n",
+		cfg.SF, cfg.MemoryBudget>>10, cfg.Requests, cfg.Concurrency)
+	rep, err := RunChaos(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "blowups: %d scheduled, %d killed (503+Retry-After), %d escaped\n",
+		rep.Blowups, rep.BlowupsKilled, rep.BlowupEscapes)
+	fmt.Fprintf(w, "well-behaved: %d scheduled, %d oracle-correct, %d killed, %d wrong\n",
+		rep.WellBehaved, rep.WellBehavedOK, rep.WellBehavedKilled, rep.WrongResults)
+	fmt.Fprintf(w, "broker: kills=%d sheds=%d brownouts=%d reservedAfter=%d live=%d\n",
+		rep.Kills, rep.Sheds, rep.Brownouts, rep.ReservedAfter, rep.LiveAfter)
+	fmt.Fprintf(w, "wall: %s, goroutine growth: %d\n", fmtDur(rep.Wall), rep.GoroutineGrowth)
+	return rep.Check()
+}

@@ -1,0 +1,51 @@
+package benchkit
+
+import "testing"
+
+// TestChaosSmoke is the CI overload gate: one seeded schedule of cartesian
+// blowups interleaved with oracle-checked operational queries against a
+// governed, HTTP-served session. Every invariant lives in
+// ChaosReport.Check: all blowups die with the full structured surface
+// (503, Retry-After, kind memory-budget), zero well-behaved queries are
+// killed or corrupted, the broker drains, no goroutines leak. Run under
+// -race and a tight GOMEMLIMIT by the chaos-smoke make target.
+func TestChaosSmoke(t *testing.T) {
+	cfg := DefaultChaosConfig()
+	if testing.Short() {
+		cfg.Requests = 16
+	}
+	rep, err := RunChaos(cfg)
+	if err != nil {
+		t.Fatalf("chaos harness: %v", err)
+	}
+	t.Logf("chaos: %d requests in %s — blowups %d/%d killed, well-behaved %d/%d ok, kills=%d sheds=%d brownouts=%d",
+		rep.Requests, rep.Wall, rep.BlowupsKilled, rep.Blowups,
+		rep.WellBehavedOK, rep.WellBehaved, rep.Kills, rep.Sheds, rep.Brownouts)
+	if err := rep.Check(); err != nil {
+		t.Fatalf("chaos invariant violated: %v\nreport: %+v", err, rep)
+	}
+}
+
+// TestChaosDeterministicSchedule: the same seed must produce the same
+// blowup/well-behaved split (the schedule is fixed before any goroutine
+// starts), and a different seed a different one — the knob the harness
+// turns to explore interleavings reproducibly.
+func TestChaosDeterministicSchedule(t *testing.T) {
+	cfg := DefaultChaosConfig()
+	cfg.Requests = 12
+	a, err := RunChaos(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Check(); err != nil {
+		t.Fatalf("seed %d: %v", cfg.Seed, err)
+	}
+	b, err := RunChaos(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Blowups != b.Blowups || a.WellBehaved != b.WellBehaved {
+		t.Fatalf("schedule not deterministic: %d/%d vs %d/%d",
+			a.Blowups, a.WellBehaved, b.Blowups, b.WellBehaved)
+	}
+}

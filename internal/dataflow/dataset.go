@@ -134,12 +134,28 @@ func FlatMap[T, U any](d *Dataset[T], f func(T, func(U))) *Dataset[U] {
 	out := make([][]U, len(d.parts))
 	env.runParts(len(d.parts), func(p int) {
 		var res []U
+		var mem int64
 		emit := func(u U) { res = append(res, u) }
+		if env.governor != nil {
+			emit = func(u U) { res = append(res, u); mem += sizeOf(u) }
+		}
 		for i, t := range d.parts[p] {
-			if i&cancelCheckMask == cancelCheckMask && env.aborted() {
-				return
+			if i&cancelCheckMask == cancelCheckMask {
+				if env.aborted() {
+					return
+				}
+				// Flush the freshly materialized bytes at the same cadence as
+				// the cancellation poll, so a blowup is killed mid-loop, not
+				// after its output slice has already been built.
+				if !env.chargeMem(p, mem) {
+					return
+				}
+				mem = 0
 			}
 			f(t, emit)
+		}
+		if !env.chargeMem(p, mem) {
+			return
 		}
 		env.chargeCPU(p, int64(len(d.parts[p])))
 		env.traceRowsIn(p, int64(len(d.parts[p])))
@@ -160,7 +176,33 @@ func MapPartition[T, U any](d *Dataset[T], f func(part []T, emit func(U))) *Data
 	out := make([][]U, len(d.parts))
 	env.runParts(len(d.parts), func(p int) {
 		var res []U
-		f(d.parts[p], func(u U) { res = append(res, u) })
+		var mem int64
+		var dead bool
+		emit := func(u U) { res = append(res, u) }
+		if env.governor != nil {
+			// The driver has no per-element loop here — f consumes the whole
+			// partition — so metering rides on emit: flush every mask+1
+			// outputs and, once killed, drop the buffer and swallow further
+			// emits so a runaway f cannot keep growing it.
+			emit = func(u U) {
+				if dead {
+					return
+				}
+				res = append(res, u)
+				mem += sizeOf(u)
+				if len(res)&cancelCheckMask == 0 {
+					if !env.chargeMem(p, mem) {
+						dead, res = true, nil
+						return
+					}
+					mem = 0
+				}
+			}
+		}
+		f(d.parts[p], emit)
+		if dead || !env.chargeMem(p, mem) {
+			return
+		}
 		env.chargeCPU(p, int64(len(d.parts[p])))
 		env.traceRowsIn(p, int64(len(d.parts[p])))
 		env.traceRowsOut(p, int64(len(res)))
@@ -194,6 +236,17 @@ func Union[T any](a, b *Dataset[T]) *Dataset[T] {
 		merged := make([]T, 0, len(a.parts[p])+len(b.parts[p]))
 		merged = append(merged, a.parts[p]...)
 		merged = append(merged, b.parts[p]...)
+		if env.governor != nil {
+			// Only the copying path materializes new memory; the aliasing
+			// fast paths above reuse the input partitions byte for byte.
+			var mem int64
+			for _, t := range merged {
+				mem += sizeOf(t)
+			}
+			if !env.chargeMem(p, mem) {
+				return Empty[T](env)
+			}
+		}
 		out[p] = merged
 	}
 	if env.tracer != nil {

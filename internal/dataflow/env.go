@@ -29,6 +29,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"gradoop/internal/govern"
 	"gradoop/internal/trace"
 )
 
@@ -126,6 +127,14 @@ type Env struct {
 	// no observer is installed.
 	curKind atomic.Pointer[string]
 
+	// governor is the job's memory reservation against the process-wide
+	// govern.Broker; nil disables real memory accounting at the same
+	// nil-check cost as a nil tracer. Written only between jobs
+	// (SetGovernor). memKilled latches the job's first budget kill so
+	// MemKills counts killed jobs, not killed partitions.
+	governor  *govern.Reservation
+	memKilled atomic.Bool
+
 	// ctx/done carry the current job's cancellation signal; nil when the
 	// job is not cancellable. Written only between jobs (Begin/Finish).
 	ctx  context.Context
@@ -217,6 +226,21 @@ func (e *Env) Finish() error {
 // hooks reduce to a nil check, so disabled tracing is free.
 func (e *Env) SetTracer(c *trace.Collector) { e.tracer = c }
 
+// SetGovernor installs (or, with nil, removes) the job's memory reservation.
+// Must only be called between jobs. With a governor every materialization
+// point charges its actual output bytes through govern.Reservation.Reserve
+// and aborts the job — exactly like a contained panic — when the process
+// budget kills it; without one (the default) the hooks reduce to a nil
+// check. The environment does not release the reservation: its owner (the
+// session) holds it for the query's lifetime and releases on completion.
+func (e *Env) SetGovernor(r *govern.Reservation) {
+	e.governor = r
+	e.memKilled.Store(false)
+}
+
+// Governor returns the installed memory reservation, or nil.
+func (e *Env) Governor() *govern.Reservation { return e.governor }
+
 // Tracer returns the installed trace collector, or nil.
 func (e *Env) Tracer() *trace.Collector { return e.tracer }
 
@@ -268,6 +292,31 @@ func (e *Env) chargeSpill(worker int, bytes int64) {
 	if e.observer != nil {
 		e.observer.spillBytes.Add(bytes)
 	}
+}
+
+// chargeMem charges n freshly materialized bytes to the job's memory
+// reservation and mirrors them into the metrics. It returns false when the
+// governor kills the job — the structured budget error (wrapped in a
+// JobError so it unwinds like any contained partition failure) is recorded
+// and the short-circuit flag raised, so callers return immediately and
+// sibling partitions stop at their next poll. With n == 0 it is a pure
+// cooperative kill check: a reservation killed by another query's shedding
+// still fails it. Without a governor it is a nil check.
+func (e *Env) chargeMem(worker int, n int64) bool {
+	if e.governor == nil {
+		return true
+	}
+	if err := e.governor.Reserve(n); err != nil {
+		if e.memKilled.CompareAndSwap(false, true) {
+			e.metrics.memKills.Add(1)
+		}
+		e.fail(&JobError{Stage: e.metrics.stageCount(), Partition: worker, Cause: err})
+		return false
+	}
+	if n > 0 {
+		e.metrics.addMem(worker, n)
+	}
+	return true
 }
 
 // traceRowsIn records a partition's input row count for the active span.

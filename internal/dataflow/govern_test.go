@@ -1,0 +1,212 @@
+package dataflow
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"gradoop/internal/govern"
+)
+
+// governedEnv returns an env whose job charges real memory against a fresh
+// broker with the given budget, plus the reservation for cleanup assertions.
+func governedEnv(t *testing.T, workers int, budget int64) (*Env, *govern.Broker, *govern.Reservation) {
+	t.Helper()
+	env := NewEnv(DefaultConfig(workers))
+	b := govern.NewBroker(budget, govern.ShedSelf)
+	r := b.Begin("test-job")
+	env.SetGovernor(r)
+	return env, b, r
+}
+
+// TestBudgetKillUnwindsLikeJobError: a blowup under a small budget must fail
+// the job with a JobError wrapping the structured budget error, deliver no
+// partial results downstream, and release every reserved byte.
+func TestBudgetKillUnwindsLikeJobError(t *testing.T) {
+	env, b, r := governedEnv(t, 4, 32<<10)
+	in := make([]int, 1024)
+	d := FromSlice(env, in)
+	// Each input element fans out 1024 outputs: ~16 MiB of default-sized
+	// elements against a 32 KiB budget.
+	out := FlatMap(d, func(v int, emit func(int)) {
+		for i := 0; i < 1024; i++ {
+			emit(i)
+		}
+	})
+	if !env.Failed() {
+		t.Fatal("env should be failed after a budget kill")
+	}
+	err := env.Err()
+	if !errors.Is(err, govern.ErrMemoryBudget) {
+		t.Fatalf("job error should match ErrMemoryBudget, got %v", err)
+	}
+	var je *JobError
+	if !errors.As(err, &je) {
+		t.Fatalf("budget kill should unwind as *JobError, got %T: %v", err, err)
+	}
+	var be *govern.BudgetError
+	if !errors.As(err, &be) {
+		t.Fatalf("JobError should wrap *govern.BudgetError, got %v", err)
+	}
+	if be.Shed {
+		t.Error("single-job ShedSelf kill must have Shed=false")
+	}
+	// Downstream short-circuits to empty.
+	if n := Filter(out, func(int) bool { return true }).Count(); n != 0 {
+		t.Errorf("downstream of a killed stage should be empty, got %d rows", n)
+	}
+	if m := env.Metrics(); m.MemKills != 1 {
+		t.Errorf("MemKills = %d, want 1", m.MemKills)
+	}
+	// Release drains the broker: no leaked reservations.
+	r.Release()
+	if got := b.Reserved(); got != 0 {
+		t.Errorf("broker holds %d B after release, want 0", got)
+	}
+}
+
+// TestBudgetKillMidJoin: the cartesian blowup the ISSUE motivates — a join
+// whose probe phase explodes — must die mid-probe, not after materializing
+// the full cross product.
+func TestBudgetKillMidJoin(t *testing.T) {
+	env, b, r := governedEnv(t, 2, 64<<10)
+	n := 2000
+	vals := make([]int, n)
+	for i := range vals {
+		vals[i] = i
+	}
+	l := FromSlice(env, vals)
+	rr := FromSlice(env, vals)
+	// All keys equal: a 2000×2000 cross product, ~64 MB of default-sized
+	// pairs against a 64 KiB budget.
+	out := Join(l, rr, func(int) uint64 { return 1 }, func(int) uint64 { return 1 },
+		func(a, b int, emit func([2]int)) { emit([2]int{a, b}) }, RepartitionHash)
+	if !env.Failed() {
+		t.Fatal("cartesian blowup should be killed")
+	}
+	if err := env.Err(); !errors.Is(err, govern.ErrMemoryBudget) {
+		t.Fatalf("want ErrMemoryBudget, got %v", err)
+	}
+	if got := out.Count(); got >= int64(n)*int64(n) {
+		t.Errorf("blowup materialized all %d rows before dying", got)
+	}
+	r.Release()
+	if b.Reserved() != 0 {
+		t.Errorf("leaked %d B", b.Reserved())
+	}
+}
+
+// TestGovernedParity: with an ample budget, governance must not change
+// results or the simulated cost metrics — only add the memory accounting.
+func TestGovernedParity(t *testing.T) {
+	run := func(env *Env) ([]int, MetricsSnapshot) {
+		vals := make([]int, 500)
+		for i := range vals {
+			vals[i] = i
+		}
+		d := FromSlice(env, vals)
+		d = Filter(d, func(v int) bool { return v%3 != 0 })
+		d = PartitionByKey(d, func(v int) uint64 { return uint64(v % 7) })
+		out := Join(d, d, func(v int) uint64 { return uint64(v % 7) }, func(v int) uint64 { return uint64(v % 7) },
+			func(a, b int, emit func(int)) {
+				if a < b {
+					emit(a + b)
+				}
+			}, RepartitionHash)
+		if env.Err() != nil {
+			t.Fatalf("governed parity run failed: %v", env.Err())
+		}
+		return out.Collect(), env.Metrics()
+	}
+
+	plain := NewEnv(DefaultConfig(4))
+	wantRows, wantM := run(plain)
+
+	env, b, r := governedEnv(t, 4, 1<<30)
+	gotRows, gotM := run(env)
+
+	if !reflect.DeepEqual(gotRows, wantRows) {
+		t.Errorf("governed run produced different results: %d vs %d rows", len(gotRows), len(wantRows))
+	}
+	if gotM.TotalCPU != wantM.TotalCPU || gotM.TotalNet != wantM.TotalNet ||
+		gotM.TotalSpill != wantM.TotalSpill || gotM.Stages != wantM.Stages ||
+		gotM.SimTime != wantM.SimTime {
+		t.Errorf("governance changed the cost model:\n got %s\nwant %s", gotM, wantM)
+	}
+	if gotM.TotalMem == 0 {
+		t.Error("governed run should account materialized bytes")
+	}
+	if gotM.MemKills != 0 {
+		t.Errorf("MemKills = %d under an ample budget, want 0", gotM.MemKills)
+	}
+	// The reservation's balance equals the metered bytes.
+	if r.Used() != gotM.TotalMem {
+		t.Errorf("reservation holds %d B, metrics say %d B", r.Used(), gotM.TotalMem)
+	}
+	r.Release()
+	if b.Reserved() != 0 {
+		t.Errorf("leaked %d B", b.Reserved())
+	}
+}
+
+// TestShedVictimDiesAtNextCharge: a reservation killed externally (as a
+// shedding victim) fails the job at its very next materialization point.
+func TestShedVictimDiesAtNextCharge(t *testing.T) {
+	b := govern.NewBroker(1<<20, govern.ShedLargest)
+	victim := b.Begin("victim")
+	env := NewEnv(DefaultConfig(2))
+	env.SetGovernor(victim)
+
+	// First job half: normal work succeeds, and the victim holds the
+	// lion's share of the budget.
+	d := FromSlice(env, []int{1, 2, 3, 4})
+	d = Map(d, func(v int) int { return v + 1 })
+	if env.Failed() {
+		t.Fatalf("setup failed: %v", env.Err())
+	}
+	if err := victim.Reserve(800 << 10); err != nil {
+		t.Fatalf("victim reserve: %v", err)
+	}
+
+	// A smaller query's overflow sheds the victim — largest-query-first.
+	other := b.Begin("small")
+	if err := other.Reserve(400 << 10); err != nil {
+		t.Fatalf("small reserve should shed the victim and proceed, got %v", err)
+	}
+
+	// The victim's next transformation dies with the shed error.
+	Map(d, func(v int) int { return v })
+	if !env.Failed() {
+		t.Fatal("shed victim should fail at its next charge")
+	}
+	var be *govern.BudgetError
+	if err := env.Err(); !errors.As(err, &be) || !be.Shed {
+		t.Fatalf("want shed *BudgetError, got %v", env.Err())
+	}
+	victim.Release()
+	other.Release()
+	if b.Reserved() != 0 {
+		t.Errorf("leaked %d B", b.Reserved())
+	}
+}
+
+// TestMemMetricsMergeClone: the new memory fields ride MetricsSnapshot's
+// Merge/Clone like every other per-worker counter.
+func TestMemMetricsMergeClone(t *testing.T) {
+	a := MetricsSnapshot{Workers: 2, MemBytes: []int64{10, 20}, TotalMem: 30, MemKills: 1}
+	b := MetricsSnapshot{Workers: 4, MemBytes: []int64{1, 2, 3, 4}, TotalMem: 10, MemKills: 2}
+	var sum MetricsSnapshot
+	sum.Merge(a)
+	sum.Merge(b)
+	if want := []int64{11, 22, 3, 4}; !reflect.DeepEqual(sum.MemBytes, want) {
+		t.Errorf("MemBytes = %v, want %v", sum.MemBytes, want)
+	}
+	if sum.TotalMem != 40 || sum.MemKills != 3 {
+		t.Errorf("TotalMem=%d MemKills=%d, want 40/3", sum.TotalMem, sum.MemKills)
+	}
+	c := sum.Clone()
+	c.MemBytes[0] = 99
+	if sum.MemBytes[0] == 99 {
+		t.Error("Clone aliases MemBytes")
+	}
+}

@@ -90,23 +90,39 @@ func CoGroup[L, R, U any](l *Dataset[L], r *Dataset[R], lkey func(L) uint64, rke
 	w := len(ls.parts)
 	out := make([][]U, w)
 	env.runParts(w, func(p int) {
+		var mem int64
 		leftGroups := map[uint64][]L{}
 		var order []uint64
 		for i, lv := range ls.parts[p] {
-			if i&cancelCheckMask == cancelCheckMask && env.aborted() {
-				return
+			if i&cancelCheckMask == cancelCheckMask {
+				if env.aborted() {
+					return
+				}
+				if !env.chargeMem(p, mem) {
+					return
+				}
+				mem = 0
 			}
 			k := lkey(lv)
 			if _, ok := leftGroups[k]; !ok {
 				order = append(order, k)
 			}
 			leftGroups[k] = append(leftGroups[k], lv)
+			if env.governor != nil {
+				mem += sizeOf(lv)
+			}
 		}
 		rightGroups := map[uint64][]R{}
 		var rightOnly []uint64
 		for i, rv := range rs.parts[p] {
-			if i&cancelCheckMask == cancelCheckMask && env.aborted() {
-				return
+			if i&cancelCheckMask == cancelCheckMask {
+				if env.aborted() {
+					return
+				}
+				if !env.chargeMem(p, mem) {
+					return
+				}
+				mem = 0
 			}
 			k := rkey(rv)
 			if _, inLeft := leftGroups[k]; !inLeft {
@@ -115,20 +131,41 @@ func CoGroup[L, R, U any](l *Dataset[L], r *Dataset[R], lkey func(L) uint64, rke
 				}
 			}
 			rightGroups[k] = append(rightGroups[k], rv)
+			if env.governor != nil {
+				mem += sizeOf(rv)
+			}
 		}
 		var res []U
 		emit := func(u U) { res = append(res, u) }
+		if env.governor != nil {
+			emit = func(u U) { res = append(res, u); mem += sizeOf(u) }
+		}
 		for i, k := range order {
-			if i&cancelCheckMask == cancelCheckMask && env.aborted() {
-				return
+			if i&cancelCheckMask == cancelCheckMask {
+				if env.aborted() {
+					return
+				}
+				if !env.chargeMem(p, mem) {
+					return
+				}
+				mem = 0
 			}
 			f(k, leftGroups[k], rightGroups[k], emit)
 		}
 		for i, k := range rightOnly {
-			if i&cancelCheckMask == cancelCheckMask && env.aborted() {
-				return
+			if i&cancelCheckMask == cancelCheckMask {
+				if env.aborted() {
+					return
+				}
+				if !env.chargeMem(p, mem) {
+					return
+				}
+				mem = 0
 			}
 			f(k, nil, rightGroups[k], emit)
+		}
+		if !env.chargeMem(p, mem) {
+			return
 		}
 		env.chargeCPU(p, int64(len(ls.parts[p])+len(rs.parts[p])))
 		env.traceRowsIn(p, int64(len(ls.parts[p])+len(rs.parts[p])))
@@ -145,14 +182,25 @@ func CoGroup[L, R, U any](l *Dataset[L], r *Dataset[R], lkey func(L) uint64, rke
 func hashJoinPartition[L, R, U any](env *Env, p int, left []L, right []R,
 	lkey func(L) uint64, rkey func(R) uint64, joiner func(L, R, func(U))) []U {
 	table := make(map[uint64][]L, len(left))
-	var buildBytes int64
+	var buildBytes, buildCharged int64
 	for i, lv := range left {
-		if i&cancelCheckMask == cancelCheckMask && env.aborted() {
-			return nil
+		if i&cancelCheckMask == cancelCheckMask {
+			if env.aborted() {
+				return nil
+			}
+			// The build table is real materialized memory: charge it as it
+			// grows so an oversized build side dies before it is complete.
+			if !env.chargeMem(p, buildBytes-buildCharged) {
+				return nil
+			}
+			buildCharged = buildBytes
 		}
 		k := lkey(lv)
 		table[k] = append(table[k], lv)
 		buildBytes += sizeOf(lv)
+	}
+	if !env.chargeMem(p, buildBytes-buildCharged) {
+		return nil
 	}
 	if mem := env.cfg.MemoryPerWorker; mem > 0 && buildBytes > mem {
 		// Grace hash join: the overflow fraction of both sides goes to disk
@@ -166,22 +214,43 @@ func hashJoinPartition[L, R, U any](env *Env, p int, left []L, right []R,
 		env.chargeSpill(p, 2*spilled)
 	}
 	var res []U
+	var mem int64
 	emit := func(u U) { res = append(res, u) }
+	if env.governor != nil {
+		emit = func(u U) { res = append(res, u); mem += sizeOf(u) }
+	}
 	// ops counts probes plus emitted pairs so that both many-small-buckets
 	// and few-huge-buckets probe patterns poll for cancellation promptly.
+	// The memory flush shares the cadence: a cartesian blowup's output is
+	// charged — and killed — every mask+1 emitted pairs.
 	var ops int
 	for _, rv := range right {
-		if ops&cancelCheckMask == cancelCheckMask && env.aborted() {
-			return res
+		if ops&cancelCheckMask == cancelCheckMask {
+			if env.aborted() {
+				return res
+			}
+			if !env.chargeMem(p, mem) {
+				return nil
+			}
+			mem = 0
 		}
 		ops++
 		for _, lv := range table[rkey(rv)] {
-			if ops&cancelCheckMask == cancelCheckMask && env.aborted() {
-				return res
+			if ops&cancelCheckMask == cancelCheckMask {
+				if env.aborted() {
+					return res
+				}
+				if !env.chargeMem(p, mem) {
+					return nil
+				}
+				mem = 0
 			}
 			ops++
 			joiner(lv, rv, emit)
 		}
+	}
+	if !env.chargeMem(p, mem) {
+		return nil
 	}
 	env.chargeCPU(p, int64(len(left)+len(right)))
 	return res

@@ -17,10 +17,12 @@ type Metrics struct {
 	cpuElements   []atomic.Int64     // elements processed, per worker
 	netBytes      []atomic.Int64     // bytes received over the simulated network, per worker
 	spillBytes    []atomic.Int64     // bytes written+read to simulated disk, per worker
+	memBytes      []atomic.Int64     // real materialized bytes reserved with the governor, per worker
 	recoveryNs    []atomic.Int64     // simulated redeployment/backoff nanoseconds, per worker
 	stages        atomic.Int64       // transformations executed
 	shuffles      atomic.Int64       // transformations that required a network exchange
 	retries       atomic.Int64       // partition re-executions after injected failures
+	memKills      atomic.Int64       // jobs killed by the memory budget (latched once per job)
 	mu            sync.Mutex         // guards retriedStages
 	retriedStages map[int64]struct{} // distinct stages that needed ≥1 retry
 }
@@ -32,10 +34,12 @@ func (m *Metrics) init(workers int) {
 	m.cpuElements = make([]atomic.Int64, workers)
 	m.netBytes = make([]atomic.Int64, workers)
 	m.spillBytes = make([]atomic.Int64, workers)
+	m.memBytes = make([]atomic.Int64, workers)
 	m.recoveryNs = make([]atomic.Int64, workers)
 	m.stages.Store(0)
 	m.shuffles.Store(0)
 	m.retries.Store(0)
+	m.memKills.Store(0)
 	m.mu.Lock()
 	m.retriedStages = nil
 	m.mu.Unlock()
@@ -66,6 +70,10 @@ func (m *Metrics) addSpill(worker int, bytes int64) {
 	m.spillBytes[worker].Add(bytes)
 }
 
+func (m *Metrics) addMem(worker int, bytes int64) {
+	m.memBytes[worker].Add(bytes)
+}
+
 // addRecovery charges one worker-failure recovery: the simulated
 // redeployment delay d on the failed worker, one retry, and the stage's
 // membership in the retried-stage set. The re-executed work itself
@@ -88,13 +96,19 @@ type MetricsSnapshot struct {
 	CPUElements  []int64 // per worker
 	NetBytes     []int64 // per worker
 	SpillBytes   []int64 // per worker
+	MemBytes     []int64 // per worker, real materialized bytes (governed jobs only)
 	Stages       int64
 	Shuffles     int64
 	TotalCPU     int64 // sum of CPUElements
 	TotalNet     int64 // sum of NetBytes
 	TotalSpill   int64 // sum of SpillBytes
+	TotalMem     int64 // sum of MemBytes — what the job reserved from the memory broker
 	SimTime      time.Duration
 	MaxWorkerCPU int64 // the busiest worker's element count (skew indicator)
+
+	// MemKills counts jobs killed by the process memory budget (at most 1
+	// for a raw single-job snapshot; sums under Merge).
+	MemKills int64
 
 	// Retries counts partition re-executions after injected worker
 	// failures; RetriedStages counts the distinct stages that needed at
@@ -136,6 +150,7 @@ func (s *MetricsSnapshot) Merge(o MetricsSnapshot) {
 	s.CPUElements = grow(s.CPUElements, len(o.CPUElements))
 	s.NetBytes = grow(s.NetBytes, len(o.NetBytes))
 	s.SpillBytes = grow(s.SpillBytes, len(o.SpillBytes))
+	s.MemBytes = grow(s.MemBytes, len(o.MemBytes))
 	for w, v := range o.CPUElements {
 		s.CPUElements[w] += v
 	}
@@ -145,11 +160,16 @@ func (s *MetricsSnapshot) Merge(o MetricsSnapshot) {
 	for w, v := range o.SpillBytes {
 		s.SpillBytes[w] += v
 	}
+	for w, v := range o.MemBytes {
+		s.MemBytes[w] += v
+	}
 	s.Stages += o.Stages
 	s.Shuffles += o.Shuffles
 	s.TotalCPU += o.TotalCPU
 	s.TotalNet += o.TotalNet
 	s.TotalSpill += o.TotalSpill
+	s.TotalMem += o.TotalMem
+	s.MemKills += o.MemKills
 	s.SimTime += o.SimTime
 	if o.MaxWorkerCPU > s.MaxWorkerCPU {
 		s.MaxWorkerCPU = o.MaxWorkerCPU
@@ -174,6 +194,7 @@ func (s MetricsSnapshot) Clone() MetricsSnapshot {
 	s.CPUElements = append([]int64(nil), s.CPUElements...)
 	s.NetBytes = append([]int64(nil), s.NetBytes...)
 	s.SpillBytes = append([]int64(nil), s.SpillBytes...)
+	s.MemBytes = append([]int64(nil), s.MemBytes...)
 	return s
 }
 
@@ -186,20 +207,24 @@ func (m *Metrics) snapshot(cfg Config) MetricsSnapshot {
 		CPUElements:   make([]int64, len(m.cpuElements)),
 		NetBytes:      make([]int64, len(m.netBytes)),
 		SpillBytes:    make([]int64, len(m.spillBytes)),
+		MemBytes:      make([]int64, len(m.memBytes)),
 		Stages:        m.stages.Load(),
 		Shuffles:      m.shuffles.Load(),
 		Retries:       m.retries.Load(),
 		RetriedStages: retriedStages,
+		MemKills:      m.memKills.Load(),
 	}
 	var worst time.Duration
 	for w := range s.CPUElements {
 		s.CPUElements[w] = m.cpuElements[w].Load()
 		s.NetBytes[w] = m.netBytes[w].Load()
 		s.SpillBytes[w] = m.spillBytes[w].Load()
+		s.MemBytes[w] = m.memBytes[w].Load()
 		recovery := time.Duration(m.recoveryNs[w].Load())
 		s.TotalCPU += s.CPUElements[w]
 		s.TotalNet += s.NetBytes[w]
 		s.TotalSpill += s.SpillBytes[w]
+		s.TotalMem += s.MemBytes[w]
 		s.RecoveryTime += recovery
 		if s.CPUElements[w] > s.MaxWorkerCPU {
 			s.MaxWorkerCPU = s.CPUElements[w]
@@ -232,6 +257,9 @@ func (s MetricsSnapshot) String() string {
 		s.Workers, s.Stages, s.Shuffles, s.TotalCPU, s.TotalNet, s.TotalSpill, s.Skew(), s.SimTime)
 	if s.Retries > 0 {
 		line += fmt.Sprintf(" retries=%d retriedStages=%d recovery=%s", s.Retries, s.RetriedStages, s.RecoveryTime)
+	}
+	if s.TotalMem > 0 || s.MemKills > 0 {
+		line += fmt.Sprintf(" memBytes=%d memKills=%d", s.TotalMem, s.MemKills)
 	}
 	return line
 }

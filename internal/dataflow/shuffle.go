@@ -104,6 +104,20 @@ func gatherExchange[T any](env *Env, buckets [][][]T, moved [][]int64) ([][]T, b
 		for p := 0; p < w; p++ {
 			part = append(part, buckets[p][q]...)
 		}
+		if env.governor != nil {
+			// The destination partition is a fresh materialization of the
+			// whole exchange output (the send-side buckets are transient), so
+			// it is charged in full — not just the cross-partition share the
+			// network model bills. Partition granularity is enough here: a
+			// shuffle's output can never exceed its input.
+			var mem int64
+			for _, t := range part {
+				mem += sizeOf(t)
+			}
+			if !env.chargeMem(q, mem) {
+				return nil, false
+			}
+		}
 		out[q] = part
 		env.chargeNet(q, bytes)
 		env.traceRowsOut(q, int64(n))
@@ -180,6 +194,12 @@ func broadcast[T any](d *Dataset[T]) []T {
 	var bytes int64
 	for _, t := range all {
 		bytes += sizeOf(t)
+	}
+	// One replica is what this process actually materializes (the slice is
+	// shared by every partition goroutine), so one replica is what the
+	// governor charges — the per-worker fan-out below is network cost only.
+	if !env.chargeMem(0, bytes) {
+		return nil
 	}
 	w := len(d.parts)
 	for q := 0; q < w; q++ {

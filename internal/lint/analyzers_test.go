@@ -21,6 +21,7 @@ func TestAnalyzers(t *testing.T) {
 		{lint.EnvMixAnalyzer, "envmix", ""},
 		{lint.PartitionCaptureAnalyzer, "partitioncapture", ""},
 		{lint.CostChargeAnalyzer, "costcharge", "gradoop/internal/dataflow"},
+		{lint.MemChargeAnalyzer, "memcharge", "gradoop/internal/dataflow"},
 		{lint.TracePairAnalyzer, "tracepair", ""},
 		{lint.CtxPollAnalyzer, "ctxpoll", "gradoop/internal/dataflow"},
 		{lint.ObsRegisterAnalyzer, "obsregister", ""},

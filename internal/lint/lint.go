@@ -2,7 +2,8 @@
 // that machine-check the invariants the engine's correctness rests on but
 // the compiler cannot see — single-environment dataflow plumbing (envmix),
 // race-free per-partition UDFs (partitioncapture), an honest cost model
-// (costcharge), balanced trace scopes (tracepair), cancellable partition
+// (costcharge), a memory governor that sees every materialization
+// (memcharge), balanced trace scopes (tracepair), cancellable partition
 // loops (ctxpoll) and setup-time telemetry registration (obsregister). See
 // DESIGN.md decision 12 for why each invariant is load-bearing for the
 // reproduction.
@@ -26,6 +27,7 @@ func Analyzers() []*analysis.Analyzer {
 		EnvMixAnalyzer,
 		PartitionCaptureAnalyzer,
 		CostChargeAnalyzer,
+		MemChargeAnalyzer,
 		TracePairAnalyzer,
 		CtxPollAnalyzer,
 		ObsRegisterAnalyzer,

@@ -1,0 +1,84 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"gradoop/internal/lint/analysis"
+)
+
+// MemChargeAnalyzer keeps the memory governor honest: every per-partition
+// closure executed through (*Env).runParts that records materialized output
+// (a call to traceRowsOut, directly or in a same-package function it
+// transitively calls) must also meter those bytes against the budget — a
+// call to chargeMem on the same terms. An operator that materializes
+// embeddings without charging is invisible to the broker: its output can
+// blow the process budget without ever being killed, which is exactly the
+// failure mode the governor exists to contain. Send-side shuffle closures
+// (traceRowsIn only, buckets are transient) are deliberately out of scope.
+var MemChargeAnalyzer = &analysis.Analyzer{
+	Name: "memcharge",
+	Doc:  "flags runParts closures that materialize output without charging the memory broker",
+	Run:  runMemCharge,
+}
+
+func runMemCharge(pass *analysis.Pass) (any, error) {
+	info := pass.TypesInfo
+	decls := funcDecls(pass.Files, info)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeOf(info, call)
+			if !isMethod(fn, dataflowPath, "Env", "runParts") || len(call.Args) < 2 {
+				return true
+			}
+			lit, ok := ast.Unparen(call.Args[1]).(*ast.FuncLit)
+			if !ok {
+				return true
+			}
+			materializes := callsEnvMethod(info, decls, lit.Body, "traceRowsOut", map[*types.Func]bool{})
+			if materializes && !callsEnvMethod(info, decls, lit.Body, "chargeMem", map[*types.Func]bool{}) {
+				pass.Reportf(call.Pos(),
+					"per-partition closure passed to runParts records output rows (traceRowsOut) but never charges the memory broker (chargeMem); unmetered materialization escapes the budget and cannot be killed")
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// callsEnvMethod reports whether body calls the named (*Env) method, either
+// directly or inside a same-package function it calls. visited bounds the
+// walk on call cycles.
+func callsEnvMethod(info *types.Info, decls map[*types.Func]*ast.FuncDecl, body ast.Node, name string, visited map[*types.Func]bool) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeOf(info, call)
+		if fn == nil {
+			return true
+		}
+		if fn.Name() == name && isMethod(fn, dataflowPath, "Env", name) {
+			found = true
+			return false
+		}
+		if decl, ok := decls[fn]; ok && !visited[fn] && decl.Body != nil {
+			visited[fn] = true
+			if callsEnvMethod(info, decls, decl.Body, name, visited) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}

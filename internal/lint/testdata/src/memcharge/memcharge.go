@@ -1,0 +1,71 @@
+// Package dataflow is a miniature stand-in for the engine's dataflow
+// package. The memcharge analyzer matches the unexported Env methods
+// (runParts, traceRowsOut, chargeMem, ...) by package path, so this fixture
+// is type-checked under the real import path gradoop/internal/dataflow with
+// stub implementations of just the matched API.
+package dataflow
+
+type Env struct{}
+
+func (e *Env) runParts(n int, f func(int)) {
+	for p := 0; p < n; p++ {
+		f(p)
+	}
+}
+
+func (e *Env) chargeCPU(p int, n int64)      {}
+func (e *Env) chargeMem(p int, n int64) bool { return true }
+func (e *Env) traceRowsIn(p int, n int64)    {}
+func (e *Env) traceRowsOut(p int, n int64)   {}
+
+// unmetered materializes output (traceRowsOut) without ever metering the
+// bytes — the governor cannot see, and therefore cannot kill, this stage.
+func unmetered(env *Env, parts [][]int) {
+	out := make([][]int, len(parts))
+	env.runParts(len(parts), func(p int) { // want `never charges the memory broker`
+		res := append([]int(nil), parts[p]...)
+		env.chargeCPU(p, int64(len(res)))
+		env.traceRowsOut(p, int64(len(res)))
+		out[p] = res
+	})
+}
+
+// meteredDirect charges the materialized bytes in the closure itself.
+func meteredDirect(env *Env, parts [][]int) {
+	out := make([][]int, len(parts))
+	env.runParts(len(parts), func(p int) {
+		res := append([]int(nil), parts[p]...)
+		if !env.chargeMem(p, int64(len(res)*8)) {
+			return
+		}
+		env.traceRowsOut(p, int64(len(res)))
+		out[p] = res
+	})
+}
+
+// meteredTransitive materializes and meters through a same-package helper;
+// the analyzer follows both the trigger and the charge transitively.
+func meteredTransitive(env *Env, parts [][]int) {
+	out := make([][]int, len(parts))
+	env.runParts(len(parts), func(p int) {
+		out[p] = buildPartition(env, p, parts[p])
+	})
+}
+
+func buildPartition(env *Env, p int, part []int) []int {
+	res := append([]int(nil), part...)
+	if !env.chargeMem(p, int64(len(res)*8)) {
+		return nil
+	}
+	env.traceRowsOut(p, int64(len(res)))
+	return res
+}
+
+// sendSide records only input rows — the transient shuffle buckets are not
+// a materialization the broker accounts, so no charge is demanded.
+func sendSide(env *Env, parts [][]int) {
+	env.runParts(len(parts), func(p int) {
+		env.chargeCPU(p, int64(len(parts[p])))
+		env.traceRowsIn(p, int64(len(parts[p])))
+	})
+}

@@ -149,6 +149,33 @@ func (g *Gauge) expose(sb *strings.Builder) {
 	sample(sb, g.name, nil, g.fn())
 }
 
+// CounterFunc is a callback-backed counter: the owner of the underlying
+// monotonic value (e.g. the memory broker's kill count) keeps it, and the
+// registry reads it only at scrape time — no double accounting, no hot-path
+// cost.
+type CounterFunc struct {
+	name, help string
+	fn         func() float64
+}
+
+// NewCounterFunc registers a callback counter. The callback must be
+// monotonically non-decreasing. Returns nil on a nil registry.
+func (r *Registry) NewCounterFunc(name, help string, fn func() float64) *CounterFunc {
+	if r == nil {
+		return nil
+	}
+	c := &CounterFunc{name: name, help: help, fn: fn}
+	r.register(c)
+	return c
+}
+
+func (c *CounterFunc) metricName() string { return c.name }
+
+func (c *CounterFunc) expose(sb *strings.Builder) {
+	header(sb, c.name, c.help, "counter")
+	sample(sb, c.name, nil, c.fn())
+}
+
 // CounterVec is a family of counters partitioned by one label. Children are
 // created on first use and cached; the hot path is an RLock map lookup with
 // no allocation.

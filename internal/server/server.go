@@ -116,10 +116,13 @@ type queryResponse struct {
 	ChromeTrace     json.RawMessage `json:"chromeTrace,omitempty"`
 }
 
-// errorResponse is every non-2xx body.
+// errorResponse is every non-2xx body. TraceID carries the request's
+// X-Trace-Id so a client-side error report can be correlated with server
+// logs without the client having to read the header.
 type errorResponse struct {
-	Error string `json:"error"`
-	Kind  string `json:"kind"`
+	Error   string `json:"error"`
+	Kind    string `json:"kind"`
+	TraceID string `json:"traceId,omitempty"`
 }
 
 // decodeQuery extracts a session request from either verb: POST parses the
@@ -185,7 +188,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	res, err := s.session.Execute(req)
 	if err != nil {
-		writeSessionError(w, err)
+		writeSessionError(w, r, err)
 		return
 	}
 	out := queryResponse{
@@ -217,7 +220,7 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	}
 	plan, fingerprint, err := s.session.Explain(req.Query)
 	if err != nil {
-		writeSessionError(w, err)
+		writeSessionError(w, r, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]string{
@@ -237,7 +240,7 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	req.Trace = true
 	res, err := s.session.Execute(req)
 	if err != nil {
-		writeSessionError(w, err)
+		writeSessionError(w, r, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
@@ -297,8 +300,18 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// retryAfterSeconds is the backoff hint on overload responses (429 queue
+// full, 503 memory budget). Both conditions clear as soon as in-flight work
+// completes and releases its slot or its reservations, so the hint is short:
+// clients should retry quickly with jitter rather than give up for long.
+const retryAfterSeconds = 1
+
 // writeSessionError maps a classified session error to its HTTP status.
-func writeSessionError(w http.ResponseWriter, err error) {
+// Overload statuses carry Retry-After: 429 (queue full) and 503 (killed by
+// the memory budget — the query may be fine, the process was overloaded,
+// and retrying after pressure clears can succeed, which is exactly what
+// distinguishes it from a 500).
+func writeSessionError(w http.ResponseWriter, r *http.Request, err error) {
 	status := http.StatusInternalServerError
 	kind := session.KindFailed
 	var se *session.Error
@@ -309,11 +322,19 @@ func writeSessionError(w http.ResponseWriter, err error) {
 			status = http.StatusBadRequest
 		case session.KindRejected:
 			status = http.StatusTooManyRequests
+			w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds))
 		case session.KindTimeout:
 			status = http.StatusGatewayTimeout
+		case session.KindMemoryBudget:
+			status = http.StatusServiceUnavailable
+			w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds))
 		}
 	}
-	writeJSON(w, status, errorResponse{Error: err.Error(), Kind: kind.String()})
+	writeJSON(w, status, errorResponse{
+		Error:   err.Error(),
+		Kind:    kind.String(),
+		TraceID: obs.TraceIDFrom(r.Context()),
+	})
 }
 
 func writeError(w http.ResponseWriter, status int, err error) {

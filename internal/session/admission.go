@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"sync/atomic"
 	"time"
+
+	"gradoop/internal/govern"
 )
 
 // ErrQueueFull is returned when a request cannot even be queued: every job
@@ -29,6 +31,12 @@ const (
 	// KindFailed is an execution failure: a contained dataflow panic or an
 	// exhausted fault-recovery budget (HTTP 500).
 	KindFailed
+	// KindMemoryBudget is a query killed by the process memory budget —
+	// its own reservation crossed the budget or it was shed as the largest
+	// query in flight. The server maps it to HTTP 503 with Retry-After:
+	// unlike KindFailed the query itself may be fine, the process was
+	// overloaded, and retrying later can succeed.
+	KindMemoryBudget
 )
 
 // String names the kind.
@@ -42,6 +50,8 @@ func (k Kind) String() string {
 		return "timeout"
 	case KindFailed:
 		return "failed"
+	case KindMemoryBudget:
+		return "memory-budget"
 	default:
 		return fmt.Sprintf("kind(%d)", int(k))
 	}
@@ -81,13 +91,18 @@ func classify(kind Kind, err error) *Error {
 }
 
 // gate is the admission controller: a fixed number of job slots plus a
-// bounded wait queue. Acquire blocks until a slot frees, the caller's
-// context expires, or the queue bound is exceeded — a request is never left
-// hanging.
+// bounded wait queue, and — under memory governance — a byte-aware second
+// stage: a request holding a slot still waits for the broker to have
+// reservation headroom before it is admitted. Acquire blocks until a slot
+// frees, the caller's context expires, or the queue bound is exceeded — a
+// request is never left hanging.
 type gate struct {
 	slots    chan struct{}
 	maxQueue int64
 	waiting  atomic.Int64
+	// broker gates admission on reservation headroom; nil skips the byte
+	// stage entirely (govern's nil-safe no-op path).
+	broker *govern.Broker
 }
 
 func newGate(maxConcurrent, maxQueue int) *gate {
@@ -102,11 +117,17 @@ func newGate(maxConcurrent, maxQueue int) *gate {
 
 // acquire takes a job slot, reporting how long the request waited in the
 // queue. It fails fast with ErrQueueFull when the queue bound is exceeded
-// and with the context's error when the deadline expires while queued.
+// and with the context's error when the deadline expires while queued —
+// either for a slot or, under governance, for reservation headroom. The
+// slot is released on every failing exit path: acquire either returns nil
+// holding exactly one slot, or an error holding none.
 func (g *gate) acquire(ctx context.Context) (time.Duration, error) {
 	select {
 	case g.slots <- struct{}{}:
-		return 0, nil
+		if g.broker.HasHeadroom() {
+			return 0, nil
+		}
+		return g.awaitHeadroom(ctx, time.Now())
 	default:
 	}
 	if g.waiting.Add(1) > g.maxQueue {
@@ -114,16 +135,35 @@ func (g *gate) acquire(ctx context.Context) (time.Duration, error) {
 		return 0, ErrQueueFull
 	}
 	start := time.Now()
-	defer g.waiting.Add(-1)
 	if ctx == nil {
 		ctx = context.Background()
 	}
 	select {
 	case g.slots <- struct{}{}:
-		return time.Since(start), nil
+		g.waiting.Add(-1)
 	case <-ctx.Done():
+		g.waiting.Add(-1)
 		return time.Since(start), fmt.Errorf("session: expired while queued: %w", ctx.Err())
 	}
+	if g.broker.HasHeadroom() {
+		return time.Since(start), nil
+	}
+	return g.awaitHeadroom(ctx, start)
+}
+
+// awaitHeadroom is the byte-aware admission stage: the caller holds a slot
+// but the process's memory reservations are at the budget, so it stays
+// queued (counted in the queue-depth gauge) until headroom opens or its
+// deadline expires — in which case the slot is handed back.
+func (g *gate) awaitHeadroom(ctx context.Context, start time.Time) (time.Duration, error) {
+	g.waiting.Add(1)
+	err := g.broker.AwaitHeadroom(ctx)
+	g.waiting.Add(-1)
+	if err != nil {
+		g.release()
+		return time.Since(start), fmt.Errorf("session: expired while queued: %w", err)
+	}
+	return time.Since(start), nil
 }
 
 // release frees a slot taken by acquire.

@@ -12,6 +12,7 @@ import (
 
 	"gradoop/internal/core"
 	"gradoop/internal/epgm"
+	"gradoop/internal/govern"
 )
 
 // CanonicalQuery collapses runs of whitespace outside quoted regions into
@@ -200,12 +201,23 @@ func (r *cachedResult) estimateBytes() int64 {
 // resultCache is a byte-budgeted LRU of materialized results. Entries from
 // an older graph generation are ignored on lookup and lazily dropped; a
 // graph swap purges everything eagerly.
+//
+// Under memory governance the cache's bytes are weak reservations against
+// the session broker: put admits an entry only if its bytes fit the process
+// budget right now (TryReserve — a cache insert must never cause a query
+// kill), every eviction hands its bytes back, and reclaim empties the whole
+// cache when the broker browns out under pressure.
 type resultCache struct {
 	mu      sync.Mutex
 	budget  int64
 	used    int64
 	entries map[string]*list.Element
 	order   *list.List // values are *cachedResult
+	// broker is the session's memory broker; nil outside governance. Only
+	// TryReserve/ReleaseBytes are ever called here — both are lock-free on
+	// the broker side, so the b.mu → c.mu lock order of reclaim (called from
+	// the broker's overflow path) can never invert.
+	broker *govern.Broker
 }
 
 func newResultCache(budget int64) *resultCache {
@@ -230,7 +242,10 @@ func (c *resultCache) get(key string, generation uint64) (*cachedResult, bool) {
 }
 
 // put inserts a result, evicting least-recently-used entries past the byte
-// budget. Results larger than the whole budget are not cached.
+// budget. Results larger than the whole budget are not cached, and neither
+// is anything the memory broker cannot admit without pressure: cache memory
+// is the first thing sacrificed under load, so it never competes with
+// queries for the last bytes of the process budget.
 func (c *resultCache) put(r *cachedResult) {
 	r.bytes = r.estimateBytes()
 	c.mu.Lock()
@@ -241,11 +256,14 @@ func (c *resultCache) put(r *cachedResult) {
 	if el, ok := c.entries[r.key]; ok {
 		c.removeLocked(el)
 	}
-	c.entries[r.key] = c.order.PushFront(r)
-	c.used += r.bytes
-	for c.used > c.budget && c.order.Len() > 1 {
+	for c.used+r.bytes > c.budget && c.order.Len() > 0 {
 		c.removeLocked(c.order.Back())
 	}
+	if !c.broker.TryReserve(r.bytes) {
+		return
+	}
+	c.entries[r.key] = c.order.PushFront(r)
+	c.used += r.bytes
 }
 
 func (c *resultCache) removeLocked(el *list.Element) {
@@ -253,15 +271,33 @@ func (c *resultCache) removeLocked(el *list.Element) {
 	c.order.Remove(el)
 	delete(c.entries, r.key)
 	c.used -= r.bytes
+	c.broker.ReleaseBytes(r.bytes)
 }
 
-// purge empties the cache (graph swap).
+// purge empties the cache (graph swap), returning every byte to the broker.
 func (c *resultCache) purge() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.entries = map[string]*list.Element{}
 	c.order.Init()
+	c.broker.ReleaseBytes(c.used)
 	c.used = 0
+}
+
+// reclaim is the brownout hook the session registers with the broker: under
+// reservation pressure the whole cache is dropped and its bytes handed back
+// so queries are killed only after cache memory is gone. Runs with the
+// broker's overflow lock held — it must (and does) touch only the cache
+// lock and the broker's lock-free release path.
+func (c *resultCache) reclaim() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	freed := c.used
+	c.entries = map[string]*list.Element{}
+	c.order.Init()
+	c.broker.ReleaseBytes(c.used)
+	c.used = 0
+	return freed
 }
 
 // usage reports the cache's current byte footprint and entry count.

@@ -23,6 +23,7 @@ type counters struct {
 	timeouts     atomic.Int64
 	invalid      atomic.Int64
 	failed       atomic.Int64
+	memKilled    atomic.Int64
 
 	mu      sync.Mutex
 	cluster dataflow.MetricsSnapshot
@@ -38,13 +39,14 @@ func (c *counters) mergeJob(m dataflow.MetricsSnapshot) {
 
 // Metrics is an immutable snapshot of a session's service counters.
 type Metrics struct {
-	// Queries counts Execute calls; Rejected, Timeouts, Invalid and Failed
-	// partition the failures.
-	Queries  int64 `json:"queries"`
-	Rejected int64 `json:"rejected"`
-	Timeouts int64 `json:"timeouts"`
-	Invalid  int64 `json:"invalid"`
-	Failed   int64 `json:"failed"`
+	// Queries counts Execute calls; Rejected, Timeouts, Invalid, Failed and
+	// MemoryKilled partition the failures.
+	Queries      int64 `json:"queries"`
+	Rejected     int64 `json:"rejected"`
+	Timeouts     int64 `json:"timeouts"`
+	Invalid      int64 `json:"invalid"`
+	Failed       int64 `json:"failed"`
+	MemoryKilled int64 `json:"memoryKilled"`
 
 	// Plan/Result cache hit and miss counters.
 	PlanHits     int64 `json:"planHits"`
@@ -60,6 +62,16 @@ type Metrics struct {
 	// InFlight and Queued describe current admission state.
 	InFlight int   `json:"inFlight"`
 	Queued   int64 `json:"queued"`
+
+	// Memory governance: the process budget, currently reserved bytes, and
+	// the broker's kill/shed/brownout counters (all zero when governance is
+	// disabled). MemReserved is a point-in-time gauge; the rest are
+	// monotonic.
+	MemBudget    int64 `json:"memBudget"`
+	MemReserved  int64 `json:"memReserved"`
+	MemKills     int64 `json:"memKills"`
+	MemSheds     int64 `json:"memSheds"`
+	MemBrownouts int64 `json:"memBrownouts"`
 
 	// StatsCollections is the process-wide count of actual statistics
 	// collections (the per-graph memo's misses).
@@ -87,6 +99,12 @@ func (s *Session) Metrics() Metrics {
 		Timeouts:         c.timeouts.Load(),
 		Invalid:          c.invalid.Load(),
 		Failed:           c.failed.Load(),
+		MemoryKilled:     c.memKilled.Load(),
+		MemBudget:        s.broker.Budget(),
+		MemReserved:      s.broker.Reserved(),
+		MemKills:         s.broker.Kills(),
+		MemSheds:         s.broker.Sheds(),
+		MemBrownouts:     s.broker.Brownouts(),
 		PlanHits:         c.planHits.Load(),
 		PlanMisses:       c.planMisses.Load(),
 		ResultHits:       c.resultHits.Load(),
@@ -117,8 +135,12 @@ func ratio(hits, misses int64) float64 {
 // Text renders the metrics in the -metrics text style of the CLI.
 func (m Metrics) Text() string {
 	var sb strings.Builder
-	fmt.Fprintf(&sb, "queries=%d rejected=%d timeouts=%d invalid=%d failed=%d\n",
-		m.Queries, m.Rejected, m.Timeouts, m.Invalid, m.Failed)
+	fmt.Fprintf(&sb, "queries=%d rejected=%d timeouts=%d invalid=%d failed=%d memKilled=%d\n",
+		m.Queries, m.Rejected, m.Timeouts, m.Invalid, m.Failed, m.MemoryKilled)
+	if m.MemBudget > 0 {
+		fmt.Fprintf(&sb, "memory: budget=%d reserved=%d kills=%d sheds=%d brownouts=%d\n",
+			m.MemBudget, m.MemReserved, m.MemKills, m.MemSheds, m.MemBrownouts)
+	}
 	fmt.Fprintf(&sb, "plan cache: hits=%d misses=%d ratio=%.2f entries=%d\n",
 		m.PlanHits, m.PlanMisses, m.PlanHitRatio(), m.PlanEntries)
 	fmt.Fprintf(&sb, "result cache: hits=%d misses=%d ratio=%.2f entries=%d bytes=%d\n",

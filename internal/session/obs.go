@@ -67,6 +67,27 @@ func newInstruments(r *obs.Registry, s *Session) *instruments {
 			"Results currently cached",
 			func() float64 { _, entries := s.results.usage(); return float64(entries) })
 	}
+	if r != nil && s.broker != nil {
+		// Memory-governance surface: the reserved-bytes gauge and the
+		// broker's own monotonic counters, read at scrape time (the broker
+		// holds the authoritative values; mirroring them into separate
+		// counters would invite drift).
+		r.NewGaugeFunc("gradoop_mem_budget_bytes",
+			"Process-wide memory budget for materialized embeddings",
+			func() float64 { return float64(s.broker.Budget()) })
+		r.NewGaugeFunc("gradoop_mem_reserved_bytes",
+			"Bytes currently reserved against the memory budget",
+			func() float64 { return float64(s.broker.Reserved()) })
+		r.NewCounterFunc("gradoop_mem_kills_total",
+			"Queries killed by the memory budget",
+			func() float64 { return float64(s.broker.Kills()) })
+		r.NewCounterFunc("gradoop_mem_sheds_total",
+			"Budget kills where the victim was shed for another query's overflow",
+			func() float64 { return float64(s.broker.Sheds()) })
+		r.NewCounterFunc("gradoop_mem_brownouts_total",
+			"Brownout sweeps that reclaimed cache bytes under memory pressure",
+			func() float64 { return float64(s.broker.Brownouts()) })
+	}
 	return in
 }
 

@@ -12,6 +12,7 @@ package session
 import (
 	"context"
 	"errors"
+	"fmt"
 	"log/slog"
 	"strings"
 	"sync"
@@ -20,6 +21,7 @@ import (
 	"gradoop/internal/core"
 	"gradoop/internal/dataflow"
 	"gradoop/internal/epgm"
+	"gradoop/internal/govern"
 	"gradoop/internal/obs"
 	"gradoop/internal/operators"
 	"gradoop/internal/planner"
@@ -57,6 +59,20 @@ type Options struct {
 	// ErrQueueFull.
 	MaxConcurrent int
 	MaxQueued     int
+
+	// MemoryBudget is the process-wide budget, in bytes, for materialized
+	// embeddings across all concurrent queries (0 = governance disabled at
+	// zero cost). Every query charges its real materialized bytes against
+	// it; when the budget is exhausted a query is killed per ShedPolicy with
+	// a structured KindMemoryBudget error, and the result cache's memory is
+	// released first (brownout). Admission is byte-aware: requests holding a
+	// job slot still wait for reservation headroom before executing.
+	MemoryBudget int64
+	// ShedPolicy selects the kill victim on budget exhaustion:
+	// govern.ShedLargest (default — the largest query in flight dies, small
+	// well-behaved traffic survives a blowup) or govern.ShedSelf (the query
+	// whose reservation crossed the budget dies).
+	ShedPolicy govern.Policy
 	// DefaultTimeout applies to requests without their own (0 = none). The
 	// deadline covers queue wait and execution.
 	DefaultTimeout time.Duration
@@ -182,6 +198,7 @@ type Session struct {
 	gate    *gate
 	plans   *planCache
 	results *resultCache
+	broker  *govern.Broker
 	metrics *counters
 	obs     *instruments
 	logger  *slog.Logger
@@ -196,19 +213,31 @@ type Session struct {
 // New creates a session serving the given graph.
 func New(g *epgm.LogicalGraph, opts Options) *Session {
 	opts = opts.withDefaults()
+	broker := govern.NewBroker(opts.MemoryBudget, opts.ShedPolicy)
 	s := &Session{
 		opts:    opts,
 		gate:    newGate(opts.MaxConcurrent, opts.MaxQueued),
 		plans:   newPlanCache(opts.PlanCacheEntries),
 		results: newResultCache(opts.ResultCacheBytes),
+		broker:  broker,
 		metrics: &counters{},
 		logger:  opts.Logger,
 		jobs:    newJobTable(),
 		state:   newGraphState(g, 1),
 	}
+	s.gate.broker = broker
+	// Under governance the result cache reserves its bytes from the same
+	// budget queries charge against, and hands them all back under pressure
+	// (brownout) before any query is killed.
+	s.results.broker = broker
+	broker.AddReclaimer(s.results.reclaim)
 	s.obs = newInstruments(opts.Metrics, s)
 	return s
 }
+
+// Broker exposes the session's memory broker (nil when governance is
+// disabled) for health output and tests.
+func (s *Session) Broker() *govern.Broker { return s.broker }
 
 // Open loads a Gradoop-CSV dataset directory into a new session.
 func Open(dir string, opts Options) (*Session, error) {
@@ -451,8 +480,28 @@ func (s *Session) Execute(req Request) (*Response, error) {
 		return nil, classify(KindInvalid, err)
 	}
 
+	// Under governance every query charges its materialized bytes to its own
+	// reservation; Release on every exit path is what keeps the broker's
+	// reserved-bytes gauge at zero between requests. A kill — own overflow or
+	// shed by a bigger query's — also cancels the query context, so the
+	// victim unwinds at its next cancellation poll even between
+	// materialization points.
+	var reservation *govern.Reservation
+	if s.broker != nil {
+		reservation = s.broker.Begin(canonical)
+		defer reservation.Release()
+		if ctx == nil {
+			ctx = context.Background()
+		}
+		var cancelKill context.CancelFunc
+		ctx, cancelKill = context.WithCancel(ctx)
+		defer cancelKill()
+		reservation.OnKill(cancelKill)
+	}
+
 	env := dataflow.NewEnv(dataflow.DefaultConfig(s.opts.Workers))
 	env.SetObserver(s.obs.observer)
+	env.SetGovernor(reservation)
 	liveJob.start(env, col)
 	if req.Faults != nil {
 		env.InjectFaults(req.Faults)
@@ -467,7 +516,7 @@ func (s *Session) Execute(req Request) (*Response, error) {
 
 	res, err := prep.Execute(g, cfg)
 	if err != nil {
-		return nil, s.classifyExec(err)
+		return nil, s.classifyExec(err, reservation)
 	}
 	rows := res.Rows()
 	count := res.Count()
@@ -504,9 +553,19 @@ func (s *Session) Execute(req Request) (*Response, error) {
 	return resp, nil
 }
 
-// classifyExec maps an execution error to its kind.
-func (s *Session) classifyExec(err error) error {
+// classifyExec maps an execution error to its kind. The budget check runs
+// before the context cases: a shed victim's kill cancels its query context,
+// so the surfaced error is often context.Canceled — the reservation's
+// structured kill error is the real cause and must win the classification.
+func (s *Session) classifyExec(err error, r *govern.Reservation) error {
+	if kerr := r.KillErr(); kerr != nil && !errors.Is(err, govern.ErrMemoryBudget) {
+		err = fmt.Errorf("%w (surfaced as: %v)", kerr, err)
+	}
 	switch {
+	case errors.Is(err, govern.ErrMemoryBudget):
+		s.metrics.memKilled.Add(1)
+		s.obs.errorKind(KindMemoryBudget)
+		return classify(KindMemoryBudget, err)
 	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
 		s.metrics.timeouts.Add(1)
 		s.obs.errorKind(KindTimeout)
