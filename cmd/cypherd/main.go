@@ -8,8 +8,13 @@
 // and a live /jobs view of in-flight queries. -ops-addr starts a second,
 // operator-only listener with the pprof endpoints.
 //
+// -qstore-dir enables the persistent query store: one JSONL record per
+// completed execution, per-fingerprint aggregates with plan-regression
+// detection, and the /querystore endpoints.
+//
 // Endpoints: POST/GET /query, /explain, /analyze, /metrics,
-// /metrics.json, /jobs, /healthz.
+// /metrics.json, /jobs, /querystore/top, /querystore/fingerprint/{id},
+// /querystore/regressions, /healthz.
 //
 //	cypherd -graph data/sample -addr :7474 -ops-addr 127.0.0.1:7475
 //	curl -s localhost:7474/query -d '{"query":"MATCH (a:Person) RETURN a.name"}'
@@ -32,6 +37,7 @@ import (
 	"gradoop/internal/govern"
 	"gradoop/internal/obs"
 	"gradoop/internal/operators"
+	"gradoop/internal/qstore"
 	"gradoop/internal/server"
 	"gradoop/internal/session"
 )
@@ -97,6 +103,9 @@ func main() {
 	logLevel := flag.String("log-level", "info", "minimum log level: debug|info|warn|error")
 	slowQuery := flag.Duration("slow-query", 500*time.Millisecond, "slow-query log threshold (0 disables)")
 	opsAddr := flag.String("ops-addr", "", "operator-only listen address for pprof (empty disables); bind to loopback")
+	qstoreDir := flag.String("qstore-dir", "", "query-store directory for persistent per-execution records (empty disables the store)")
+	qstoreMaxBytes := flag.Int64("qstore-max-bytes", qstore.DefaultMaxTotalBytes, "query-store total size bound in bytes; oldest segments are pruned past it")
+	qstoreThreshold := flag.Float64("qstore-regression-threshold", qstore.DefaultRegressionThreshold, "flag a fingerprint when its recent latency or q-error exceeds its own baseline by this factor")
 	flag.Parse()
 
 	fail := func(err error) {
@@ -130,6 +139,21 @@ func main() {
 		registry = obs.NewRegistry()
 	}
 
+	var store *qstore.Store
+	if *qstoreDir != "" {
+		store, err = qstore.Open(qstore.Options{
+			Dir:                 *qstoreDir,
+			MaxTotalBytes:       *qstoreMaxBytes,
+			RegressionThreshold: *qstoreThreshold,
+			Metrics:             registry,
+			Logger:              logger,
+		})
+		if err != nil {
+			fail(err)
+		}
+		defer store.Close()
+	}
+
 	sess, err := session.Open(*graphDir, session.Options{
 		Workers:            *workers,
 		Vertex:             vs,
@@ -146,6 +170,7 @@ func main() {
 		Metrics:            registry,
 		Logger:             logger,
 		SlowQueryThreshold: *slowQuery,
+		QueryStore:         store,
 	})
 	if err != nil {
 		fail(err)

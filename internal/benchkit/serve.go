@@ -3,6 +3,7 @@ package benchkit
 import (
 	"fmt"
 	"io"
+	"os"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -10,6 +11,7 @@ import (
 
 	"gradoop/internal/epgm"
 	"gradoop/internal/obs"
+	"gradoop/internal/qstore"
 	"gradoop/internal/session"
 )
 
@@ -154,6 +156,59 @@ func (r *Runner) RunServeOverhead(sf float64, concurrency, requests int) (ServeO
 	return out, nil
 }
 
+// QStoreOverhead compares the no-result-cache serving cell with the query
+// store enabled vs disabled: every request executes a real job and, when
+// the store is on, appends one JSONL record and folds it into the
+// per-fingerprint aggregates on the exit path. The deltas quantify what
+// persistent execution history costs.
+type QStoreOverhead struct {
+	Disabled, Enabled ServeMeasurement
+}
+
+// QPSDelta is the relative throughput change with the store on
+// (negative = slower).
+func (o QStoreOverhead) QPSDelta() float64 {
+	if o.Disabled.QPS == 0 {
+		return 0
+	}
+	return (o.Enabled.QPS - o.Disabled.QPS) / o.Disabled.QPS
+}
+
+// RunQStoreOverhead measures the query-store overhead pair at one
+// concurrency. The enabled leg writes into a temporary directory that is
+// removed (store closed first) before returning.
+func (r *Runner) RunQStoreOverhead(sf float64, concurrency, requests int) (QStoreOverhead, error) {
+	dir, err := os.MkdirTemp("", "benchkit-qstore-*")
+	if err != nil {
+		return QStoreOverhead{}, fmt.Errorf("benchkit: qstore overhead dir: %w", err)
+	}
+	defer os.RemoveAll(dir)
+	store, err := qstore.Open(qstore.Options{Dir: dir})
+	if err != nil {
+		return QStoreOverhead{}, fmt.Errorf("benchkit: qstore overhead store: %w", err)
+	}
+	defer store.Close()
+
+	disabled := ServeMode{Name: "qstore-off", Opts: func(o *session.Options) {
+		o.NoResultCache = true
+	}}
+	enabled := ServeMode{Name: "qstore-on", Opts: func(o *session.Options) {
+		o.NoResultCache = true
+		o.QueryStore = store
+	}}
+	var out QStoreOverhead
+	if out.Disabled, err = r.RunServe(sf, disabled, concurrency, requests); err != nil {
+		return out, err
+	}
+	if out.Enabled, err = r.RunServe(sf, enabled, concurrency, requests); err != nil {
+		return out, err
+	}
+	if got := store.Records(); got != int64(requests) {
+		return out, fmt.Errorf("benchkit: qstore overhead run recorded %d of %d requests", got, requests)
+	}
+	return out, nil
+}
+
 // VerifyPlanCacheViaTrace proves, via trace spans, that a plan-cache hit
 // skips the parse+plan phase: the first (cold) traced execution carries a
 // "Prepare" operator span, the second (hit) does not. Returns the two span
@@ -286,5 +341,18 @@ func Serve(r *Runner, w io.Writer) error {
 	}
 	fmt.Fprintf(w, "registry overhead: QPS %+.1f%%, p99 %s -> %s\n",
 		100*oh.QPSDelta(), fmtDur(oh.Disabled.P99), fmtDur(oh.Enabled.P99))
+
+	fmt.Fprintf(w, "\n== Query-store overhead: persistent history on vs off (no-result-cache: every request is a real job) ==\n")
+	fmt.Fprintf(w, "%-16s %-7s %10s %12s %12s\n", "query store", "clients", "QPS", "p50", "p99")
+	qoh, err := r.RunQStoreOverhead(r.SFSmall, maxC, ServeRequests)
+	if err != nil {
+		return err
+	}
+	for _, m := range []ServeMeasurement{qoh.Disabled, qoh.Enabled} {
+		fmt.Fprintf(w, "%-16s %-7d %10.1f %12s %12s\n",
+			m.Mode, m.Concurrency, m.QPS, fmtDur(m.P50), fmtDur(m.P99))
+	}
+	fmt.Fprintf(w, "query-store overhead: QPS %+.1f%%, p99 %s -> %s\n",
+		100*qoh.QPSDelta(), fmtDur(qoh.Disabled.P99), fmtDur(qoh.Enabled.P99))
 	return nil
 }

@@ -52,6 +52,26 @@ func TestRunServeOverhead(t *testing.T) {
 	}
 }
 
+// TestRunQStoreOverhead asserts the query-store pair runs clean, every
+// request became a real job in both legs, and the enabled leg recorded
+// exactly one record per request (checked inside RunQStoreOverhead).
+func TestRunQStoreOverhead(t *testing.T) {
+	r := NewRunner()
+	r.SFSmall = 0.05
+	oh, err := r.RunQStoreOverhead(r.SFSmall, 4, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []ServeMeasurement{oh.Disabled, oh.Enabled} {
+		if m.Errors != 0 {
+			t.Fatalf("%s: %d request errors", m.Mode, m.Errors)
+		}
+		if m.ResultHits != 0 {
+			t.Fatalf("%s: result hits pollute the overhead measurement", m.Mode)
+		}
+	}
+}
+
 // TestRunServeCacheModes asserts the cache modes actually change the hit
 // ratios: the cached mode sees plan and result hits, -no-plan-cache sees
 // zero plan hits, -no-result-cache zero result hits.

@@ -2,19 +2,22 @@ package core
 
 import (
 	"fmt"
-	"math"
 	"time"
 
 	"gradoop/internal/operators"
+	"gradoop/internal/qstore"
 	"gradoop/internal/trace"
 )
 
 // This file implements EXPLAIN ANALYZE: the executed plan rendered with,
 // per operator, the planner's estimated cardinality next to the actual one
 // recorded by the execution tracer, the estimate's q-error, the operator's
-// self wall time and the simulated cluster time of its stages. It is the
-// direct lens on the evaluation's attribution questions — which operator
-// eats the time, and how far the cardinality estimates drift (Table 4).
+// materialized memory-broker bytes, self wall time and the simulated
+// cluster time of its stages. It is the direct lens on the evaluation's
+// attribution questions — which operator eats the time, and how far the
+// cardinality estimates drift (Table 4). The structured form
+// (qstore.OpMetrics) is shared with the query store so the HTTP /analyze
+// view and a persisted execution record carry one schema.
 
 // traceToken unwraps the reuse wrappers to the operator that actually
 // recorded trace statistics: Alias and Cached pass evaluation through to
@@ -32,52 +35,87 @@ func traceToken(op operators.Operator) operators.Operator {
 	}
 }
 
-// qerror is the symmetric estimate-error factor: max(est/act, act/est),
-// with both sides clamped to ≥1 row so empty results stay finite. 1.0 is a
-// perfect estimate.
-func qerror(est float64, act int64) float64 {
-	e := math.Max(est, 1)
-	a := math.Max(float64(act), 1)
-	return math.Max(e/a, a/e)
-}
-
-// AnalyzedPlan renders the executed plan annotated, per operator, with
-// actual output cardinality, estimate q-error, self wall time (children
-// excluded) and the simulated cluster time of the operator's stages. It
-// requires the query to have run with Config.Trace set; without a trace it
-// degrades to the plain Explain rendering.
-func (r *Result) AnalyzedPlan() string {
+// AnalyzedOps extracts per-operator metrics from the execution trace in
+// Explain order (parent before children), one qstore.OpMetrics per plan
+// node. It requires the query to have run with Config.Trace set and
+// returns nil otherwise.
+func (r *Result) AnalyzedOps() []qstore.OpMetrics {
 	c := r.Trace
 	if c == nil {
-		return r.Plan.Explain()
+		return nil
 	}
 	cfg := r.Env.Config()
 	spans := map[int64]trace.Span{}
 	for _, s := range c.Spans() {
 		spans[s.Stage] = s
 	}
-	return r.Plan.ExplainWith(func(op operators.Operator) string {
-		inner := traceToken(op)
+	nodes := r.Plan.Nodes()
+	out := make([]qstore.OpMetrics, 0, len(nodes))
+	for _, n := range nodes {
+		om := qstore.OpMetrics{Op: n.Op.Description(), Depth: n.Depth}
+		inner := traceToken(n.Op)
 		st, ok := c.Op(inner)
 		if !ok {
 			// Never evaluated (e.g. a subtree skipped after a failure).
-			return "[not executed]"
+			om.NotExecuted = true
+			out = append(out, om)
+			continue
 		}
+		om.Act = st.Rows
+		om.WallNs = int64(st.Wall)
+		om.Shared = inner != n.Op
 		var sim time.Duration
 		for _, stage := range st.Stages {
 			if s, found := spans[stage]; found {
 				sim += s.SimTime(cfg.CPUTimePerElement, cfg.NetTimePerByte,
 					cfg.DiskTimePerByte, cfg.StageOverhead)
+				for _, p := range s.Parts {
+					om.MemBytes += p.MemBytes
+				}
 			}
 		}
-		est, hasEst := r.Plan.Estimates[op]
-		annot := fmt.Sprintf("act=%d", st.Rows)
-		if hasEst {
-			annot += fmt.Sprintf(" err=%.1fx", qerror(est, st.Rows))
+		om.SimNs = int64(sim)
+		if est, hasEst := r.Plan.Estimates[n.Op]; hasEst {
+			om.Est = est
+			om.HasEstimate = true
+			om.QError = qstore.QError(est, st.Rows)
+		}
+		out = append(out, om)
+	}
+	return out
+}
+
+// AnalyzedPlan renders the executed plan annotated, per operator, with
+// actual output cardinality, estimate q-error, self wall time (children
+// excluded), the simulated cluster time of the operator's stages, and —
+// when memory governance metered the run — the materialized bytes charged
+// to the broker. It requires the query to have run with Config.Trace set;
+// without a trace it degrades to the plain Explain rendering.
+func (r *Result) AnalyzedPlan() string {
+	ops := r.AnalyzedOps()
+	if ops == nil {
+		return r.Plan.Explain()
+	}
+	// QueryPlan.Nodes and ExplainWith walk the tree in the same order, so
+	// the annotator consumes the metrics slice sequentially.
+	i := 0
+	return r.Plan.ExplainWith(func(op operators.Operator) string {
+		om := ops[i]
+		i++
+		if om.NotExecuted {
+			return "[not executed]"
+		}
+		annot := fmt.Sprintf("act=%d", om.Act)
+		if om.HasEstimate {
+			annot += fmt.Sprintf(" err=%.1fx", om.QError)
 		}
 		annot += fmt.Sprintf(" self=%s sim=%s",
-			st.Wall.Round(time.Microsecond), sim.Round(time.Microsecond))
-		if inner != op {
+			time.Duration(om.WallNs).Round(time.Microsecond),
+			time.Duration(om.SimNs).Round(time.Microsecond))
+		if om.MemBytes > 0 {
+			annot += fmt.Sprintf(" mem=%dB", om.MemBytes)
+		}
+		if om.Shared {
 			// Reuse wrappers share the canonical operator's execution.
 			annot += " (shared)"
 		}

@@ -315,6 +315,9 @@ func (e *Env) chargeMem(worker int, n int64) bool {
 	}
 	if n > 0 {
 		e.metrics.addMem(worker, n)
+		if e.tracer != nil {
+			e.tracer.Mem(worker, n)
+		}
 	}
 	return true
 }

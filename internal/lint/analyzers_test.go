@@ -25,6 +25,7 @@ func TestAnalyzers(t *testing.T) {
 		{lint.TracePairAnalyzer, "tracepair", ""},
 		{lint.CtxPollAnalyzer, "ctxpoll", "gradoop/internal/dataflow"},
 		{lint.ObsRegisterAnalyzer, "obsregister", ""},
+		{lint.QStoreRecordAnalyzer, "qstorerecord", "gradoop/internal/session"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.analyzer.Name, func(t *testing.T) {

@@ -4,7 +4,8 @@
 // race-free per-partition UDFs (partitioncapture), an honest cost model
 // (costcharge), a memory governor that sees every materialization
 // (memcharge), balanced trace scopes (tracepair), cancellable partition
-// loops (ctxpoll) and setup-time telemetry registration (obsregister). See
+// loops (ctxpoll), setup-time telemetry registration (obsregister) and a
+// single query-store append site (qstorerecord). See
 // DESIGN.md decision 12 for why each invariant is load-bearing for the
 // reproduction.
 //
@@ -31,6 +32,7 @@ func Analyzers() []*analysis.Analyzer {
 		TracePairAnalyzer,
 		CtxPollAnalyzer,
 		ObsRegisterAnalyzer,
+		QStoreRecordAnalyzer,
 	}
 }
 

@@ -1,0 +1,98 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+
+	"gradoop/internal/lint/analysis"
+)
+
+// QStoreRecordAnalyzer pins the query store's exactly-once emission
+// contract: every session exit path produces exactly one execution record.
+// The session guarantees this structurally — the public Execute is a thin
+// wrapper that runs the inner execute and funnels its exit through the
+// single append site recordExit — and this analyzer keeps that shape from
+// eroding:
+//
+//   - (*qstore.Store).Append may be called only from qstore itself or from
+//     (*Session).recordExit. A second append site would double-record some
+//     exit paths (or record paths recordExit already covers).
+//   - (*Session).execute may be called only from (*Session).Execute. A
+//     bypass caller would complete queries without emitting a record.
+//   - (*Session).recordExit may be called only from (*Session).Execute,
+//     and Execute must actually call it — one wrapper, one emission.
+//
+// Test files are exempt: they drive Append directly to build fixtures.
+var QStoreRecordAnalyzer = &analysis.Analyzer{
+	Name: "qstorerecord",
+	Doc:  "enforces the single query-store append site: every session exit path emits exactly one record",
+	Run:  runQStoreRecord,
+}
+
+func runQStoreRecord(pass *analysis.Pass) (any, error) {
+	info := pass.TypesInfo
+	inQStore := pass.Pkg.Path() == qstorePath
+	inSession := pass.Pkg.Path() == sessionPath
+	for _, f := range pass.Files {
+		if strings.HasSuffix(pass.Fset.Position(f.Pos()).Filename, "_test.go") {
+			continue
+		}
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			host := recvName(fd)
+			isExecute := inSession && host == "Session" && fd.Name.Name == "Execute"
+			isRecordExit := inSession && host == "Session" && fd.Name.Name == "recordExit"
+			calledRecordExit := false
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := calleeOf(info, call)
+				switch {
+				case isMethod(fn, qstorePath, "Store", "Append"):
+					if !inQStore && !isRecordExit {
+						pass.Reportf(call.Pos(),
+							"qstore.Store.Append called outside (*Session).recordExit; a second append site breaks the one-record-per-exit-path invariant")
+					}
+				case isMethod(fn, sessionPath, "Session", "execute"):
+					if !isExecute {
+						pass.Reportf(call.Pos(),
+							"(*Session).execute called outside (*Session).Execute; this path completes queries without emitting a query-store record")
+					}
+				case isMethod(fn, sessionPath, "Session", "recordExit"):
+					calledRecordExit = true
+					if !isExecute {
+						pass.Reportf(call.Pos(),
+							"(*Session).recordExit called outside (*Session).Execute; exit paths funneled elsewhere can double-record")
+					}
+				}
+				return true
+			})
+			if isExecute && !calledRecordExit {
+				pass.Reportf(fd.Pos(),
+					"(*Session).Execute never calls recordExit; completed executions leave no query-store record")
+			}
+		}
+	}
+	return nil, nil
+}
+
+// recvName returns the name of a method's receiver type (pointer peeled),
+// or "" for plain functions.
+func recvName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return ""
+	}
+	t := fd.Recv.List[0].Type
+	if st, ok := t.(*ast.StarExpr); ok {
+		t = st.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name
+	}
+	return ""
+}

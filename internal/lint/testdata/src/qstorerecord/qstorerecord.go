@@ -1,0 +1,66 @@
+// Package session is a miniature stand-in for the engine's session
+// package. The qstorerecord analyzer keys on the import paths
+// gradoop/internal/session and gradoop/internal/qstore, so this fixture is
+// type-checked under the session path and imports the real qstore package:
+// it reproduces the Execute → execute → recordExit funnel plus every
+// violation class — a rogue append site, an Execute bypass, and a second
+// recordExit caller.
+package session
+
+import "gradoop/internal/qstore"
+
+type Request struct{ Query string }
+
+type Response struct{ Rows int64 }
+
+type exitInfo struct{ canonical string }
+
+type Session struct {
+	qstore *qstore.Store
+}
+
+// Execute is the blessed shape: run the inner execute, funnel its exit
+// through the single append site.
+func (s *Session) Execute(req Request) (*Response, error) {
+	resp, ex, err := s.execute(req)
+	s.recordExit(resp, ex, err)
+	return resp, err
+}
+
+func (s *Session) execute(req Request) (*Response, exitInfo, error) {
+	return &Response{Rows: 1}, exitInfo{canonical: req.Query}, nil
+}
+
+// recordExit is the one place Append may be called from.
+func (s *Session) recordExit(resp *Response, ex exitInfo, err error) {
+	if s.qstore == nil {
+		return
+	}
+	s.qstore.Append(qstore.Record{Query: ex.canonical})
+}
+
+// rogueAppend writes a record outside recordExit: the exit path it covers
+// is either double-recorded or inconsistently shaped.
+func (s *Session) rogueAppend(ex exitInfo) {
+	s.qstore.Append(qstore.Record{Query: ex.canonical}) // want `Append called outside \(\*Session\)\.recordExit`
+}
+
+// bypassExecute completes a query without emitting a record.
+func (s *Session) bypassExecute(req Request) (*Response, error) {
+	resp, _, err := s.execute(req) // want `execute called outside \(\*Session\)\.Execute`
+	return resp, err
+}
+
+// doubleEmit funnels an exit through recordExit from outside Execute; the
+// same exit can be recorded twice.
+func (s *Session) doubleEmit(resp *Response, ex exitInfo, err error) {
+	s.recordExit(resp, ex, err) // want `recordExit called outside \(\*Session\)\.Execute`
+}
+
+// closureAppend shows the rule follows calls into function literals: the
+// closure belongs to closureAppend, not recordExit.
+func (s *Session) closureAppend() func() {
+	return func() {
+		s.qstore.Append(qstore.Record{}) // want `Append called outside \(\*Session\)\.recordExit`
+	}
+}

@@ -12,6 +12,8 @@ const (
 	dataflowPath = "gradoop/internal/dataflow"
 	tracePath    = "gradoop/internal/trace"
 	obsPath      = "gradoop/internal/obs"
+	qstorePath   = "gradoop/internal/qstore"
+	sessionPath  = "gradoop/internal/session"
 )
 
 // calleeOf resolves the function or method object a call expression invokes,

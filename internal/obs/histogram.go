@@ -68,6 +68,16 @@ func newHistogram(name, help string, scale float64) *Histogram {
 	return &Histogram{name: name, help: help, scale: scale}
 }
 
+// NewStandaloneHistogram builds an unregistered histogram for callers that
+// need the log-linear distribution machinery (Observe/Quantile/Merge)
+// without exposing a metric series — e.g. per-key aggregates whose
+// cardinality is unbounded and must never reach the exposition. scale is
+// the same exposition multiplier NewHistogram takes; it only matters if
+// the histogram is later rendered.
+func NewStandaloneHistogram(scale float64) *Histogram {
+	return newHistogram("", "", scale)
+}
+
 // NewHistogram registers a histogram. scale is the exposition multiplier
 // (ScaleNanos for nanosecond observations exposed as seconds; 1 for raw
 // units such as bytes). Returns nil on a nil registry.

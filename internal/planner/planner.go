@@ -118,6 +118,29 @@ func (p *QueryPlan) ExplainWith(annot func(operators.Operator) string) string {
 	return sb.String()
 }
 
+// PlanNode is one operator of the tree in Explain order (parent before
+// children, children in declaration order) with its rendering depth.
+type PlanNode struct {
+	Op    operators.Operator
+	Depth int
+}
+
+// Nodes flattens the operator tree in exactly the order ExplainWith visits
+// it, so per-node metadata built from this slice lines up index-for-index
+// with Explain's annotator calls.
+func (p *QueryPlan) Nodes() []PlanNode {
+	var out []PlanNode
+	var walk func(op operators.Operator, depth int)
+	walk = func(op operators.Operator, depth int) {
+		out = append(out, PlanNode{Op: op, Depth: depth})
+		for _, c := range op.Children() {
+			walk(c, depth+1)
+		}
+	}
+	walk(p.Root, 0)
+	return out
+}
+
 // partial is one in-progress sub-plan during greedy enumeration.
 type partial struct {
 	op   operators.Operator

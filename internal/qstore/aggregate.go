@@ -1,0 +1,447 @@
+package qstore
+
+import (
+	"log/slog"
+	"sort"
+
+	"gradoop/internal/obs"
+)
+
+// winSample is one successful execution inside a fingerprint's recent
+// window.
+type winSample struct {
+	lat  int64 // total latency, ns
+	qerr float64
+	hasQ bool
+}
+
+// opAgg accumulates one operator's estimate quality across traced runs of
+// a fingerprint.
+type opAgg struct {
+	n        int64
+	qSum     float64
+	qMax     float64
+	memBytes int64
+	wallNs   int64
+}
+
+// aggregate is the in-memory rollup of one query fingerprint. Everything
+// in it derives from Record contents alone, which is what makes startup
+// replay reproduce it exactly.
+type aggregate struct {
+	fingerprint string
+	query       string
+	firstSeen   int64
+	lastSeen    int64
+	count       int64
+	outcomes    map[Outcome]int64
+	buckets     map[string]int64
+
+	// latency holds every successful run; baseLat only those that have
+	// aged out of the recent window — the fingerprint's own history, which
+	// recent samples are judged against.
+	latency *obs.Histogram
+	baseLat *obs.Histogram
+	// Root q-error running aggregate (all ok runs with an estimate) plus
+	// the aged-out baseline mean.
+	qerrSum, qerrMax float64
+	qerrN            int64
+	baseQSum         float64
+	baseQN           int64
+	// win is the recent-sample ring.
+	win     []winSample
+	winNext int
+	winFull bool
+
+	perOp        map[string]*opAgg
+	lastPlanHash string
+	planChanges  int64
+	lastTraceID  string
+	recent       []Record // ring, newest at len-1 once full rotation applies
+	recentNext   int
+	recentFull   bool
+	active       map[string]bool // regression kind → currently over threshold
+}
+
+// Regression is one drift onset flagged by the detector — the
+// machine-readable feed adaptive planning consumes.
+type Regression struct {
+	TimeNs      int64   `json:"t"`
+	Fingerprint string  `json:"fingerprint"`
+	Query       string  `json:"query"`
+	Kind        string  `json:"kind"` // "latency" or "qerror"
+	Factor      float64 `json:"factor"`
+	Baseline    float64 `json:"baseline"`
+	Observed    float64 `json:"observed"`
+	Threshold   float64 `json:"threshold"`
+	ExecCount   int64   `json:"execCount"`
+	PlanHash    string  `json:"planHash,omitempty"`
+	TraceID     string  `json:"traceId,omitempty"`
+}
+
+// apply folds one record into its fingerprint's aggregate and runs the
+// drift detector. replay suppresses the WARN log (the events and counters
+// are still rebuilt, so a restart reproduces detector state). Called with
+// s.mu held.
+func (s *Store) apply(rec Record, replay bool) {
+	a := s.aggs[rec.Fingerprint]
+	if a == nil {
+		if len(s.aggs) >= s.opts.MaxFingerprints {
+			s.evictLocked()
+		}
+		a = &aggregate{
+			fingerprint: rec.Fingerprint,
+			query:       rec.Query,
+			firstSeen:   rec.Time,
+			outcomes:    make(map[Outcome]int64),
+			buckets:     make(map[string]int64),
+			latency:     obs.NewStandaloneHistogram(obs.ScaleNanos),
+			baseLat:     obs.NewStandaloneHistogram(obs.ScaleNanos),
+			win:         make([]winSample, s.opts.Window),
+			perOp:       make(map[string]*opAgg),
+			active:      make(map[string]bool),
+		}
+		s.aggs[rec.Fingerprint] = a
+	}
+	a.lastSeen = rec.Time
+	a.count++
+	a.outcomes[rec.Outcome]++
+	a.buckets[rec.Bucket]++
+	if rec.TraceID != "" {
+		a.lastTraceID = rec.TraceID
+	}
+	if rec.PlanHash != "" && rec.PlanHash != a.lastPlanHash {
+		if a.lastPlanHash != "" {
+			a.planChanges++
+		}
+		a.lastPlanHash = rec.PlanHash
+	}
+	for _, om := range rec.Ops {
+		if om.NotExecuted {
+			continue
+		}
+		oa := a.perOp[om.Op]
+		if oa == nil {
+			oa = &opAgg{}
+			a.perOp[om.Op] = oa
+		}
+		oa.n++
+		oa.memBytes += om.MemBytes
+		oa.wallNs += om.WallNs
+		if om.QError > 0 {
+			oa.qSum += om.QError
+			if om.QError > oa.qMax {
+				oa.qMax = om.QError
+			}
+		}
+	}
+	if len(a.recent) < recentRecords && !a.recentFull {
+		a.recent = append(a.recent, rec)
+	} else {
+		a.recent[a.recentNext] = rec
+		a.recentNext = (a.recentNext + 1) % recentRecords
+		a.recentFull = true
+	}
+	if rec.Outcome != OutcomeOK {
+		return
+	}
+	a.latency.Observe(rec.ElapsedNs)
+	if rec.RootQError > 0 {
+		a.qerrSum += rec.RootQError
+		a.qerrN++
+		if rec.RootQError > a.qerrMax {
+			a.qerrMax = rec.RootQError
+		}
+	}
+	// Push into the recent window; the evicted sample ages into the
+	// baseline the window is compared against.
+	sample := winSample{lat: rec.ElapsedNs, qerr: rec.RootQError, hasQ: rec.RootQError > 0}
+	if a.winFull {
+		old := a.win[a.winNext]
+		a.baseLat.Observe(old.lat)
+		if old.hasQ {
+			a.baseQSum += old.qerr
+			a.baseQN++
+		}
+	}
+	a.win[a.winNext] = sample
+	a.winNext = (a.winNext + 1) % len(a.win)
+	if a.winNext == 0 && !a.winFull {
+		a.winFull = true
+	}
+	s.detect(a, rec, replay)
+}
+
+// detect compares the fingerprint's recent window against its own aged
+// baseline and flags drift onsets. Called with s.mu held.
+func (s *Store) detect(a *aggregate, rec Record, replay bool) {
+	if !a.winFull || a.baseLat.Count() < int64(s.opts.MinBaseline) {
+		return
+	}
+	// Latency drift: recent median vs baseline median.
+	lats := make([]int64, 0, len(a.win))
+	var recentQSum float64
+	var recentQN int64
+	for _, w := range a.win {
+		lats = append(lats, w.lat)
+		if w.hasQ {
+			recentQSum += w.qerr
+			recentQN++
+		}
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	recentLat := float64(lats[len(lats)/2])
+	baseSnap := a.baseLat.Snapshot()
+	baseLat := float64(baseSnap.Quantile(0.5))
+	if baseLat < 1 {
+		baseLat = 1
+	}
+	s.drift(a, rec, "latency", recentLat/baseLat, baseLat, recentLat, replay)
+	// Estimate drift: recent mean root q-error vs baseline mean.
+	if recentQN > 0 && a.baseQN >= int64(s.opts.MinBaseline)/2 {
+		baseQ := a.baseQSum / float64(a.baseQN)
+		if baseQ < 1 {
+			baseQ = 1
+		}
+		recentQ := recentQSum / float64(recentQN)
+		s.drift(a, rec, "qerror", recentQ/baseQ, baseQ, recentQ, replay)
+	}
+}
+
+// drift applies the onset/clear state machine for one drift kind. Called
+// with s.mu held.
+func (s *Store) drift(a *aggregate, rec Record, kind string, factor, baseline, observed float64, replay bool) {
+	over := factor >= s.opts.RegressionThreshold
+	switch {
+	case over && !a.active[kind]:
+		a.active[kind] = true
+		s.onsets++
+		s.regrC.Inc()
+		ev := Regression{
+			TimeNs:      rec.Time,
+			Fingerprint: a.fingerprint,
+			Query:       a.query,
+			Kind:        kind,
+			Factor:      factor,
+			Baseline:    baseline,
+			Observed:    observed,
+			Threshold:   s.opts.RegressionThreshold,
+			ExecCount:   a.count,
+			PlanHash:    a.lastPlanHash,
+			TraceID:     rec.TraceID,
+		}
+		s.events = append(s.events, ev)
+		if len(s.events) > maxEvents {
+			s.events = s.events[len(s.events)-maxEvents:]
+		}
+		if !replay {
+			attrs := []any{
+				slog.String("fingerprint", a.fingerprint),
+				slog.String("kind", kind),
+				slog.Float64("factor", factor),
+				slog.Float64("baseline", baseline),
+				slog.Float64("observed", observed),
+				slog.String("query", a.query),
+				slog.String("plan_hash", a.lastPlanHash),
+			}
+			if rec.TraceID != "" {
+				attrs = append(attrs, slog.String("trace_id", rec.TraceID))
+			}
+			s.logger.Warn("query regression detected", attrs...)
+		}
+	case !over && a.active[kind]:
+		a.active[kind] = false
+	}
+}
+
+// evictLocked drops the least-recently-seen aggregate to honor
+// MaxFingerprints. Disk records are unaffected. Called with s.mu held.
+func (s *Store) evictLocked() {
+	var victim string
+	var oldest int64
+	for fp, a := range s.aggs {
+		if victim == "" || a.lastSeen < oldest {
+			victim, oldest = fp, a.lastSeen
+		}
+	}
+	if victim != "" {
+		delete(s.aggs, victim)
+	}
+}
+
+// OpAggregate is one operator's rollup inside an AggregateSnapshot.
+type OpAggregate struct {
+	Op         string  `json:"op"`
+	N          int64   `json:"n"`
+	MeanQError float64 `json:"meanQError,omitempty"`
+	MaxQError  float64 `json:"maxQError,omitempty"`
+	MemBytes   int64   `json:"memBytes,omitempty"`
+	WallNs     int64   `json:"wallNs,omitempty"`
+}
+
+// AggregateSnapshot is the JSON view of one fingerprint's history.
+type AggregateSnapshot struct {
+	Fingerprint  string           `json:"fingerprint"`
+	Query        string           `json:"query"`
+	Count        int64            `json:"count"`
+	Outcomes     map[string]int64 `json:"outcomes"`
+	Buckets      map[string]int64 `json:"buckets,omitempty"`
+	P50Ns        int64            `json:"p50Ns"`
+	P95Ns        int64            `json:"p95Ns"`
+	P99Ns        int64            `json:"p99Ns"`
+	MaxNs        int64            `json:"maxNs"`
+	MeanQError   float64          `json:"meanQError,omitempty"`
+	MaxQError    float64          `json:"maxQError,omitempty"`
+	Ops          []OpAggregate    `json:"ops,omitempty"`
+	LastPlanHash string           `json:"lastPlanHash,omitempty"`
+	PlanChanges  int64            `json:"planChanges,omitempty"`
+	LastTraceID  string           `json:"lastTraceId,omitempty"`
+	FirstSeenNs  int64            `json:"firstSeenNs"`
+	LastSeenNs   int64            `json:"lastSeenNs"`
+	Regressed    []string         `json:"regressed,omitempty"`
+}
+
+// snapshotLocked renders one aggregate. Called with s.mu (read-)held.
+func (a *aggregate) snapshotLocked() AggregateSnapshot {
+	snap := AggregateSnapshot{
+		Fingerprint:  a.fingerprint,
+		Query:        a.query,
+		Count:        a.count,
+		Outcomes:     make(map[string]int64, len(a.outcomes)),
+		Buckets:      make(map[string]int64, len(a.buckets)),
+		LastPlanHash: a.lastPlanHash,
+		PlanChanges:  a.planChanges,
+		LastTraceID:  a.lastTraceID,
+		FirstSeenNs:  a.firstSeen,
+		LastSeenNs:   a.lastSeen,
+		MaxQError:    a.qerrMax,
+	}
+	for k, v := range a.outcomes {
+		snap.Outcomes[string(k)] = v
+	}
+	for k, v := range a.buckets {
+		snap.Buckets[k] = v
+	}
+	if a.latency.Count() > 0 {
+		h := a.latency.Snapshot()
+		snap.P50Ns = h.Quantile(0.5)
+		snap.P95Ns = h.Quantile(0.95)
+		snap.P99Ns = h.Quantile(0.99)
+		snap.MaxNs = h.Max
+	}
+	if a.qerrN > 0 {
+		snap.MeanQError = a.qerrSum / float64(a.qerrN)
+	}
+	for op, oa := range a.perOp {
+		agg := OpAggregate{Op: op, N: oa.n, MaxQError: oa.qMax, MemBytes: oa.memBytes, WallNs: oa.wallNs}
+		if oa.n > 0 && oa.qSum > 0 {
+			agg.MeanQError = oa.qSum / float64(oa.n)
+		}
+		snap.Ops = append(snap.Ops, agg)
+	}
+	sort.Slice(snap.Ops, func(i, j int) bool { return snap.Ops[i].Op < snap.Ops[j].Op })
+	for kind, on := range a.active {
+		if on {
+			snap.Regressed = append(snap.Regressed, kind)
+		}
+	}
+	sort.Strings(snap.Regressed)
+	return snap
+}
+
+// Sort orders accepted by Top.
+const (
+	SortSlowest  = "slowest"  // p99 latency, descending
+	SortFrequent = "frequent" // execution count, descending
+	SortQError   = "qerror"   // mean root q-error, descending
+)
+
+// Top returns up to limit fingerprint aggregates ordered by the given
+// sort ("slowest", "frequent", "qerror"); ties break on fingerprint for
+// determinism. limit <= 0 means all.
+func (s *Store) Top(sortBy string, limit int) []AggregateSnapshot {
+	if s == nil {
+		return nil
+	}
+	s.mu.RLock()
+	snaps := make([]AggregateSnapshot, 0, len(s.aggs))
+	for _, a := range s.aggs {
+		snaps = append(snaps, a.snapshotLocked())
+	}
+	s.mu.RUnlock()
+	less := func(i, j int) bool { return snaps[i].P99Ns > snaps[j].P99Ns }
+	switch sortBy {
+	case SortFrequent:
+		less = func(i, j int) bool { return snaps[i].Count > snaps[j].Count }
+	case SortQError:
+		less = func(i, j int) bool { return snaps[i].MeanQError > snaps[j].MeanQError }
+	}
+	sort.Slice(snaps, func(i, j int) bool {
+		if less(i, j) != less(j, i) {
+			return less(i, j)
+		}
+		return snaps[i].Fingerprint < snaps[j].Fingerprint
+	})
+	if limit > 0 && len(snaps) > limit {
+		snaps = snaps[:limit]
+	}
+	return snaps
+}
+
+// Fingerprint returns one shape's aggregate plus its recent records
+// (oldest first), or ok=false if the store has never seen it (or evicted
+// it).
+func (s *Store) Fingerprint(fp string) (AggregateSnapshot, []Record, bool) {
+	if s == nil {
+		return AggregateSnapshot{}, nil, false
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	a := s.aggs[fp]
+	if a == nil {
+		return AggregateSnapshot{}, nil, false
+	}
+	var recs []Record
+	if a.recentFull {
+		recs = append(recs, a.recent[a.recentNext:]...)
+		recs = append(recs, a.recent[:a.recentNext]...)
+	} else {
+		recs = append(recs, a.recent...)
+	}
+	return a.snapshotLocked(), recs, true
+}
+
+// Regressions returns the drift-event feed, newest first.
+func (s *Store) Regressions() []Regression {
+	if s == nil {
+		return nil
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]Regression, len(s.events))
+	for i, ev := range s.events {
+		out[len(out)-1-i] = ev
+	}
+	return out
+}
+
+// RegressionCount is the total number of drift onsets flagged (including
+// those rebuilt by startup replay).
+func (s *Store) RegressionCount() int64 {
+	if s == nil {
+		return 0
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.onsets
+}
+
+// Records is the total number of records appended plus replayed.
+func (s *Store) Records() int64 {
+	if s == nil {
+		return 0
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.records
+}

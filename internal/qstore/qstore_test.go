@@ -1,0 +1,498 @@
+package qstore
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"gradoop/internal/obs"
+)
+
+// testOpts returns small-knob options for fast detector tests.
+func testOpts(dir string) Options {
+	return Options{
+		Dir:                 dir,
+		Window:              4,
+		MinBaseline:         4,
+		RegressionThreshold: 2.0,
+	}
+}
+
+// okRec builds a successful record for the given query at time t with the
+// given latency and root q-error (0 = no estimate).
+func okRec(query string, t, latNs int64, qerr float64) Record {
+	return Record{
+		Time:        t,
+		Fingerprint: QueryFingerprint(query),
+		Query:       query,
+		PlanHash:    "p1",
+		Bucket:      SelectivityBucket(5),
+		Outcome:     OutcomeOK,
+		Rows:        5,
+		ElapsedNs:   latNs,
+		RootQError:  qerr,
+	}
+}
+
+func TestSelectivityBucket(t *testing.T) {
+	cases := map[int64]string{0: "0", -3: "0", 1: "1-9", 9: "1-9", 10: "10-99",
+		99: "10-99", 100: "100-999", 12345: "10000-99999"}
+	for rows, want := range cases {
+		if got := SelectivityBucket(rows); got != want {
+			t.Errorf("SelectivityBucket(%d) = %q, want %q", rows, got, want)
+		}
+	}
+}
+
+func TestQError(t *testing.T) {
+	if q := QError(10, 10); q != 1 {
+		t.Errorf("exact estimate: q-error %v, want 1", q)
+	}
+	if q := QError(10, 100); q != 10 {
+		t.Errorf("underestimate: q-error %v, want 10", q)
+	}
+	if q := QError(100, 10); q != 10 {
+		t.Errorf("overestimate: q-error %v, want 10", q)
+	}
+	if q := QError(0, 0); q != 1 {
+		t.Errorf("empty both sides: q-error %v, want 1 (clamped)", q)
+	}
+}
+
+func TestNilStoreIsNoOp(t *testing.T) {
+	var s *Store
+	s.Append(okRec("MATCH (a) RETURN a", 1, 1000, 1))
+	if got := s.Top(SortSlowest, 10); got != nil {
+		t.Errorf("nil store Top = %v, want nil", got)
+	}
+	if _, _, ok := s.Fingerprint("x"); ok {
+		t.Error("nil store Fingerprint reported ok")
+	}
+	if s.Regressions() != nil || s.RegressionCount() != 0 || s.Records() != 0 {
+		t.Error("nil store leaked state")
+	}
+	if err := s.Close(); err != nil {
+		t.Errorf("nil store Close: %v", err)
+	}
+	if err := s.Sync(); err != nil {
+		t.Errorf("nil store Sync: %v", err)
+	}
+	if got := s.Stats(); got != (Stats{}) {
+		t.Errorf("nil store Stats = %+v, want zero", got)
+	}
+}
+
+// storeStateJSON serializes everything a restart must reproduce.
+func storeStateJSON(t *testing.T, s *Store) string {
+	t.Helper()
+	state := struct {
+		Top    []AggregateSnapshot
+		Events []Regression
+		Stats  Stats
+	}{s.Top(SortFrequent, 0), s.Regressions(), s.Stats()}
+	// Segment/byte counts legitimately differ before and after a reopen
+	// only if recovery rewrote data, which is exactly what must not
+	// happen, so they stay in the comparison.
+	b, err := json.MarshalIndent(state, "", " ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// TestRestartReproducesAggregates pins the acceptance criterion: a seeded
+// workload replayed from recovered segments yields identical
+// per-fingerprint aggregates, drift events and counters.
+func TestRestartReproducesAggregates(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(testOpts(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	clock := int64(1000)
+	// Two healthy shapes, one drifting shape (latency regression), plus
+	// error-mix records and a traced record with per-op metrics.
+	for i := 0; i < 12; i++ {
+		clock++
+		s.Append(okRec("MATCH (a:A) RETURN a", clock, 1_000_000, 1.2))
+		clock++
+		s.Append(okRec("MATCH (b:B) RETURN b", clock, 2_000_000, 1.1))
+	}
+	for i := 0; i < 8; i++ {
+		clock++
+		lat := int64(1_000_000)
+		if i >= 4 {
+			lat = 50_000_000 // drift: 50x the baseline
+		}
+		s.Append(okRec("MATCH (c:C)-[:e]->(d) RETURN d", clock, lat, 1.0))
+	}
+	clock++
+	rec := okRec("MATCH (a:A) RETURN a", clock, 1_500_000, 3.0)
+	rec.Ops = []OpMetrics{
+		{Op: "Project(a)", Depth: 0, Est: 10, HasEstimate: true, Act: 5, QError: 2, MemBytes: 640, WallNs: 1000, SimNs: 2000},
+		{Op: "ScanVertices(:A)", Depth: 1, Est: 5, HasEstimate: true, Act: 5, QError: 1, MemBytes: 320, WallNs: 500, SimNs: 800},
+	}
+	s.Append(rec)
+	clock++
+	fail := okRec("MATCH (a:A) RETURN a", clock, 9_000_000, 0)
+	fail.Outcome = OutcomeMemoryKill
+	fail.Rows = 0
+	fail.Bucket = SelectivityBucket(0)
+	s.Append(fail)
+
+	if s.RegressionCount() == 0 {
+		t.Fatal("drifting shape was not flagged before restart")
+	}
+	before := storeStateJSON(t, s)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(testOpts(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	after := storeStateJSON(t, s2)
+	if before != after {
+		t.Errorf("restart changed aggregates:\nbefore:\n%s\nafter:\n%s", before, after)
+	}
+}
+
+// TestTornTailRecovery pins crash safety: a partial final record (the
+// write was cut mid-append) is dropped on reopen and every prior record
+// survives byte-exact.
+func TestTornTailRecovery(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(testOpts(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(1); i <= 5; i++ {
+		s.Append(okRec("MATCH (a) RETURN a", i, 1_000_000, 1))
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	seg := filepath.Join(dir, "seg-00000000.jsonl")
+	intact, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a crash mid-append: a torn record with no newline.
+	f, err := os.OpenFile(seg, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"t":99,"fingerprint":"dead","query":"MATCH (torn`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	s2, err := Open(testOpts(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if got := s2.Records(); got != 5 {
+		t.Errorf("recovered %d records, want 5", got)
+	}
+	recovered, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(recovered) != string(intact) {
+		t.Errorf("torn-tail recovery did not restore the intact bytes:\nwant %d bytes, got %d", len(intact), len(recovered))
+	}
+	agg, recs, ok := s2.Fingerprint(QueryFingerprint("MATCH (a) RETURN a"))
+	if !ok || agg.Count != 5 || len(recs) != 5 {
+		t.Errorf("aggregate after torn-tail recovery: ok=%v count=%d recs=%d, want 5/5", ok, agg.Count, len(recs))
+	}
+	// The store keeps appending cleanly after recovery.
+	s2.Append(okRec("MATCH (a) RETURN a", 100, 1_000_000, 1))
+	if got := s2.Records(); got != 6 {
+		t.Errorf("append after recovery: %d records, want 6", got)
+	}
+}
+
+// TestRotationAndPruning: small segment and total bounds force rotation
+// and oldest-segment deletion; the store never exceeds its byte budget by
+// more than one active segment.
+func TestRotationAndPruning(t *testing.T) {
+	dir := t.TempDir()
+	opts := testOpts(dir)
+	opts.MaxSegmentBytes = 2048
+	opts.MaxTotalBytes = 8192
+	s, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for i := int64(0); i < 200; i++ {
+		s.Append(okRec(fmt.Sprintf("MATCH (a:L%d) RETURN a", i%7), i+1, 1_000_000, 1))
+	}
+	st := s.Stats()
+	if st.Segments < 2 {
+		t.Errorf("expected rotation, got %d segment(s)", st.Segments)
+	}
+	if st.Bytes > opts.MaxTotalBytes+opts.MaxSegmentBytes {
+		t.Errorf("store size %d exceeds budget %d", st.Bytes, opts.MaxTotalBytes)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != st.Segments {
+		t.Errorf("disk has %d files, stats say %d segments", len(entries), st.Segments)
+	}
+	// The oldest segment must be gone.
+	if _, err := os.Stat(filepath.Join(dir, "seg-00000000.jsonl")); !os.IsNotExist(err) {
+		t.Errorf("oldest segment still present after pruning (err=%v)", err)
+	}
+}
+
+// TestLatencyRegression drives the detector through onset and clearing.
+func TestLatencyRegression(t *testing.T) {
+	dir := t.TempDir()
+	reg := obs.NewRegistry()
+	opts := testOpts(dir)
+	opts.Metrics = reg
+	s, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	q := "MATCH (a:Person) RETURN a"
+	clock := int64(0)
+	push := func(lat int64) {
+		clock++
+		s.Append(okRec(q, clock, lat, 0))
+	}
+	// 4 fill the window, 4 more age into the baseline.
+	for i := 0; i < 8; i++ {
+		push(1_000_000)
+	}
+	if s.RegressionCount() != 0 {
+		t.Fatal("flagged without drift")
+	}
+	// Drift: 10x latency. After 4 slow records the window median is slow.
+	for i := 0; i < 4; i++ {
+		push(10_000_000)
+	}
+	if got := s.RegressionCount(); got != 1 {
+		t.Fatalf("onsets = %d, want 1", got)
+	}
+	events := s.Regressions()
+	if len(events) != 1 || events[0].Kind != "latency" || events[0].Factor < 2 {
+		t.Fatalf("unexpected event %+v", events)
+	}
+	if events[0].Fingerprint != QueryFingerprint(q) {
+		t.Errorf("event fingerprint %q, want %q", events[0].Fingerprint, QueryFingerprint(q))
+	}
+	// Staying slow is the same incident: no second onset.
+	for i := 0; i < 4; i++ {
+		push(10_000_000)
+	}
+	if got := s.RegressionCount(); got != 1 {
+		t.Fatalf("re-flagged an active regression: onsets = %d", got)
+	}
+	agg, _, _ := s.Fingerprint(QueryFingerprint(q))
+	if len(agg.Regressed) != 1 || agg.Regressed[0] != "latency" {
+		t.Fatalf("aggregate regressed = %v, want [latency]", agg.Regressed)
+	}
+	// The exposition counter moved with it.
+	if !strings.Contains(reg.Exposition(), "gradoop_qstore_regressions 1") {
+		t.Error("gradoop_qstore_regressions counter not at 1 in exposition")
+	}
+	// Recovery clears the active flag (the baseline absorbs the slow
+	// samples; recent returns to baseline speed). Push enough fast
+	// records for the slow ones to age out and the baseline median to
+	// stay fast-dominated.
+	for i := 0; i < 40; i++ {
+		push(1_000_000)
+	}
+	agg, _, _ = s.Fingerprint(QueryFingerprint(q))
+	if len(agg.Regressed) != 0 {
+		t.Errorf("regression did not clear: %v", agg.Regressed)
+	}
+}
+
+// TestQErrorRegression flags estimate drift (the Zipf-head scenario: a
+// template plan whose estimates match the baseline traffic but collapse
+// for a hot parameter).
+func TestQErrorRegression(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(testOpts(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	q := "MATCH (a:Person {name: $name}) RETURN a"
+	clock := int64(0)
+	push := func(qerr float64) {
+		clock++
+		s.Append(okRec(q, clock, 1_000_000, qerr))
+	}
+	for i := 0; i < 8; i++ {
+		push(1.2) // healthy estimates
+	}
+	if s.RegressionCount() != 0 {
+		t.Fatal("flagged without drift")
+	}
+	for i := 0; i < 4; i++ {
+		push(30) // the hot-value plan is way off
+	}
+	events := s.Regressions()
+	found := false
+	for _, ev := range events {
+		if ev.Kind == "qerror" {
+			found = true
+			if ev.Factor < 2 {
+				t.Errorf("qerror factor %v below threshold", ev.Factor)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("no qerror event in %+v", events)
+	}
+}
+
+// TestFingerprintEviction bounds the aggregate map.
+func TestFingerprintEviction(t *testing.T) {
+	dir := t.TempDir()
+	opts := testOpts(dir)
+	opts.MaxFingerprints = 8
+	s, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for i := 0; i < 50; i++ {
+		s.Append(okRec(fmt.Sprintf("MATCH (a:L%d) RETURN a", i), int64(i+1), 1000, 1))
+	}
+	if st := s.Stats(); st.Fingerprints > 8 {
+		t.Errorf("aggregates grew to %d, cap 8", st.Fingerprints)
+	}
+	// The most recent shape survives, the first was evicted.
+	if _, _, ok := s.Fingerprint(QueryFingerprint("MATCH (a:L49) RETURN a")); !ok {
+		t.Error("most recent fingerprint missing")
+	}
+	if _, _, ok := s.Fingerprint(QueryFingerprint("MATCH (a:L0) RETURN a")); ok {
+		t.Error("oldest fingerprint not evicted")
+	}
+}
+
+// TestTopSorting covers the three sort orders and the limit.
+func TestTopSorting(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(testOpts(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	clock := int64(0)
+	add := func(q string, n int, lat int64, qerr float64) {
+		for i := 0; i < n; i++ {
+			clock++
+			s.Append(okRec(q, clock, lat, qerr))
+		}
+	}
+	add("MATCH (slow) RETURN slow", 2, 90_000_000, 1.5)
+	add("MATCH (hot) RETURN hot", 9, 1_000_000, 1.1)
+	add("MATCH (wrong) RETURN wrong", 3, 5_000_000, 40)
+
+	if top := s.Top(SortSlowest, 10); top[0].Query != "MATCH (slow) RETURN slow" {
+		t.Errorf("slowest[0] = %q", top[0].Query)
+	}
+	if top := s.Top(SortFrequent, 10); top[0].Query != "MATCH (hot) RETURN hot" || top[0].Count != 9 {
+		t.Errorf("frequent[0] = %q (count %d)", top[0].Query, top[0].Count)
+	}
+	if top := s.Top(SortQError, 10); top[0].Query != "MATCH (wrong) RETURN wrong" {
+		t.Errorf("qerror[0] = %q", top[0].Query)
+	}
+	if top := s.Top(SortSlowest, 2); len(top) != 2 {
+		t.Errorf("limit 2 returned %d", len(top))
+	}
+}
+
+// TestConcurrentAppendAndRead is the -race harness: writers stream
+// records while readers snapshot aggregates, the regression feed and
+// stats.
+func TestConcurrentAppendAndRead(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(testOpts(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	const writers, perWriter = 4, 200
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				q := fmt.Sprintf("MATCH (a:W%d) RETURN a", w)
+				s.Append(okRec(q, int64(w*perWriter+i+1), int64(1000+i), 1.5))
+			}
+		}(w)
+	}
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	for r := 0; r < 2; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				s.Top(SortSlowest, 10)
+				s.Fingerprint(QueryFingerprint("MATCH (a:W0) RETURN a"))
+				s.Regressions()
+				s.Stats()
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	readers.Wait()
+	if got := s.Records(); got != writers*perWriter {
+		t.Errorf("records = %d, want %d", got, writers*perWriter)
+	}
+}
+
+// BenchmarkAppendDisabled pins the nil-store off switch: the disabled
+// append path must be allocation-free (alloc-guard gates it at 0).
+func BenchmarkAppendDisabled(b *testing.B) {
+	var s *Store
+	rec := okRec("MATCH (a:Person) RETURN a", 1, 1_000_000, 1.2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Append(rec)
+	}
+}
+
+// BenchmarkAppendEnabled measures the enabled append path (marshal +
+// write + aggregate fold); alloc-guard bounds its allocations.
+func BenchmarkAppendEnabled(b *testing.B) {
+	s, err := Open(testOpts(b.TempDir()))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	rec := okRec("MATCH (a:Person) RETURN a", 1, 1_000_000, 1.2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec.Time = int64(i + 1)
+		s.Append(rec)
+	}
+}

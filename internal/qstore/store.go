@@ -1,0 +1,421 @@
+package qstore
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"gradoop/internal/obs"
+)
+
+// Defaults for Options zero values.
+const (
+	DefaultMaxSegmentBytes     = 4 << 20  // rotate segments at 4 MiB
+	DefaultMaxTotalBytes       = 64 << 20 // drop oldest segments past 64 MiB
+	DefaultRegressionThreshold = 2.0
+	DefaultWindow              = 8   // recent-window size per fingerprint
+	DefaultMinBaseline         = 16  // baseline samples required before drift checks
+	DefaultMaxFingerprints     = 512 // aggregate cardinality bound
+	recentRecords              = 32  // per-fingerprint record ring for /querystore/fingerprint
+	maxEvents                  = 256 // regression-event feed bound
+)
+
+// Options configures Open.
+type Options struct {
+	// Dir is the segment directory; created if absent.
+	Dir string
+	// MaxSegmentBytes rotates the active segment once it exceeds this
+	// size; MaxTotalBytes bounds the directory by deleting the oldest
+	// segments. Zero means the defaults above.
+	MaxSegmentBytes int64
+	MaxTotalBytes   int64
+	// RegressionThreshold flags a fingerprint when its recent latency or
+	// q-error exceeds its own baseline by this factor (default 2.0).
+	RegressionThreshold float64
+	// Window is the recent-sample window per fingerprint; MinBaseline the
+	// number of samples that must have aged out of the window into the
+	// baseline before drift checks run.
+	Window      int
+	MinBaseline int
+	// MaxFingerprints bounds the in-memory aggregate map; the
+	// least-recently-seen shape is evicted past it (its disk records
+	// remain).
+	MaxFingerprints int
+	// Metrics registers gradoop_qstore_* series when non-nil.
+	Metrics *obs.Registry
+	// Logger receives regression WARNs and recovery notices; nil discards.
+	Logger *slog.Logger
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxSegmentBytes <= 0 {
+		o.MaxSegmentBytes = DefaultMaxSegmentBytes
+	}
+	if o.MaxTotalBytes <= 0 {
+		o.MaxTotalBytes = DefaultMaxTotalBytes
+	}
+	if o.RegressionThreshold <= 1 {
+		o.RegressionThreshold = DefaultRegressionThreshold
+	}
+	if o.Window <= 0 {
+		o.Window = DefaultWindow
+	}
+	if o.MinBaseline <= 0 {
+		o.MinBaseline = DefaultMinBaseline
+	}
+	if o.MaxFingerprints <= 0 {
+		o.MaxFingerprints = DefaultMaxFingerprints
+	}
+	if o.Logger == nil {
+		o.Logger = slog.New(slog.DiscardHandler)
+	}
+	return o
+}
+
+// segment is one on-disk JSONL file.
+type segment struct {
+	index int
+	path  string
+	size  int64
+}
+
+// Store is the persistent query store. All methods are safe for concurrent
+// use and nil-check no-ops on a nil receiver.
+type Store struct {
+	opts   Options
+	logger *slog.Logger
+
+	mu      sync.RWMutex
+	cur     *os.File
+	curSize int64
+	segs    []segment // oldest first; last entry is the active segment
+	total   int64     // sum of segs sizes
+	aggs    map[string]*aggregate
+	events  []Regression // newest last; bounded by maxEvents
+	onsets  int64        // monotonic drift-onset count (events is a ring)
+	records int64
+	drops   int64
+	closed  bool
+
+	recordsC *obs.Counter
+	regrC    *obs.Counter
+	dropsC   *obs.Counter
+}
+
+// Open creates or recovers a store in opts.Dir. Existing segments are
+// replayed to rebuild the per-fingerprint aggregates; a torn tail (partial
+// final line from a crash mid-append) is truncated away, preserving every
+// complete record byte-exact.
+func Open(opts Options) (*Store, error) {
+	opts = opts.withDefaults()
+	if opts.Dir == "" {
+		return nil, fmt.Errorf("qstore: Dir is required")
+	}
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("qstore: %w", err)
+	}
+	s := &Store{
+		opts:   opts,
+		logger: opts.Logger,
+		aggs:   make(map[string]*aggregate),
+	}
+	if r := opts.Metrics; r != nil {
+		s.recordsC = r.NewCounter("gradoop_qstore_records_total",
+			"Executions recorded in the query store (including records replayed at startup).")
+		s.regrC = r.NewCounter("gradoop_qstore_regressions",
+			"Fingerprint drift onsets flagged by the query-store regression detector.")
+		s.dropsC = r.NewCounter("gradoop_qstore_dropped_writes_total",
+			"Query-store records lost to append I/O errors.")
+		r.NewGaugeFunc("gradoop_qstore_bytes",
+			"Total bytes across query-store segments.",
+			func() float64 { s.mu.RLock(); defer s.mu.RUnlock(); return float64(s.total) })
+		r.NewGaugeFunc("gradoop_qstore_segments",
+			"Number of query-store segment files.",
+			func() float64 { s.mu.RLock(); defer s.mu.RUnlock(); return float64(len(s.segs)) })
+		r.NewGaugeFunc("gradoop_qstore_fingerprints",
+			"Distinct query fingerprints with live aggregates.",
+			func() float64 { s.mu.RLock(); defer s.mu.RUnlock(); return float64(len(s.aggs)) })
+	}
+	if err := s.recover(); err != nil {
+		return nil, err
+	}
+	if err := s.openActive(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// segmentPath names segment i.
+func (s *Store) segmentPath(i int) string {
+	return filepath.Join(s.opts.Dir, fmt.Sprintf("seg-%08d.jsonl", i))
+}
+
+// listSegments scans Dir for segment files, oldest first.
+func (s *Store) listSegments() ([]segment, error) {
+	entries, err := os.ReadDir(s.opts.Dir)
+	if err != nil {
+		return nil, fmt.Errorf("qstore: %w", err)
+	}
+	var segs []segment
+	for _, e := range entries {
+		var idx int
+		if n, _ := fmt.Sscanf(e.Name(), "seg-%08d.jsonl", &idx); n != 1 {
+			continue
+		}
+		info, err := e.Info()
+		if err != nil {
+			return nil, fmt.Errorf("qstore: %w", err)
+		}
+		segs = append(segs, segment{index: idx, path: filepath.Join(s.opts.Dir, e.Name()), size: info.Size()})
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].index < segs[j].index })
+	return segs, nil
+}
+
+// recover replays every segment into the aggregates and truncates the
+// newest segment's torn tail, if any. Replay is deterministic: aggregates
+// derive only from record contents, so a restart reproduces them exactly.
+func (s *Store) recover() error {
+	segs, err := s.listSegments()
+	if err != nil {
+		return err
+	}
+	for i := range segs {
+		last := i == len(segs)-1
+		good, n, err := s.replaySegment(&segs[i])
+		if err != nil {
+			return err
+		}
+		if good < segs[i].size {
+			if last {
+				// Torn tail from a crash mid-append: drop the partial
+				// record, keep every complete one byte-exact.
+				if err := os.Truncate(segs[i].path, good); err != nil {
+					return fmt.Errorf("qstore: truncating torn tail: %w", err)
+				}
+				s.logger.Warn("qstore recovered torn tail",
+					slog.String("segment", segs[i].path),
+					slog.Int64("truncatedBytes", segs[i].size-good))
+				segs[i].size = good
+			} else {
+				// Corruption inside a sealed segment: records after the
+				// bad line are unreadable but the file is left untouched
+				// as evidence.
+				s.logger.Warn("qstore segment corrupt past offset",
+					slog.String("segment", segs[i].path),
+					slog.Int64("offset", good))
+			}
+		}
+		_ = n
+	}
+	s.segs = segs
+	s.total = 0
+	for _, sg := range segs {
+		s.total += sg.size
+	}
+	if len(segs) > 0 {
+		s.logger.Info("qstore recovered",
+			slog.Int("segments", len(segs)),
+			slog.Int64("records", s.records),
+			slog.Int("fingerprints", len(s.aggs)))
+	}
+	return nil
+}
+
+// replaySegment feeds a segment's complete records through the aggregates
+// and returns the byte offset just past the last complete, parseable line,
+// plus the number of records replayed.
+func (s *Store) replaySegment(sg *segment) (good int64, n int, err error) {
+	f, err := os.Open(sg.path)
+	if err != nil {
+		return 0, 0, fmt.Errorf("qstore: %w", err)
+	}
+	defer f.Close()
+	r := bufio.NewReader(f)
+	for {
+		line, err := r.ReadBytes('\n')
+		if err != nil {
+			if err == io.EOF {
+				// No trailing newline: torn tail.
+				return good, n, nil
+			}
+			return 0, 0, fmt.Errorf("qstore: reading %s: %w", sg.path, err)
+		}
+		var rec Record
+		if jerr := json.Unmarshal(line, &rec); jerr != nil {
+			return good, n, nil
+		}
+		good += int64(len(line))
+		n++
+		s.records++
+		s.recordsC.Inc()
+		s.apply(rec, true)
+	}
+}
+
+// openActive opens (or creates) the segment new appends go to.
+func (s *Store) openActive() error {
+	idx := 0
+	if len(s.segs) > 0 {
+		idx = s.segs[len(s.segs)-1].index
+	} else {
+		s.segs = append(s.segs, segment{index: 0, path: s.segmentPath(0)})
+	}
+	f, err := os.OpenFile(s.segmentPath(idx), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("qstore: %w", err)
+	}
+	s.cur = f
+	s.curSize = s.segs[len(s.segs)-1].size
+	return nil
+}
+
+// Append records one completed execution: marshals it, writes it to the
+// active segment (rotating and pruning as needed), and folds it into the
+// fingerprint's aggregate, running the regression detector. Nil-safe: a
+// nil store drops the record at the cost of one branch.
+func (s *Store) Append(rec Record) {
+	if s == nil {
+		return
+	}
+	line, err := marshalRecord(rec)
+	if err != nil {
+		// A record that cannot marshal is a programming error; count it
+		// rather than losing the query.
+		s.mu.Lock()
+		s.drops++
+		s.mu.Unlock()
+		s.dropsC.Inc()
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		s.drops++
+		s.dropsC.Inc()
+		return
+	}
+	if s.curSize > 0 && s.curSize+int64(len(line)) > s.opts.MaxSegmentBytes {
+		s.rotateLocked()
+	}
+	if _, err := s.cur.Write(line); err != nil {
+		s.drops++
+		s.dropsC.Inc()
+		s.logger.Error("qstore append failed", slog.String("error", err.Error()))
+		return
+	}
+	s.curSize += int64(len(line))
+	s.segs[len(s.segs)-1].size = s.curSize
+	s.total += int64(len(line))
+	s.records++
+	s.recordsC.Inc()
+	s.apply(rec, false)
+}
+
+// marshalRecord renders one JSONL line.
+func marshalRecord(rec Record) ([]byte, error) {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetEscapeHTML(false)
+	if err := enc.Encode(rec); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil // Encode appends the trailing '\n'
+}
+
+// rotateLocked seals the active segment and opens the next, pruning the
+// oldest segments past MaxTotalBytes. Called with mu held.
+func (s *Store) rotateLocked() {
+	_ = s.cur.Close()
+	next := s.segs[len(s.segs)-1].index + 1
+	f, err := os.OpenFile(s.segmentPath(next), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		// Keep writing to the oversized active segment rather than losing
+		// records.
+		s.logger.Error("qstore rotation failed", slog.String("error", err.Error()))
+		if reopened, rerr := os.OpenFile(s.segs[len(s.segs)-1].path, os.O_WRONLY|os.O_APPEND, 0o644); rerr == nil {
+			s.cur = reopened
+		}
+		return
+	}
+	s.cur = f
+	s.curSize = 0
+	s.segs = append(s.segs, segment{index: next, path: s.segmentPath(next)})
+	for len(s.segs) > 1 && s.total > s.opts.MaxTotalBytes {
+		oldest := s.segs[0]
+		if err := os.Remove(oldest.path); err != nil {
+			s.logger.Error("qstore prune failed", slog.String("error", err.Error()))
+			break
+		}
+		s.total -= oldest.size
+		s.segs = s.segs[1:]
+	}
+}
+
+// Sync flushes the active segment to stable storage.
+func (s *Store) Sync() error {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.cur == nil {
+		return nil
+	}
+	return s.cur.Sync()
+}
+
+// Close seals the store; subsequent Appends are counted as drops.
+func (s *Store) Close() error {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	if s.cur == nil {
+		return nil
+	}
+	err := s.cur.Sync()
+	if cerr := s.cur.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// Stats summarizes the store for /metrics.json and tests.
+type Stats struct {
+	Records      int64 `json:"records"`
+	Fingerprints int   `json:"fingerprints"`
+	Segments     int   `json:"segments"`
+	Bytes        int64 `json:"bytes"`
+	Drops        int64 `json:"droppedWrites"`
+	Regressions  int64 `json:"regressions"`
+}
+
+// Stats returns current store totals; zero-valued on a nil store.
+func (s *Store) Stats() Stats {
+	if s == nil {
+		return Stats{}
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return Stats{
+		Records:      s.records,
+		Fingerprints: len(s.aggs),
+		Segments:     len(s.segs),
+		Bytes:        s.total,
+		Drops:        s.drops,
+		Regressions:  s.onsets,
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"strconv"
+	"strings"
 	"time"
 
 	"gradoop/internal/obs"
@@ -33,9 +34,13 @@ func newHTTPInstruments(r *obs.Registry) httpInstruments {
 // scanners probing random paths cannot explode the series cardinality.
 func endpointLabel(path string) string {
 	switch path {
-	case "/query", "/explain", "/analyze", "/metrics", "/metrics.json", "/jobs", "/healthz":
+	case "/query", "/explain", "/analyze", "/metrics", "/metrics.json", "/jobs", "/healthz",
+		"/querystore/top", "/querystore/regressions":
 		return path
 	default:
+		if strings.HasPrefix(path, "/querystore/fingerprint/") {
+			return "/querystore/fingerprint"
+		}
 		return "other"
 	}
 }

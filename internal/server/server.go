@@ -3,8 +3,10 @@
 // the cached template plan, /analyze executes with tracing and returns the
 // EXPLAIN ANALYZE view, /metrics serves the Prometheus text exposition,
 // /metrics.json the service counters and cache hit ratios as JSON, /jobs
-// the live table of in-flight queries with their current stage, /healthz
-// liveness. Every response carries an X-Trace-Id header that is also
+// the live table of in-flight queries with their current stage,
+// /querystore/top, /querystore/fingerprint/{id} and /querystore/regressions
+// the persistent query store's aggregates and drift feed (404 when no
+// store is configured), /healthz liveness. Every response carries an X-Trace-Id header that is also
 // stamped into the request context, so session log records (slow-query
 // log included) correlate with it; structured session errors map to
 // structured HTTP statuses (400 invalid, 429 queue full, 504 deadline,
@@ -30,6 +32,7 @@ import (
 	"gradoop/internal/epgm"
 	"gradoop/internal/obs"
 	"gradoop/internal/params"
+	"gradoop/internal/qstore"
 	"gradoop/internal/session"
 )
 
@@ -71,6 +74,9 @@ func New(s *session.Session, cfg Config) *Server {
 	srv.mux.HandleFunc("/metrics", srv.handlePrometheus)
 	srv.mux.HandleFunc("/metrics.json", srv.handleMetricsJSON)
 	srv.mux.HandleFunc("/jobs", srv.handleJobs)
+	srv.mux.HandleFunc("/querystore/top", srv.handleQStoreTop)
+	srv.mux.HandleFunc("/querystore/fingerprint/", srv.handleQStoreFingerprint)
+	srv.mux.HandleFunc("/querystore/regressions", srv.handleQStoreRegressions)
 	srv.mux.HandleFunc("/healthz", srv.handleHealthz)
 	return srv
 }
@@ -245,10 +251,106 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"analyzedPlan": res.Result.AnalyzedPlan(),
+		// operators is the structured twin of the text rendering, in the
+		// same qstore.OpMetrics schema the query store persists — one
+		// schema for the live view and the history.
+		"operators":    res.Result.AnalyzedOps(),
 		"fingerprint":  res.Fingerprint,
 		"count":        res.Count,
 		"planCacheHit": res.PlanCacheHit,
 		"elapsedMs":    ms(res.Elapsed),
+		"memBytes":     res.Metrics.TotalMem,
+	})
+}
+
+// qstoreOr404 returns the session's query store, or answers 404 (the
+// store is an optional subsystem enabled by -qstore-dir).
+func (s *Server) qstoreOr404(w http.ResponseWriter) *qstore.Store {
+	st := s.session.QueryStore()
+	if st == nil {
+		writeJSON(w, http.StatusNotFound, errorResponse{
+			Error: "query store disabled (start with -qstore-dir)",
+			Kind:  session.KindInvalid.String(),
+		})
+		return nil
+	}
+	return st
+}
+
+// handleQStoreTop lists per-fingerprint aggregates ordered by ?sort=
+// (slowest | frequent | qerror, default slowest), at most ?limit= entries
+// (default 20).
+func (s *Server) handleQStoreTop(w http.ResponseWriter, r *http.Request) {
+	st := s.qstoreOr404(w)
+	if st == nil {
+		return
+	}
+	sortBy := r.URL.Query().Get("sort")
+	switch sortBy {
+	case "", qstore.SortSlowest, qstore.SortFrequent, qstore.SortQError:
+	default:
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("unknown sort %q (want slowest, frequent or qerror)", sortBy))
+		return
+	}
+	limit := 20
+	if l := r.URL.Query().Get("limit"); l != "" {
+		n, err := strconv.Atoi(l)
+		if err != nil || n <= 0 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad limit %q", l))
+			return
+		}
+		limit = n
+	}
+	if sortBy == "" {
+		sortBy = qstore.SortSlowest
+	}
+	top := st.Top(sortBy, limit)
+	writeJSON(w, http.StatusOK, map[string]any{
+		"sort":         sortBy,
+		"count":        len(top),
+		"fingerprints": top,
+	})
+}
+
+// handleQStoreFingerprint serves one query shape's full history: the
+// aggregate plus its recent records.
+func (s *Server) handleQStoreFingerprint(w http.ResponseWriter, r *http.Request) {
+	st := s.qstoreOr404(w)
+	if st == nil {
+		return
+	}
+	fp := strings.TrimPrefix(r.URL.Path, "/querystore/fingerprint/")
+	if fp == "" || strings.Contains(fp, "/") {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("want /querystore/fingerprint/{id}"))
+		return
+	}
+	agg, recs, ok := st.Fingerprint(fp)
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorResponse{
+			Error: fmt.Sprintf("unknown fingerprint %q", fp),
+			Kind:  session.KindInvalid.String(),
+		})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"aggregate": agg,
+		"records":   recs,
+	})
+}
+
+// handleQStoreRegressions serves the drift-event feed, newest first — the
+// machine-readable hook for adaptive planning.
+func (s *Server) handleQStoreRegressions(w http.ResponseWriter, r *http.Request) {
+	st := s.qstoreOr404(w)
+	if st == nil {
+		return
+	}
+	events := st.Regressions()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"count":       len(events),
+		"onsets":      st.RegressionCount(),
+		"regressions": events,
 	})
 }
 

@@ -24,6 +24,11 @@ type counters struct {
 	invalid      atomic.Int64
 	failed       atomic.Int64
 	memKilled    atomic.Int64
+	slowQueries  atomic.Int64
+	// qstoreRecords mirrors the query store's append count from this
+	// session's recordExit path (the store's own counter also includes
+	// startup replay).
+	qstoreRecords atomic.Int64
 
 	mu      sync.Mutex
 	cluster dataflow.MetricsSnapshot
@@ -73,6 +78,22 @@ type Metrics struct {
 	MemSheds     int64 `json:"memSheds"`
 	MemBrownouts int64 `json:"memBrownouts"`
 
+	// SlowQueries counts queries over the slow-query threshold (the JSON
+	// twin of gradoop_slow_queries_total).
+	SlowQueries int64 `json:"slowQueries"`
+
+	// Query store (all zero when no store is configured): records this
+	// session emitted, total records the store holds (startup replay
+	// included), drift onsets flagged, current segment footprint
+	// (bytes/segments/fingerprints) and dropped writes.
+	QStoreRecords      int64 `json:"qstoreRecords"`
+	QStoreTotal        int64 `json:"qstoreTotalRecords"`
+	QStoreRegressions  int64 `json:"qstoreRegressions"`
+	QStoreBytes        int64 `json:"qstoreBytes"`
+	QStoreSegments     int   `json:"qstoreSegments"`
+	QStoreFingerprints int   `json:"qstoreFingerprints"`
+	QStoreDrops        int64 `json:"qstoreDroppedWrites"`
+
 	// StatsCollections is the process-wide count of actual statistics
 	// collections (the per-graph memo's misses).
 	StatsCollections int64 `json:"statsCollections"`
@@ -93,29 +114,38 @@ func (s *Session) Metrics() Metrics {
 	cluster := c.cluster.Clone()
 	c.mu.Unlock()
 	resultBytes, resultEntries := s.results.usage()
+	qs := s.qstore.Stats()
 	return Metrics{
-		Queries:          c.queries.Load(),
-		Rejected:         c.rejected.Load(),
-		Timeouts:         c.timeouts.Load(),
-		Invalid:          c.invalid.Load(),
-		Failed:           c.failed.Load(),
-		MemoryKilled:     c.memKilled.Load(),
-		MemBudget:        s.broker.Budget(),
-		MemReserved:      s.broker.Reserved(),
-		MemKills:         s.broker.Kills(),
-		MemSheds:         s.broker.Sheds(),
-		MemBrownouts:     s.broker.Brownouts(),
-		PlanHits:         c.planHits.Load(),
-		PlanMisses:       c.planMisses.Load(),
-		ResultHits:       c.resultHits.Load(),
-		ResultMisses:     c.resultMisses.Load(),
-		PlanEntries:      s.plans.len(),
-		ResultEntries:    resultEntries,
-		ResultBytes:      resultBytes,
-		InFlight:         s.gate.inFlight(),
-		Queued:           s.gate.queued(),
-		StatsCollections: core.StatsCollections(),
-		Cluster:          cluster,
+		Queries:            c.queries.Load(),
+		Rejected:           c.rejected.Load(),
+		Timeouts:           c.timeouts.Load(),
+		Invalid:            c.invalid.Load(),
+		Failed:             c.failed.Load(),
+		MemoryKilled:       c.memKilled.Load(),
+		MemBudget:          s.broker.Budget(),
+		MemReserved:        s.broker.Reserved(),
+		MemKills:           s.broker.Kills(),
+		MemSheds:           s.broker.Sheds(),
+		MemBrownouts:       s.broker.Brownouts(),
+		SlowQueries:        c.slowQueries.Load(),
+		QStoreRecords:      c.qstoreRecords.Load(),
+		QStoreTotal:        qs.Records,
+		QStoreRegressions:  qs.Regressions,
+		QStoreBytes:        qs.Bytes,
+		QStoreSegments:     qs.Segments,
+		QStoreFingerprints: qs.Fingerprints,
+		QStoreDrops:        qs.Drops,
+		PlanHits:           c.planHits.Load(),
+		PlanMisses:         c.planMisses.Load(),
+		ResultHits:         c.resultHits.Load(),
+		ResultMisses:       c.resultMisses.Load(),
+		PlanEntries:        s.plans.len(),
+		ResultEntries:      resultEntries,
+		ResultBytes:        resultBytes,
+		InFlight:           s.gate.inFlight(),
+		Queued:             s.gate.queued(),
+		StatsCollections:   core.StatsCollections(),
+		Cluster:            cluster,
 	}
 }
 
@@ -147,6 +177,11 @@ func (m Metrics) Text() string {
 		m.ResultHits, m.ResultMisses, m.ResultHitRatio(), m.ResultEntries, m.ResultBytes)
 	fmt.Fprintf(&sb, "admission: inFlight=%d queued=%d slotWait=%s\n",
 		m.InFlight, m.Queued, m.Cluster.SlotWait)
+	if m.QStoreTotal > 0 || m.QStoreRecords > 0 {
+		fmt.Fprintf(&sb, "query store: records=%d total=%d regressions=%d bytes=%d segments=%d fingerprints=%d drops=%d\n",
+			m.QStoreRecords, m.QStoreTotal, m.QStoreRegressions, m.QStoreBytes,
+			m.QStoreSegments, m.QStoreFingerprints, m.QStoreDrops)
+	}
 	fmt.Fprintf(&sb, "stats collections: %d\n", m.StatsCollections)
 	fmt.Fprintf(&sb, "cluster: jobs=%d %s\n", m.Cluster.Jobs, m.Cluster.String())
 	return sb.String()

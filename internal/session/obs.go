@@ -109,6 +109,7 @@ func cacheOutcome(hit bool) string {
 // the server stamped into ctx. Called only when the session has a logger
 // and the request exceeded SlowQueryThreshold.
 func (s *Session) logSlow(ctx context.Context, canonical, fingerprint, plan string, resp *Response) {
+	s.metrics.slowQueries.Add(1)
 	s.obs.slowQueries.Inc()
 	if s.logger == nil {
 		return

@@ -1,0 +1,85 @@
+package session
+
+import (
+	"time"
+
+	"gradoop/internal/qstore"
+)
+
+// exitInfo carries what execute learned about a request for the query
+// store's one record per execution. It is passed by value (no heap
+// escape), and everything beyond clock reads is only filled when a store
+// is configured.
+type exitInfo struct {
+	start      time.Time
+	canonical  string
+	traceID    string
+	queueWait  time.Duration
+	planDur    time.Duration
+	execDur    time.Duration
+	planHash   string
+	planHit    bool
+	memBytes   int64
+	rootEst    float64
+	hasRootEst bool
+	ops        []qstore.OpMetrics
+}
+
+// recordExit is the session's single query-store append site: Execute
+// routes every exit path — success, cache hit, rejection, timeout, kill,
+// failure — through it exactly once (pinned by the qstorerecord
+// analyzer). With no store configured it is one nil check.
+func (s *Session) recordExit(resp *Response, ex exitInfo, err error) {
+	if s.qstore == nil {
+		return
+	}
+	rec := qstore.Record{
+		Time:        time.Now().UnixNano(),
+		TraceID:     ex.traceID,
+		Fingerprint: qstore.QueryFingerprint(ex.canonical),
+		PlanHash:    ex.planHash,
+		Query:       ex.canonical,
+		Outcome:     qstore.OutcomeOK,
+		QueueNs:     int64(ex.queueWait),
+		PlanNs:      int64(ex.planDur),
+		ExecNs:      int64(ex.execDur),
+		MemBytes:    ex.memBytes,
+		Ops:         ex.ops,
+	}
+	if resp != nil {
+		rec.Rows = resp.Count
+		rec.ElapsedNs = int64(resp.Elapsed)
+		rec.PlanCacheHit = resp.PlanCacheHit
+		rec.ResultCacheHit = resp.FromResultCache
+		if ex.hasRootEst {
+			rec.RootQError = qstore.QError(ex.rootEst, resp.Count)
+		}
+	}
+	if err != nil {
+		rec.Outcome = outcomeOf(err)
+		rec.ElapsedNs = int64(time.Since(ex.start))
+	}
+	rec.Bucket = qstore.SelectivityBucket(rec.Rows)
+	s.qstore.Append(rec)
+	s.metrics.qstoreRecords.Add(1)
+}
+
+// outcomeOf maps a classified session error onto its query-store outcome.
+func outcomeOf(err error) qstore.Outcome {
+	switch KindOf(err) {
+	case KindInvalid:
+		return qstore.OutcomeInvalid
+	case KindRejected:
+		return qstore.OutcomeRejected
+	case KindTimeout:
+		return qstore.OutcomeTimeout
+	case KindMemoryBudget:
+		return qstore.OutcomeMemoryKill
+	default:
+		return qstore.OutcomeError
+	}
+}
+
+// QueryStore exposes the session's query store (nil when disabled) for
+// the HTTP /querystore endpoints and tests.
+func (s *Session) QueryStore() *qstore.Store { return s.qstore }

@@ -25,6 +25,7 @@ import (
 	"gradoop/internal/obs"
 	"gradoop/internal/operators"
 	"gradoop/internal/planner"
+	"gradoop/internal/qstore"
 	"gradoop/internal/stats"
 	csvstore "gradoop/internal/storage/csv"
 	"gradoop/internal/trace"
@@ -89,6 +90,13 @@ type Options struct {
 	// time emit a slow-query log record with the canonicalized query and
 	// its analyzed plan (0 = disabled).
 	SlowQueryThreshold time.Duration
+
+	// QueryStore receives one persistent record per completed execution
+	// (every exit path: success, invalid, rejected, timeout, memory kill,
+	// failure); nil disables the query store at zero cost, mirroring the
+	// nil-registry and nil-broker off switches. The caller owns the
+	// store's lifecycle (Open/Close).
+	QueryStore *qstore.Store
 }
 
 func (o Options) withDefaults() Options {
@@ -203,6 +211,7 @@ type Session struct {
 	obs     *instruments
 	logger  *slog.Logger
 	jobs    *jobTable
+	qstore  *qstore.Store
 
 	// state is swapped wholesale by SwapGraph; reads take the pointer once
 	// and work on the immutable snapshot.
@@ -223,6 +232,7 @@ func New(g *epgm.LogicalGraph, opts Options) *Session {
 		metrics: &counters{},
 		logger:  opts.Logger,
 		jobs:    newJobTable(),
+		qstore:  opts.QueryStore,
 		state:   newGraphState(g, 1),
 	}
 	s.gate.broker = broker
@@ -403,15 +413,32 @@ func (s *Session) compile(st *graphState, canonical string, col *trace.Collector
 // KindTimeout (deadline or cancellation, queued or mid-flight) or
 // KindFailed (execution failure). A request never hangs: admission has a
 // bounded queue and the deadline covers the wait.
+//
+// Execute is a thin shell around execute so that every exit path — early
+// returns included — funnels through exactly one recordExit call, the
+// query store's only append site (the qstorerecord analyzer pins this
+// structure).
 func (s *Session) Execute(req Request) (*Response, error) {
+	resp, ex, err := s.execute(req)
+	s.recordExit(resp, ex, err)
+	return resp, err
+}
+
+// execute is Execute's body; it fills the exitInfo the query-store record
+// is built from. Extra bookkeeping beyond two clock reads is gated on
+// s.qstore so the disabled path stays behavior-identical and
+// allocation-free.
+func (s *Session) execute(req Request) (*Response, exitInfo, error) {
 	start := time.Now()
+	ex := exitInfo{start: start, traceID: obs.TraceIDFrom(req.Context)}
 	s.metrics.queries.Add(1)
 	s.obs.queries.Inc()
 	canonical := CanonicalQuery(req.Query)
+	ex.canonical = canonical
 	if canonical == "" {
 		s.metrics.invalid.Add(1)
 		s.obs.errorKind(KindInvalid)
-		return nil, &Error{Kind: KindInvalid, Err: errors.New("empty query")}
+		return nil, ex, &Error{Kind: KindInvalid, Err: errors.New("empty query")}
 	}
 
 	// The deadline starts before queueing: time spent waiting for a slot
@@ -444,28 +471,29 @@ func (s *Session) Execute(req Request) (*Response, error) {
 				Count:           r.Count,
 				FromResultCache: true,
 				Elapsed:         time.Since(start),
-			}, nil
+			}, ex, nil
 		}
 		s.metrics.resultMisses.Add(1)
 		s.obs.resultCache.With("miss").Inc()
 	}
 
-	liveJob := s.jobs.add(obs.TraceIDFrom(req.Context), canonical)
+	liveJob := s.jobs.add(ex.traceID, canonical)
 	defer s.jobs.remove(liveJob)
 
 	queueWait, err := s.gate.acquire(ctx)
 	if err == nil {
 		s.obs.admissionWait.Observe(int64(queueWait))
+		ex.queueWait = queueWait
 	}
 	if err != nil {
 		if errors.Is(err, ErrQueueFull) {
 			s.metrics.rejected.Add(1)
 			s.obs.errorKind(KindRejected)
-			return nil, &Error{Kind: KindRejected, Err: err}
+			return nil, ex, &Error{Kind: KindRejected, Err: err}
 		}
 		s.metrics.timeouts.Add(1)
 		s.obs.errorKind(KindTimeout)
-		return nil, &Error{Kind: KindTimeout, Err: err}
+		return nil, ex, &Error{Kind: KindTimeout, Err: err}
 	}
 	defer s.gate.release()
 
@@ -473,12 +501,16 @@ func (s *Session) Execute(req Request) (*Response, error) {
 	if req.Trace {
 		col = trace.NewCollector()
 	}
+	planStart := time.Now()
 	prep, planHit, err := s.compile(st, canonical, col)
+	ex.planDur = time.Since(planStart)
 	if err != nil {
 		s.metrics.invalid.Add(1)
 		s.obs.errorKind(KindInvalid)
-		return nil, classify(KindInvalid, err)
+		return nil, ex, classify(KindInvalid, err)
 	}
+	ex.planHash = prep.Fingerprint()
+	ex.planHit = planHit
 
 	// Under governance every query charges its materialized bytes to its own
 	// reservation; Release on every exit path is what keeps the broker's
@@ -514,9 +546,14 @@ func (s *Session) Execute(req Request) (*Response, error) {
 	cfg.Context = ctx
 	cfg.Trace = col
 
+	execStart := time.Now()
 	res, err := prep.Execute(g, cfg)
+	ex.execDur = time.Since(execStart)
 	if err != nil {
-		return nil, s.classifyExec(err, reservation)
+		if s.qstore != nil {
+			ex.memBytes = env.Metrics().TotalMem
+		}
+		return nil, ex, s.classifyExec(err, reservation)
 	}
 	rows := res.Rows()
 	count := res.Count()
@@ -547,10 +584,19 @@ func (s *Session) Execute(req Request) (*Response, error) {
 		Result:       res,
 	}
 	s.obs.queryTime.Observe(int64(resp.Elapsed))
+	if s.qstore != nil {
+		ex.memBytes = m.TotalMem
+		if est, ok := res.Plan.Estimates[res.Plan.Root]; ok {
+			ex.rootEst, ex.hasRootEst = est, true
+		}
+		if col != nil {
+			ex.ops = res.AnalyzedOps()
+		}
+	}
 	if th := s.slowThreshold(); th > 0 && resp.Elapsed >= th {
 		s.logSlow(req.Context, canonical, resp.Fingerprint, prep.Plan.Explain(), resp)
 	}
-	return resp, nil
+	return resp, ex, nil
 }
 
 // classifyExec maps an execution error to its kind. The budget check runs

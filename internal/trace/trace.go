@@ -30,6 +30,10 @@ type PartStats struct {
 	// NetBytes and SpillBytes mirror the network and disk charges.
 	NetBytes   int64 `json:"netBytes"`
 	SpillBytes int64 `json:"spillBytes"`
+	// MemBytes mirrors the memory-broker materialization charge: bytes of
+	// embeddings this partition reserved against the process budget while
+	// the stage ran.
+	MemBytes int64 `json:"memBytes,omitempty"`
 	// Recovery is the simulated redeployment delay charged to this
 	// partition for injected worker failures.
 	Recovery time.Duration `json:"recoveryNs"`
@@ -279,6 +283,14 @@ func (c *Collector) Spill(p int, bytes int64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.part(p).SpillBytes += bytes
+}
+
+// Mem mirrors a memory-broker materialization charge into the current
+// stage.
+func (c *Collector) Mem(p int, bytes int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.part(p).MemBytes += bytes
 }
 
 // Attempt records one partition execution attempt of a stage.
