@@ -12,7 +12,7 @@ GO ?= go
 STATICCHECK_VERSION ?= 2025.1.1
 GOVULNCHECK_VERSION ?= v1.1.4
 
-.PHONY: all build test vet lint lint-tools fuzz-smoke race chaos-smoke alloc-guard check bench clean
+.PHONY: all build test vet lint lint-tools fuzz-smoke race chaos-smoke alloc-guard cluster-smoke check bench clean
 
 all: check
 
@@ -57,6 +57,7 @@ fuzz-smoke:
 	$(GO) test ./internal/session -run '^FuzzCanonicalQuery$$' -fuzz '^FuzzCanonicalQuery$$' -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/cypher -run '^FuzzParse$$' -fuzz '^FuzzParse$$' -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/gdl -run '^FuzzParse$$' -fuzz '^FuzzParse$$' -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/wire -run '^FuzzParamsRoundTrip$$' -fuzz '^FuzzParamsRoundTrip$$' -fuzztime=$(FUZZTIME)
 
 race:
 	$(GO) test -race ./...
@@ -83,8 +84,18 @@ alloc-guard:
 		/^BenchmarkAppendDisabled/ { print; if ($$(NF-1)+0 != 0) bad = 1 } \
 		/^BenchmarkAppendEnabled/  { print; if ($$(NF-1)+0 > 16) bad = 1 } \
 		END { if (bad) { print "alloc-guard: qstore append path over budget (disabled must be 0 allocs/op, enabled <= 16)"; exit 1 } }'
+	$(GO) test ./internal/dataflow -run '^$$' -bench 'BenchmarkTransportNil' -benchmem | awk ' \
+		/^Benchmark/ { print; if ($$(NF-1)+0 != 0) bad = 1 } \
+		END { if (bad) { print "alloc-guard: nil-transport collectives allocate (single-process hot path must be free)"; exit 1 } }'
 
 check: build vet lint race alloc-guard
+
+# cluster-smoke builds the real cypherd and cypherworker binaries, spawns
+# a coordinator plus two worker OS processes over a generated dataset,
+# queries over HTTP, crashes one worker mid-query and requires the
+# recovered result to be bit-identical to a plain single-process cypherd.
+cluster-smoke:
+	CLUSTER_E2E=1 $(GO) test ./internal/cluster -run '^TestClusterE2E$$' -count=1 -v -timeout 300s
 
 # Regenerate the paper's evaluation tables plus the recovery-overhead
 # experiment (runtime vs injected worker failures).

@@ -22,7 +22,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: figure3|figure4|figure5|table3|table4|cards|extended|recovery|analyze|serve|all")
+	exp := flag.String("exp", "all", "experiment: figure3|figure4|figure5|table3|table4|cards|extended|recovery|analyze|serve|chaos|cluster|all")
 	sfSmall := flag.Float64("sf-small", 0.1, "small scale factor (the paper's SF10 stand-in)")
 	sfLarge := flag.Float64("sf-large", 1.0, "large scale factor (the paper's SF100 stand-in)")
 	seed := flag.Int64("seed", 2017, "generator seed")
@@ -46,8 +46,9 @@ func main() {
 		"analyze":  func() error { return benchkit.Analyze(r, os.Stdout, *tracePrefix) },
 		"serve":    func() error { return benchkit.Serve(r, os.Stdout) },
 		"chaos":    func() error { return benchkit.Chaos(r, os.Stdout) },
+		"cluster":  func() error { return benchkit.Cluster(r, os.Stdout) },
 	}
-	order := []string{"figure3", "figure4", "figure5", "table3", "table4", "cards", "extended", "recovery", "analyze", "serve", "chaos"}
+	order := []string{"figure3", "figure4", "figure5", "table3", "table4", "cards", "extended", "recovery", "analyze", "serve", "chaos", "cluster"}
 
 	run := func(name string) {
 		fn, ok := experiments[name]

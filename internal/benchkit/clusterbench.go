@@ -1,0 +1,150 @@
+package benchkit
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"sort"
+	"time"
+
+	"gradoop/internal/cluster"
+	"gradoop/internal/epgm"
+	"gradoop/internal/session"
+)
+
+// ClusterWorkerCounts is the process sweep of the distributed-execution
+// experiment: each count is a roster of real worker runtimes reached over
+// TCP. Tests shrink it for speed.
+var ClusterWorkerCounts = []int{1, 2, 4}
+
+// ClusterRequests is the request count per (query, topology) cell. Tests
+// shrink it for speed.
+var ClusterRequests = 20
+
+// clusterPartitions fixes the logical partition count for every cell. The
+// plan is a deterministic function of (query, stats, partitions), so pinning
+// it means every topology — including the in-process baseline — executes
+// the identical plan and the comparison isolates the transport.
+const clusterPartitions = 4
+
+// ClusterMeasurement is one cell of the distributed-execution matrix.
+// Workers == 0 is the in-process baseline (no coordinator, no sockets).
+// ModelBytes is the cost model's cross-partition byte charge summed over
+// the shuffle stages of every request; WireBytes is what those shuffles
+// actually framed onto worker sockets (encoded embeddings plus frame
+// headers, minus process-local partition pairs that never touch a socket).
+type ClusterMeasurement struct {
+	Query      QueryID
+	Workers    int
+	Requests   int
+	Count      int64
+	QPS        float64
+	P50, P99   time.Duration
+	ModelBytes int64
+	WireBytes  int64
+}
+
+// RunCluster measures one cell: a session backed by `workers` in-process
+// worker runtimes behind a coordinator (or the plain engine when workers
+// is 0), draining `requests` sequential executions of one query. The
+// result cache is off so every request is a real distributed execution;
+// the plan cache stays on, which is the serving configuration.
+func (r *Runner) RunCluster(q QueryID, sf float64, workers, requests int) (ClusterMeasurement, error) {
+	p := r.Prepare(sf, clusterPartitions)
+	opts := session.Options{Workers: clusterPartitions, NoResultCache: true}
+
+	if workers > 0 {
+		data := session.NewGraphData(p.Graph())
+		ws := make([]*cluster.Worker, workers)
+		addrs := make([]string, workers)
+		for i := range ws {
+			w := cluster.NewWorker(fmt.Sprintf("bench-w%d", i), data, nil)
+			ln, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				return ClusterMeasurement{}, fmt.Errorf("benchkit: cluster listen: %w", err)
+			}
+			go w.Serve(ln)
+			defer w.Close()
+			ws[i] = w
+			addrs[i] = ln.Addr().String()
+		}
+		coord, err := cluster.NewCoordinator(addrs, cluster.Options{Workers: clusterPartitions})
+		if err != nil {
+			return ClusterMeasurement{}, fmt.Errorf("benchkit: cluster coordinator: %w", err)
+		}
+		defer coord.Close()
+		opts.Remote = coord
+	}
+	s := session.New(p.Graph(), opts)
+
+	req := session.Request{Query: q.Text()}
+	if q.Operational() {
+		req.Params = map[string]epgm.PropertyValue{"firstName": epgm.PVString(p.FirstName(Low))}
+	}
+
+	m := ClusterMeasurement{Query: q, Workers: workers, Requests: requests}
+	latencies := make([]time.Duration, requests)
+	start := time.Now()
+	for i := 0; i < requests; i++ {
+		t0 := time.Now()
+		resp, err := s.Execute(req)
+		if err != nil {
+			return ClusterMeasurement{}, fmt.Errorf("benchkit: cluster %s (%d workers): %w", q, workers, err)
+		}
+		latencies[i] = time.Since(t0)
+		m.Count = resp.Count
+		if resp.Cluster != nil {
+			for _, st := range resp.Cluster.Stages {
+				if st.Shuffle {
+					m.ModelBytes += st.ModelBytes
+					m.WireBytes += st.WireBytes
+				}
+			}
+		}
+	}
+	wall := time.Since(start)
+
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	m.QPS = float64(requests) / wall.Seconds()
+	m.P50 = latencies[requests/2]
+	m.P99 = latencies[(requests*99)/100]
+	return m, nil
+}
+
+// Cluster runs the distributed-execution experiment: each query's
+// serving throughput and tail latency across 1, 2 and 4 worker processes
+// set against the in-process engine, plus the cost model's predicted
+// shuffle volume against the bytes the shuffles actually put on the wire.
+// Every cell must return the baseline's result count — the bit-identity
+// guarantee, checked here on the cheap cardinality surface.
+func Cluster(r *Runner, w io.Writer) error {
+	fmt.Fprintf(w, "== Cluster: multi-process execution vs in-process engine (SF%g, %d partitions, %d requests/cell) ==\n",
+		r.SFSmall, clusterPartitions, ClusterRequests)
+	fmt.Fprintf(w, "%-6s %-8s %8s %12s %12s %12s %12s %10s %s\n",
+		"query", "workers", "qps", "p50", "p99", "modelBytes", "wireBytes", "wire/model", "result")
+	for _, q := range []QueryID{Q1, Q4} {
+		base, err := r.RunCluster(q, r.SFSmall, 0, ClusterRequests)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%-6s %-8s %8.1f %12s %12s %12s %12s %10s %s\n",
+			q, "in-proc", base.QPS, fmtDur(base.P50), fmtDur(base.P99), "-", "-", "-", "ok")
+		for _, n := range ClusterWorkerCounts {
+			m, err := r.RunCluster(q, r.SFSmall, n, ClusterRequests)
+			if err != nil {
+				return err
+			}
+			result := "ok"
+			if m.Count != base.Count {
+				result = fmt.Sprintf("MISMATCH (%d != %d)", m.Count, base.Count)
+			}
+			ratio := "-"
+			if m.ModelBytes > 0 {
+				ratio = fmt.Sprintf("%.2fx", float64(m.WireBytes)/float64(m.ModelBytes))
+			}
+			fmt.Fprintf(w, "%-6s %-8d %8.1f %12s %12s %12d %12d %10s %s\n",
+				q, n, m.QPS, fmtDur(m.P50), fmtDur(m.P99), m.ModelBytes, m.WireBytes, ratio, result)
+		}
+	}
+	return nil
+}

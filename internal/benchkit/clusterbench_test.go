@@ -1,0 +1,54 @@
+package benchkit
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestClusterExperiment runs the distributed-execution experiment at a
+// tiny scale: the multi-process cells must reproduce the in-process
+// baseline counts, and the shuffle-byte columns must be populated for
+// topologies whose exchanges cross sockets.
+func TestClusterExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns TCP worker meshes")
+	}
+	origCounts, origReqs := ClusterWorkerCounts, ClusterRequests
+	ClusterWorkerCounts = []int{2}
+	ClusterRequests = 3
+	defer func() { ClusterWorkerCounts, ClusterRequests = origCounts, origReqs }()
+
+	r := NewRunner()
+	r.SFSmall = 0.02
+	var sb strings.Builder
+	if err := Cluster(r, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if strings.Contains(out, "MISMATCH") {
+		t.Fatalf("distributed counts diverge from the in-process engine:\n%s", out)
+	}
+	if !strings.Contains(out, "in-proc") {
+		t.Fatalf("missing baseline row:\n%s", out)
+	}
+}
+
+// TestRunClusterShuffleBytes checks the per-cell measurement surface: a
+// two-process topology running an analytical query must record both the
+// model's predicted shuffle volume and nonzero bytes on the wire.
+func TestRunClusterShuffleBytes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns TCP worker meshes")
+	}
+	r := NewRunner()
+	m, err := r.RunCluster(Q4, 0.02, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.ModelBytes <= 0 {
+		t.Error("cost model charged no shuffle bytes")
+	}
+	if m.WireBytes <= 0 {
+		t.Error("two-process shuffles put no bytes on the wire")
+	}
+}

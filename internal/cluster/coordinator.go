@@ -1,0 +1,789 @@
+package cluster
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log/slog"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"gradoop/internal/core"
+	"gradoop/internal/dataflow"
+	"gradoop/internal/embedding"
+	"gradoop/internal/epgm"
+	"gradoop/internal/obs"
+	"gradoop/internal/planner"
+	"gradoop/internal/session"
+	"gradoop/internal/wire"
+)
+
+// Options configures a Coordinator.
+type Options struct {
+	// Workers is the logical partition count P. It must equal the session's
+	// worker count: the coordinator's plan and every worker's plan are the
+	// same deterministic function of (query, stats, P).
+	Workers int
+	// Partitioner assigns partitions to live workers (default rendezvous).
+	Partitioner Partitioner
+	// HeartbeatInterval is how often workers are pinged (default 500ms);
+	// HeartbeatTimeout is how long a silent worker stays in the roster
+	// (default 2s). The heartbeat catches wedged-but-open connections;
+	// outright connection drops are detected immediately.
+	HeartbeatInterval time.Duration
+	HeartbeatTimeout  time.Duration
+	// MaxAttempts bounds lost-worker re-executions per query (default:
+	// cluster size, so every query survives all-but-one worker dying).
+	MaxAttempts int
+	// Metrics registers the gradoop_cluster_* instruments (nil disables).
+	Metrics *obs.Registry
+	// Logger records roster changes and recoveries (nil disables).
+	Logger *slog.Logger
+}
+
+// Coordinator fronts a set of worker processes and implements
+// session.RemoteExecutor: it plans once on the session's pinned statistics,
+// ships the job to every live worker, drives recovery when workers die and
+// assembles the final result. The session in front of it keeps providing
+// the plan cache, result cache, admission control and query store — only
+// the dataflow execution moves out of process.
+type Coordinator struct {
+	opts Options
+	part Partitioner
+	inst *clusterInstruments
+
+	mu      sync.Mutex
+	members []*member
+	pending map[jobKey]*attemptState
+	jobSeq  uint64
+	closed  bool
+
+	stopHB chan struct{}
+	hbDone chan struct{}
+}
+
+// member is one worker process as the coordinator sees it.
+type member struct {
+	idx  int
+	node string
+	addr string
+	conn net.Conn
+	send *sender
+
+	mu       sync.Mutex
+	alive    bool
+	lastPong time.Time
+}
+
+var _ session.RemoteExecutor = (*Coordinator)(nil)
+
+// NewCoordinator dials the worker addresses and verifies the protocol
+// handshake with each. All workers must be reachable at startup; losses
+// after that are handled by recovery.
+func NewCoordinator(addrs []string, opts Options) (*Coordinator, error) {
+	if len(addrs) == 0 {
+		return nil, errors.New("cluster: no worker addresses")
+	}
+	if opts.Workers <= 0 {
+		return nil, errors.New("cluster: Options.Workers must be positive")
+	}
+	if opts.Partitioner == nil {
+		opts.Partitioner = RendezvousPartitioner{}
+	}
+	if opts.HeartbeatInterval <= 0 {
+		opts.HeartbeatInterval = 500 * time.Millisecond
+	}
+	if opts.HeartbeatTimeout <= 0 {
+		opts.HeartbeatTimeout = 2 * time.Second
+	}
+	if opts.MaxAttempts <= 0 {
+		opts.MaxAttempts = len(addrs)
+	}
+	c := &Coordinator{
+		opts:    opts,
+		part:    opts.Partitioner,
+		inst:    newClusterInstruments(opts.Metrics),
+		pending: map[jobKey]*attemptState{},
+		stopHB:  make(chan struct{}),
+		hbDone:  make(chan struct{}),
+	}
+	now := time.Now()
+	for i, addr := range addrs {
+		conn, br, node, err := dialControl(addr)
+		if err != nil {
+			c.Close()
+			return nil, fmt.Errorf("cluster: worker %d (%s): %w", i, addr, err)
+		}
+		m := &member{idx: i, node: node, addr: addr, conn: conn, send: newSender(conn), alive: true, lastPong: now}
+		c.members = append(c.members, m)
+		go c.readMember(m, br)
+	}
+	if c.inst != nil {
+		c.inst.bindRoster(c)
+	}
+	go c.heartbeat()
+	return c, nil
+}
+
+// dialControl opens and hand-shakes one control connection.
+func dialControl(addr string) (net.Conn, *bufio.Reader, string, error) {
+	conn, err := net.DialTimeout("tcp", addr, handshakeTimeout)
+	if err != nil {
+		return nil, nil, "", err
+	}
+	br := bufio.NewReaderSize(conn, 64<<10)
+	conn.SetDeadline(time.Now().Add(handshakeTimeout))
+	err = writeJSONFrame(conn, frameHello, hello{Magic: protoMagic, Version: protoVersion, Role: roleControl})
+	var typ byte
+	var payload []byte
+	if err == nil {
+		typ, payload, err = readFrame(br)
+	}
+	if err != nil {
+		conn.Close()
+		return nil, nil, "", err
+	}
+	switch typ {
+	case frameWelcome:
+		var wl welcome
+		if err := json.Unmarshal(payload, &wl); err != nil || wl.Magic != protoMagic || wl.Version != protoVersion {
+			conn.Close()
+			return nil, nil, "", fmt.Errorf("bad welcome: %v", err)
+		}
+		conn.SetDeadline(time.Time{})
+		return conn, br, wl.Node, nil
+	case frameReject:
+		var rej reject
+		json.Unmarshal(payload, &rej)
+		conn.Close()
+		return nil, nil, "", fmt.Errorf("rejected: %s", rej.Reason)
+	default:
+		conn.Close()
+		return nil, nil, "", fmt.Errorf("unexpected handshake frame %d", typ)
+	}
+}
+
+// Close tears the coordinator down.
+func (c *Coordinator) Close() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	members := append([]*member(nil), c.members...)
+	c.mu.Unlock()
+	close(c.stopHB)
+	for _, m := range members {
+		m.send.abort()
+	}
+}
+
+// LiveWorkers reports the currently live roster size.
+func (c *Coordinator) LiveWorkers() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, m := range c.members {
+		if m.isAlive() {
+			n++
+		}
+	}
+	return n
+}
+
+func (m *member) isAlive() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.alive
+}
+
+func (m *member) markPong() {
+	m.mu.Lock()
+	m.lastPong = time.Now()
+	m.mu.Unlock()
+}
+
+// readMember is the control connection's read loop: results and terminal
+// reports route to the attempt they belong to, pongs feed the heartbeat.
+// A read error is the definitive death signal for the member.
+func (c *Coordinator) readMember(m *member, br *bufio.Reader) {
+	for {
+		typ, payload, err := readFrame(br)
+		if err != nil {
+			c.memberDown(m, err)
+			return
+		}
+		switch typ {
+		case framePong:
+			m.markPong()
+		case frameResult:
+			f, err := decodeResultFrame(payload)
+			if err != nil {
+				c.memberDown(m, err)
+				return
+			}
+			if st := c.attempt(jobKey{job: f.JobID, attempt: f.Attempt}); st != nil {
+				st.deliverResult(f.Partition, f.Body)
+			}
+		case frameJobDone:
+			var done jobDone
+			if err := json.Unmarshal(payload, &done); err != nil {
+				c.memberDown(m, err)
+				return
+			}
+			if st := c.attempt(jobKey{job: done.JobID, attempt: done.Attempt}); st != nil {
+				st.deliverDone(m.idx, &done)
+			}
+		}
+	}
+}
+
+// memberDown marks a member dead, closes its connection and wakes every
+// attempt it participates in.
+func (c *Coordinator) memberDown(m *member, cause error) {
+	m.mu.Lock()
+	wasAlive := m.alive
+	m.alive = false
+	m.mu.Unlock()
+	if !wasAlive {
+		return
+	}
+	m.send.abort()
+	if c.inst != nil {
+		c.inst.losses.Inc()
+	}
+	if c.opts.Logger != nil {
+		c.opts.Logger.Warn("cluster worker lost", "node", m.node, "addr", m.addr, "err", cause)
+	}
+	c.mu.Lock()
+	attempts := make([]*attemptState, 0, len(c.pending))
+	for _, st := range c.pending {
+		attempts = append(attempts, st)
+	}
+	c.mu.Unlock()
+	for _, st := range attempts {
+		st.memberDown(m.idx)
+	}
+}
+
+func (c *Coordinator) attempt(key jobKey) *attemptState {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.pending[key]
+}
+
+// heartbeat pings live members and expires the silent ones.
+func (c *Coordinator) heartbeat() {
+	defer close(c.hbDone)
+	ticker := time.NewTicker(c.opts.HeartbeatInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-c.stopHB:
+			return
+		case <-ticker.C:
+		}
+		c.mu.Lock()
+		members := append([]*member(nil), c.members...)
+		c.mu.Unlock()
+		for _, m := range members {
+			if !m.isAlive() {
+				continue
+			}
+			m.mu.Lock()
+			silent := time.Since(m.lastPong)
+			m.mu.Unlock()
+			if silent > c.opts.HeartbeatTimeout {
+				c.memberDown(m, fmt.Errorf("heartbeat timeout (%v silent)", silent))
+				continue
+			}
+			m.send.send(framePing, nil)
+		}
+	}
+}
+
+// attemptState tracks one in-flight attempt on the coordinator side.
+type attemptState struct {
+	key    jobKey
+	roster []int // participating member indices, in roster order
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	results map[int][]byte   // partition -> encoded rows
+	dones   map[int]*jobDone // member idx -> terminal report
+	down    map[int]bool     // member idx -> died during the attempt
+	err     error            // external failure (context cancellation)
+}
+
+func newAttemptState(key jobKey, roster []int) *attemptState {
+	st := &attemptState{
+		key:     key,
+		roster:  roster,
+		results: map[int][]byte{},
+		dones:   map[int]*jobDone{},
+		down:    map[int]bool{},
+	}
+	st.cond = sync.NewCond(&st.mu)
+	return st
+}
+
+func (st *attemptState) deliverResult(partition int, body []byte) {
+	st.mu.Lock()
+	st.results[partition] = body
+	st.mu.Unlock()
+}
+
+func (st *attemptState) deliverDone(memberIdx int, done *jobDone) {
+	st.mu.Lock()
+	st.dones[memberIdx] = done
+	st.cond.Broadcast()
+	st.mu.Unlock()
+}
+
+func (st *attemptState) memberDown(memberIdx int) {
+	st.mu.Lock()
+	for _, idx := range st.roster {
+		if idx == memberIdx {
+			st.down[memberIdx] = true
+			st.cond.Broadcast()
+			break
+		}
+	}
+	st.mu.Unlock()
+}
+
+func (st *attemptState) fail(err error) {
+	st.mu.Lock()
+	if st.err == nil && err != nil {
+		st.err = err
+	}
+	st.cond.Broadcast()
+	st.mu.Unlock()
+}
+
+// await blocks until the attempt settles: every roster member has reported
+// a terminal state or died — or a loss has been observed (a dead member or
+// a peer-loss report), in which case the attempt is already doomed and the
+// caller aborts the stragglers instead of waiting out their rendezvous
+// timeouts.
+func (st *attemptState) await() error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	for {
+		if st.err != nil {
+			return st.err
+		}
+		if len(st.down) > 0 {
+			return nil
+		}
+		settled := true
+		for _, idx := range st.roster {
+			done := st.dones[idx]
+			if done != nil && done.PeerLost {
+				return nil
+			}
+			if done == nil {
+				settled = false
+			}
+		}
+		if settled {
+			return nil
+		}
+		st.cond.Wait()
+	}
+}
+
+// outcome classifies a settled attempt.
+type outcome struct {
+	recoverable bool  // worker loss: retry on the survivors
+	accused     []int // member indices reported dead by their peers
+	queryErr    error // genuine failure: propagate
+}
+
+func (st *attemptState) classify() outcome {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	var out outcome
+	accused := map[int]bool{}
+	for idx := range st.down {
+		out.recoverable = true
+		accused[idx] = true
+	}
+	for _, idx := range st.roster {
+		done := st.dones[idx]
+		if done == nil {
+			continue
+		}
+		if done.PeerLost {
+			out.recoverable = true
+			// LostPeers are roster-relative; translate to member indices.
+			for _, r := range done.LostPeers {
+				if r >= 0 && r < len(st.roster) {
+					accused[st.roster[r]] = true
+				}
+			}
+			continue
+		}
+		if done.Error != "" && out.queryErr == nil {
+			out.queryErr = errors.New(done.Error)
+		}
+	}
+	for idx := range accused {
+		out.accused = append(out.accused, idx)
+	}
+	sort.Ints(out.accused)
+	return out
+}
+
+// ExecuteRemote implements session.RemoteExecutor: ship the prepared query
+// to the live roster, recover from worker losses by re-running on a
+// remapped partition assignment, and assemble the coordinator-side Result.
+func (c *Coordinator) ExecuteRemote(g *epgm.LogicalGraph, prep *core.Prepared, cfg core.Config) (*core.Result, *session.ClusterReport, error) {
+	start := time.Now()
+	if c.inst != nil {
+		c.inst.jobs.Inc()
+	}
+	c.mu.Lock()
+	c.jobSeq++
+	jobID := c.jobSeq
+	closed := c.closed
+	c.mu.Unlock()
+	if closed {
+		return nil, nil, errors.New("cluster: coordinator closed")
+	}
+
+	spec := jobSpec{
+		JobID:        jobID,
+		Query:        prep.Query,
+		Params:       wire.AppendParams(nil, cfg.Params),
+		Stats:        prep.Stats,
+		Workers:      c.opts.Workers,
+		Vertex:       int(prep.Morph.Vertex),
+		Edge:         int(prep.Morph.Edge),
+		Hint:         int(prep.Hint),
+		DisableReuse: cfg.DisableSubqueryReuse,
+		Fingerprint:  prep.Fingerprint(),
+		TimeoutNs:    int64(cfg.Timeout),
+	}
+
+	ctx := cfg.Context
+	if cfg.Timeout > 0 {
+		if ctx == nil {
+			ctx = context.Background()
+		}
+		// The workers enforce the query timeout themselves; this outer
+		// deadline only catches a cluster that stopped answering entirely.
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, cfg.Timeout+handshakeTimeout)
+		defer cancel()
+	}
+
+	var lastErr error
+	for attempt := 0; attempt < c.opts.MaxAttempts; attempt++ {
+		roster := c.liveRoster()
+		if len(roster) == 0 {
+			return nil, nil, fmt.Errorf("cluster: all workers lost (job %d attempt %d)", jobID, attempt)
+		}
+		st, err := c.launchAttempt(&spec, attempt, roster)
+		if err != nil {
+			return nil, nil, err
+		}
+		var stopWatch func() bool
+		if ctx != nil {
+			stopWatch = context.AfterFunc(ctx, func() { st.fail(ctx.Err()) })
+		}
+		err = st.await()
+		if stopWatch != nil {
+			stopWatch()
+		}
+		c.unregister(st)
+		if err != nil {
+			c.abortAttempt(st)
+			return nil, nil, err
+		}
+		out := st.classify()
+		if out.recoverable {
+			// Mark every accused member dead by force-closing it: a worker
+			// whose sockets break asymmetrically is indistinguishable from a
+			// dead one, and the retry must not include it.
+			for _, idx := range out.accused {
+				c.memberDown(c.members[idx], errors.New("reported lost by peers"))
+			}
+			c.abortAttempt(st)
+			if c.inst != nil {
+				c.inst.recoveries.Inc()
+			}
+			if c.opts.Logger != nil {
+				c.opts.Logger.Warn("cluster attempt lost workers; recovering",
+					"job", jobID, "attempt", attempt, "accused", out.accused)
+			}
+			lastErr = fmt.Errorf("cluster: attempt %d lost workers %v", attempt, out.accused)
+			continue
+		}
+		if out.queryErr != nil {
+			return nil, nil, out.queryErr
+		}
+		res, rep, err := c.assemble(g, prep, cfg, st)
+		if err != nil {
+			return nil, nil, err
+		}
+		rep.Attempts = attempt + 1
+		rep.Recovered = attempt > 0
+		if c.inst != nil {
+			c.inst.observe(rep, time.Since(start))
+		}
+		return res, rep, nil
+	}
+	return nil, nil, fmt.Errorf("cluster: job %d exhausted %d attempts: %w", jobID, c.opts.MaxAttempts, lastErr)
+}
+
+// liveRoster snapshots the live member indices.
+func (c *Coordinator) liveRoster() []int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var roster []int
+	for _, m := range c.members {
+		if m.isAlive() {
+			roster = append(roster, m.idx)
+		}
+	}
+	return roster
+}
+
+// launchAttempt registers the attempt and ships the per-worker specs.
+func (c *Coordinator) launchAttempt(spec *jobSpec, attempt int, roster []int) (*attemptState, error) {
+	nodes := make([]string, len(roster))
+	procs := make([]procSpec, len(roster))
+	for i, idx := range roster {
+		nodes[i] = c.members[idx].node
+		procs[i] = procSpec{Node: c.members[idx].node, Addr: c.members[idx].addr}
+	}
+	owner := c.part.Assign(spec.Workers, nodes)
+
+	st := newAttemptState(jobKey{job: spec.JobID, attempt: attempt}, roster)
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, errors.New("cluster: coordinator closed")
+	}
+	c.pending[st.key] = st
+	c.mu.Unlock()
+	for i, idx := range roster {
+		ws := *spec
+		ws.Attempt = attempt
+		ws.Owner = owner
+		ws.Procs = procs
+		ws.Self = i
+		if err := c.members[idx].send.sendJSON(frameJob, &ws); err != nil {
+			// The send failed because the member just died; its absence will
+			// settle the attempt as recoverable through memberDown.
+			c.memberDown(c.members[idx], err)
+		}
+	}
+	return st, nil
+}
+
+func (c *Coordinator) unregister(st *attemptState) {
+	c.mu.Lock()
+	delete(c.pending, st.key)
+	c.mu.Unlock()
+}
+
+// abortAttempt tells the live roster members to stop an attempt.
+func (c *Coordinator) abortAttempt(st *attemptState) {
+	for _, idx := range st.roster {
+		m := c.members[idx]
+		if m.isAlive() {
+			m.send.sendJSON(frameAbort, abortMsg{JobID: st.key.job, Attempt: st.key.attempt})
+		}
+	}
+}
+
+// assemble decodes the shipped partitions, rebuilds the coordinator-side
+// Result exactly as core.Prepared.Execute would, and merges the workers'
+// stage records and metrics.
+func (c *Coordinator) assemble(g *epgm.LogicalGraph, prep *core.Prepared, cfg core.Config, st *attemptState) (*core.Result, *session.ClusterReport, error) {
+	st.mu.Lock()
+	results := st.results
+	dones := make([]*jobDone, 0, len(st.roster))
+	for _, idx := range st.roster {
+		dones = append(dones, st.dones[idx])
+	}
+	st.mu.Unlock()
+
+	var flat []embedding.Embedding
+	for p := 0; p < c.opts.Workers; p++ {
+		body, ok := results[p]
+		if !ok {
+			return nil, nil, fmt.Errorf("cluster: partition %d missing from results", p)
+		}
+		rows, err := decodeEmbeddings(body)
+		if err != nil {
+			return nil, nil, err
+		}
+		flat = append(flat, rows...)
+	}
+
+	// Mirror core.Prepared.Execute's binding so QueryGraph/Plan/Meta are
+	// exactly what an in-process execution would return.
+	access := cfg.Access
+	if access == nil {
+		access = planner.PlainAccess{Graph: g}
+	}
+	binding, err := prep.Template.Bind(cfg.Params)
+	if err != nil {
+		return nil, nil, err
+	}
+	bound, err := planner.Rebind(prep.Plan, access, binding)
+	if err != nil {
+		return nil, nil, err
+	}
+	env := access.Env()
+	res := &core.Result{
+		Graph:      g,
+		QueryGraph: binding.Graph,
+		Plan:       bound,
+		Embeddings: dataflow.FromSlice(env, flat),
+		Meta:       bound.Meta(),
+		Env:        env,
+	}
+	rep := &session.ClusterReport{
+		Workers: len(st.roster),
+		Stages:  mergeStages(dones),
+		Metrics: mergeMetrics(dones, c.opts.Workers),
+	}
+	return res, rep, nil
+}
+
+// mergeStages folds the workers' per-stage records into the cluster-wide
+// predicted-vs-actual table: times take the slowest worker (the stage's
+// wall time is its slowest participant), bytes sum (each worker reports
+// what it charged and what it framed).
+func mergeStages(dones []*jobDone) []session.ClusterStage {
+	var out []session.ClusterStage
+	for _, done := range dones {
+		for i, s := range done.Stages {
+			if i >= len(out) {
+				out = append(out, session.ClusterStage{
+					Stage: s.Stage, Op: s.Op, Kind: s.Kind, Shuffle: s.Shuffle,
+				})
+			}
+			m := &out[i]
+			if s.Predicted > m.Predicted {
+				m.Predicted = s.Predicted
+			}
+			if s.Actual > m.Actual {
+				m.Actual = s.Actual
+			}
+			m.ModelBytes += s.ModelBytes
+			m.WireBytes += s.WireBytes
+		}
+	}
+	return out
+}
+
+// mergeMetrics reassembles the single-process metrics from the per-worker
+// snapshots: each process charged only its owned partitions, so counters
+// and per-worker arrays sum element-wise back to the sole-owner totals;
+// SimTime takes the slowest process (the whole-job critical path).
+func mergeMetrics(dones []*jobDone, workers int) dataflow.MetricsSnapshot {
+	var m dataflow.MetricsSnapshot
+	m.Workers = workers
+	m.CPUElements = make([]int64, workers)
+	m.NetBytes = make([]int64, workers)
+	m.SpillBytes = make([]int64, workers)
+	m.MemBytes = make([]int64, workers)
+	for _, done := range dones {
+		s := done.Metrics
+		for w := 0; w < workers && w < len(s.CPUElements); w++ {
+			m.CPUElements[w] += s.CPUElements[w]
+			m.NetBytes[w] += s.NetBytes[w]
+			m.SpillBytes[w] += s.SpillBytes[w]
+			m.MemBytes[w] += s.MemBytes[w]
+		}
+		m.TotalCPU += s.TotalCPU
+		m.TotalNet += s.TotalNet
+		m.TotalSpill += s.TotalSpill
+		m.TotalMem += s.TotalMem
+		m.MemKills += s.MemKills
+		m.Retries += s.Retries
+		m.RetriedStages += s.RetriedStages
+		m.RecoveryTime += s.RecoveryTime
+		if s.Stages > m.Stages {
+			m.Stages = s.Stages
+		}
+		if s.Shuffles > m.Shuffles {
+			m.Shuffles = s.Shuffles
+		}
+		if s.SimTime > m.SimTime {
+			m.SimTime = s.SimTime
+		}
+	}
+	for w := 0; w < workers; w++ {
+		if m.CPUElements[w] > m.MaxWorkerCPU {
+			m.MaxWorkerCPU = m.CPUElements[w]
+		}
+	}
+	return m
+}
+
+// clusterInstruments is the coordinator's gradoop_cluster_* surface.
+type clusterInstruments struct {
+	jobs       *obs.Counter
+	recoveries *obs.Counter
+	losses     *obs.Counter
+	attempts   *obs.Histogram
+	jobTime    *obs.Histogram
+	wireBytes  *obs.Counter
+	predicted  *obs.Counter
+	actual     *obs.Counter
+}
+
+// newClusterInstruments registers the coordinator's instruments (nil
+// registry yields nil instruments; every use is behind a nil check).
+func newClusterInstruments(r *obs.Registry) *clusterInstruments {
+	if r == nil {
+		return nil
+	}
+	return &clusterInstruments{
+		jobs: r.NewCounter("gradoop_cluster_jobs_total",
+			"Distributed queries started"),
+		recoveries: r.NewCounter("gradoop_cluster_recoveries_total",
+			"Attempts re-run after losing a worker"),
+		losses: r.NewCounter("gradoop_cluster_worker_losses_total",
+			"Workers marked dead (connection drop, heartbeat, accusation)"),
+		attempts: r.NewHistogram("gradoop_cluster_attempts",
+			"Attempts per successful distributed query", 1),
+		jobTime: r.NewHistogram("gradoop_cluster_job_seconds",
+			"End-to-end distributed query time", obs.ScaleNanos),
+		wireBytes: r.NewCounter("gradoop_cluster_wire_bytes_total",
+			"Shuffle bytes actually framed onto worker-to-worker sockets"),
+		predicted: r.NewCounter("gradoop_cluster_stage_predicted_ns_total",
+			"Cost-model predicted stage time, summed over stages"),
+		actual: r.NewCounter("gradoop_cluster_stage_actual_ns_total",
+			"Measured stage wall time, summed over stages"),
+	}
+}
+
+// bindRoster registers the live-roster gauge against the coordinator.
+func (in *clusterInstruments) bindRoster(c *Coordinator) {
+	c.opts.Metrics.NewGaugeFunc("gradoop_cluster_live_workers",
+		"Workers currently in the live roster",
+		func() float64 { return float64(c.LiveWorkers()) })
+}
+
+// observe records a successful distributed query.
+func (in *clusterInstruments) observe(rep *session.ClusterReport, elapsed time.Duration) {
+	in.attempts.Observe(int64(rep.Attempts))
+	in.jobTime.Observe(int64(elapsed))
+	for _, s := range rep.Stages {
+		in.wireBytes.Add(s.WireBytes)
+		in.predicted.Add(s.Predicted)
+		in.actual.Add(s.Actual)
+	}
+}

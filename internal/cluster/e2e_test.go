@@ -1,0 +1,208 @@
+package cluster_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"gradoop/internal/dataflow"
+	"gradoop/internal/ldbc"
+	csvstore "gradoop/internal/storage/csv"
+)
+
+// TestClusterE2E is the multi-process smoke: it builds the real cypherd and
+// cypherworker binaries, writes an LDBC dataset to disk, spawns a
+// coordinator plus two worker OS processes, and drives oracle queries over
+// HTTP. One worker is armed to crash mid-query (its first shuffle
+// exchange); the response must still be bit-identical to a plain
+// single-process cypherd, with the recovery visible in the cluster report.
+//
+// Gated behind CLUSTER_E2E=1 (it compiles binaries and spawns processes);
+// `make cluster-smoke` runs it.
+func TestClusterE2E(t *testing.T) {
+	if os.Getenv("CLUSTER_E2E") == "" {
+		t.Skip("set CLUSTER_E2E=1 to run the multi-process smoke (builds binaries, spawns OS processes)")
+	}
+
+	bin := t.TempDir()
+	for _, pkg := range []string{"cypherd", "cypherworker"} {
+		out, err := exec.Command("go", "build", "-o", filepath.Join(bin, pkg), "gradoop/cmd/"+pkg).CombinedOutput()
+		if err != nil {
+			t.Fatalf("go build %s: %v\n%s", pkg, err, out)
+		}
+	}
+
+	// The dataset both cypherd processes and every worker load.
+	dataDir := filepath.Join(t.TempDir(), "graph")
+	env := dataflow.NewEnv(dataflow.DefaultConfig(4))
+	d := ldbc.Generate(env, ldbc.Config{ScaleFactor: 0.05, Seed: 7})
+	if err := csvstore.WriteLogicalGraph(d.Graph, dataDir); err != nil {
+		t.Fatal(err)
+	}
+
+	refAddr := freeAddr(t)
+	clusterAddr := freeAddr(t)
+	w0Addr := freeAddr(t)
+	w1Addr := freeAddr(t)
+
+	// Reference: the plain in-process engine.
+	spawn(t, filepath.Join(bin, "cypherd"), "-graph", dataDir, "-addr", refAddr)
+
+	// Workers first (the coordinator dials them at startup). w1 is armed to
+	// crash on its first collective exchange — mid-query, from the
+	// coordinator's point of view, on the first query that shuffles.
+	spawn(t, filepath.Join(bin, "cypherworker"), "-graph", dataDir, "-addr", w0Addr, "-node", "w0")
+	spawn(t, filepath.Join(bin, "cypherworker"), "-graph", dataDir, "-addr", w1Addr, "-node", "w1", "-fail-after", "1")
+	waitTCP(t, w0Addr)
+	waitTCP(t, w1Addr)
+
+	spawn(t, filepath.Join(bin, "cypherd"), "-graph", dataDir, "-addr", clusterAddr,
+		"-cluster", w0Addr+","+w1Addr)
+
+	waitHealthy(t, refAddr)
+	waitHealthy(t, clusterAddr)
+
+	queries := []struct {
+		name    string
+		query   string
+		shuffle bool // expected to crash w1 and recover
+	}{
+		{"twohop", `MATCH (p1:Person)-[:knows]->(p2:Person), (p2)-[:knows]->(p3:Person) RETURN *`, true},
+		{"scan", `MATCH (p:Person) RETURN *`, false},
+		{"expand", `MATCH (p:Person)-[:knows]->(q:Person) RETURN *`, false},
+	}
+	for _, q := range queries {
+		ref := postQuery(t, refAddr, q.query)
+		got := postQuery(t, clusterAddr, q.query)
+		if got.Count != ref.Count {
+			t.Fatalf("%s: count %d != single-process %d", q.name, got.Count, ref.Count)
+		}
+		if !reflect.DeepEqual(got.Rows, ref.Rows) {
+			t.Fatalf("%s: distributed rows differ from single-process rows", q.name)
+		}
+		if !reflect.DeepEqual(got.Columns, ref.Columns) {
+			t.Fatalf("%s: columns %v != %v", q.name, got.Columns, ref.Columns)
+		}
+		if got.Cluster == nil {
+			t.Fatalf("%s: missing cluster report", q.name)
+		}
+		if q.shuffle {
+			// The armed worker died mid-exchange; the job must have re-run
+			// on the survivor and still matched the reference above.
+			if !got.Cluster.Recovered || got.Cluster.Attempts < 2 {
+				t.Fatalf("%s: expected mid-query recovery, report %+v", q.name, got.Cluster)
+			}
+		} else {
+			// Post-recovery queries run clean on the shrunken roster.
+			if got.Cluster.Recovered || got.Cluster.Attempts != 1 || got.Cluster.Workers != 1 {
+				t.Fatalf("%s: expected clean one-worker attempt, report %+v", q.name, got.Cluster)
+			}
+		}
+		t.Logf("%s: %d rows, workers=%d attempts=%d recovered=%v",
+			q.name, got.Count, got.Cluster.Workers, got.Cluster.Attempts, got.Cluster.Recovered)
+	}
+}
+
+// e2eResponse is the subset of the server's query response the smoke
+// asserts on.
+type e2eResponse struct {
+	Columns []string `json:"columns"`
+	Rows    [][]any  `json:"rows"`
+	Count   int64    `json:"count"`
+	Cluster *struct {
+		Workers   int  `json:"workers"`
+		Attempts  int  `json:"attempts"`
+		Recovered bool `json:"recovered"`
+	} `json:"cluster"`
+}
+
+func postQuery(t *testing.T, addr, query string) *e2eResponse {
+	t.Helper()
+	body, err := json.Marshal(map[string]any{"query": query})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post("http://"+addr+"/query", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST /query: %v", err)
+	}
+	defer resp.Body.Close()
+	var out e2eResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("decode /query response: %v", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /query: status %d", resp.StatusCode)
+	}
+	return &out
+}
+
+// spawn starts a binary, streams its stderr into the test log and kills it
+// at cleanup.
+func spawn(t *testing.T, path string, args ...string) {
+	t.Helper()
+	cmd := exec.Command(path, args...)
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("start %s: %v", filepath.Base(path), err)
+	}
+	t.Cleanup(func() {
+		cmd.Process.Kill()
+		cmd.Wait()
+		if t.Failed() && stderr.Len() > 0 {
+			t.Logf("%s %s stderr:\n%s", filepath.Base(path), strings.Join(args, " "), stderr.String())
+		}
+	})
+}
+
+// freeAddr reserves a loopback port by listening and closing.
+func freeAddr(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+func waitTCP(t *testing.T, addr string) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		conn, err := net.DialTimeout("tcp", addr, time.Second)
+		if err == nil {
+			conn.Close()
+			return
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	t.Fatalf("%s never started listening", addr)
+}
+
+func waitHealthy(t *testing.T, addr string) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(fmt.Sprintf("http://%s/healthz", addr))
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return
+			}
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	t.Fatalf("%s never became healthy", addr)
+}

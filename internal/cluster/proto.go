@@ -1,0 +1,406 @@
+// Package cluster executes planned Cypher queries across real OS processes:
+// a coordinator (embedded in the session server) plans once on its pinned
+// statistics and ships the job to worker processes, each holding the full
+// graph data and owning a subset of the logical partitions. Workers run the
+// identical deterministic dataflow program (SPMD — see dataflow.Transport)
+// and exchange shuffle data directly with each other over TCP using the
+// length-prefixed binary frame protocol in this file. A lost worker
+// (connection drop or missed heartbeat) aborts the attempt; the coordinator
+// remaps the dead worker's partitions onto the survivors and re-runs the
+// job, which is guaranteed to produce the byte-identical result because
+// partition contents and assembly order are fixed by the program, not by
+// the ownership assignment.
+package cluster
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"net"
+	"sync"
+
+	"gradoop/internal/dataflow"
+	"gradoop/internal/stats"
+)
+
+// Protocol constants. The magic/version pair is verified in both directions
+// of the handshake; a mismatch is rejected with a structured reason instead
+// of letting two incompatible builds exchange garbage.
+const (
+	protoMagic   = 0x47524450 // "GRDP"
+	protoVersion = 1
+
+	// maxFrame bounds a frame's declared length. A torn or hostile length
+	// prefix is rejected before any allocation.
+	maxFrame = 256 << 20
+
+	// frameHeader is the fixed per-frame overhead: uint32 length + type byte.
+	frameHeader = 5
+)
+
+// Frame types. Control payloads (hello, job, done, abort) are JSON inside
+// the binary framing — they are rare and small; the hot path (data, result)
+// is pure binary.
+const (
+	frameHello   = byte(1)  // connection opener, both roles
+	frameWelcome = byte(2)  // handshake accept
+	frameReject  = byte(3)  // handshake refusal, then close
+	frameJob     = byte(4)  // coordinator -> worker: run this job
+	frameJobDone = byte(5)  // worker -> coordinator: job finished (ok or not)
+	frameResult  = byte(6)  // worker -> coordinator: one owned partition's rows
+	frameAbort   = byte(7)  // coordinator -> worker: stop an attempt
+	framePing    = byte(8)  // coordinator -> worker liveness probe
+	framePong    = byte(9)  // worker -> coordinator liveness answer
+	frameData    = byte(10) // worker <-> worker: one collective's buckets
+)
+
+// Exchange kinds inside a data frame.
+const (
+	kindExchange  = byte(0)
+	kindAllGather = byte(1)
+)
+
+// Roles a connecting peer announces in its hello.
+const (
+	roleControl = "control" // coordinator -> worker
+	rolePeer    = "peer"    // worker -> worker, scoped to one job attempt
+)
+
+// hello opens every connection.
+type hello struct {
+	Magic   uint32 `json:"magic"`
+	Version int    `json:"version"`
+	Role    string `json:"role"`
+	Node    string `json:"node"`
+	// Peer connections are scoped to one job attempt; From is the dialing
+	// worker's roster index within it.
+	JobID   uint64 `json:"jobId,omitempty"`
+	Attempt int    `json:"attempt,omitempty"`
+	From    int    `json:"from,omitempty"`
+}
+
+// welcome acknowledges a hello.
+type welcome struct {
+	Magic   uint32 `json:"magic"`
+	Version int    `json:"version"`
+	Node    string `json:"node"`
+}
+
+// reject refuses a hello.
+type reject struct {
+	Reason string `json:"reason"`
+}
+
+// procSpec is one roster member as the workers see each other.
+type procSpec struct {
+	Node string `json:"node"`
+	Addr string `json:"addr"`
+}
+
+// jobSpec ships one planned query to a worker. The worker re-plans the
+// canonical query text against the coordinator's pinned statistics — the
+// planner is deterministic, so every process builds the identical plan,
+// and the expected fingerprint turns any drift (version skew, divergent
+// stats) into a hard error instead of a wrong answer.
+type jobSpec struct {
+	JobID   uint64 `json:"jobId"`
+	Attempt int    `json:"attempt"`
+	Query   string `json:"query"`
+	// Params is the wire.AppendParams encoding of the parameter bindings —
+	// the same bytes the session's result-cache key uses.
+	Params []byte `json:"params,omitempty"`
+	// Stats is the coordinator's pinned statistics snapshot; workers must
+	// plan on it, not on locally collected numbers.
+	Stats *stats.GraphStatistics `json:"stats"`
+	// Workers is the logical partition count P (the session's worker
+	// count); Owner maps each partition to a roster index.
+	Workers int   `json:"workers"`
+	Owner   []int `json:"owner"`
+	// Procs is the attempt's roster; Self is this worker's index in it.
+	Procs []procSpec `json:"procs"`
+	Self  int        `json:"self"`
+	// Planner configuration, mirrored from the coordinator's core.Config.
+	Vertex       int    `json:"vertex"`
+	Edge         int    `json:"edge"`
+	Hint         int    `json:"hint"`
+	DisableReuse bool   `json:"disableReuse,omitempty"`
+	Fingerprint  string `json:"fingerprint"`
+	// TimeoutNs bounds the worker-side execution (0 = none).
+	TimeoutNs int64 `json:"timeoutNs,omitempty"`
+}
+
+// stageRecord is one executed stage in a worker's report: the cost model's
+// prediction (SimTime over the stage's per-partition charges) against the
+// measured wall time and the bytes the transport actually framed.
+type stageRecord struct {
+	Stage      int64  `json:"stage"`
+	Op         string `json:"op,omitempty"`
+	Kind       string `json:"kind"`
+	Shuffle    bool   `json:"shuffle"`
+	Predicted  int64  `json:"predictedNs"`
+	Actual     int64  `json:"actualNs"`
+	ModelBytes int64  `json:"modelBytes"`
+	WireBytes  int64  `json:"wireBytes"`
+}
+
+// jobDone is a worker's terminal report for one attempt.
+type jobDone struct {
+	JobID   uint64 `json:"jobId"`
+	Attempt int    `json:"attempt"`
+	Error   string `json:"error,omitempty"`
+	// PeerLost marks failures caused by a dead peer rather than by the
+	// query itself; LostPeers names the roster indices that dropped. The
+	// coordinator recovers from these, and only these, by re-running on a
+	// remapped roster.
+	PeerLost  bool  `json:"peerLost,omitempty"`
+	LostPeers []int `json:"lostPeers,omitempty"`
+
+	Stages  []stageRecord            `json:"stages,omitempty"`
+	Metrics dataflow.MetricsSnapshot `json:"metrics"`
+}
+
+// abortMsg tells workers to stop one attempt.
+type abortMsg struct {
+	JobID   uint64 `json:"jobId"`
+	Attempt int    `json:"attempt"`
+}
+
+// writeFrame writes one length-prefixed frame.
+func writeFrame(w io.Writer, typ byte, payload []byte) error {
+	var hdr [frameHeader]byte
+	binary.BigEndian.PutUint32(hdr[:4], uint32(1+len(payload)))
+	hdr[4] = typ
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// readFrame reads one frame, guarding against torn and hostile length
+// prefixes: a prefix of zero, or beyond maxFrame, fails before any
+// allocation, and a short read surfaces as io.ErrUnexpectedEOF rather than
+// a misparse of the next frame.
+func readFrame(r *bufio.Reader) (byte, []byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n == 0 {
+		return 0, nil, fmt.Errorf("cluster: zero-length frame")
+	}
+	if n > maxFrame {
+		return 0, nil, fmt.Errorf("cluster: frame length %d exceeds limit %d", n, maxFrame)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return 0, nil, fmt.Errorf("cluster: torn frame (want %d bytes): %w", n, err)
+	}
+	return body[0], body[1:], nil
+}
+
+// writeJSONFrame marshals a control message into a frame.
+func writeJSONFrame(w io.Writer, typ byte, v any) error {
+	payload, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	return writeFrame(w, typ, payload)
+}
+
+// dataHeader is the fixed binary prefix of a frameData payload:
+// jobID u64 | attempt u32 | seq u64 | kind u8 | from u32 | stage i64 | crc u32.
+const dataHeaderLen = 8 + 4 + 8 + 1 + 4 + 8 + 4
+
+type dataFrame struct {
+	JobID   uint64
+	Attempt int
+	Seq     uint64
+	Kind    byte
+	From    int
+	Stage   int64
+	Body    []byte
+}
+
+func encodeDataFrame(f *dataFrame) []byte {
+	out := make([]byte, dataHeaderLen, dataHeaderLen+len(f.Body))
+	binary.BigEndian.PutUint64(out[0:], f.JobID)
+	binary.BigEndian.PutUint32(out[8:], uint32(f.Attempt))
+	binary.BigEndian.PutUint64(out[12:], f.Seq)
+	out[20] = f.Kind
+	binary.BigEndian.PutUint32(out[21:], uint32(f.From))
+	binary.BigEndian.PutUint64(out[25:], uint64(f.Stage))
+	binary.BigEndian.PutUint32(out[33:], crc32.ChecksumIEEE(f.Body))
+	return append(out, f.Body...)
+}
+
+// decodeDataFrame parses and CRC-checks a frameData payload. The body
+// aliases the input.
+func decodeDataFrame(b []byte) (*dataFrame, error) {
+	if len(b) < dataHeaderLen {
+		return nil, fmt.Errorf("cluster: truncated data frame (%d bytes)", len(b))
+	}
+	f := &dataFrame{
+		JobID:   binary.BigEndian.Uint64(b[0:]),
+		Attempt: int(binary.BigEndian.Uint32(b[8:])),
+		Seq:     binary.BigEndian.Uint64(b[12:]),
+		Kind:    b[20],
+		From:    int(binary.BigEndian.Uint32(b[21:])),
+		Stage:   int64(binary.BigEndian.Uint64(b[25:])),
+		Body:    b[dataHeaderLen:],
+	}
+	if want, got := binary.BigEndian.Uint32(b[33:]), crc32.ChecksumIEEE(f.Body); want != got {
+		return nil, fmt.Errorf("cluster: data frame CRC mismatch (%08x != %08x)", got, want)
+	}
+	return f, nil
+}
+
+// resultHeaderLen prefixes a frameResult payload:
+// jobID u64 | attempt u32 | partition u32.
+const resultHeaderLen = 8 + 4 + 4
+
+type resultFrame struct {
+	JobID     uint64
+	Attempt   int
+	Partition int
+	Body      []byte // uint32 row count + each embedding's wire form
+}
+
+func encodeResultFrame(f *resultFrame) []byte {
+	out := make([]byte, resultHeaderLen, resultHeaderLen+len(f.Body))
+	binary.BigEndian.PutUint64(out[0:], f.JobID)
+	binary.BigEndian.PutUint32(out[8:], uint32(f.Attempt))
+	binary.BigEndian.PutUint32(out[12:], uint32(f.Partition))
+	return append(out, f.Body...)
+}
+
+func decodeResultFrame(b []byte) (*resultFrame, error) {
+	if len(b) < resultHeaderLen {
+		return nil, fmt.Errorf("cluster: truncated result frame (%d bytes)", len(b))
+	}
+	return &resultFrame{
+		JobID:     binary.BigEndian.Uint64(b[0:]),
+		Attempt:   int(binary.BigEndian.Uint32(b[8:])),
+		Partition: int(binary.BigEndian.Uint32(b[12:])),
+		Body:      b[resultHeaderLen:],
+	}, nil
+}
+
+// sender serializes and coalesces writes on one connection: frames are
+// enqueued from any goroutine, a single writer goroutine drains the queue
+// through a buffered writer and flushes only when the queue runs dry — a
+// burst of small frames (one shuffle's per-peer buckets, heartbeats riding
+// alongside results) coalesces into few syscalls without any timer.
+type sender struct {
+	conn net.Conn
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []outFrame
+	closed bool
+	err    error
+
+	done chan struct{}
+}
+
+type outFrame struct {
+	typ     byte
+	payload []byte
+}
+
+func newSender(conn net.Conn) *sender {
+	s := &sender{conn: conn, done: make(chan struct{})}
+	s.cond = sync.NewCond(&s.mu)
+	go s.run()
+	return s
+}
+
+func (s *sender) run() {
+	defer close(s.done)
+	bw := bufio.NewWriterSize(s.conn, 64<<10)
+	for {
+		s.mu.Lock()
+		for len(s.queue) == 0 && !s.closed {
+			s.cond.Wait()
+		}
+		batch := s.queue
+		s.queue = nil
+		closed := s.closed
+		s.mu.Unlock()
+		for _, f := range batch {
+			if err := writeFrame(bw, f.typ, f.payload); err != nil {
+				s.fail(err)
+				return
+			}
+		}
+		// Queue drained: flush the coalesced batch before sleeping.
+		if err := bw.Flush(); err != nil {
+			s.fail(err)
+			return
+		}
+		if closed {
+			s.conn.Close()
+			return
+		}
+	}
+}
+
+func (s *sender) fail(err error) {
+	s.mu.Lock()
+	if s.err == nil {
+		s.err = err
+	}
+	s.queue = nil
+	s.closed = true
+	s.mu.Unlock()
+	s.conn.Close()
+}
+
+// send enqueues one frame. It returns the connection's sticky error, if
+// any; enqueueing after close is a silent no-op with that error returned.
+func (s *sender) send(typ byte, payload []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed || s.err != nil {
+		err := s.err
+		if err == nil {
+			err = net.ErrClosed
+		}
+		return err
+	}
+	s.queue = append(s.queue, outFrame{typ: typ, payload: payload})
+	s.cond.Signal()
+	return nil
+}
+
+// sendJSON marshals and enqueues a control frame.
+func (s *sender) sendJSON(typ byte, v any) error {
+	payload, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	return s.send(typ, payload)
+}
+
+// close drains pending frames, flushes, and closes the connection.
+func (s *sender) close() {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	s.cond.Broadcast()
+	<-s.done
+}
+
+// abort closes the connection immediately, discarding queued frames.
+func (s *sender) abort() {
+	s.fail(net.ErrClosed)
+	s.cond.Broadcast()
+	<-s.done
+}

@@ -1,0 +1,271 @@
+package cluster
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"io"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestFrameRoundTrip pins the framing: length prefix, type byte, payload.
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	payload := []byte("hello frames")
+	if err := writeFrame(&buf, frameData, payload); err != nil {
+		t.Fatal(err)
+	}
+	typ, got, err := readFrame(bufio.NewReader(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if typ != frameData || !bytes.Equal(got, payload) {
+		t.Fatalf("round trip: type %d payload %q", typ, got)
+	}
+}
+
+// TestFrameTorn checks that a frame cut off mid-payload surfaces as
+// io.ErrUnexpectedEOF instead of a misparse of the next read.
+func TestFrameTorn(t *testing.T) {
+	var buf bytes.Buffer
+	writeFrame(&buf, frameData, []byte("0123456789"))
+	torn := buf.Bytes()[:buf.Len()-4]
+	_, _, err := readFrame(bufio.NewReader(bytes.NewReader(torn)))
+	if !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("torn frame: got %v, want io.ErrUnexpectedEOF", err)
+	}
+}
+
+// TestFrameTruncatedHeader checks a read that dies inside the length prefix.
+func TestFrameTruncatedHeader(t *testing.T) {
+	_, _, err := readFrame(bufio.NewReader(bytes.NewReader([]byte{0, 0})))
+	if err == nil {
+		t.Fatal("truncated header accepted")
+	}
+}
+
+// TestFrameOversizedLength checks that a hostile length prefix is rejected
+// before any allocation.
+func TestFrameOversizedLength(t *testing.T) {
+	var hdr [5]byte
+	binary.BigEndian.PutUint32(hdr[:4], maxFrame+1)
+	_, _, err := readFrame(bufio.NewReader(bytes.NewReader(hdr[:])))
+	if err == nil || !strings.Contains(err.Error(), "exceeds limit") {
+		t.Fatalf("oversized length: got %v", err)
+	}
+}
+
+// TestFrameZeroLength checks that a zero-length prefix (no type byte) is
+// rejected.
+func TestFrameZeroLength(t *testing.T) {
+	_, _, err := readFrame(bufio.NewReader(bytes.NewReader([]byte{0, 0, 0, 0})))
+	if err == nil || !strings.Contains(err.Error(), "zero-length") {
+		t.Fatalf("zero-length frame: got %v", err)
+	}
+}
+
+// TestDataFrameCRC checks that payload corruption is caught by the per-frame
+// checksum.
+func TestDataFrameCRC(t *testing.T) {
+	enc := encodeDataFrame(&dataFrame{
+		JobID: 7, Attempt: 1, Seq: 3, Kind: kindExchange, From: 2, Stage: 9,
+		Body: []byte("shuffle bucket bytes"),
+	})
+	f, err := decodeDataFrame(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.JobID != 7 || f.Attempt != 1 || f.Seq != 3 || f.From != 2 || f.Stage != 9 {
+		t.Fatalf("header mismatch: %+v", f)
+	}
+	enc[len(enc)-1] ^= 0x40
+	if _, err := decodeDataFrame(enc); err == nil || !strings.Contains(err.Error(), "CRC") {
+		t.Fatalf("corrupted frame: got %v, want CRC mismatch", err)
+	}
+	if _, err := decodeDataFrame(enc[:dataHeaderLen-2]); err == nil {
+		t.Fatal("truncated data header accepted")
+	}
+}
+
+// TestHandshakeVersionMismatch dials a worker with a wrong protocol version
+// and requires a structured frameReject, then a close.
+func TestHandshakeVersionMismatch(t *testing.T) {
+	w := NewWorker("w0", nil, nil)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go w.Serve(ln)
+	defer w.Close()
+
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := writeJSONFrame(conn, frameHello, hello{
+		Magic: protoMagic, Version: protoVersion + 1, Role: roleControl,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	br := bufio.NewReader(conn)
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	typ, payload, err := readFrame(br)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if typ != frameReject {
+		t.Fatalf("frame type %d, want frameReject", typ)
+	}
+	var rej reject
+	if err := json.Unmarshal(payload, &rej); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(rej.Reason, "protocol mismatch") {
+		t.Fatalf("reject reason %q", rej.Reason)
+	}
+	if _, _, err := readFrame(br); err == nil {
+		t.Fatal("connection stayed open after reject")
+	}
+}
+
+// TestHandshakeBadMagic mirrors the version check for the magic number.
+func TestHandshakeBadMagic(t *testing.T) {
+	w := NewWorker("w0", nil, nil)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go w.Serve(ln)
+	defer w.Close()
+
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	writeJSONFrame(conn, frameHello, hello{Magic: 0xDEADBEEF, Version: protoVersion, Role: roleControl})
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	typ, _, err := readFrame(bufio.NewReader(conn))
+	if err != nil || typ != frameReject {
+		t.Fatalf("got type %d err %v, want frameReject", typ, err)
+	}
+}
+
+// TestMidStreamDropFailsCollective severs a peer connection while a
+// collective is waiting on it and requires a structured ErrPeerLost, not a
+// hang.
+func TestMidStreamDropFailsCollective(t *testing.T) {
+	rt := newJobRuntime(NewWorker("w0", nil, nil), jobKey{job: 1})
+	client, server := net.Pipe()
+	defer client.Close()
+	link := rt.addPeer(1, server)
+	if link == nil {
+		t.Fatal("addPeer refused")
+	}
+	go rt.routePeer(1, link, bufio.NewReader(server))
+
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := rt.waitMail(mailKey{seq: 1, kind: kindExchange, from: 1})
+		errCh <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	client.Close() // the drop
+
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, ErrPeerLost) {
+			t.Fatalf("got %v, want ErrPeerLost", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("collective hung after mid-stream drop")
+	}
+}
+
+// TestMailBeforeDropStillConsumable pins the orderly-departure contract:
+// frames delivered before the sender's close stay readable from the inbox.
+func TestMailBeforeDropStillConsumable(t *testing.T) {
+	rt := newJobRuntime(NewWorker("w0", nil, nil), jobKey{job: 1})
+	client, server := net.Pipe()
+	link := rt.addPeer(1, server)
+	routed := make(chan struct{})
+	go func() {
+		rt.routePeer(1, link, bufio.NewReader(server))
+		close(routed)
+	}()
+
+	body := encodeDataFrame(&dataFrame{JobID: 1, Seq: 1, Kind: kindExchange, From: 1, Body: []byte("owed")})
+	go func() {
+		writeFrame(client, frameData, body)
+		client.Close()
+	}()
+	<-routed // reader saw the frame, then the close
+
+	got, err := rt.waitMail(mailKey{seq: 1, kind: kindExchange, from: 1})
+	if err != nil {
+		t.Fatalf("mail delivered before the drop must stay consumable: %v", err)
+	}
+	if string(got) != "owed" {
+		t.Fatalf("mail body %q", got)
+	}
+	// The next, never-sent collective must fail instead of hanging.
+	if _, err := rt.waitMail(mailKey{seq: 2, kind: kindExchange, from: 1}); !errors.Is(err, ErrPeerLost) {
+		t.Fatalf("owed collective after drop: got %v, want ErrPeerLost", err)
+	}
+}
+
+// TestSenderCoalescing checks the write path end to end: many frames
+// enqueued concurrently all arrive intact, in order per sender, and close()
+// drains the queue before the FIN.
+func TestSenderCoalescing(t *testing.T) {
+	client, server := net.Pipe()
+	s := newSender(client)
+
+	const frames = 200
+	var wg sync.WaitGroup
+	wg.Add(1)
+	received := make([][]byte, 0, frames)
+	var readErr error
+	go func() {
+		defer wg.Done()
+		br := bufio.NewReader(server)
+		for {
+			_, payload, err := readFrame(br)
+			if err != nil {
+				if err != io.EOF {
+					readErr = err
+				}
+				return
+			}
+			received = append(received, payload)
+		}
+	}()
+	for i := 0; i < frames; i++ {
+		if err := s.send(frameData, binary.BigEndian.AppendUint32(nil, uint32(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.close()
+	wg.Wait()
+	if readErr != nil {
+		t.Fatal(readErr)
+	}
+	if len(received) != frames {
+		t.Fatalf("received %d frames, want %d (close must drain the queue)", len(received), frames)
+	}
+	for i, p := range received {
+		if int(binary.BigEndian.Uint32(p)) != i {
+			t.Fatalf("frame %d out of order: %v", i, p)
+		}
+	}
+	if err := s.send(frameData, nil); err == nil {
+		t.Fatal("send after close succeeded")
+	}
+}

@@ -42,11 +42,23 @@ func (d *Dataset[T]) Env() *Env { return d.env }
 // Partitions returns the number of partitions (= workers).
 func (d *Dataset[T]) Partitions() int { return len(d.parts) }
 
+// Partition returns partition p's elements, without copying. Callers must
+// not mutate the slice. In a distributed job, non-owned partitions are nil
+// — a cluster worker ships exactly its owned partitions through this
+// accessor.
+func (d *Dataset[T]) Partition(p int) []T { return d.parts[p] }
+
 // FromSlice creates a dataset by splitting data into env.Workers()
 // contiguous chunks. The input slice is not copied; callers must not
 // mutate it afterwards. Config.DebugDefensiveCopy enforces the contract by
 // copying the input (at real cost), which turns the silent aliasing hazard
 // into a non-issue while debugging.
+//
+// FromSlice is the leaf of every pipeline, and in a distributed job it is
+// where ownership begins: with a transport installed, partitions this
+// process does not own stay empty — every process computes the identical
+// chunk boundaries over the full slice and keeps only its share, which is
+// what lets one deterministic program run unchanged on each worker.
 func FromSlice[T any](env *Env, data []T) *Dataset[T] {
 	if env.cfg.DebugDefensiveCopy {
 		data = append([]T(nil), data...)
@@ -55,6 +67,9 @@ func FromSlice[T any](env *Env, data []T) *Dataset[T] {
 	parts := make([][]T, w)
 	n := len(data)
 	for p := 0; p < w; p++ {
+		if env.transport != nil && !env.transport.Owns(p) {
+			continue
+		}
 		lo, hi := p*n/w, (p+1)*n/w
 		parts[p] = data[lo:hi]
 	}
@@ -260,10 +275,17 @@ func Union[T any](a, b *Dataset[T]) *Dataset[T] {
 	if a.partTag == b.partTag {
 		tag = a.partTag
 	}
-	if b.IsEmpty() {
-		tag = a.partTag
-	} else if a.IsEmpty() {
-		tag = b.partTag
+	if env.transport == nil {
+		// An empty operand cannot perturb the other's partitioning, so its
+		// tag survives — but only in-process: emptiness here is local, and a
+		// partition empty on this worker may be populated on another, so a
+		// distributed job must not let data-dependent tags diverge across
+		// processes (the cost is a redundant, content-preserving shuffle).
+		if b.IsEmpty() {
+			tag = a.partTag
+		} else if a.IsEmpty() {
+			tag = b.partTag
+		}
 	}
 	return &Dataset[T]{env: env, parts: out, partTag: tag}
 }

@@ -135,6 +135,12 @@ type Env struct {
 	governor  *govern.Reservation
 	memKilled atomic.Bool
 
+	// transport connects this process's partitions to the rest of a
+	// multi-process job; nil (the default) keeps every exchange in-process
+	// at the same nil-check cost as a nil tracer. Written only between jobs
+	// (SetTransport).
+	transport Transport
+
 	// ctx/done carry the current job's cancellation signal; nil when the
 	// job is not cancellable. Written only between jobs (Begin/Finish).
 	ctx  context.Context

@@ -6,7 +6,9 @@ var groupSeed = maphash.MakeSeed()
 
 // hashComparable hashes any comparable key for partitioning. The seed is
 // process-local; partition assignment is therefore stable within a run,
-// which is all the engine requires.
+// which is all a single-process job requires. Distributed shuffles must
+// not use it — see stableKey, which routes them through the seed-stable
+// StableHash instead.
 func hashComparable[K comparable](k K) uint64 {
 	return maphash.Comparable(groupSeed, k)
 }
@@ -16,7 +18,7 @@ func hashComparable[K comparable](k K) uint64 {
 // first occurrence (in deterministic partition order) wins.
 func DistinctBy[T any, K comparable](d *Dataset[T], key func(T) K) *Dataset[T] {
 	env := d.env
-	s := shuffle(d, func(t T) uint64 { return hashComparable(key(t)) })
+	s := shuffle(d, func(t T) uint64 { return stableKey(env, key(t)) })
 	return MapPartition(s, func(part []T, emit func(T)) {
 		seen := make(map[K]struct{}, len(part))
 		for i, t := range part {
@@ -73,7 +75,7 @@ func ReduceByKey[T any, K comparable](d *Dataset[T], key func(T) K, reduce func(
 		}
 	})
 	// Global aggregation after shuffling partials by key.
-	s := shuffle(partials, func(kv KV[K, T]) uint64 { return hashComparable(kv.Key) })
+	s := shuffle(partials, func(kv KV[K, T]) uint64 { return stableKey(env, kv.Key) })
 	return MapPartition(s, func(part []KV[K, T], emit func(KV[K, T])) {
 		acc := make(map[K]T, len(part))
 		order := make([]K, 0, len(part))
@@ -110,7 +112,7 @@ func CountByKey[T any, K comparable](d *Dataset[T], key func(T) K) *Dataset[KV[K
 // for holistic aggregates (e.g. building grouped super-vertices).
 func GroupBy[T, U any, K comparable](d *Dataset[T], key func(T) K, f func(K, []T, func(U))) *Dataset[U] {
 	env := d.env
-	s := shuffle(d, func(t T) uint64 { return hashComparable(key(t)) })
+	s := shuffle(d, func(t T) uint64 { return stableKey(env, key(t)) })
 	return MapPartition(s, func(part []T, emit func(U)) {
 		groups := make(map[K][]T)
 		order := make([]K, 0)

@@ -17,7 +17,11 @@ func BulkIteration[T any](initial *Dataset[T], maxIterations int,
 	// each iteration's time went; cleared when the loop exits.
 	defer env.MarkIteration(0)
 	for it := 1; it <= maxIterations; it++ {
-		if env.Failed() || working.IsEmpty() {
+		// Convergence is a global decision: in a distributed job every
+		// process must take the same number of supersteps or the collective
+		// exchanges inside the body deadlock, so emptiness is checked across
+		// all workers (a local no-op without a transport).
+		if env.Failed() || working.GlobalIsEmpty() {
 			break
 		}
 		env.MarkIteration(it)

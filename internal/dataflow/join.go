@@ -65,6 +65,13 @@ func broadcastJoin[L, R, U any](l *Dataset[L], r *Dataset[R], lkey func(L) uint6
 	w := len(r.parts)
 	out := make([][]U, w)
 	env.runParts(w, func(p int) {
+		// A non-owned partition's probe side is empty by construction, but the
+		// build side is the full broadcast slice — constructing its hash table
+		// would be pure waste and would double-charge CPU and memory that the
+		// owning process already accounts for.
+		if env.transport != nil && !env.transport.Owns(p) {
+			return
+		}
 		res := hashJoinPartition(env, p, build, r.parts[p], lkey, rkey, joiner)
 		env.traceRowsIn(p, int64(len(build)+len(r.parts[p])))
 		env.traceRowsOut(p, int64(len(res)))

@@ -86,10 +86,16 @@ func shuffleTagged[T any](d *Dataset[T], key func(T) uint64, tag uint64) *Datase
 // gatherExchange concatenates per-source destination buckets into the
 // destination partitions and charges received network bytes. It reports
 // failure (aborted partitions leave nil buckets behind) instead of
-// indexing into them.
+// indexing into them. With a transport installed the concatenation spans
+// processes: remote buckets travel encoded and only owned destinations are
+// assembled (remoteExchange keeps the same source-order concatenation, so
+// the distributed result is bit-identical).
 func gatherExchange[T any](env *Env, buckets [][][]T, moved [][]int64) ([][]T, bool) {
 	if env.Failed() {
 		return nil, false
+	}
+	if env.transport != nil {
+		return remoteExchange(env, buckets)
 	}
 	w := len(buckets)
 	out := make([][]T, w)
@@ -143,11 +149,17 @@ func Rebalance[T any](d *Dataset[T]) *Dataset[T] {
 		env.traceRowsOut(0, int64(len(d.parts[0])))
 		return d
 	}
+	// The offset table must reflect every process's partition sizes, not
+	// just the locally owned ones, or destinations diverge across workers.
+	counts, ok := globalPartCounts(d)
+	if !ok {
+		return Empty[T](env)
+	}
 	offs := make([]int, w) // global index of each partition's first element
 	total := 0
 	for p := 0; p < w; p++ {
 		offs[p] = total
-		total += len(d.parts[p])
+		total += int(counts[p])
 	}
 	buckets := make([][][]T, w)
 	moved := make([][]int64, w)
@@ -190,7 +202,18 @@ func broadcast[T any](d *Dataset[T]) []T {
 		return nil
 	}
 	env.beginStage("Broadcast", true)
-	all := d.Collect()
+	var all []T
+	if env.transport != nil {
+		// Distributed: every process contributes its owned partitions and
+		// receives the rest, assembled in partition order — the same slice a
+		// single process would Collect.
+		var ok bool
+		if all, ok = allGatherParts(env, d); !ok {
+			return nil
+		}
+	} else {
+		all = d.Collect()
+	}
 	var bytes int64
 	for _, t := range all {
 		bytes += sizeOf(t)
@@ -198,11 +221,18 @@ func broadcast[T any](d *Dataset[T]) []T {
 	// One replica is what this process actually materializes (the slice is
 	// shared by every partition goroutine), so one replica is what the
 	// governor charges — the per-worker fan-out below is network cost only.
-	if !env.chargeMem(0, bytes) {
-		return nil
+	// In a distributed job each process charges only its owned partitions,
+	// so the merged metrics match the single-process totals.
+	if env.transport == nil || env.transport.Owns(0) {
+		if !env.chargeMem(0, bytes) {
+			return nil
+		}
 	}
 	w := len(d.parts)
 	for q := 0; q < w; q++ {
+		if env.transport != nil && !env.transport.Owns(q) {
+			continue
+		}
 		// Every worker receives the full copy except the share it already had;
 		// approximating as full size keeps the model simple and pessimistic.
 		env.chargeNet(q, bytes)

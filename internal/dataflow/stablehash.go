@@ -1,0 +1,88 @@
+package dataflow
+
+import (
+	"fmt"
+	"math"
+	"reflect"
+)
+
+// StableHash hashes a comparable key to a 64-bit value that is identical in
+// every process: FNV-1a over the key's canonical binary form, finished with
+// the splitmix64 mixer (the same pipeline as HashString). The grouping
+// transformations historically partitioned with maphash.Comparable, whose
+// seed is randomized per process — correct within one process, but in a
+// distributed shuffle the same key would land on different workers in
+// different processes and groups would silently split. Remote shuffles
+// therefore use StableHash (see stableKey); the process-local path keeps
+// maphash, which is faster and seed-hardened.
+func StableHash[K comparable](k K) uint64 {
+	switch v := any(k).(type) {
+	case string:
+		return HashString(v)
+	case uint64:
+		return mix64(v)
+	case int64:
+		return mix64(uint64(v))
+	case int:
+		return mix64(uint64(int64(v)))
+	case int32:
+		return mix64(uint64(int64(v)))
+	case uint32:
+		return mix64(uint64(v))
+	case int16:
+		return mix64(uint64(int64(v)))
+	case uint16:
+		return mix64(uint64(v))
+	case int8:
+		return mix64(uint64(int64(v)))
+	case uint8:
+		return mix64(uint64(v))
+	case uintptr:
+		return mix64(uint64(v))
+	case float64:
+		return mix64(math.Float64bits(v))
+	case float32:
+		return mix64(uint64(math.Float32bits(v)))
+	case bool:
+		if v {
+			return mix64(1)
+		}
+		return mix64(0)
+	}
+	// Named types over those kinds (epgm.ID and friends) hash identically to
+	// their underlying representation; everything genuinely structured falls
+	// back to a canonical string rendering prefixed by the dynamic type name,
+	// which is stable across processes built from the same source.
+	rv := reflect.ValueOf(k)
+	switch rv.Kind() {
+	case reflect.String:
+		return HashString(rv.String())
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		return mix64(uint64(rv.Int()))
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64, reflect.Uintptr:
+		return mix64(rv.Uint())
+	case reflect.Float32:
+		return mix64(uint64(math.Float32bits(float32(rv.Float()))))
+	case reflect.Float64:
+		return mix64(math.Float64bits(rv.Float()))
+	case reflect.Bool:
+		if rv.Bool() {
+			return mix64(1)
+		}
+		return mix64(0)
+	default:
+		return HashString(fmt.Sprintf("%T\x00%v", k, k))
+	}
+}
+
+// stableKey selects the partitioning hash for grouping shuffles: the
+// process-seeded maphash when the job runs inside one process (any stable
+// assignment works, and maphash is cheapest), the seed-stable StableHash
+// when a transport is installed and the shuffle spans processes — every
+// worker must route a key to the same partition or groups split.
+func stableKey[K comparable](env *Env, k K) uint64 {
+	if env.transport != nil {
+		return StableHash(k)
+	}
+	return hashComparable(k)
+}

@@ -1,0 +1,60 @@
+package embedding
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// AppendWire appends the embedding's wire form — its three byte arrays,
+// each uint32-length-prefixed — to dst. The arrays themselves already are
+// the paper's compact binary encoding, so shipping an embedding between
+// workers is three memcpys and no per-column work; SizeBytes understates
+// the frame payload only by the three fixed-width length prefixes.
+func (e Embedding) AppendWire(dst []byte) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(e.idData)))
+	dst = append(dst, e.idData...)
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(e.pathData)))
+	dst = append(dst, e.pathData...)
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(e.propData)))
+	dst = append(dst, e.propData...)
+	return dst
+}
+
+// DecodeWireInto reads one AppendWire encoding from b into the receiver and
+// returns the remaining bytes. Decoded arrays are copies: an embedding must
+// never alias a reusable receive buffer. idData is validated to a whole
+// number of entries so corrupt frames fail here, not as index panics in a
+// partition goroutine later.
+func (e *Embedding) DecodeWireInto(b []byte) ([]byte, error) {
+	readArr := func(b []byte, what string) ([]byte, []byte, error) {
+		if len(b) < 4 {
+			return nil, nil, fmt.Errorf("embedding: truncated %s length", what)
+		}
+		n := int(binary.BigEndian.Uint32(b))
+		b = b[4:]
+		if len(b) < n {
+			return nil, nil, fmt.Errorf("embedding: truncated %s payload (want %d, have %d)", what, n, len(b))
+		}
+		if n == 0 {
+			return nil, b, nil
+		}
+		return append([]byte(nil), b[:n]...), b[n:], nil
+	}
+	idData, rest, err := readArr(b, "idData")
+	if err != nil {
+		return nil, err
+	}
+	if len(idData)%entrySize != 0 {
+		return nil, fmt.Errorf("embedding: idData length %d not a multiple of the entry size", len(idData))
+	}
+	pathData, rest, err := readArr(rest, "pathData")
+	if err != nil {
+		return nil, err
+	}
+	propData, rest, err := readArr(rest, "propData")
+	if err != nil {
+		return nil, err
+	}
+	*e = Embedding{idData: idData, pathData: pathData, propData: propData}
+	return rest, nil
+}

@@ -138,8 +138,10 @@ func (op *ExpandEmbeddings) evaluate(in *dataflow.Dataset[embedding.Embedding]) 
 	for iter := 1; iter <= qe.MaxHops; iter++ {
 		// A failed or cancelled environment drains the working set, so the
 		// bulk iteration is abortable between supersteps, not only inside
-		// the per-partition join loops.
-		if env.Failed() || working.IsEmpty() {
+		// the per-partition join loops. Emptiness is checked globally: a
+		// distributed job's workers must agree on the superstep count or the
+		// join shuffles inside deadlock on a missing participant.
+		if env.Failed() || working.GlobalIsEmpty() {
 			break
 		}
 		env.MarkIteration(iter)

@@ -120,6 +120,10 @@ type queryResponse struct {
 	QueueWaitMs     float64         `json:"queueWaitMs"`
 	SimTimeMs       float64         `json:"simTimeMs"`
 	ChromeTrace     json.RawMessage `json:"chromeTrace,omitempty"`
+	// Cluster reports the distributed execution (roster size, recovery
+	// attempts, per-stage predicted-vs-actual) when the server fronts a
+	// worker cluster; absent for in-process executions and cache hits.
+	Cluster *session.ClusterReport `json:"cluster,omitempty"`
 }
 
 // errorResponse is every non-2xx body. TraceID carries the request's
@@ -207,6 +211,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		ElapsedMs:       ms(res.Elapsed),
 		QueueWaitMs:     ms(res.QueueWait),
 		SimTimeMs:       ms(res.Metrics.SimTime),
+		Cluster:         res.Cluster,
 	}
 	if res.Trace != nil {
 		var buf bytes.Buffer
@@ -249,7 +254,7 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		writeSessionError(w, r, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
+	body := map[string]any{
 		"analyzedPlan": res.Result.AnalyzedPlan(),
 		// operators is the structured twin of the text rendering, in the
 		// same qstore.OpMetrics schema the query store persists — one
@@ -260,7 +265,13 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		"planCacheHit": res.PlanCacheHit,
 		"elapsedMs":    ms(res.Elapsed),
 		"memBytes":     res.Metrics.TotalMem,
-	})
+	}
+	if res.Cluster != nil {
+		// Distributed runs trace on the workers: the per-stage
+		// predicted-vs-actual table replaces the in-process span analysis.
+		body["cluster"] = res.Cluster
+	}
+	writeJSON(w, http.StatusOK, body)
 }
 
 // qstoreOr404 returns the session's query store, or answers 404 (the

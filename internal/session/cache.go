@@ -2,8 +2,6 @@ package session
 
 import (
 	"container/list"
-	"encoding/binary"
-	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -13,6 +11,7 @@ import (
 	"gradoop/internal/core"
 	"gradoop/internal/epgm"
 	"gradoop/internal/govern"
+	"gradoop/internal/wire"
 )
 
 // CanonicalQuery collapses runs of whitespace outside quoted regions into
@@ -62,27 +61,16 @@ func CanonicalQuery(q string) string {
 	return sb.String()
 }
 
-// paramsKey encodes a binding deterministically and collision-proof: names
-// sorted, each length-prefixed and followed by the value's binary encoding
-// (type byte + length-prefixed payload). No value — including one carrying
-// NUL bytes — can forge a pair boundary, and PVInt(1) never collides with
-// PVString("1"): different bindings must never share a result-cache key.
+// paramsKey encodes a binding deterministically and collision-proof via the
+// shared wire codec: names sorted, each length-prefixed and followed by the
+// value's binary encoding (type byte + length-prefixed payload). No value —
+// including one carrying NUL bytes — can forge a pair boundary, and
+// PVInt(1) never collides with PVString("1"): different bindings must never
+// share a result-cache key. The cluster protocol ships bindings in the same
+// bytes (wire.AppendParams), so cache keys and job specs agree by
+// construction.
 func paramsKey(params map[string]epgm.PropertyValue) string {
-	if len(params) == 0 {
-		return ""
-	}
-	names := make([]string, 0, len(params))
-	for name := range params {
-		names = append(names, name)
-	}
-	sort.Strings(names)
-	var buf []byte
-	for _, name := range names {
-		buf = binary.BigEndian.AppendUint32(buf, uint32(len(name)))
-		buf = append(buf, name...)
-		buf = params[name].Encode(buf)
-	}
-	return string(buf)
+	return string(wire.AppendParams(nil, params))
 }
 
 // planKey scopes a canonical query to one graph generation. A compile racing

@@ -1,0 +1,55 @@
+package session
+
+import (
+	"gradoop/internal/core"
+	"gradoop/internal/dataflow"
+	"gradoop/internal/epgm"
+)
+
+// RemoteExecutor runs a prepared query on an external worker cluster
+// instead of the session's in-process environment. The session stays the
+// single front door — plan cache, result cache, admission control and the
+// query store all work unchanged — and only the dataflow execution moves
+// out of process. The implementation lives in internal/cluster; the
+// interface lives here so the session does not depend on it.
+type RemoteExecutor interface {
+	// ExecuteRemote executes prep with the given per-request config (Params,
+	// Context, Timeout and the session-wide semantics are read; Access binds
+	// the coordinator-side result, Trace is ignored — workers trace
+	// themselves and report per-stage records in the ClusterReport).
+	// The returned Result must be equivalent to prep.Execute's: same rows,
+	// same metadata, assembled on the coordinator.
+	ExecuteRemote(g *epgm.LogicalGraph, prep *core.Prepared, cfg core.Config) (*core.Result, *ClusterReport, error)
+}
+
+// ClusterStage is one executed dataflow stage of a distributed query, with
+// the cost model's prediction set against the measured execution: Predicted
+// is the stage's simulated time from the per-partition charges (the same
+// number a single-process EXPLAIN ANALYZE derives), Actual the slowest
+// worker's wall clock, ModelBytes the cost model's cross-partition byte
+// charge and WireBytes the bytes the shuffle actually put on the network
+// (encoded frames, so the two differ by encoding overhead and by
+// process-local partition pairs that never touch a socket).
+type ClusterStage struct {
+	Stage      int64  `json:"stage"`
+	Op         string `json:"op,omitempty"`
+	Kind       string `json:"kind"`
+	Shuffle    bool   `json:"shuffle"`
+	Predicted  int64  `json:"predictedNs"`
+	Actual     int64  `json:"actualNs"`
+	ModelBytes int64  `json:"modelBytes"`
+	WireBytes  int64  `json:"wireBytes"`
+}
+
+// ClusterReport describes one distributed execution: the roster size, how
+// many attempts it took (>1 means lost-worker recovery re-ran the job on a
+// remapped partition assignment), the per-stage predicted-vs-actual table
+// and the merged per-worker metrics (each process charges only its owned
+// partitions, so the merge reproduces the single-process totals).
+type ClusterReport struct {
+	Workers   int                      `json:"workers"`
+	Attempts  int                      `json:"attempts"`
+	Recovered bool                     `json:"recovered"`
+	Stages    []ClusterStage           `json:"stages,omitempty"`
+	Metrics   dataflow.MetricsSnapshot `json:"-"`
+}

@@ -91,6 +91,13 @@ type Options struct {
 	// its analyzed plan (0 = disabled).
 	SlowQueryThreshold time.Duration
 
+	// Remote, when non-nil, executes queries on an external worker cluster
+	// (see internal/cluster): compilation, caching and admission stay local,
+	// the dataflow job runs on the workers and the coordinator assembles the
+	// result. Fault-injected requests (Request.Faults) always execute
+	// in-process — the injection hooks live in the local environment.
+	Remote RemoteExecutor
+
 	// QueryStore receives one persistent record per completed execution
 	// (every exit path: success, invalid, rejected, timeout, memory kill,
 	// failure); nil disables the query store at zero cost, mirroring the
@@ -123,55 +130,76 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// graphState is one pinned graph: the raw element slices (rebound zero-copy
-// onto each query's environment), the per-label partitioning, and the
-// statistics collected once at load. It is immutable after construction —
-// SwapGraph installs a whole new state.
-type graphState struct {
-	generation uint64
-	// graph is kept only so SwapGraph can evict the retired graph's entry
-	// from the process-wide statistics memo.
-	graph    *epgm.LogicalGraph
-	head     epgm.GraphHead
-	vertices []epgm.Vertex
-	edges    []epgm.Edge
+// GraphData is one pinned graph's process-resident representation: the raw
+// element slices (rebound zero-copy onto each query's environment) and the
+// per-label partitioning. It is immutable after construction and safe for
+// concurrent Bind calls. Besides the session's own graphState, a cluster
+// worker holds one per loaded dataset — every process of a distributed job
+// binds the identical data and runs the identical program over its owned
+// partitions.
+type GraphData struct {
+	Head     epgm.GraphHead
+	Vertices []epgm.Vertex
+	Edges    []epgm.Edge
 	vByLabel map[string][]epgm.Vertex
 	eByLabel map[string][]epgm.Edge
-	stats    *stats.GraphStatistics
 }
 
-func newGraphState(g *epgm.LogicalGraph, generation uint64) *graphState {
-	st := &graphState{
-		generation: generation,
-		graph:      g,
-		head:       g.Head,
-		vertices:   g.Vertices.Collect(),
-		edges:      g.Edges.Collect(),
-		vByLabel:   map[string][]epgm.Vertex{},
-		eByLabel:   map[string][]epgm.Edge{},
-		stats:      core.GraphStats(g),
+// NewGraphData collects a logical graph into pinned slices.
+func NewGraphData(g *epgm.LogicalGraph) *GraphData {
+	d := &GraphData{
+		Head:     g.Head,
+		Vertices: g.Vertices.Collect(),
+		Edges:    g.Edges.Collect(),
+		vByLabel: map[string][]epgm.Vertex{},
+		eByLabel: map[string][]epgm.Edge{},
 	}
-	for _, v := range st.vertices {
-		st.vByLabel[v.Label] = append(st.vByLabel[v.Label], v)
+	for _, v := range d.Vertices {
+		d.vByLabel[v.Label] = append(d.vByLabel[v.Label], v)
 	}
-	for _, e := range st.edges {
-		st.eByLabel[e.Label] = append(st.eByLabel[e.Label], e)
+	for _, e := range d.Edges {
+		d.eByLabel[e.Label] = append(d.eByLabel[e.Label], e)
 	}
-	return st
+	return d
 }
 
-// bind attaches the pinned slices to a fresh environment: a logical graph
+// Bind attaches the pinned slices to a fresh environment: a logical graph
 // over the full slices plus a hybrid access that scans the full dataset for
 // unlabeled query elements (pure slice-header splitting) and the per-label
 // datasets for labeled ones (§3.4).
-func (st *graphState) bind(env *dataflow.Env) (*epgm.LogicalGraph, planner.GraphAccess) {
-	g := epgm.NewLogicalGraph(env, st.head,
-		dataflow.FromSlice(env, st.vertices), dataflow.FromSlice(env, st.edges))
-	idx := epgm.IndexedFromSlices(env, st.head, st.vByLabel, st.eByLabel)
+func (d *GraphData) Bind(env *dataflow.Env) (*epgm.LogicalGraph, planner.GraphAccess) {
+	g := epgm.NewLogicalGraph(env, d.Head,
+		dataflow.FromSlice(env, d.Vertices), dataflow.FromSlice(env, d.Edges))
+	idx := epgm.IndexedFromSlices(env, d.Head, d.vByLabel, d.eByLabel)
 	return g, hybridAccess{
 		plain:   planner.PlainAccess{Graph: g},
 		indexed: planner.IndexedAccess{Index: idx},
 	}
+}
+
+// graphState is one pinned graph: its GraphData plus the statistics
+// collected once at load. It is immutable after construction — SwapGraph
+// installs a whole new state.
+type graphState struct {
+	generation uint64
+	// graph is kept only so SwapGraph can evict the retired graph's entry
+	// from the process-wide statistics memo.
+	graph *epgm.LogicalGraph
+	data  *GraphData
+	stats *stats.GraphStatistics
+}
+
+func newGraphState(g *epgm.LogicalGraph, generation uint64) *graphState {
+	return &graphState{
+		generation: generation,
+		graph:      g,
+		data:       NewGraphData(g),
+		stats:      core.GraphStats(g),
+	}
+}
+
+func (st *graphState) bind(env *dataflow.Env) (*epgm.LogicalGraph, planner.GraphAccess) {
+	return st.data.Bind(env)
 }
 
 // hybridAccess serves unlabeled scans from the plain full datasets (no
@@ -292,7 +320,7 @@ func (s *Session) snapshot() *graphState {
 // GraphSize reports the pinned graph's element counts (health output).
 func (s *Session) GraphSize() (vertices, edges int) {
 	st := s.snapshot()
-	return len(st.vertices), len(st.edges)
+	return len(st.data.Vertices), len(st.data.Edges)
 }
 
 // Request is one query execution request.
@@ -334,11 +362,15 @@ type Response struct {
 	// Metrics is the query's own dataflow job snapshot (zero when served
 	// from the result cache), with SlotWait filled in.
 	Metrics dataflow.MetricsSnapshot
-	// Trace is the execution trace (Request.Trace only).
+	// Trace is the execution trace (Request.Trace only; nil for remote
+	// executions, whose per-stage numbers arrive in Cluster instead).
 	Trace *trace.Collector
 	// Result is the underlying execution (nil when served from the result
 	// cache): AnalyzedPlan, embeddings, graph collection.
 	Result *core.Result
+	// Cluster reports the distributed execution when the session runs with
+	// Options.Remote (nil for in-process executions and cache hits).
+	Cluster *ClusterReport
 }
 
 // baseConfig assembles the session-wide parts of a core.Config.
@@ -547,7 +579,13 @@ func (s *Session) execute(req Request) (*Response, exitInfo, error) {
 	cfg.Trace = col
 
 	execStart := time.Now()
-	res, err := prep.Execute(g, cfg)
+	var res *core.Result
+	var clusterRep *ClusterReport
+	if s.opts.Remote != nil && req.Faults == nil {
+		res, clusterRep, err = s.opts.Remote.ExecuteRemote(g, prep, cfg)
+	} else {
+		res, err = prep.Execute(g, cfg)
+	}
 	ex.execDur = time.Since(execStart)
 	if err != nil {
 		if s.qstore != nil {
@@ -559,6 +597,11 @@ func (s *Session) execute(req Request) (*Response, exitInfo, error) {
 	count := res.Count()
 	columns := columnsOf(rows)
 	m := env.Metrics()
+	if clusterRep != nil {
+		// The local env only assembled the shipped result; the workers'
+		// merged charges are the query's real metrics.
+		m = clusterRep.Metrics
+	}
 	m.SlotWait = queueWait
 	s.metrics.mergeJob(m)
 
@@ -580,8 +623,9 @@ func (s *Session) execute(req Request) (*Response, exitInfo, error) {
 		Elapsed:      time.Since(start),
 		QueueWait:    queueWait,
 		Metrics:      m,
-		Trace:        col,
+		Trace:        res.Trace,
 		Result:       res,
+		Cluster:      clusterRep,
 	}
 	s.obs.queryTime.Observe(int64(resp.Elapsed))
 	if s.qstore != nil {

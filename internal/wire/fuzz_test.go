@@ -1,0 +1,48 @@
+package wire
+
+import (
+	"testing"
+
+	"gradoop/internal/epgm"
+)
+
+// FuzzParamsRoundTrip checks two properties of the shared params codec:
+// any binding built from fuzzer-chosen names and values decodes back to an
+// equal binding (encode∘decode fixed point), and any byte blob either
+// decodes cleanly or errors — ReadParams must never panic on hostile input
+// because the cluster protocol feeds it bytes straight off a socket.
+func FuzzParamsRoundTrip(f *testing.F) {
+	f.Add("name", "Alice", int64(7), 1.5, true, []byte(nil))
+	f.Add("", "", int64(0), 0.0, false, []byte{0, 0, 0, 4, 'n', 'a', 'm', 'e', 4})
+	f.Add("k\x00y", "v\x00al", int64(-1), -2.25, true, []byte{0xff, 0xff, 0xff, 0xff})
+	f.Fuzz(func(t *testing.T, name, sval string, ival int64, fval float64, bval bool, raw []byte) {
+		params := map[string]epgm.PropertyValue{
+			name:          epgm.PVString(sval),
+			name + "i":    epgm.PVInt(ival),
+			name + "f":    epgm.PVFloat(fval),
+			name + "b":    epgm.PVBool(bval),
+			name + "\x00": epgm.Null,
+		}
+		blob := AppendParams(nil, params)
+		got, err := ReadParams(blob)
+		if err != nil {
+			t.Fatalf("round trip of valid binding failed: %v", err)
+		}
+		if len(got) != len(params) {
+			t.Fatalf("round trip changed entry count: %d != %d", len(got), len(params))
+		}
+		for k, want := range params {
+			g, ok := got[k]
+			if !ok || g.Type() != want.Type() || g.String() != want.String() {
+				t.Fatalf("param %q: got %v (present %v), want %v", k, g, ok, want)
+			}
+		}
+		// Hostile input: must return, never panic.
+		if m, err := ReadParams(raw); err == nil && m != nil {
+			// Whatever decoded must re-encode to a decodable blob.
+			if _, err := ReadParams(AppendParams(nil, m)); err != nil {
+				t.Fatalf("re-encode of decoded blob failed: %v", err)
+			}
+		}
+	})
+}
