@@ -28,9 +28,11 @@ vet:
 # lint runs cypherlint (the in-tree go/analysis suite enforcing the engine's
 # concurrency, cost-model and tracing invariants; see internal/lint) over the
 # module, both standalone and as a vet tool so test files are covered too,
-# then staticcheck and govulncheck when they are on PATH.
+# then staticcheck and govulncheck when they are on PATH. The standalone pass
+# prints per-analyzer wall time and finding counts (-stats) so a slow or
+# noisy analyzer is visible in every CI log.
 lint:
-	$(GO) run ./cmd/cypherlint ./...
+	$(GO) run ./cmd/cypherlint -stats ./...
 	$(GO) build -o bin/cypherlint ./cmd/cypherlint
 	$(GO) vet -vettool=bin/cypherlint ./...
 	@if command -v staticcheck >/dev/null 2>&1; then \
@@ -58,6 +60,7 @@ fuzz-smoke:
 	$(GO) test ./internal/cypher -run '^FuzzParse$$' -fuzz '^FuzzParse$$' -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/gdl -run '^FuzzParse$$' -fuzz '^FuzzParse$$' -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/wire -run '^FuzzParamsRoundTrip$$' -fuzz '^FuzzParamsRoundTrip$$' -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/lint/analysis -run '^FuzzCFGBuild$$' -fuzz '^FuzzCFGBuild$$' -fuzztime=$(FUZZTIME)
 
 race:
 	$(GO) test -race ./...

@@ -212,6 +212,7 @@ func main() {
 
 	if *opsAddr != "" {
 		opsSrv := &http.Server{Addr: *opsAddr, Handler: server.NewOpsMux()}
+		//lint:ignore goleak process-lifetime listener; the deferred opsSrv.Close below bounds it at shutdown
 		go func() {
 			logger.Info("ops listener up", "addr", *opsAddr)
 			if err := opsSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"gradoop/internal/lint"
 	"gradoop/internal/lint/analysis"
@@ -43,6 +44,7 @@ func main() {
 	}
 
 	jsonOut := flag.Bool("json", false, "emit findings as JSON")
+	statsOut := flag.Bool("stats", false, "print per-analyzer wall time and finding counts to stderr")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(), "usage: cypherlint [-json] [packages]\n\nAnalyzers:\n")
 		for _, a := range lint.Analyzers() {
@@ -55,10 +57,20 @@ func main() {
 		patterns = []string{"./..."}
 	}
 
-	findings, err := runStandalone(patterns)
+	var stats *lint.Stats
+	if *statsOut {
+		stats = &lint.Stats{}
+	}
+	findings, err := runStandalone(patterns, stats)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "cypherlint:", err)
 		os.Exit(1)
+	}
+	if *statsOut {
+		fmt.Fprintf(os.Stderr, "%-18s %12s %9s\n", "analyzer", "wall", "findings")
+		for _, s := range stats.Rows() {
+			fmt.Fprintf(os.Stderr, "%-18s %12s %9d\n", s.Analyzer, s.Time.Round(time.Microsecond), s.Findings)
+		}
 	}
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
@@ -78,8 +90,9 @@ func main() {
 }
 
 // runStandalone loads the patterns from the enclosing module and runs the
-// full suite over every matched package.
-func runStandalone(patterns []string) ([]analysis.Finding, error) {
+// full suite over every matched package as one program, so the flow
+// analyzers see cross-package call-graph summaries.
+func runStandalone(patterns []string, stats *lint.Stats) ([]analysis.Finding, error) {
 	wd, err := os.Getwd()
 	if err != nil {
 		return nil, err
@@ -96,13 +109,12 @@ func runStandalone(patterns []string) ([]analysis.Finding, error) {
 	if err != nil {
 		return nil, err
 	}
-	findings := []analysis.Finding{}
-	for _, pkg := range pkgs {
-		fs, err := lint.Run(pkg, lint.Analyzers())
-		if err != nil {
-			return nil, err
-		}
-		findings = append(findings, fs...)
+	findings, err := lint.RunProgram(pkgs, lint.Analyzers(), stats)
+	if err != nil {
+		return nil, err
+	}
+	if findings == nil {
+		findings = []analysis.Finding{}
 	}
 	return findings, nil
 }

@@ -106,4 +106,7 @@ func main() {
 	if err := w.Serve(ln); err != nil {
 		fail(err)
 	}
+	// Serve returned because Crash/Close severed the sockets; drain the
+	// connection handlers and job goroutines before the process exits.
+	w.Wait()
 }

@@ -63,7 +63,12 @@ type Coordinator struct {
 	closed  bool
 
 	stopHB chan struct{}
-	hbDone chan struct{}
+	// wg joins every goroutine the coordinator spawned — the per-member
+	// read loops and the heartbeat — so Close returns only after all of
+	// them have exited. Their exits are driven, not awaited hopefully:
+	// Close closes stopHB (heartbeat) and aborts every member's sender,
+	// which closes the underlying connections (read loops).
+	wg sync.WaitGroup
 }
 
 // member is one worker process as the coordinator sees it.
@@ -109,8 +114,14 @@ func NewCoordinator(addrs []string, opts Options) (*Coordinator, error) {
 		inst:    newClusterInstruments(opts.Metrics),
 		pending: map[jobKey]*attemptState{},
 		stopHB:  make(chan struct{}),
-		hbDone:  make(chan struct{}),
 	}
+	// The heartbeat starts before the dial loop so the error path below can
+	// unconditionally Close (which waits for it) without a started-yet check.
+	c.wg.Add(1)
+	go func() {
+		defer c.wg.Done()
+		c.heartbeat()
+	}()
 	now := time.Now()
 	for i, addr := range addrs {
 		conn, br, node, err := dialControl(addr)
@@ -120,12 +131,15 @@ func NewCoordinator(addrs []string, opts Options) (*Coordinator, error) {
 		}
 		m := &member{idx: i, node: node, addr: addr, conn: conn, send: newSender(conn), alive: true, lastPong: now}
 		c.members = append(c.members, m)
-		go c.readMember(m, br)
+		c.wg.Add(1)
+		go func() {
+			defer c.wg.Done()
+			c.readMember(m, br)
+		}()
 	}
 	if c.inst != nil {
 		c.inst.bindRoster(c)
 	}
-	go c.heartbeat()
 	return c, nil
 }
 
@@ -167,20 +181,22 @@ func dialControl(addr string) (net.Conn, *bufio.Reader, string, error) {
 	}
 }
 
-// Close tears the coordinator down.
+// Close tears the coordinator down and waits for its goroutines (the
+// heartbeat and every member read loop) to exit. Idempotent; later calls
+// return once the first teardown has finished.
 func (c *Coordinator) Close() {
 	c.mu.Lock()
-	if c.closed {
-		c.mu.Unlock()
-		return
-	}
+	alreadyClosed := c.closed
 	c.closed = true
 	members := append([]*member(nil), c.members...)
 	c.mu.Unlock()
-	close(c.stopHB)
-	for _, m := range members {
-		m.send.abort()
+	if !alreadyClosed {
+		close(c.stopHB)
+		for _, m := range members {
+			m.send.abort()
+		}
 	}
+	c.wg.Wait()
 }
 
 // LiveWorkers reports the currently live roster size.
@@ -279,7 +295,6 @@ func (c *Coordinator) attempt(key jobKey) *attemptState {
 
 // heartbeat pings live members and expires the silent ones.
 func (c *Coordinator) heartbeat() {
-	defer close(c.hbDone)
 	ticker := time.NewTicker(c.opts.HeartbeatInterval)
 	defer ticker.Stop()
 	for {

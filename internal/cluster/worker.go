@@ -50,6 +50,13 @@ type Worker struct {
 	jobs   map[jobKey]*jobRuntime
 	closed bool
 
+	// wg counts every goroutine the worker spawned (connection handlers,
+	// job executions, peer routers) so Wait can observe the full drain
+	// after Crash/Close severed their sockets. Crash itself must NOT wait:
+	// the fault-injection path calls it from inside a counted runJob
+	// goroutine, where waiting would self-deadlock.
+	wg sync.WaitGroup
+
 	// failAfter > 0 injects a crash (full process death from the cluster's
 	// point of view: listener and every connection closed) after that many
 	// collective exchanges — the deterministic kill the recovery tests and
@@ -96,9 +103,18 @@ func (w *Worker) Serve(ln net.Listener) error {
 			}
 			return err
 		}
-		go w.handleConn(conn)
+		w.wg.Add(1)
+		go func() {
+			defer w.wg.Done()
+			w.handleConn(conn)
+		}()
 	}
 }
+
+// Wait blocks until every goroutine the worker spawned has returned. Call
+// it after Serve returns: Crash/Close only sever the listener and the
+// sockets, which drives those goroutines to exit; Wait observes the drain.
+func (w *Worker) Wait() { w.wg.Wait() }
 
 // Crash simulates process death: the listener and every connection close
 // immediately and every running job fails. Peers observe exactly what they
@@ -273,7 +289,11 @@ func (w *Worker) serveControl(conn net.Conn, br *bufio.Reader) {
 				continue
 			}
 			started = append(started, jobKey{job: spec.JobID, attempt: spec.Attempt})
-			go w.runJob(&spec, send)
+			w.wg.Add(1)
+			go func() {
+				defer w.wg.Done()
+				w.runJob(&spec, send)
+			}()
 		case frameAbort:
 			var a abortMsg
 			if err := json.Unmarshal(payload, &a); err != nil {
@@ -428,7 +448,9 @@ func (w *Worker) connectMesh(spec *jobSpec, rt *jobRuntime) error {
 			w.untrack(conn)
 			return errors.New("cluster: attempt already failed")
 		}
+		w.wg.Add(1)
 		go func(j int) {
+			defer w.wg.Done()
 			defer w.untrack(conn)
 			rt.routePeer(j, link, br)
 		}(j)

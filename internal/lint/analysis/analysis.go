@@ -34,6 +34,37 @@ type Pass struct {
 
 	// Report delivers one diagnostic. The driver installs it.
 	Report func(Diagnostic)
+
+	// Summary resolves per-function facts for static callees — the
+	// call-graph layer the flow-sensitive analyzers (lockorder, goleak)
+	// consult to follow effects across function and package boundaries.
+	// The driver installs it: in whole-module runs it spans every package
+	// loaded through `go list -export`; in single-package runs (the vet
+	// unit protocol ships one package's sources at a time) it covers the
+	// package under analysis. nil results mean "no facts" and callers must
+	// stay conservative.
+	Summary func(*types.Func) *FuncSummary
+}
+
+// FuncSummary is the exported fact set of one function body, computed once
+// per function over its direct statements (nested function literals are
+// separate scopes and deliberately not folded in).
+type FuncSummary struct {
+	// ChanOps: the body performs a channel operation — send, receive,
+	// close, select, or range over a channel. For goleak this is the
+	// signature of a goroutine with a lifecycle (it can be signalled).
+	ChanOps bool
+	// WGDone: the body calls (*sync.WaitGroup).Done — the goroutine is
+	// joined by a waiter.
+	WGDone bool
+	// Acquires lists the lock keys (package-qualified "pkg.Type.field"
+	// paths, see lockorder) the body acquires via Lock/RLock.
+	Acquires []string
+	// Blocks describes the first potentially-blocking operation in the
+	// body (channel op, net.Conn I/O, time.Sleep, WaitGroup.Wait), empty
+	// if none. Calling a function that Blocks while holding a lock is a
+	// lockorder finding.
+	Blocks string
 }
 
 // Diagnostic is one finding at a source position.

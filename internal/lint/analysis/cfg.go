@@ -1,0 +1,510 @@
+// Control-flow graphs over go/ast function bodies. The original cypherlint
+// analyzers were purely syntactic AST walks, which is blind to exactly the
+// bug class the distributed subsystems (internal/cluster, internal/wire)
+// grew: a lock released on one branch but not another, a connection closed
+// on the happy path but leaked on an early error return. BuildCFG turns a
+// function body into basic blocks with explicit branch, loop, switch,
+// select, labeled-break/continue, goto, return and panic edges so analyzers
+// can reason per-path instead of per-node. Defers are collected separately:
+// they conceptually run on every exit edge, and most clients (closeonerr's
+// release tracking, lockorder's held-set) want them position-aware rather
+// than duplicated onto each exit.
+//
+// The builder is stdlib-only and deliberately smaller than
+// x/tools/go/cfg: expressions are not decomposed (short-circuit && / || stay
+// inside their statement), because the analyzers built on top key on
+// statement-level effects (Lock/Unlock/Close calls, channel operations).
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Block is one basic block: statements that execute consecutively, followed
+// by edges to every possible successor. Nodes holds statements and, for
+// branchy constructs, the governing expression (an if condition, a range
+// subject, a switch tag) so dataflow clients see evaluation order.
+type Block struct {
+	Index int
+	// Kind names the construct that created the block ("entry", "exit",
+	// "if.then", "for.body", "select.comm", ...) — for golden tests and
+	// diagnostics, not for semantic decisions.
+	Kind  string
+	Nodes []ast.Node
+	Succs []*Block
+	Preds []*Block
+}
+
+// CFG is the control-flow graph of one function body.
+type CFG struct {
+	// Entry is Blocks[0]; Exit is Blocks[1] and collects every return,
+	// panic and natural fall-off-the-end edge.
+	Entry, Exit *Block
+	Blocks      []*Block
+	// Defers lists the function's defer statements in source order. A defer
+	// runs at every function exit reached after its block executed; clients
+	// that care (closeonerr) pair them with dominance along the block order.
+	Defers []*ast.DeferStmt
+}
+
+// builder carries the construction state: the current block under
+// append, the enclosing loop/switch targets for break/continue, and the
+// label table for goto and labeled branches.
+type builder struct {
+	cfg *CFG
+	cur *Block
+
+	// breakTo / continueTo are the innermost targets; labels maps a label
+	// name to its construct's targets (and, for bare goto, its entry).
+	breakTo    *Block
+	continueTo *Block
+	loopStack  []loopScope
+	labels     map[string]*labelTarget
+	// pendingLabel, when set, is claimed by the next loop/switch compiled —
+	// the label directly precedes its statement.
+	pendingLabel *labelTarget
+	// gotos are resolved after the walk: forward gotos reference labels not
+	// yet seen.
+	gotos []pendingGoto
+}
+
+type labelTarget struct {
+	entry      *Block // where a goto to the label jumps
+	breakTo    *Block // valid when the labeled statement is a loop/switch/select
+	continueTo *Block // valid when the labeled statement is a loop
+}
+
+type pendingGoto struct {
+	from  *Block
+	label string
+}
+
+// BuildCFG constructs the CFG of a function body. It never fails: malformed
+// or unreachable constructs produce unreachable blocks rather than errors
+// (the fuzz target pins the no-panic property).
+func BuildCFG(body *ast.BlockStmt) *CFG {
+	b := &builder{
+		cfg:    &CFG{},
+		labels: map[string]*labelTarget{},
+	}
+	entry := b.newBlock("entry")
+	exit := b.newBlock("exit")
+	b.cfg.Entry, b.cfg.Exit = entry, exit
+	b.cur = entry
+	b.stmtList(body.List)
+	// Natural fall off the end of the body.
+	b.jump(b.cur, exit)
+	// Resolve forward gotos; a goto to a label that never appears gets an
+	// exit edge so its block is not a dead end.
+	for _, g := range b.gotos {
+		if t, ok := b.labels[g.label]; ok {
+			b.jump(g.from, t.entry)
+		} else {
+			b.jump(g.from, exit)
+		}
+	}
+	return b.cfg
+}
+
+func (b *builder) newBlock(kind string) *Block {
+	blk := &Block{Index: len(b.cfg.Blocks), Kind: kind}
+	b.cfg.Blocks = append(b.cfg.Blocks, blk)
+	return blk
+}
+
+// jump adds the edge from → to, dropping duplicates and edges out of a
+// terminated block (nil from).
+func (b *builder) jump(from, to *Block) {
+	if from == nil || to == nil {
+		return
+	}
+	for _, s := range from.Succs {
+		if s == to {
+			return
+		}
+	}
+	from.Succs = append(from.Succs, to)
+	to.Preds = append(to.Preds, from)
+}
+
+// startBlock makes a fresh block current. A nil current block (after a
+// return/branch) means subsequent statements are unreachable; they still get
+// a block, just with no predecessors.
+func (b *builder) startBlock(kind string, preds ...*Block) *Block {
+	blk := b.newBlock(kind)
+	for _, p := range preds {
+		b.jump(p, blk)
+	}
+	b.cur = blk
+	return blk
+}
+
+func (b *builder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+// add appends a node to the current block, creating an unreachable
+// continuation block if control already left (code after return).
+func (b *builder) add(n ast.Node) {
+	if b.cur == nil {
+		b.startBlock("unreachable")
+	}
+	b.cur.Nodes = append(b.cur.Nodes, n)
+}
+
+// terminate marks control as having left the current block (return, goto,
+// break...): statements that follow are dead until a new block starts.
+func (b *builder) terminate() { b.cur = nil }
+
+func (b *builder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		b.add(s.Cond)
+		condBlk := b.cur
+		b.startBlock("if.then", condBlk)
+		b.stmt(s.Body)
+		thenEnd := b.cur
+		if s.Else != nil {
+			b.startBlock("if.else", condBlk)
+			b.stmt(s.Else)
+			elseEnd := b.cur
+			// The join keeps whatever predecessors still flow (nil ends are
+			// no-ops); both arms returning leaves it unreachable, which is
+			// exactly what Unreachable() reports.
+			join := b.startBlock("if.join")
+			b.jump(thenEnd, join)
+			b.jump(elseEnd, join)
+			b.cur = join
+		} else {
+			join := b.startBlock("if.join", condBlk)
+			b.jump(thenEnd, join)
+			b.cur = join
+		}
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		pre := b.cur
+		head := b.startBlock("for.head", pre)
+		if s.Cond != nil {
+			b.add(s.Cond)
+		}
+		post := b.newBlock("for.post")
+		if s.Post != nil {
+			post.Nodes = append(post.Nodes, s.Post)
+		}
+		done := b.newBlock("for.done")
+		if s.Cond != nil {
+			b.jump(head, done)
+		}
+		b.pushLoop(done, post)
+		b.startBlock("for.body", head)
+		b.stmt(s.Body)
+		b.jump(b.cur, post)
+		b.jump(post, head)
+		b.popLoop()
+		b.cur = done
+
+	case *ast.RangeStmt:
+		b.add(s) // the range head: subject evaluation + per-iteration assigns
+		head := b.cur
+		done := b.newBlock("range.done")
+		b.jump(head, done)
+		post := b.newBlock("range.post")
+		b.jump(post, head)
+		b.pushLoop(done, post)
+		b.startBlock("range.body", head)
+		b.stmt(s.Body)
+		b.jump(b.cur, post)
+		b.popLoop()
+		b.cur = done
+
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		if s.Tag != nil {
+			b.add(s.Tag)
+		}
+		b.caseClauses(s, s.Body, false)
+
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		b.add(s.Assign)
+		b.caseClauses(s, s.Body, false)
+
+	case *ast.SelectStmt:
+		b.add(s) // the select itself is the blocking point
+		b.caseClauses(s, s.Body, true)
+
+	case *ast.LabeledStmt:
+		// The labeled statement's entry must be a fresh block so gotos and
+		// labeled continue/break have a stable target.
+		entry := b.startBlock("label."+s.Label.Name, b.cur)
+		t := &labelTarget{entry: entry}
+		b.labels[s.Label.Name] = t
+		b.labeledStmt(s.Stmt, t)
+
+	case *ast.BranchStmt:
+		b.add(s)
+		switch s.Tok {
+		case token.BREAK:
+			if s.Label != nil {
+				if t, ok := b.labels[s.Label.Name]; ok && t.breakTo != nil {
+					b.jump(b.cur, t.breakTo)
+				} else {
+					b.jump(b.cur, b.cfg.Exit)
+				}
+			} else {
+				b.jump(b.cur, b.breakTo)
+				if b.breakTo == nil {
+					b.jump(b.cur, b.cfg.Exit) // malformed: break outside loop
+				}
+			}
+			b.terminate()
+		case token.CONTINUE:
+			if s.Label != nil {
+				if t, ok := b.labels[s.Label.Name]; ok && t.continueTo != nil {
+					b.jump(b.cur, t.continueTo)
+				} else {
+					b.jump(b.cur, b.cfg.Exit)
+				}
+			} else {
+				b.jump(b.cur, b.continueTo)
+				if b.continueTo == nil {
+					b.jump(b.cur, b.cfg.Exit)
+				}
+			}
+			b.terminate()
+		case token.GOTO:
+			if s.Label != nil {
+				b.gotos = append(b.gotos, pendingGoto{from: b.cur, label: s.Label.Name})
+			}
+			b.terminate()
+		case token.FALLTHROUGH:
+			// Handled in caseClauses via clause chaining; as a statement it
+			// just ends the block (the chain edge is added there).
+		}
+
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.jump(b.cur, b.cfg.Exit)
+		b.terminate()
+
+	case *ast.DeferStmt:
+		b.add(s)
+		b.cfg.Defers = append(b.cfg.Defers, s)
+
+	case *ast.ExprStmt:
+		b.add(s)
+		if isPanicCall(s.X) {
+			b.jump(b.cur, b.cfg.Exit)
+			b.terminate()
+		}
+
+	case nil:
+		// tolerated: a malformed tree
+
+	default:
+		// Assignments, declarations, go statements, sends, inc/dec, empty
+		// statements: straight-line.
+		b.add(s)
+	}
+}
+
+// labeledStmt compiles the statement under a label, registering the label's
+// break/continue targets when the statement is a loop, switch or select.
+func (b *builder) labeledStmt(s ast.Stmt, t *labelTarget) {
+	switch s.(type) {
+	case *ast.ForStmt, *ast.RangeStmt:
+		// Compile the loop, then back-fill the label targets: the loop pushes
+		// its own break/continue blocks, which we need to alias. Easiest is
+		// to wire the label before compilation via the pending mechanism.
+		b.pendingLabel = t
+		b.stmt(s)
+		b.pendingLabel = nil
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		b.pendingLabel = t
+		b.stmt(s)
+		b.pendingLabel = nil
+	default:
+		b.stmt(s)
+	}
+}
+
+// pushLoop enters a loop scope: break jumps to done, continue to post.
+func (b *builder) pushLoop(done, post *Block) {
+	b.loopStack = append(b.loopStack, loopScope{breakTo: b.breakTo, continueTo: b.continueTo})
+	b.breakTo, b.continueTo = done, post
+	if b.pendingLabel != nil {
+		b.pendingLabel.breakTo = done
+		b.pendingLabel.continueTo = post
+		b.pendingLabel = nil
+	}
+}
+
+func (b *builder) popLoop() {
+	top := b.loopStack[len(b.loopStack)-1]
+	b.loopStack = b.loopStack[:len(b.loopStack)-1]
+	b.breakTo, b.continueTo = top.breakTo, top.continueTo
+}
+
+type loopScope struct {
+	breakTo    *Block
+	continueTo *Block
+}
+
+// caseClauses compiles the body of a switch/type-switch/select: each clause
+// is a block branching from the dispatch point; break targets the join.
+// fallthrough chains a clause's end into the next clause's body.
+func (b *builder) caseClauses(sw ast.Stmt, body *ast.BlockStmt, isSelect bool) {
+	dispatch := b.cur
+	if dispatch == nil {
+		dispatch = b.startBlock("unreachable")
+	}
+	join := b.newBlock("switch.join")
+
+	// break inside a switch/select targets the join (continue passes through
+	// to the enclosing loop).
+	savedBreak := b.breakTo
+	b.breakTo = join
+	if b.pendingLabel != nil {
+		b.pendingLabel.breakTo = join
+		b.pendingLabel = nil
+	}
+
+	hasDefault := false
+	type compiled struct {
+		entry *Block
+		end   *Block
+		falls bool
+	}
+	var clauses []compiled
+	for _, c := range body.List {
+		var stmts []ast.Stmt
+		var kind string
+		switch c := c.(type) {
+		case *ast.CaseClause:
+			stmts = c.Body
+			if c.List == nil {
+				hasDefault = true
+				kind = "case.default"
+			} else {
+				kind = "case"
+			}
+			for _, e := range c.List {
+				dispatch.Nodes = append(dispatch.Nodes, e)
+			}
+		case *ast.CommClause:
+			stmts = c.Body
+			if c.Comm == nil {
+				hasDefault = true
+				kind = "select.default"
+			} else {
+				kind = "select.comm"
+			}
+		default:
+			continue
+		}
+		entry := b.startBlock(kind, dispatch)
+		if cc, ok := c.(*ast.CommClause); ok && cc.Comm != nil {
+			b.add(cc.Comm)
+		}
+		b.stmtList(stmts)
+		end := b.cur
+		falls := false
+		if n := len(stmts); n > 0 {
+			if br, ok := stmts[n-1].(*ast.BranchStmt); ok && br.Tok == token.FALLTHROUGH {
+				falls = true
+			}
+		}
+		if !falls {
+			b.jump(end, join)
+		}
+		clauses = append(clauses, compiled{entry: entry, end: end, falls: falls})
+	}
+	for i, c := range clauses {
+		if c.falls {
+			if i+1 < len(clauses) {
+				b.jump(c.end, clauses[i+1].entry)
+			} else {
+				b.jump(c.end, join)
+			}
+		}
+	}
+	// Without a default, a switch can match nothing (and a select with no
+	// default... always blocks until a comm fires, but an empty select
+	// blocks forever — give the dispatch a join edge except for a non-empty
+	// select, whose semantics guarantee one clause runs).
+	if !hasDefault && (!isSelect || len(clauses) == 0) {
+		b.jump(dispatch, join)
+	}
+	b.breakTo = savedBreak
+	b.cur = join
+}
+
+// isPanicCall matches the builtin panic(...).
+func isPanicCall(e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	return ok && id.Name == "panic"
+}
+
+// Unreachable returns the blocks with no path from the entry — dead code
+// and artifacts of terminated branches. The fuzz target asserts every block
+// is reachable or reported here.
+func (c *CFG) Unreachable() []*Block {
+	seen := make([]bool, len(c.Blocks))
+	var walk func(b *Block)
+	walk = func(b *Block) {
+		if seen[b.Index] {
+			return
+		}
+		seen[b.Index] = true
+		for _, s := range b.Succs {
+			walk(s)
+		}
+	}
+	walk(c.Entry)
+	var out []*Block
+	for _, b := range c.Blocks {
+		if !seen[b.Index] {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// String renders the CFG in a compact, deterministic text form used by the
+// golden tests: one line per block with kind, node count and successor
+// indices.
+func (c *CFG) String() string {
+	var sb strings.Builder
+	for _, b := range c.Blocks {
+		succs := make([]int, len(b.Succs))
+		for i, s := range b.Succs {
+			succs[i] = s.Index
+		}
+		sort.Ints(succs)
+		fmt.Fprintf(&sb, "b%d %s nodes=%d ->%v\n", b.Index, b.Kind, len(b.Nodes), succs)
+	}
+	return sb.String()
+}

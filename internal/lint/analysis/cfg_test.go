@@ -1,0 +1,278 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// parseBody wraps a statement list in a function and returns its body.
+func parseBody(t *testing.T, body string) *ast.BlockStmt {
+	t.Helper()
+	b, err := parseBodySrc(body)
+	if err != nil {
+		t.Fatalf("parsing fixture body: %v", err)
+	}
+	return b
+}
+
+func parseBodySrc(body string) (*ast.BlockStmt, error) {
+	src := "package p\nfunc f() {\n" + body + "\n}"
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "f.go", src, parser.SkipObjectResolution)
+	if err != nil {
+		return nil, err
+	}
+	for _, d := range file.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+			return fd.Body, nil
+		}
+	}
+	return &ast.BlockStmt{}, nil
+}
+
+// checkInvariants asserts the structural properties every CFG must hold,
+// shared between the golden tests and the fuzz target: entry/exit are the
+// first two blocks, the edge lists are symmetric, indices match positions,
+// and every block is either reachable from the entry or reported by
+// Unreachable.
+func checkInvariants(t *testing.T, cfg *CFG) {
+	t.Helper()
+	if len(cfg.Blocks) < 2 {
+		t.Fatalf("CFG has %d blocks, want at least entry+exit", len(cfg.Blocks))
+	}
+	if cfg.Entry != cfg.Blocks[0] || cfg.Entry.Kind != "entry" {
+		t.Fatalf("Blocks[0] is not the entry (kind %q)", cfg.Blocks[0].Kind)
+	}
+	if cfg.Exit != cfg.Blocks[1] || cfg.Exit.Kind != "exit" {
+		t.Fatalf("Blocks[1] is not the exit (kind %q)", cfg.Blocks[1].Kind)
+	}
+	for i, b := range cfg.Blocks {
+		if b.Index != i {
+			t.Fatalf("block at position %d has Index %d", i, b.Index)
+		}
+		for _, s := range b.Succs {
+			if !hasEdge(s.Preds, b) {
+				t.Fatalf("edge b%d->b%d missing from b%d.Preds", b.Index, s.Index, s.Index)
+			}
+		}
+		for _, p := range b.Preds {
+			if !hasEdge(p.Succs, b) {
+				t.Fatalf("edge b%d->b%d missing from b%d.Succs", p.Index, b.Index, p.Index)
+			}
+		}
+	}
+	reachable := map[*Block]bool{}
+	var walk func(b *Block)
+	walk = func(b *Block) {
+		if reachable[b] {
+			return
+		}
+		reachable[b] = true
+		for _, s := range b.Succs {
+			walk(s)
+		}
+	}
+	walk(cfg.Entry)
+	unreachable := map[*Block]bool{}
+	for _, b := range cfg.Unreachable() {
+		unreachable[b] = true
+	}
+	for _, b := range cfg.Blocks {
+		if reachable[b] == unreachable[b] {
+			t.Fatalf("b%d (%s): reachable=%v but Unreachable reports %v",
+				b.Index, b.Kind, reachable[b], unreachable[b])
+		}
+	}
+}
+
+func hasEdge(list []*Block, b *Block) bool {
+	for _, x := range list {
+		if x == b {
+			return true
+		}
+	}
+	return false
+}
+
+// TestCFGGolden pins the block structure BuildCFG produces for the shapes
+// the flow analyzers depend on. The golden form is CFG.String(): one line
+// per block with kind, node count and sorted successor indices. A diff here
+// means the builder changed shape — update deliberately, because lockorder
+// and closeonerr path-walks key on these edges.
+func TestCFGGolden(t *testing.T) {
+	cases := []struct {
+		name string
+		body string
+		want string
+	}{
+		{
+			name: "branch",
+			body: `
+x := 1
+if x > 0 {
+	x = 2
+} else {
+	x = 3
+}
+use(x)`,
+			want: `b0 entry nodes=2 ->[2 3]
+b1 exit nodes=0 ->[]
+b2 if.then nodes=1 ->[4]
+b3 if.else nodes=1 ->[4]
+b4 if.join nodes=1 ->[1]
+`,
+		},
+		{
+			name: "loop",
+			body: `
+for i := 0; i < 10; i++ {
+	if i == 3 {
+		continue
+	}
+	if i == 7 {
+		break
+	}
+	use(i)
+}
+use(0)`,
+			want: `b0 entry nodes=1 ->[2]
+b1 exit nodes=0 ->[]
+b2 for.head nodes=1 ->[4 5]
+b3 for.post nodes=1 ->[2]
+b4 for.done nodes=1 ->[1]
+b5 for.body nodes=1 ->[6 7]
+b6 if.then nodes=1 ->[3]
+b7 if.join nodes=1 ->[8 9]
+b8 if.then nodes=1 ->[4]
+b9 if.join nodes=1 ->[3]
+`,
+		},
+		{
+			name: "defer",
+			body: `
+f, err := open()
+if err != nil {
+	return
+}
+defer f.Close()
+use(f)`,
+			want: `b0 entry nodes=2 ->[2 3]
+b1 exit nodes=0 ->[]
+b2 if.then nodes=1 ->[1]
+b3 if.join nodes=2 ->[1]
+`,
+		},
+		{
+			name: "labeled-break",
+			body: `
+outer:
+for i := 0; i < 4; i++ {
+	for j := 0; j < 4; j++ {
+		if bad(i, j) {
+			break outer
+		}
+		if skip(i, j) {
+			continue outer
+		}
+	}
+}
+use(0)`,
+			want: `b0 entry nodes=0 ->[2]
+b1 exit nodes=0 ->[]
+b2 label.outer nodes=1 ->[3]
+b3 for.head nodes=1 ->[5 6]
+b4 for.post nodes=1 ->[3]
+b5 for.done nodes=1 ->[1]
+b6 for.body nodes=1 ->[7]
+b7 for.head nodes=1 ->[9 10]
+b8 for.post nodes=1 ->[7]
+b9 for.done nodes=0 ->[4]
+b10 for.body nodes=1 ->[11 12]
+b11 if.then nodes=1 ->[5]
+b12 if.join nodes=1 ->[13 14]
+b13 if.then nodes=1 ->[4]
+b14 if.join nodes=0 ->[8]
+`,
+		},
+		{
+			name: "select",
+			body: `
+select {
+case v := <-in:
+	use(v)
+case out <- 1:
+	return
+}
+use(0)`,
+			want: `b0 entry nodes=1 ->[3 4]
+b1 exit nodes=0 ->[]
+b2 switch.join nodes=1 ->[1]
+b3 select.comm nodes=2 ->[2]
+b4 select.comm nodes=2 ->[1]
+`,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := BuildCFG(parseBody(t, tc.body))
+			checkInvariants(t, cfg)
+			if got := cfg.String(); got != tc.want {
+				t.Errorf("CFG mismatch:\n--- got ---\n%s--- want ---\n%s", got, tc.want)
+			}
+		})
+	}
+}
+
+// TestCFGDefers checks defers are collected in source order and not
+// duplicated onto exit edges.
+func TestCFGDefers(t *testing.T) {
+	cfg := BuildCFG(parseBody(t, `
+defer a()
+if cond() {
+	defer b()
+	return
+}
+defer c()`))
+	checkInvariants(t, cfg)
+	if len(cfg.Defers) != 3 {
+		t.Fatalf("got %d defers, want 3", len(cfg.Defers))
+	}
+	for i := 1; i < len(cfg.Defers); i++ {
+		if cfg.Defers[i].Pos() <= cfg.Defers[i-1].Pos() {
+			t.Fatalf("defers out of source order at %d", i)
+		}
+	}
+}
+
+// FuzzCFGBuild pins the builder's safety contract: for any syntactically
+// valid function body — including semantically garbage ones — BuildCFG must
+// not panic, and the resulting graph must satisfy the structural invariants
+// (consistent edges, every block reachable or reported by Unreachable).
+func FuzzCFGBuild(f *testing.F) {
+	seeds := []string{
+		"x := 1\nif x > 0 { x = 2 } else { x = 3 }",
+		"for i := 0; i < 10; i++ { if i == 3 { continue }; if i == 7 { break } }",
+		"defer f.Close()\nreturn",
+		"outer:\nfor { for { break outer } }",
+		"switch x {\ncase 1:\n\tfallthrough\ncase 2:\n\treturn\ndefault:\n}",
+		"select {\ncase <-ch:\ndefault:\n}",
+		"goto done\nx()\ndone:\ny()",
+		"for range ch { panic(1) }",
+		"L:\n\tgoto L",
+		"break\ncontinue\nfallthrough",
+		"switch v := x.(type) {\ncase int:\n\tuse(v)\n}",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, body string) {
+		blk, err := parseBodySrc(body)
+		if err != nil {
+			t.Skip()
+		}
+		cfg := BuildCFG(blk)
+		checkInvariants(t, cfg)
+	})
+}

@@ -1,0 +1,193 @@
+// Reaching definitions / last-write analysis over a CFG. The flow-capable
+// analyzers need to answer one question precisely: "which assignment does
+// this use of x see on this path?" — closeonerr uses it to tell an
+// `if err != nil` guard that tests the acquisition's own error apart from
+// one that tests some later, unrelated error.
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// DefSite is one definition of a variable: the statement (or range head,
+// or parameter list) that wrote it.
+type DefSite struct {
+	Obj  types.Object
+	Node ast.Node // nil for "defined at function entry" (parameters, captures)
+}
+
+// Reach holds the fixpoint solution: for every block, the set of
+// definitions live at its entry.
+type Reach struct {
+	cfg *CFG
+	// in[b.Index] maps object → set of def nodes reaching b's entry. The
+	// nil node stands for entry definitions (params) and unknown writes.
+	in []map[types.Object]map[ast.Node]bool
+}
+
+// Reaching computes reaching definitions for the function's variables.
+// info resolves identifiers; entryObjs seeds definitions live at the entry
+// (typically the function's parameters and named results).
+func Reaching(cfg *CFG, info *types.Info, entryObjs []types.Object) *Reach {
+	r := &Reach{
+		cfg: cfg,
+		in:  make([]map[types.Object]map[ast.Node]bool, len(cfg.Blocks)),
+	}
+	for i := range r.in {
+		r.in[i] = map[types.Object]map[ast.Node]bool{}
+	}
+	for _, obj := range entryObjs {
+		addDef(r.in[cfg.Entry.Index], obj, nil)
+	}
+
+	// Worklist fixpoint: transfer each block (kill old defs of written
+	// objects, gen the new site), propagate out-sets into successors with a
+	// union merge, requeue on change.
+	work := make([]*Block, len(cfg.Blocks))
+	copy(work, cfg.Blocks)
+	queued := make([]bool, len(cfg.Blocks))
+	for i := range queued {
+		queued[i] = true
+	}
+	for len(work) > 0 {
+		b := work[0]
+		work = work[1:]
+		queued[b.Index] = false
+		out := r.transfer(b, info)
+		for _, s := range b.Succs {
+			if mergeInto(r.in[s.Index], out) && !queued[s.Index] {
+				work = append(work, s)
+				queued[s.Index] = true
+			}
+		}
+	}
+	return r
+}
+
+// DefsAt returns the definitions of obj that reach the entry of block b.
+// A nil entry in the result means "defined before the body" (parameter) or
+// an indirect write the analysis did not model.
+func (r *Reach) DefsAt(b *Block, obj types.Object) []ast.Node {
+	var out []ast.Node
+	for n := range r.in[b.Index][obj] {
+		out = append(out, n)
+	}
+	return out
+}
+
+// LastWriteBefore walks block b's nodes up to (not including) stop and
+// returns the last definition of obj inside the block, or nil if the block
+// does not write it before stop (fall back to DefsAt for the block entry).
+func (r *Reach) LastWriteBefore(b *Block, obj types.Object, stop ast.Node, info *types.Info) ast.Node {
+	var last ast.Node
+	for _, n := range b.Nodes {
+		if n == stop {
+			break
+		}
+		for _, w := range defsIn(n, info) {
+			if w.Obj == obj {
+				last = w.Node
+			}
+		}
+	}
+	return last
+}
+
+// transfer applies block b's definitions to its in-set, returning the
+// out-set (a fresh map).
+func (r *Reach) transfer(b *Block, info *types.Info) map[types.Object]map[ast.Node]bool {
+	out := map[types.Object]map[ast.Node]bool{}
+	for obj, defs := range r.in[b.Index] {
+		cp := make(map[ast.Node]bool, len(defs))
+		for n := range defs {
+			cp[n] = true
+		}
+		out[obj] = cp
+	}
+	for _, n := range b.Nodes {
+		for _, w := range defsIn(n, info) {
+			out[w.Obj] = map[ast.Node]bool{w.Node: true}
+		}
+	}
+	return out
+}
+
+// defsIn lists the variable definitions a single CFG node performs:
+// assignments and short declarations (plain identifier targets only —
+// writes through selectors/indexes are not tracked), var declarations,
+// inc/dec, and range-head key/value bindings.
+func defsIn(n ast.Node, info *types.Info) []DefSite {
+	var out []DefSite
+	record := func(e ast.Expr, site ast.Node) {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return
+		}
+		obj := info.Defs[id]
+		if obj == nil {
+			obj = info.Uses[id]
+		}
+		if obj == nil {
+			return
+		}
+		if _, isVar := obj.(*types.Var); !isVar {
+			return
+		}
+		out = append(out, DefSite{Obj: obj, Node: site})
+	}
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		for _, lhs := range n.Lhs {
+			record(lhs, n)
+		}
+	case *ast.IncDecStmt:
+		record(n.X, n)
+	case *ast.DeclStmt:
+		if gd, ok := n.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, name := range vs.Names {
+						record(name, n)
+					}
+				}
+			}
+		}
+	case *ast.RangeStmt:
+		if n.Key != nil {
+			record(n.Key, n)
+		}
+		if n.Value != nil {
+			record(n.Value, n)
+		}
+	case *ast.TypeSwitchStmt:
+		// The implicit per-clause binding is written by the assign.
+		if as, ok := n.Assign.(*ast.AssignStmt); ok {
+			for _, lhs := range as.Lhs {
+				record(lhs, n)
+			}
+		}
+	}
+	return out
+}
+
+func addDef(m map[types.Object]map[ast.Node]bool, obj types.Object, n ast.Node) {
+	if m[obj] == nil {
+		m[obj] = map[ast.Node]bool{}
+	}
+	m[obj][n] = true
+}
+
+// mergeInto unions src into dst, reporting whether dst changed.
+func mergeInto(dst, src map[types.Object]map[ast.Node]bool) bool {
+	changed := false
+	for obj, defs := range src {
+		for n := range defs {
+			if dst[obj] == nil || !dst[obj][n] {
+				addDef(dst, obj, n)
+				changed = true
+			}
+		}
+	}
+	return changed
+}

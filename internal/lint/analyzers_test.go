@@ -26,6 +26,11 @@ func TestAnalyzers(t *testing.T) {
 		{lint.CtxPollAnalyzer, "ctxpoll", "gradoop/internal/dataflow"},
 		{lint.ObsRegisterAnalyzer, "obsregister", ""},
 		{lint.QStoreRecordAnalyzer, "qstorerecord", "gradoop/internal/session"},
+		{lint.LockOrderAnalyzer, "lockorder", ""},
+		{lint.GoLeakAnalyzer, "goleak", ""},
+		{lint.WireSymAnalyzer, "wiresym", "gradoop/internal/wire"},
+		{lint.WireSymAnalyzer, "wiresymframe", "gradoop/internal/cluster"},
+		{lint.CloseOnErrAnalyzer, "closeonerr", ""},
 	}
 	for _, tc := range cases {
 		t.Run(tc.analyzer.Name, func(t *testing.T) {

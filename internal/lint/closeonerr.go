@@ -1,0 +1,371 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"gradoop/internal/lint/analysis"
+)
+
+// CloseOnErrAnalyzer verifies that a resource acquired in a function — a
+// net.Conn/net.Listener, an *os.File, a broker reservation — is released on
+// every path out of the function, including early error returns. This is
+// the leak class CFG analysis exists for: the happy path has its
+// `defer conn.Close()`, but a validation failure between the dial and the
+// defer returns with the connection open, and under fault injection those
+// paths run often enough to exhaust descriptors.
+//
+// The analysis walks every path from the acquisition to the function exit
+// looking for a release: a direct `x.Close()`/`x.Release()` call, or a
+// defer of one (including `defer func() { x.Close() }()`). One path shape
+// is exempt by reaching-definitions: the true branch of `if err != nil`
+// where err's reaching definition is the acquisition itself — a failed
+// acquire returns a nil resource, so there is nothing to release there.
+// Ownership transfers end the obligation conservatively: a resource that is
+// returned, stored, captured by a non-deferred closure, or passed to
+// another function is someone else's to close and is not tracked.
+var CloseOnErrAnalyzer = &analysis.Analyzer{
+	Name: "closeonerr",
+	Doc:  "acquired resources (conns, files, reservations) must be released on every path, including early error returns",
+	Run:  runCloseOnErr,
+}
+
+// acquisition is one tracked resource acquisition site.
+type acquisition struct {
+	obj     *types.Var // the resource variable
+	errObj  *types.Var // the paired error variable, if any
+	node    ast.Node   // the acquiring AssignStmt
+	release string     // the releasing method name ("Close", "Release")
+	block   *analysis.Block
+	index   int // node index within block (the assign itself)
+}
+
+func runCloseOnErr(pass *analysis.Pass) (any, error) {
+	info := pass.TypesInfo
+	eachFuncDecl(pass.Files, func(fd *ast.FuncDecl) {
+		if isTestFile(pass, fd.Pos()) {
+			return
+		}
+		cfg := analysis.BuildCFG(fd.Body)
+		var acqs []acquisition
+		for _, b := range cfg.Blocks {
+			for i, n := range b.Nodes {
+				if a, ok := acquisitionAt(n, info); ok {
+					a.block, a.index = b, i
+					acqs = append(acqs, a)
+				}
+			}
+		}
+		if len(acqs) == 0 {
+			return
+		}
+		reach := analysis.Reaching(cfg, info, paramObjs(fd, info))
+		for _, a := range acqs {
+			if escapes(fd.Body, a, info) {
+				continue
+			}
+			if leakPos := findLeakPath(cfg, a, reach, info); leakPos.IsValid() {
+				pass.Reportf(a.node.Pos(), "%s acquired here is not released on every path: the path through %s reaches return without %s.%s()",
+					a.obj.Name(), pass.Fset.Position(leakPos), a.obj.Name(), a.release)
+			}
+		}
+	})
+	return nil, nil
+}
+
+// acquisitionAt matches `res, err := acquire(...)` / `res := acquire(...)`
+// statements whose callee hands out a releasable resource.
+func acquisitionAt(n ast.Node, info *types.Info) (acquisition, bool) {
+	as, ok := n.(*ast.AssignStmt)
+	if !ok || len(as.Rhs) != 1 {
+		return acquisition{}, false
+	}
+	call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+	if !ok {
+		return acquisition{}, false
+	}
+	release, ok := resourceRelease(calleeOf(info, call))
+	if !ok {
+		return acquisition{}, false
+	}
+	id, ok := ast.Unparen(as.Lhs[0]).(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return acquisition{}, false
+	}
+	obj, _ := objOf(info, id).(*types.Var)
+	if obj == nil {
+		return acquisition{}, false
+	}
+	a := acquisition{obj: obj, node: as, release: release}
+	if len(as.Lhs) == 2 {
+		if eid, ok := ast.Unparen(as.Lhs[1]).(*ast.Ident); ok && eid.Name != "_" {
+			a.errObj, _ = objOf(info, eid).(*types.Var)
+		}
+	}
+	return a, true
+}
+
+// resourceRelease classifies acquiring callees and names their release
+// method.
+func resourceRelease(fn *types.Func) (string, bool) {
+	switch {
+	case isPkgFunc(fn, "net", "Dial"), isPkgFunc(fn, "net", "DialTimeout"),
+		isPkgFunc(fn, "net", "Listen"), isPkgFunc(fn, "net", "ListenTCP"),
+		isPkgFunc(fn, "net", "ListenUDP"), isPkgFunc(fn, "crypto/tls", "Dial"):
+		return "Close", true
+	case isPkgFunc(fn, "os", "Open"), isPkgFunc(fn, "os", "Create"),
+		isPkgFunc(fn, "os", "OpenFile"), isPkgFunc(fn, "os", "CreateTemp"):
+		return "Close", true
+	case isMethod(fn, "net", "Listener", "Accept"), isMethod(fn, "net", "TCPListener", "Accept"),
+		isMethod(fn, "net", "TCPListener", "AcceptTCP"):
+		return "Close", true
+	case isMethod(fn, "gradoop/internal/govern", "Broker", "Begin"):
+		return "Release", true
+	}
+	return "", false
+}
+
+func objOf(info *types.Info, id *ast.Ident) types.Object {
+	if obj := info.Defs[id]; obj != nil {
+		return obj
+	}
+	return info.Uses[id]
+}
+
+// paramObjs collects the function's parameter and named-result objects as
+// entry definitions for the reaching pass.
+func paramObjs(fd *ast.FuncDecl, info *types.Info) []types.Object {
+	var out []types.Object
+	collect := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, f := range fl.List {
+			for _, name := range f.Names {
+				if obj := info.Defs[name]; obj != nil {
+					out = append(out, obj)
+				}
+			}
+		}
+	}
+	collect(fd.Recv)
+	collect(fd.Type.Params)
+	collect(fd.Type.Results)
+	return out
+}
+
+// escapes reports whether the resource's ownership leaves the function:
+// returned, sent, stored, passed along, or captured by a closure that is
+// not an immediately-deferred release. Selector uses (method calls, field
+// reads), nil comparisons and the acquisition itself are the only
+// ownership-preserving uses.
+func escapes(body *ast.BlockStmt, a acquisition, info *types.Info) bool {
+	escaped := false
+	var stack []ast.Node
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if escaped {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok || objOf(info, id) != types.Object(a.obj) {
+			stack = append(stack, n)
+			return true
+		}
+		if insideNonDeferredFuncLit(stack) {
+			escaped = true
+		} else if len(stack) > 0 {
+			switch p := stack[len(stack)-1].(type) {
+			case *ast.SelectorExpr:
+				// obj.Method(...) / obj.Field — fine.
+			case *ast.BinaryExpr:
+				// comparisons (conn != nil) — fine.
+			case *ast.AssignStmt:
+				// The acquisition itself, or a reassignment: a reassigned
+				// resource variable has an unclear obligation — give up.
+				if p != a.node {
+					escaped = true
+				} else {
+					onLHS := false
+					for _, l := range p.Lhs {
+						if ast.Unparen(l) == ast.Expr(id) {
+							onLHS = true
+						}
+					}
+					if !onLHS {
+						escaped = true
+					}
+				}
+			default:
+				escaped = true
+			}
+		}
+		stack = append(stack, n)
+		return true
+	})
+	return escaped
+}
+
+// insideNonDeferredFuncLit reports whether the innermost enclosing function
+// literal, if any, is not the target of an immediate defer call — captures
+// by such closures transfer ownership out of this function's CFG.
+func insideNonDeferredFuncLit(stack []ast.Node) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		if _, ok := stack[i].(*ast.FuncLit); !ok {
+			continue
+		}
+		// lit deferred immediately looks like DeferStmt → CallExpr → FuncLit.
+		if i >= 2 {
+			if call, ok := stack[i-1].(*ast.CallExpr); ok && ast.Unparen(call.Fun) == stack[i] {
+				if _, ok := stack[i-2].(*ast.DeferStmt); ok {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// findLeakPath searches every path from the acquisition to the exit for one
+// with no release, returning the position of the return/exit edge's source
+// (or the acquisition itself) as a witness; an invalid pos means all paths
+// release. Error-test branches whose condition reads the acquisition's own
+// error are exempt — the resource is nil there.
+func findLeakPath(cfg *analysis.CFG, a acquisition, reach *analysis.Reach, info *types.Info) token.Pos {
+	type state struct {
+		block *analysis.Block
+		start int
+	}
+	visited := map[int]bool{}
+	var walk func(s state) token.Pos
+	walk = func(s state) token.Pos {
+		b := s.block
+		if b == cfg.Exit {
+			return witnessPos(a)
+		}
+		if s.start == 0 {
+			if visited[b.Index] {
+				return token.NoPos
+			}
+			visited[b.Index] = true
+		}
+		for i := s.start; i < len(b.Nodes); i++ {
+			if releasesResource(b.Nodes[i], a, info) {
+				return token.NoPos
+			}
+		}
+		errSucc := errorBranchSucc(b, a, reach, info)
+		for _, succ := range b.Succs {
+			if succ == errSucc {
+				continue
+			}
+			if pos := walk(state{block: succ}); pos.IsValid() {
+				if len(b.Nodes) > 0 {
+					return b.Nodes[len(b.Nodes)-1].Pos()
+				}
+				return pos
+			}
+		}
+		return token.NoPos
+	}
+	return walk(state{block: a.block, start: a.index + 1})
+}
+
+func witnessPos(a acquisition) token.Pos { return a.node.Pos() }
+
+// releasesResource matches a direct release call, or a defer that releases
+// (either `defer x.Close()` or `defer func() { ...x.Close()... }()`).
+func releasesResource(n ast.Node, a acquisition, info *types.Info) bool {
+	if d, ok := n.(*ast.DeferStmt); ok {
+		if isReleaseCall(d.Call, a, info) {
+			return true
+		}
+		if lit, ok := ast.Unparen(d.Call.Fun).(*ast.FuncLit); ok {
+			found := false
+			ast.Inspect(lit.Body, func(x ast.Node) bool {
+				if call, ok := x.(*ast.CallExpr); ok && isReleaseCall(call, a, info) {
+					found = true
+				}
+				return !found
+			})
+			return found
+		}
+		return false
+	}
+	found := false
+	ast.Inspect(n, func(x ast.Node) bool {
+		switch x.(type) {
+		case *ast.FuncLit, *ast.DeferStmt, *ast.GoStmt:
+			return false
+		}
+		if call, ok := x.(*ast.CallExpr); ok && isReleaseCall(call, a, info) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+func isReleaseCall(call *ast.CallExpr, a acquisition, info *types.Info) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != a.release {
+		return false
+	}
+	id, ok := ast.Unparen(sel.X).(*ast.Ident)
+	return ok && objOf(info, id) == types.Object(a.obj)
+}
+
+// errorBranchSucc identifies the successor of b reached only when the
+// acquisition's own error is non-nil. b must end in an `err != nil` (or
+// `err == nil`) condition where err's sole reaching definition is the
+// acquisition: then the error branch holds a nil resource.
+func errorBranchSucc(b *analysis.Block, a acquisition, reach *analysis.Reach, info *types.Info) *analysis.Block {
+	if a.errObj == nil || len(b.Nodes) == 0 {
+		return nil
+	}
+	cond, ok := b.Nodes[len(b.Nodes)-1].(*ast.BinaryExpr)
+	if !ok || (cond.Op != token.EQL && cond.Op != token.NEQ) {
+		return nil
+	}
+	var errIdent *ast.Ident
+	if isNilIdent(cond.Y) {
+		errIdent, _ = ast.Unparen(cond.X).(*ast.Ident)
+	} else if isNilIdent(cond.X) {
+		errIdent, _ = ast.Unparen(cond.Y).(*ast.Ident)
+	}
+	if errIdent == nil || objOf(info, errIdent) != types.Object(a.errObj) {
+		return nil
+	}
+	// The condition must test the acquisition's own error: the last write
+	// before the cond in this block, or failing that every definition
+	// reaching the block, must be the acquiring statement.
+	if w := reach.LastWriteBefore(b, a.errObj, cond, info); w != nil {
+		if w != a.node {
+			return nil
+		}
+	} else {
+		defs := reach.DefsAt(b, a.errObj)
+		if len(defs) != 1 || defs[0] != a.node {
+			return nil
+		}
+	}
+	// For `err != nil` the error branch is the then-block; for `err == nil`
+	// it is the non-then successor.
+	for _, s := range b.Succs {
+		isThen := s.Kind == "if.then"
+		if (cond.Op == token.NEQ) == isThen {
+			return s
+		}
+	}
+	return nil
+}
+
+func isNilIdent(e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && id.Name == "nil"
+}

@@ -1,0 +1,110 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"gradoop/internal/lint/analysis"
+)
+
+// GoLeakAnalyzer requires every spawned goroutine to have a visible
+// lifecycle. A goroutine that neither signals a WaitGroup nor touches any
+// channel can never be joined or cancelled: nothing observes its exit and
+// nothing can tell it to stop — the coordinator/worker class of bug where a
+// per-connection or per-job goroutine outlives the query (or the process
+// shutdown) it belongs to. The check is over the spawned function's facts:
+//
+//   - a (*sync.WaitGroup).Done call means a waiter joins it;
+//   - any channel operation (send, receive, close, select, range) means it
+//     participates in a signalling protocol — this includes <-ctx.Done(),
+//     which is how context cancellation reaches a goroutine.
+//
+// Facts come from the goroutine body itself plus one level of static
+// callees via the call-graph summary layer, so `go func() { w.loop(ctx) }`
+// is fine when loop selects on ctx.Done(). Unresolvable targets (function
+// values, interface methods, cross-package callees with no summary in
+// single-package vet runs) are conservatively accepted. Deliberately
+// detached goroutines take `//lint:ignore goleak <reason>`. Test files are
+// skipped: test goroutines are bounded by the test binary and the -race
+// suite owns them.
+var GoLeakAnalyzer = &analysis.Analyzer{
+	Name: "goleak",
+	Doc:  "every goroutine must be joinable (WaitGroup) or cancellable (channel/ctx), or explicitly ignored",
+	Run:  runGoLeak,
+}
+
+func runGoLeak(pass *analysis.Pass) (any, error) {
+	info := pass.TypesInfo
+	decls := funcDecls(pass.Files, info)
+	for _, f := range pass.Files {
+		if isTestFile(pass, f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			if joined, resolved := goroutineJoined(g.Call, pass, decls); resolved && !joined {
+				pass.Reportf(g.Pos(), "goroutine is never joined or cancelled: body has no WaitGroup.Done and no channel operation (join it, select on a done/ctx channel, or //lint:ignore goleak with a reason)")
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// goroutineJoined reports whether the go statement's function has a
+// join/cancel signal (joined) and whether its body could be seen at all
+// (resolved). Unresolved targets must not be flagged.
+func goroutineJoined(call *ast.CallExpr, pass *analysis.Pass, decls map[*types.Func]*ast.FuncDecl) (joined, resolved bool) {
+	info := pass.TypesInfo
+	if lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+		return bodyJoined(lit.Body, pass), true
+	}
+	fn := calleeOf(info, call)
+	if fn == nil {
+		return false, false
+	}
+	// Same-package callee: full body available, including one level of its
+	// own callees.
+	if decl, ok := decls[fn]; ok && decl.Body != nil {
+		return bodyJoined(decl.Body, pass), true
+	}
+	sum := pass.Summary(fn)
+	if sum == nil {
+		return false, false
+	}
+	if sum.WGDone || sum.ChanOps {
+		return true, true
+	}
+	return false, true
+}
+
+// bodyJoined checks a goroutine body's direct facts plus one level of
+// static callees through the summary layer.
+func bodyJoined(body *ast.BlockStmt, pass *analysis.Pass) bool {
+	info := pass.TypesInfo
+	sum := summarize(body, info)
+	if sum.WGDone || sum.ChanOps {
+		return true
+	}
+	joined := false
+	walkShallow(body, func(n ast.Node) {
+		if joined {
+			return
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		fn := calleeOf(info, call)
+		if fn == nil {
+			return
+		}
+		if s := pass.Summary(fn); s != nil && (s.WGDone || s.ChanOps) {
+			joined = true
+		}
+	})
+	return joined
+}

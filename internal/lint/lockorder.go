@@ -1,0 +1,276 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"gradoop/internal/lint/analysis"
+)
+
+// LockOrderAnalyzer enforces a consistent mutex acquisition order and flags
+// blocking operations performed while a lock is held. Deadlocks in the
+// coordinator/worker state machines come from exactly two shapes: goroutine
+// 1 takes A then B while goroutine 2 takes B then A (an AB/BA inversion),
+// and a goroutine parks on a channel or a net.Conn write while holding a
+// lock some other goroutine needs to make progress. Both are invisible to
+// `go vet` and intermittent under test; both are path properties, so the
+// check runs over the CFG with a may-held lock set.
+//
+// Locks are identified by declaration site, not instance: every member's
+// `mu` is one key ("cluster.member.mu"), because ordering invariants hold
+// per class. Acquisition edges observed anywhere in a package are pooled,
+// and a pair of functions taking the same two keys in opposite orders is
+// reported at both sites. Callee lock acquisitions and blocking behavior
+// propagate one level through the call-graph summary layer (Pass.Summary),
+// so `c.mu` held across a call to a method that locks `member.mu` still
+// records the edge. sync.Cond.Wait is exempt from the blocking rule — it
+// releases its locker while parked.
+var LockOrderAnalyzer = &analysis.Analyzer{
+	Name: "lockorder",
+	Doc:  "mutexes must be acquired in a consistent order and never held across a blocking operation",
+	Run:  runLockOrder,
+}
+
+// lockEvent is one lock-relevant action in evaluation order within a node.
+type lockEvent struct {
+	kind lockEventKind
+	key  string      // acquire/release: the lock key
+	desc string      // block: description; call: callee name
+	fn   *callTarget // call: resolved callee
+	pos  token.Pos
+}
+
+type lockEventKind int
+
+const (
+	evAcquire lockEventKind = iota
+	evRelease
+	evBlock
+	evCall
+)
+
+type callTarget struct {
+	name    string
+	summary *analysis.FuncSummary
+}
+
+func runLockOrder(pass *analysis.Pass) (any, error) {
+	info := pass.TypesInfo
+	// edges[a][b] = first position where b was acquired while a was held.
+	edges := map[string]map[string]token.Pos{}
+
+	eachFuncDecl(pass.Files, func(fd *ast.FuncDecl) {
+		if isTestFile(pass, fd.Pos()) {
+			return
+		}
+		cfg := analysis.BuildCFG(fd.Body)
+		exempt := commExempt(fd.Body)
+
+		// May-held fixpoint: in[b] maps lock key → first acquire position on
+		// some path reaching b.
+		in := make([]map[string]token.Pos, len(cfg.Blocks))
+		for i := range in {
+			in[i] = map[string]token.Pos{}
+		}
+		work := append([]*analysis.Block(nil), cfg.Blocks...)
+		for len(work) > 0 {
+			b := work[0]
+			work = work[1:]
+			out := copyHeld(in[b.Index])
+			applyLockEvents(b, info, exempt, pass, out, nil, nil)
+			for _, s := range b.Succs {
+				if mergeHeld(in[s.Index], out) {
+					work = append(work, s)
+				}
+			}
+		}
+
+		// Reporting pass with the solved entry sets.
+		for _, b := range cfg.Blocks {
+			held := copyHeld(in[b.Index])
+			applyLockEvents(b, info, exempt, pass, held, edges, pass.Report)
+		}
+	})
+
+	// Inversions: a→b and b→a both observed. Report at both witness sites.
+	keys := make([]string, 0, len(edges))
+	for k := range edges {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, a := range keys {
+		bs := make([]string, 0, len(edges[a]))
+		for b := range edges[a] {
+			bs = append(bs, b)
+		}
+		sort.Strings(bs)
+		for _, b := range bs {
+			rev, ok := edges[b][a]
+			if !ok {
+				continue
+			}
+			pos := edges[a][b]
+			revPos := pass.Fset.Position(rev)
+			pass.Reportf(pos, "lock order inversion: %s acquired while holding %s, but the reverse order is taken at %s", b, a, revPos)
+		}
+	}
+	return nil, nil
+}
+
+// applyLockEvents runs block b's lock events against held, recording
+// acquisition-order edges and (when report is non-nil) emitting
+// held-across-blocking diagnostics.
+func applyLockEvents(b *analysis.Block, info *types.Info, exempt map[ast.Node]bool, pass *analysis.Pass, held map[string]token.Pos, edges map[string]map[string]token.Pos, report func(analysis.Diagnostic)) {
+	for _, n := range b.Nodes {
+		for _, ev := range lockEvents(n, info, exempt, pass) {
+			switch ev.kind {
+			case evAcquire:
+				recordEdges(edges, held, ev.key, ev.pos)
+				if _, ok := held[ev.key]; !ok {
+					held[ev.key] = ev.pos
+				}
+			case evRelease:
+				delete(held, ev.key)
+			case evBlock:
+				if len(held) > 0 && report != nil {
+					report(analysis.Diagnostic{Pos: ev.pos, Message: "lock " + heldNames(held) + " held across blocking " + ev.desc})
+				}
+			case evCall:
+				sum := ev.fn.summary
+				if sum == nil || len(held) == 0 {
+					continue
+				}
+				for _, key := range sum.Acquires {
+					recordEdges(edges, held, key, ev.pos)
+				}
+				if sum.Blocks != "" && report != nil {
+					report(analysis.Diagnostic{Pos: ev.pos, Message: "lock " + heldNames(held) + " held across call to " + ev.fn.name + ", which blocks on " + sum.Blocks})
+				}
+			}
+		}
+	}
+}
+
+// recordEdges notes "key acquired while each currently-held lock was held".
+func recordEdges(edges map[string]map[string]token.Pos, held map[string]token.Pos, key string, pos token.Pos) {
+	if edges == nil {
+		return
+	}
+	for h := range held {
+		if h == key {
+			continue
+		}
+		if edges[h] == nil {
+			edges[h] = map[string]token.Pos{}
+		}
+		if _, ok := edges[h][key]; !ok {
+			edges[h][key] = pos
+		}
+	}
+}
+
+// lockEvents extracts the ordered lock-relevant events of one CFG node.
+// Function literals, go statements and defers are skipped: a closure merely
+// defined here does not run here, a spawned goroutine holds nothing of
+// ours, and a deferred unlock releases at exit — so for every statement in
+// between, the lock is genuinely held (skipping the defer's release is what
+// makes `defer mu.Unlock()` keep the key held through the rest of the
+// function, which is the correct model for both rules).
+func lockEvents(n ast.Node, info *types.Info, exempt map[ast.Node]bool, pass *analysis.Pass) []lockEvent {
+	var out []lockEvent
+	// The CFG stores a RangeStmt/SelectStmt as its own head node while the
+	// body statements live in separate blocks — descending here would double
+	// count the body's events. Evaluate only the head: the range subject
+	// expression, or the select's park point.
+	switch s := n.(type) {
+	case *ast.RangeStmt:
+		if desc := blockingOp(s, info); desc != "" {
+			out = append(out, lockEvent{kind: evBlock, desc: desc, pos: s.Pos()})
+		}
+		n = s.X
+	case *ast.SelectStmt:
+		if desc := blockingOp(s, info); desc != "" {
+			out = append(out, lockEvent{kind: evBlock, desc: desc, pos: s.Pos()})
+		}
+		return out
+	}
+	ast.Inspect(n, func(x ast.Node) bool {
+		switch x.(type) {
+		case *ast.FuncLit, *ast.GoStmt, *ast.DeferStmt:
+			return false
+		}
+		if x == nil {
+			return true
+		}
+		if !exempt[x] {
+			if desc := blockingOp(x, info); desc != "" {
+				out = append(out, lockEvent{kind: evBlock, desc: desc, pos: x.Pos()})
+			}
+		}
+		call, ok := x.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeOf(info, call)
+		switch lockCallKind(fn) {
+		case lockAcquire, lockAcquireRead:
+			if key := lockKeyOf(info, call); key != "" {
+				out = append(out, lockEvent{kind: evAcquire, key: key, pos: call.Pos()})
+			}
+			return true
+		case lockRelease, lockReleaseRead:
+			if key := lockKeyOf(info, call); key != "" {
+				out = append(out, lockEvent{kind: evRelease, key: key, pos: call.Pos()})
+			}
+			return true
+		}
+		if fn != nil {
+			if sum := pass.Summary(fn); sum != nil {
+				out = append(out, lockEvent{kind: evCall, fn: &callTarget{name: fn.Name(), summary: sum}, pos: call.Pos()})
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// heldNames renders the held set deterministically.
+func heldNames(held map[string]token.Pos) string {
+	keys := make([]string, 0, len(held))
+	for k := range held {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return strings.Join(keys, ", ")
+}
+
+func copyHeld(m map[string]token.Pos) map[string]token.Pos {
+	out := make(map[string]token.Pos, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// mergeHeld unions src into dst (keeping dst's earlier witness positions),
+// reporting change.
+func mergeHeld(dst, src map[string]token.Pos) bool {
+	changed := false
+	for k, v := range src {
+		if _, ok := dst[k]; !ok {
+			dst[k] = v
+			changed = true
+		}
+	}
+	return changed
+}
+
+// isTestFile reports whether pos lies in a _test.go file. The flow
+// analyzers skip test files: test goroutines and lock usage are bounded by
+// the test binary and exercised under -race directly.
+func isTestFile(pass *analysis.Pass, pos token.Pos) bool {
+	return strings.HasSuffix(pass.Fset.Position(pos).Filename, "_test.go")
+}

@@ -1,0 +1,310 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+
+	"gradoop/internal/lint/analysis"
+	"gradoop/internal/lint/load"
+)
+
+// This file is the call-graph summary layer: per-function facts (channel
+// discipline, lock acquisitions, blocking operations) computed once per
+// function declaration and resolved across packages through the same
+// `go list -export` load pipeline the analyzers already ride. Summaries are
+// deliberately shallow — direct statements only, no nested function
+// literals, no transitive closure — because the consumers (lockorder,
+// goleak) do their own one-level composition and anything deeper trades
+// precision for noise.
+
+// summaryStore memoizes FuncSummary per function object across every
+// package a driver run loads.
+type summaryStore struct {
+	byFunc map[*types.Func]*analysis.FuncSummary
+}
+
+func newSummaryStore() *summaryStore {
+	return &summaryStore{byFunc: map[*types.Func]*analysis.FuncSummary{}}
+}
+
+// addPackage computes and stores summaries for every function declaration
+// in the checked package.
+func (s *summaryStore) addPackage(c *load.Checked) {
+	for fn, decl := range funcDecls(c.Files, c.Info) {
+		if decl.Body == nil {
+			continue
+		}
+		s.byFunc[fn] = summarize(decl.Body, c.Info)
+	}
+}
+
+// resolve is installed as Pass.Summary.
+func (s *summaryStore) resolve(fn *types.Func) *analysis.FuncSummary {
+	if fn == nil {
+		return nil
+	}
+	return s.byFunc[fn.Origin()]
+}
+
+// summarize computes one function body's fact set. Nested function
+// literals are separate scopes: a channel op inside a closure the body
+// merely defines is not an op the body performs.
+func summarize(body *ast.BlockStmt, info *types.Info) *analysis.FuncSummary {
+	sum := &analysis.FuncSummary{}
+	seen := map[string]bool{}
+	exempt := commExempt(body)
+	walkShallow(body, func(n ast.Node) {
+		if op := blockingOp(n, info); op != "" && sum.Blocks == "" && !exempt[n] {
+			sum.Blocks = op
+		}
+		switch n := n.(type) {
+		case *ast.SendStmt, *ast.SelectStmt:
+			sum.ChanOps = true
+		case *ast.UnaryExpr:
+			if n.Op.String() == "<-" {
+				sum.ChanOps = true
+			}
+		case *ast.RangeStmt:
+			if isChanType(info, n.X) {
+				sum.ChanOps = true
+			}
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && id.Name == "close" {
+				if _, builtin := info.Uses[id].(*types.Builtin); builtin {
+					sum.ChanOps = true
+				}
+			}
+			fn := calleeOf(info, n)
+			if isMethod(fn, "sync", "WaitGroup", "Done") {
+				sum.WGDone = true
+			}
+			if kind := lockCallKind(fn); kind == lockAcquire || kind == lockAcquireRead {
+				if key := lockKeyOf(info, n); key != "" && !seen[key] {
+					seen[key] = true
+					sum.Acquires = append(sum.Acquires, key)
+				}
+			}
+		}
+	})
+	return sum
+}
+
+// commExempt collects the nodes whose channel operations belong to a
+// select's comm clauses: the comm statements and their operand
+// expressions. A select's blocking behavior is judged at the SelectStmt
+// itself (a select with a default never parks), so the comm ops inside it
+// must not be classified as independent blocking operations.
+func commExempt(root ast.Node) map[ast.Node]bool {
+	out := map[ast.Node]bool{}
+	ast.Inspect(root, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectStmt)
+		if !ok {
+			return true
+		}
+		for _, c := range sel.Body.List {
+			cc, ok := c.(*ast.CommClause)
+			if !ok || cc.Comm == nil {
+				continue
+			}
+			out[cc.Comm] = true
+			switch s := cc.Comm.(type) {
+			case *ast.ExprStmt:
+				out[ast.Unparen(s.X)] = true
+			case *ast.AssignStmt:
+				for _, r := range s.Rhs {
+					out[ast.Unparen(r)] = true
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// walkShallow visits every node of body except the interiors of nested
+// function literals.
+func walkShallow(body *ast.BlockStmt, visit func(ast.Node)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if n != nil {
+			visit(n)
+		}
+		return true
+	})
+}
+
+// lockCallKind classifies sync lock/unlock methods.
+type lockKind int
+
+const (
+	lockNone lockKind = iota
+	lockAcquire
+	lockAcquireRead
+	lockRelease
+	lockReleaseRead
+)
+
+func lockCallKind(fn *types.Func) lockKind {
+	switch {
+	case isMethod(fn, "sync", "Mutex", "Lock"), isMethod(fn, "sync", "RWMutex", "Lock"):
+		return lockAcquire
+	case isMethod(fn, "sync", "RWMutex", "RLock"):
+		return lockAcquireRead
+	case isMethod(fn, "sync", "Mutex", "Unlock"), isMethod(fn, "sync", "RWMutex", "Unlock"):
+		return lockRelease
+	case isMethod(fn, "sync", "RWMutex", "RUnlock"):
+		return lockReleaseRead
+	}
+	return lockNone
+}
+
+// lockKeyOf names the lock a Lock/Unlock call operates on, abstracting
+// instances to their declaration site: a field lock is
+// "pkg.Type.field" (every *member's mu is one key — lock-order invariants
+// hold per class, not per instance), a package-level lock is "pkg.var",
+// and a function-local lock is scoped by its declaring position so two
+// locals in different functions never alias. Empty for receivers the
+// analysis cannot name (map elements, function results).
+func lockKeyOf(info *types.Info, call *ast.CallExpr) string {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	return lockExprKey(info, sel.X)
+}
+
+// lockExprKey names a lock-valued expression (see lockKeyOf).
+func lockExprKey(info *types.Info, e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		obj := info.Uses[e]
+		if obj == nil {
+			obj = info.Defs[e]
+		}
+		v, ok := obj.(*types.Var)
+		if !ok {
+			return ""
+		}
+		if v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+			return v.Pkg().Name() + "." + v.Name() // package-level lock
+		}
+		if v.IsField() {
+			// An embedded or promoted field reference; fall through to the
+			// positional key.
+			return fmt.Sprintf("field.%s@%d", v.Name(), v.Pos())
+		}
+		return fmt.Sprintf("local.%s@%d", v.Name(), v.Pos()) // function-local lock
+	case *ast.SelectorExpr:
+		// x.mu: key by the named type of x and the field name.
+		sel := info.Selections[e]
+		if sel == nil {
+			return ""
+		}
+		field, ok := sel.Obj().(*types.Var)
+		if !ok {
+			return ""
+		}
+		t := sel.Recv()
+		for {
+			if p, ok := t.(*types.Pointer); ok {
+				t = p.Elem()
+				continue
+			}
+			break
+		}
+		named, ok := t.(*types.Named)
+		if !ok {
+			return ""
+		}
+		pkg := ""
+		if named.Obj().Pkg() != nil {
+			pkg = named.Obj().Pkg().Name() + "."
+		}
+		return pkg + named.Obj().Name() + "." + field.Name()
+	case *ast.StarExpr:
+		return lockExprKey(info, e.X)
+	}
+	return ""
+}
+
+// blockingOp classifies a node as a potentially-blocking operation while a
+// lock could be held, returning a short description or "". sync.Cond.Wait
+// is exempt by design: it releases its locker while parked — holding the
+// lock across it is the condition-variable idiom, not a stall.
+func blockingOp(n ast.Node, info *types.Info) string {
+	switch n := n.(type) {
+	case *ast.SendStmt:
+		return "channel send"
+	case *ast.UnaryExpr:
+		if n.Op.String() == "<-" {
+			return "channel receive"
+		}
+	case *ast.SelectStmt:
+		// A select with a default never parks.
+		for _, c := range n.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+				return ""
+			}
+		}
+		return "select"
+	case *ast.RangeStmt:
+		if isChanType(info, n.X) {
+			return "range over channel"
+		}
+	case *ast.CallExpr:
+		fn := calleeOf(info, n)
+		switch {
+		case isPkgFunc(fn, "time", "Sleep"):
+			return "time.Sleep"
+		case isMethod(fn, "sync", "WaitGroup", "Wait"):
+			return "WaitGroup.Wait"
+		case isMethod(fn, "os/exec", "Cmd", "Wait"), isMethod(fn, "os/exec", "Cmd", "Run"):
+			return "exec.Cmd wait"
+		}
+		// A method on a net.Conn-typed value (Write, Read, Close on a
+		// blocked peer all stall on the kernel buffer / peer).
+		if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok {
+			if tv, ok := info.Types[sel.X]; ok && tv.Type != nil && isNetConnType(tv.Type) {
+				return "net.Conn " + sel.Sel.Name
+			}
+		}
+	}
+	return ""
+}
+
+// isChanType reports whether e has channel type.
+func isChanType(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, isChan := tv.Type.Underlying().(*types.Chan)
+	return isChan
+}
+
+// isNetConnType reports whether t is net.Conn, a pointer to a net
+// connection type, or any other named type declared in package net that
+// implements-or-is a connection (TCPConn, UnixConn, ...). Static typing is
+// enough: the analyzers flag I/O on values statically known to be network
+// connections, not every io.Writer that might dynamically be one.
+func isNetConnType(t types.Type) bool {
+	for {
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+			continue
+		}
+		break
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil || named.Obj().Pkg().Path() != "net" {
+		return false
+	}
+	switch named.Obj().Name() {
+	case "Conn", "TCPConn", "UDPConn", "UnixConn", "IPConn", "PacketConn":
+		return true
+	}
+	return false
+}

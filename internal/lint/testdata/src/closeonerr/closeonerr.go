@@ -1,0 +1,115 @@
+// Fixtures for the closeonerr analyzer: resources acquired in a function
+// must be released on every path out of it. The `if err != nil` branch
+// guarding the acquisition's own error is exempt (the resource is nil
+// there); later error returns are exactly the leak class the CFG walk
+// exists to catch. Ownership transfers (returning or passing the resource)
+// end the obligation.
+package closeonerr
+
+import (
+	"errors"
+	"net"
+	"os"
+
+	"gradoop/internal/govern"
+)
+
+// leakOnValidate closes on the happy path but leaks when validation fails
+// before the defer is armed.
+func leakOnValidate(addr string, bad bool) error {
+	conn, err := net.Dial("tcp", addr) // want `conn acquired here is not released on every path`
+	if err != nil {
+		return err
+	}
+	if bad {
+		return errors.New("validation failed")
+	}
+	defer conn.Close()
+	_, werr := conn.Write([]byte("hello"))
+	return werr
+}
+
+// closedEverywhere arms the defer immediately after the exempt error
+// check: clean.
+func closedEverywhere(addr string, bad bool) error {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	if bad {
+		return errors.New("rejected, but the defer already covers it")
+	}
+	return nil
+}
+
+// leakFile: the second error return tests a different error (Stat's, not
+// Open's) — reaching definitions distinguish the two, so this path leaks.
+func leakFile(path string) (int64, error) {
+	f, err := os.Open(path) // want `f acquired here is not released on every path`
+	if err != nil {
+		return 0, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		return 0, err
+	}
+	f.Close()
+	return st.Size(), nil
+}
+
+// explicitClose releases on both the error branch and the happy path:
+// clean without any defer.
+func explicitClose(path string, buf []byte) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	if _, rerr := f.Read(buf); rerr != nil {
+		f.Close()
+		return rerr
+	}
+	f.Close()
+	return nil
+}
+
+// handedOff returns the connection: ownership transfers to the caller and
+// the obligation with it.
+func handedOff(addr string) (net.Conn, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return conn, nil
+}
+
+// deferredClosure releases through an immediately-deferred function
+// literal: clean.
+func deferredClosure(addr string, b []byte) error {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		conn.Close()
+	}()
+	_, err = conn.Write(b)
+	return err
+}
+
+// reservationLeak: broker reservations follow the same rule as conns.
+func reservationLeak(b *govern.Broker, bad bool) error {
+	res := b.Begin("scan") // want `res acquired here is not released on every path`
+	if bad {
+		return errors.New("early exit")
+	}
+	res.Release()
+	return nil
+}
+
+// reservationClean releases on every path.
+func reservationClean(b *govern.Broker, n int64) error {
+	res := b.Begin("scan")
+	defer res.Release()
+	return res.Reserve(n)
+}

@@ -1,0 +1,90 @@
+// Fixtures for the goleak analyzer: every go statement must spawn a
+// goroutine that is joinable (WaitGroup.Done) or cancellable (some channel
+// operation, which includes <-ctx.Done()), or carry an explicit ignore
+// directive. Unresolvable spawn targets are conservatively accepted.
+package goleak
+
+import (
+	"context"
+	"sync"
+)
+
+func work() {}
+
+// leakyLit spawns a literal with no join and no cancellation path.
+func leakyLit() {
+	go func() { // want `goroutine is never joined or cancelled`
+		work()
+	}()
+}
+
+// runForever has no lifecycle facts; spawning it leaks.
+func runForever() {
+	for {
+		work()
+	}
+}
+
+func leakyNamed() {
+	go runForever() // want `goroutine is never joined or cancelled`
+}
+
+// joined signals a WaitGroup: a waiter observes its exit.
+func joined(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+}
+
+// cancellable selects on ctx.Done: cancellation reaches it.
+func cancellable(ctx context.Context) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			default:
+				work()
+			}
+		}
+	}()
+}
+
+// closesDone signals completion by closing a channel.
+func closesDone(done chan struct{}) {
+	go func() {
+		defer close(done)
+		work()
+	}()
+}
+
+// loop blocks on ctx; its summary carries the channel fact to spawn sites.
+func loop(ctx context.Context) {
+	<-ctx.Done()
+}
+
+func okNamed(ctx context.Context) {
+	go loop(ctx)
+}
+
+// viaHelper: the literal has no direct facts, but its one static callee
+// does — one level of summary composition.
+func viaHelper(ctx context.Context) {
+	go func() {
+		loop(ctx)
+	}()
+}
+
+// detached documents a deliberately unmanaged goroutine.
+func detached() {
+	//lint:ignore goleak fixture exercises the suppression escape hatch
+	go work()
+}
+
+// indirect spawn targets (function values) cannot be resolved and are not
+// flagged.
+func indirect(f func()) {
+	go f()
+}

@@ -1,0 +1,130 @@
+// Fixtures for the lockorder analyzer: AB/BA acquisition-order inversions
+// (directly and through the call-graph summary layer) and blocking
+// operations performed while a mutex is held. Positive cases carry want
+// annotations; the rest pin down the exemptions (flow-sensitive release,
+// Cond.Wait, nonblocking select).
+package lockorder
+
+import (
+	"net"
+	"sync"
+)
+
+type registry struct {
+	mu      sync.Mutex
+	members map[string]*member
+}
+
+type member struct {
+	mu    sync.Mutex
+	alive bool
+}
+
+// abOrder establishes the order registry.mu -> member.mu.
+func abOrder(r *registry, m *member) {
+	r.mu.Lock()
+	m.mu.Lock() // want `lock order inversion: lockorder.member.mu acquired while holding lockorder.registry.mu`
+	m.alive = true
+	m.mu.Unlock()
+	r.mu.Unlock()
+}
+
+// baOrder takes the same pair in the reverse order: the classic deadlock.
+func baOrder(r *registry, m *member) {
+	m.mu.Lock()
+	r.mu.Lock() // want `lock order inversion: lockorder.registry.mu acquired while holding lockorder.member.mu`
+	r.members["x"] = m
+	r.mu.Unlock()
+	m.mu.Unlock()
+}
+
+type poolA struct{ mu sync.Mutex }
+
+type poolB struct{ mu sync.Mutex }
+
+// acquireB's lock acquisition is exported to callers via its summary.
+func acquireB(b *poolB) {
+	b.mu.Lock()
+	b.mu.Unlock()
+}
+
+// aThenB records the edge poolA.mu -> poolB.mu through the callee summary:
+// no lock call on poolB appears in this body at all.
+func aThenB(a *poolA, b *poolB) {
+	a.mu.Lock()
+	acquireB(b) // want `lock order inversion: lockorder.poolB.mu acquired while holding lockorder.poolA.mu`
+	a.mu.Unlock()
+}
+
+// bThenA is the reverse order, taken directly.
+func bThenA(a *poolA, b *poolB) {
+	b.mu.Lock()
+	a.mu.Lock() // want `lock order inversion: lockorder.poolA.mu acquired while holding lockorder.poolB.mu`
+	a.mu.Unlock()
+	b.mu.Unlock()
+}
+
+// sendWhileLocked parks on a channel send with the lock held.
+func sendWhileLocked(r *registry, ch chan int) {
+	r.mu.Lock()
+	ch <- 1 // want `lock lockorder.registry.mu held across blocking channel send`
+	r.mu.Unlock()
+}
+
+// deferKeepsHeld: a deferred unlock releases at exit, so the lock is held
+// across the conn write.
+func deferKeepsHeld(r *registry, conn net.Conn, b []byte) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	conn.Write(b) // want `lock lockorder.registry.mu held across blocking net.Conn Write`
+}
+
+// waitWhileLocked blocks on a WaitGroup with the lock held.
+func waitWhileLocked(r *registry, wg *sync.WaitGroup) {
+	r.mu.Lock()
+	wg.Wait() // want `lock lockorder.registry.mu held across blocking WaitGroup.Wait`
+	r.mu.Unlock()
+}
+
+// waitAll blocks; callers holding a lock inherit that through its summary.
+func waitAll(wg *sync.WaitGroup) {
+	wg.Wait()
+}
+
+func blockViaCallee(r *registry, wg *sync.WaitGroup) {
+	r.mu.Lock()
+	waitAll(wg) // want `lock lockorder.registry.mu held across call to waitAll, which blocks on WaitGroup.Wait`
+	r.mu.Unlock()
+}
+
+// branchRelease is clean: on the path that sends, the lock was released
+// first — only flow sensitivity can see that.
+func branchRelease(r *registry, ch chan int, fast bool) {
+	r.mu.Lock()
+	if fast {
+		r.mu.Unlock()
+		ch <- 1
+		return
+	}
+	r.mu.Unlock()
+}
+
+// condWait is the condition-variable idiom: Wait releases the locker while
+// parked, so holding the lock across it is correct.
+func condWait(r *registry, c *sync.Cond, ready *bool) {
+	r.mu.Lock()
+	for !*ready {
+		c.Wait()
+	}
+	r.mu.Unlock()
+}
+
+// tryNotify is a nonblocking send: a select with a default never parks.
+func tryNotify(r *registry, ch chan int) {
+	r.mu.Lock()
+	select {
+	case ch <- 1:
+	default:
+	}
+	r.mu.Unlock()
+}
