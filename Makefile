@@ -90,6 +90,9 @@ alloc-guard:
 	$(GO) test ./internal/dataflow -run '^$$' -bench 'BenchmarkTransportNil' -benchmem | awk ' \
 		/^Benchmark/ { print; if ($$(NF-1)+0 != 0) bad = 1 } \
 		END { if (bad) { print "alloc-guard: nil-transport collectives allocate (single-process hot path must be free)"; exit 1 } }'
+	$(GO) test ./internal/cluster -run '^$$' -bench 'BenchmarkWorkerTelemetryDisabled' -benchmem | awk ' \
+		/^Benchmark/ { print; if ($$(NF-1)+0 != 0) bad = 1 } \
+		END { if (bad) { print "alloc-guard: -no-telemetry worker path allocates (disabled shipping must be free)"; exit 1 } }'
 
 check: build vet lint race alloc-guard
 
@@ -97,6 +100,9 @@ check: build vet lint race alloc-guard
 # a coordinator plus two worker OS processes over a generated dataset,
 # queries over HTTP, crashes one worker mid-query and requires the
 # recovered result to be bit-identical to a plain single-process cypherd.
+# A second, unarmed cluster then checks the observability plane across
+# real processes: the merged Chrome trace (one lane per worker), the
+# federated /metrics scrape and the /cluster/workers roster.
 cluster-smoke:
 	CLUSTER_E2E=1 $(GO) test ./internal/cluster -run '^TestClusterE2E$$' -count=1 -v -timeout 300s
 

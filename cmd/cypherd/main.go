@@ -14,7 +14,11 @@
 //
 // Endpoints: POST/GET /query, /explain, /analyze, /metrics,
 // /metrics.json, /jobs, /querystore/top, /querystore/fingerprint/{id},
-// /querystore/regressions, /healthz.
+// /querystore/regressions, /healthz — plus, in -cluster mode,
+// /cluster/workers (the roster with liveness and per-worker job counts);
+// /metrics then also federates the workers' last-shipped registry
+// snapshots as per-worker-labeled gradoop_cluster_* series, so one scrape
+// covers the whole cluster.
 //
 //	cypherd -graph data/sample -addr :7474 -ops-addr 127.0.0.1:7475
 //	curl -s localhost:7474/query -d '{"query":"MATCH (a:Person) RETURN a.name"}'

@@ -12,6 +12,13 @@
 // -fail-after is a fault-injection hook for recovery drills: the worker
 // kills itself (listener and every connection closed, exactly as a crash
 // would) after that many collective shuffle exchanges.
+//
+// Each worker keeps its own metrics registry and ships it — together with
+// its execution spans — to the coordinator inside the per-job telemetry
+// bundle; the coordinator's federated /metrics serves the result.
+// -no-telemetry turns the shipping off (spans are still recorded for the
+// per-stage records in the done report, but nothing extra crosses the
+// wire and the coordinator marks the query's report partial-telemetry).
 package main
 
 import (
@@ -61,6 +68,7 @@ func main() {
 	addr := flag.String("addr", "127.0.0.1:7481", "listen address for coordinator and peer connections")
 	node := flag.String("node", "", "stable node ID for partition placement (default: the listen address)")
 	failAfter := flag.Int64("fail-after", 0, "fault injection: crash after N collective exchanges (0 disables)")
+	noTelemetry := flag.Bool("no-telemetry", false, "do not ship span/metrics bundles to the coordinator")
 	logFormat := flag.String("log-format", "text", "structured log format: text|json")
 	logLevel := flag.String("log-level", "info", "minimum log level: debug|info|warn|error")
 	flag.Parse()
@@ -96,7 +104,11 @@ func main() {
 	if id == "" {
 		id = ln.Addr().String()
 	}
-	w := cluster.NewWorker(id, data, logger)
+	w := cluster.NewWorkerWith(id, data, cluster.WorkerOptions{
+		Logger:      logger,
+		Metrics:     obs.NewRegistry(),
+		NoTelemetry: *noTelemetry,
+	})
 	if *failAfter > 0 {
 		w.SetFailAfterExchanges(*failAfter)
 		logger.Warn("fault injection armed", "fail_after_exchanges", *failAfter)

@@ -9,6 +9,7 @@ import (
 
 	"gradoop/internal/cluster"
 	"gradoop/internal/epgm"
+	"gradoop/internal/obs"
 	"gradoop/internal/session"
 )
 
@@ -48,8 +49,15 @@ type ClusterMeasurement struct {
 // worker runtimes behind a coordinator (or the plain engine when workers
 // is 0), draining `requests` sequential executions of one query. The
 // result cache is off so every request is a real distributed execution;
-// the plan cache stays on, which is the serving configuration.
+// the plan cache stays on, which is the serving configuration. Worker
+// telemetry shipping is on, matching the default deployment.
 func (r *Runner) RunCluster(q QueryID, sf float64, workers, requests int) (ClusterMeasurement, error) {
+	return r.RunClusterTelemetry(q, sf, workers, requests, true)
+}
+
+// RunClusterTelemetry is RunCluster with the workers' telemetry shipping
+// made explicit, for measuring the observability plane's own cost.
+func (r *Runner) RunClusterTelemetry(q QueryID, sf float64, workers, requests int, telemetry bool) (ClusterMeasurement, error) {
 	p := r.Prepare(sf, clusterPartitions)
 	opts := session.Options{Workers: clusterPartitions, NoResultCache: true}
 
@@ -58,7 +66,10 @@ func (r *Runner) RunCluster(q QueryID, sf float64, workers, requests int) (Clust
 		ws := make([]*cluster.Worker, workers)
 		addrs := make([]string, workers)
 		for i := range ws {
-			w := cluster.NewWorker(fmt.Sprintf("bench-w%d", i), data, nil)
+			w := cluster.NewWorkerWith(fmt.Sprintf("bench-w%d", i), data, cluster.WorkerOptions{
+				Metrics:     obs.NewRegistry(),
+				NoTelemetry: !telemetry,
+			})
 			ln, err := net.Listen("tcp", "127.0.0.1:0")
 			if err != nil {
 				return ClusterMeasurement{}, fmt.Errorf("benchkit: cluster listen: %w", err)
@@ -145,6 +156,30 @@ func Cluster(r *Runner, w io.Writer) error {
 			fmt.Fprintf(w, "%-6s %-8d %8.1f %12s %12s %12d %12d %10s %s\n",
 				q, n, m.QPS, fmtDur(m.P50), fmtDur(m.P99), m.ModelBytes, m.WireBytes, ratio, result)
 		}
+	}
+
+	// The observability plane's own bill: the same 2-worker cell with
+	// telemetry shipping on (every job ships spans + a registry snapshot)
+	// and off (-no-telemetry; nothing but the done report crosses the
+	// wire). Rows must stay bit-identical either way — the off run's count
+	// is checked against the on run's.
+	fmt.Fprintf(w, "\n-- telemetry shipping overhead (2 workers) --\n")
+	fmt.Fprintf(w, "%-6s %-10s %8s %12s %12s %s\n", "query", "telemetry", "qps", "p50", "p99", "result")
+	for _, q := range []QueryID{Q1, Q4} {
+		on, err := r.RunClusterTelemetry(q, r.SFSmall, 2, ClusterRequests, true)
+		if err != nil {
+			return err
+		}
+		off, err := r.RunClusterTelemetry(q, r.SFSmall, 2, ClusterRequests, false)
+		if err != nil {
+			return err
+		}
+		result := "ok"
+		if on.Count != off.Count {
+			result = fmt.Sprintf("MISMATCH (%d != %d)", off.Count, on.Count)
+		}
+		fmt.Fprintf(w, "%-6s %-10s %8.1f %12s %12s %s\n", q, "on", on.QPS, fmtDur(on.P50), fmtDur(on.P99), "ok")
+		fmt.Fprintf(w, "%-6s %-10s %8.1f %12s %12s %s\n", q, "off", off.QPS, fmtDur(off.P50), fmtDur(off.P99), result)
 	}
 	return nil
 }

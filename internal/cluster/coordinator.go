@@ -19,6 +19,7 @@ import (
 	"gradoop/internal/obs"
 	"gradoop/internal/planner"
 	"gradoop/internal/session"
+	"gradoop/internal/trace"
 	"gradoop/internal/wire"
 )
 
@@ -82,6 +83,19 @@ type member struct {
 	mu       sync.Mutex
 	alive    bool
 	lastPong time.Time
+	jobsDone int64
+	// snap is the worker's most recent metrics-registry snapshot, carried
+	// by its latest telemetry bundle; the federated /metrics view serves it.
+	snap   *obs.Snapshot
+	snapAt time.Time
+}
+
+// storeTelemetry retains the worker's latest registry snapshot.
+func (m *member) storeTelemetry(b *telemetryBundle) {
+	m.mu.Lock()
+	m.snap = &b.Metrics
+	m.snapAt = time.Now()
+	m.mu.Unlock()
 }
 
 var _ session.RemoteExecutor = (*Coordinator)(nil)
@@ -212,6 +226,48 @@ func (c *Coordinator) LiveWorkers() int {
 	return n
 }
 
+var _ session.ClusterIntrospector = (*Coordinator)(nil)
+
+// ClusterWorkers reports the roster for the /cluster/workers endpoint:
+// node, address, liveness, heartbeat age and per-worker job counts.
+func (c *Coordinator) ClusterWorkers() []session.WorkerInfo {
+	c.mu.Lock()
+	members := append([]*member(nil), c.members...)
+	c.mu.Unlock()
+	infos := make([]session.WorkerInfo, 0, len(members))
+	for _, m := range members {
+		m.mu.Lock()
+		infos = append(infos, session.WorkerInfo{
+			Node:            m.node,
+			Addr:            m.addr,
+			Alive:           m.alive,
+			LastHeartbeatMs: time.Since(m.lastPong).Milliseconds(),
+			Jobs:            m.jobsDone,
+			Telemetry:       m.snap != nil,
+		})
+		m.mu.Unlock()
+	}
+	return infos
+}
+
+// WorkerMetrics returns each worker's most recent registry snapshot (as
+// carried by its latest telemetry bundle) for the federated /metrics view.
+// Workers that have never shipped a bundle are omitted.
+func (c *Coordinator) WorkerMetrics() []session.WorkerMetrics {
+	c.mu.Lock()
+	members := append([]*member(nil), c.members...)
+	c.mu.Unlock()
+	var out []session.WorkerMetrics
+	for _, m := range members {
+		m.mu.Lock()
+		if m.snap != nil {
+			out = append(out, session.WorkerMetrics{Node: m.node, Snap: m.snap})
+		}
+		m.mu.Unlock()
+	}
+	return out
+}
+
 func (m *member) isAlive() bool {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -252,8 +308,34 @@ func (c *Coordinator) readMember(m *member, br *bufio.Reader) {
 				c.memberDown(m, err)
 				return
 			}
+			m.mu.Lock()
+			m.jobsDone++
+			m.mu.Unlock()
 			if st := c.attempt(jobKey{job: done.JobID, attempt: done.Attempt}); st != nil {
 				st.deliverDone(m.idx, &done)
+			}
+		case frameTelemetry:
+			// Telemetry degrades, never fails: a corrupt bundle inside an
+			// intact frame is counted and skipped (the attempt settles with a
+			// partial-telemetry marker), and a bundle for an attempt no
+			// longer pending — a superseded retry's straggler — is dropped.
+			f, err := decodeTelemetryFrame(payload)
+			var bundle *telemetryBundle
+			if err == nil {
+				bundle, err = decodeTelemetryBundle(f.Body)
+			}
+			if err != nil {
+				c.inst.teleDropped.Inc()
+				if c.opts.Logger != nil {
+					c.opts.Logger.Warn("dropping corrupt telemetry bundle", "node", m.node, "err", err)
+				}
+				continue
+			}
+			c.inst.teleFrames.Inc()
+			c.inst.teleBytes.Add(int64(len(payload)))
+			m.storeTelemetry(bundle)
+			if st := c.attempt(jobKey{job: f.JobID, attempt: f.Attempt}); st != nil {
+				st.deliverTelemetry(m.idx, bundle)
 			}
 		}
 	}
@@ -327,21 +409,23 @@ type attemptState struct {
 	key    jobKey
 	roster []int // participating member indices, in roster order
 
-	mu      sync.Mutex
-	cond    *sync.Cond
-	results map[int][]byte   // partition -> encoded rows
-	dones   map[int]*jobDone // member idx -> terminal report
-	down    map[int]bool     // member idx -> died during the attempt
-	err     error            // external failure (context cancellation)
+	mu        sync.Mutex
+	cond      *sync.Cond
+	results   map[int][]byte           // partition -> encoded rows
+	dones     map[int]*jobDone         // member idx -> terminal report
+	telemetry map[int]*telemetryBundle // member idx -> shipped observability
+	down      map[int]bool             // member idx -> died during the attempt
+	err       error                    // external failure (context cancellation)
 }
 
 func newAttemptState(key jobKey, roster []int) *attemptState {
 	st := &attemptState{
-		key:     key,
-		roster:  roster,
-		results: map[int][]byte{},
-		dones:   map[int]*jobDone{},
-		down:    map[int]bool{},
+		key:       key,
+		roster:    roster,
+		results:   map[int][]byte{},
+		dones:     map[int]*jobDone{},
+		telemetry: map[int]*telemetryBundle{},
+		down:      map[int]bool{},
 	}
 	st.cond = sync.NewCond(&st.mu)
 	return st
@@ -350,6 +434,16 @@ func newAttemptState(key jobKey, roster []int) *attemptState {
 func (st *attemptState) deliverResult(partition int, body []byte) {
 	st.mu.Lock()
 	st.results[partition] = body
+	st.mu.Unlock()
+}
+
+// deliverTelemetry records a worker's bundle. Telemetry frames are sent
+// strictly before the same attempt's done report on the same ordered
+// connection, so by the time await settles every bundle that will arrive
+// has arrived — no separate wait needed.
+func (st *attemptState) deliverTelemetry(memberIdx int, b *telemetryBundle) {
+	st.mu.Lock()
+	st.telemetry[memberIdx] = b
 	st.mu.Unlock()
 }
 
@@ -472,8 +566,18 @@ func (c *Coordinator) ExecuteRemote(g *epgm.LogicalGraph, prep *core.Prepared, c
 		return nil, nil, errors.New("cluster: coordinator closed")
 	}
 
+	// The job's trace identity: the caller's context trace ID when present
+	// (so the cluster execution joins the request's existing trace), else a
+	// coordinator-minted one. It rides the job spec to every worker, tags
+	// their spans, logs and bundles, and binds the merged trace document.
+	traceID := obs.TraceIDFrom(cfg.Context)
+	if traceID == "" {
+		traceID = fmt.Sprintf("job-%08x", jobID)
+	}
+
 	spec := jobSpec{
 		JobID:        jobID,
+		TraceID:      traceID,
 		Query:        prep.Query,
 		Params:       wire.AppendParams(nil, cfg.Params),
 		Stats:        prep.Stats,
@@ -498,12 +602,17 @@ func (c *Coordinator) ExecuteRemote(g *epgm.LogicalGraph, prep *core.Prepared, c
 		defer cancel()
 	}
 
+	// coordSpans is the coordinator's own lane of the merged trace: one
+	// span per attempt plus the assembly, offsets rebased to the job start
+	// exactly like the workers rebase theirs.
+	var coordSpans []trace.Span
 	var lastErr error
 	for attempt := 0; attempt < c.opts.MaxAttempts; attempt++ {
 		roster := c.liveRoster()
 		if len(roster) == 0 {
 			return nil, nil, fmt.Errorf("cluster: all workers lost (job %d attempt %d)", jobID, attempt)
 		}
+		attemptStart := time.Since(start)
 		st, err := c.launchAttempt(&spec, attempt, roster)
 		if err != nil {
 			return nil, nil, err
@@ -517,6 +626,11 @@ func (c *Coordinator) ExecuteRemote(g *epgm.LogicalGraph, prep *core.Prepared, c
 			stopWatch()
 		}
 		c.unregister(st)
+		coordSpans = append(coordSpans, trace.Span{
+			Stage: int64(attempt),
+			Op:    fmt.Sprintf("attempt %d (%d workers)", attempt, len(roster)),
+			Kind:  "attempt", Start: attemptStart, End: time.Since(start),
+		})
 		if err != nil {
 			c.abortAttempt(st)
 			return nil, nil, err
@@ -543,12 +657,33 @@ func (c *Coordinator) ExecuteRemote(g *epgm.LogicalGraph, prep *core.Prepared, c
 		if out.queryErr != nil {
 			return nil, nil, out.queryErr
 		}
+		assembleStart := time.Since(start)
 		res, rep, err := c.assemble(g, prep, cfg, st)
 		if err != nil {
 			return nil, nil, err
 		}
 		rep.Attempts = attempt + 1
 		rep.Recovered = attempt > 0
+		rep.TraceID = traceID
+		if cfg.Trace != nil {
+			// The caller asked for a trace; merge the winning attempt's
+			// bundles into one document — coordinator lane plus one process
+			// lane per worker that shipped spans.
+			coordSpans = append(coordSpans, trace.Span{
+				Stage: int64(attempt + 1), Op: "assemble", Kind: "assemble",
+				Start: assembleStart, End: time.Since(start),
+			})
+			var lanes []trace.WorkerTrace
+			st.mu.Lock()
+			for _, idx := range st.roster {
+				if b := st.telemetry[idx]; b != nil {
+					lanes = append(lanes, trace.WorkerTrace{Node: b.Node, Spans: b.Spans})
+				}
+			}
+			st.mu.Unlock()
+			merged := trace.ClusterChromeTrace(traceID, coordSpans, lanes)
+			rep.Trace = &merged
+		}
 		if c.inst != nil {
 			c.inst.observe(rep, time.Since(start))
 		}
@@ -626,8 +761,10 @@ func (c *Coordinator) assemble(g *epgm.LogicalGraph, prep *core.Prepared, cfg co
 	st.mu.Lock()
 	results := st.results
 	dones := make([]*jobDone, 0, len(st.roster))
+	bundles := make([]*telemetryBundle, 0, len(st.roster))
 	for _, idx := range st.roster {
 		dones = append(dones, st.dones[idx])
+		bundles = append(bundles, st.telemetry[idx])
 	}
 	st.mu.Unlock()
 
@@ -672,7 +809,52 @@ func (c *Coordinator) assemble(g *epgm.LogicalGraph, prep *core.Prepared, cfg co
 		Stages:  mergeStages(dones),
 		Metrics: mergeMetrics(dones, c.opts.Workers),
 	}
+	attributeSkew(rep.Stages, dones)
+	for i, idx := range st.roster {
+		wr := session.WorkerReport{Node: c.members[idx].node}
+		if b := bundles[i]; b != nil {
+			wr.Spans = len(b.Spans)
+			wr.WallNs = b.ElapsedNs
+			wr.Telemetry = true
+		} else {
+			// No decoded bundle for a winning-roster member: telemetry is
+			// off on that worker, its bundle was corrupt, or it died after
+			// its part finished. The result is whole; the report says so.
+			rep.PartialTelemetry = true
+		}
+		rep.WorkerReports = append(rep.WorkerReports, wr)
+	}
 	return res, rep, nil
+}
+
+// attributeSkew fills each merged stage's per-worker breakdown from the
+// roster-ordered done reports: WorkerNs[i] is worker i's wall time for the
+// stage (its max across workers is the merged Actual by construction),
+// WorkerBytes[i] its framed shuffle bytes, and Skew the straggler factor —
+// the slowest worker's time over the roster mean. Derived from the done
+// reports, not the telemetry bundles, so the skew table survives
+// -no-telemetry workers.
+func attributeSkew(stages []session.ClusterStage, dones []*jobDone) {
+	for si := range stages {
+		m := &stages[si]
+		m.WorkerNs = make([]int64, len(dones))
+		m.WorkerBytes = make([]int64, len(dones))
+		var sum int64
+		for wi, done := range dones {
+			if done == nil || si >= len(done.Stages) {
+				continue
+			}
+			m.WorkerNs[wi] = done.Stages[si].Actual
+			m.WorkerBytes[wi] = done.Stages[si].WireBytes
+			sum += done.Stages[si].Actual
+		}
+		if len(dones) > 0 {
+			m.MeanNs = sum / int64(len(dones))
+		}
+		if m.MeanNs > 0 {
+			m.Skew = float64(m.Actual) / float64(m.MeanNs)
+		}
+	}
 }
 
 // mergeStages folds the workers' per-stage records into the cluster-wide
@@ -749,21 +931,26 @@ func mergeMetrics(dones []*jobDone, workers int) dataflow.MetricsSnapshot {
 
 // clusterInstruments is the coordinator's gradoop_cluster_* surface.
 type clusterInstruments struct {
-	jobs       *obs.Counter
-	recoveries *obs.Counter
-	losses     *obs.Counter
-	attempts   *obs.Histogram
-	jobTime    *obs.Histogram
-	wireBytes  *obs.Counter
-	predicted  *obs.Counter
-	actual     *obs.Counter
+	jobs        *obs.Counter
+	recoveries  *obs.Counter
+	losses      *obs.Counter
+	attempts    *obs.Histogram
+	jobTime     *obs.Histogram
+	wireBytes   *obs.Counter
+	predicted   *obs.Counter
+	actual      *obs.Counter
+	teleFrames  *obs.Counter
+	teleBytes   *obs.Counter
+	teleDropped *obs.Counter
+	telePartial *obs.Counter
 }
 
-// newClusterInstruments registers the coordinator's instruments (nil
-// registry yields nil instruments; every use is behind a nil check).
+// newClusterInstruments registers the coordinator's instruments. A nil
+// registry yields instruments whose fields are all nil — every obs
+// instrument method is nil-safe, so callers never guard.
 func newClusterInstruments(r *obs.Registry) *clusterInstruments {
 	if r == nil {
-		return nil
+		return &clusterInstruments{}
 	}
 	return &clusterInstruments{
 		jobs: r.NewCounter("gradoop_cluster_jobs_total",
@@ -782,11 +969,22 @@ func newClusterInstruments(r *obs.Registry) *clusterInstruments {
 			"Cost-model predicted stage time, summed over stages"),
 		actual: r.NewCounter("gradoop_cluster_stage_actual_ns_total",
 			"Measured stage wall time, summed over stages"),
+		teleFrames: r.NewCounter("gradoop_cluster_telemetry_frames_total",
+			"Worker telemetry bundles received intact"),
+		teleBytes: r.NewCounter("gradoop_cluster_telemetry_bytes_total",
+			"Encoded telemetry frame bytes received from workers"),
+		teleDropped: r.NewCounter("gradoop_cluster_telemetry_dropped_total",
+			"Telemetry bundles dropped for CRC or decode failure"),
+		telePartial: r.NewCounter("gradoop_cluster_partial_telemetry_total",
+			"Successful distributed queries missing at least one worker's bundle"),
 	}
 }
 
 // bindRoster registers the live-roster gauge against the coordinator.
 func (in *clusterInstruments) bindRoster(c *Coordinator) {
+	if c.opts.Metrics == nil {
+		return
+	}
 	c.opts.Metrics.NewGaugeFunc("gradoop_cluster_live_workers",
 		"Workers currently in the live roster",
 		func() float64 { return float64(c.LiveWorkers()) })
@@ -796,6 +994,9 @@ func (in *clusterInstruments) bindRoster(c *Coordinator) {
 func (in *clusterInstruments) observe(rep *session.ClusterReport, elapsed time.Duration) {
 	in.attempts.Observe(int64(rep.Attempts))
 	in.jobTime.Observe(int64(elapsed))
+	if rep.PartialTelemetry {
+		in.telePartial.Inc()
+	}
 	for _, s := range rep.Stages {
 		in.wireBytes.Add(s.WireBytes)
 		in.predicted.Add(s.Predicted)

@@ -110,6 +110,105 @@ func TestClusterE2E(t *testing.T) {
 		t.Logf("%s: %d rows, workers=%d attempts=%d recovered=%v",
 			q.name, got.Count, got.Cluster.Workers, got.Cluster.Attempts, got.Cluster.Recovered)
 	}
+
+	// Observability smoke: a fresh 2-worker cluster (no armed crash) checks
+	// the telemetry plane end to end across real OS processes — the merged
+	// Chrome trace with one lane per worker, the federated /metrics scrape
+	// and the /cluster/workers roster.
+	obsAddr := freeAddr(t)
+	w2Addr := freeAddr(t)
+	w3Addr := freeAddr(t)
+	spawn(t, filepath.Join(bin, "cypherworker"), "-graph", dataDir, "-addr", w2Addr, "-node", "w2")
+	spawn(t, filepath.Join(bin, "cypherworker"), "-graph", dataDir, "-addr", w3Addr, "-node", "w3")
+	waitTCP(t, w2Addr)
+	waitTCP(t, w3Addr)
+	spawn(t, filepath.Join(bin, "cypherd"), "-graph", dataDir, "-addr", obsAddr,
+		"-cluster", w2Addr+","+w3Addr)
+	waitHealthy(t, obsAddr)
+
+	traced := postQueryTraced(t, obsAddr, queries[0].query)
+	if traced.Cluster == nil || traced.Cluster.TraceID == "" {
+		t.Fatal("traced query returned no cluster trace ID")
+	}
+	if traced.Cluster.PartialTelemetry {
+		t.Fatalf("partial telemetry with both workers shipping: %+v", traced.Cluster)
+	}
+	if len(traced.ChromeTrace.TraceEvents) == 0 {
+		t.Fatal("traced query returned no merged Chrome trace")
+	}
+	if traced.ChromeTrace.Metadata["traceId"] != traced.Cluster.TraceID {
+		t.Fatalf("trace metadata %q != report trace ID %q",
+			traced.ChromeTrace.Metadata["traceId"], traced.Cluster.TraceID)
+	}
+	lanes := map[string]bool{}
+	for _, ev := range traced.ChromeTrace.TraceEvents {
+		if ev.Ph == "M" && ev.Name == "process_name" {
+			lanes[fmt.Sprint(ev.Args["name"])] = true
+		}
+	}
+	if len(lanes) != 3 || !lanes["coordinator"] || !lanes["worker w2"] || !lanes["worker w3"] {
+		t.Fatalf("merged trace lanes %v, want coordinator + worker w2 + worker w3", lanes)
+	}
+	for _, st := range traced.Cluster.Stages {
+		if len(st.WorkerNs) != 2 {
+			t.Fatalf("stage %d: per-worker attribution %v, want 2 entries", st.Stage, st.WorkerNs)
+		}
+		var max int64
+		for _, ns := range st.WorkerNs {
+			if ns > max {
+				max = ns
+			}
+		}
+		if max != st.Actual {
+			t.Fatalf("stage %d: max worker time %d != merged actual %d", st.Stage, max, st.Actual)
+		}
+	}
+	t.Logf("trace %s: %d events, lanes %v", traced.Cluster.TraceID, len(traced.ChromeTrace.TraceEvents), lanes)
+
+	// Federated scrape: the coordinator's exposition carries per-worker
+	// labeled series for the whole roster, structurally valid throughout.
+	exp := getBody(t, obsAddr, "/metrics")
+	for _, want := range []string{
+		"gradoop_cluster_jobs_total ",
+		"gradoop_cluster_live_workers 2",
+		`gradoop_cluster_worker_jobs_total{worker="w2"}`,
+		`gradoop_cluster_worker_jobs_total{worker="w3"}`,
+		`gradoop_cluster_worker_telemetry_bundles_total{worker="w2"}`,
+	} {
+		if !strings.Contains(exp, want) {
+			t.Errorf("federated /metrics missing %q", want)
+		}
+	}
+	for _, line := range strings.Split(strings.TrimRight(exp, "\n"), "\n") {
+		if line == "" || strings.HasPrefix(line, "# HELP ") || strings.HasPrefix(line, "# TYPE ") {
+			continue
+		}
+		if strings.HasPrefix(line, "#") || !strings.Contains(line, " ") {
+			t.Errorf("bad exposition line %q", line)
+		}
+	}
+
+	var roster struct {
+		Count   int `json:"count"`
+		Workers []struct {
+			Node      string `json:"node"`
+			Alive     bool   `json:"alive"`
+			Jobs      int64  `json:"jobs"`
+			Telemetry bool   `json:"telemetry"`
+		} `json:"workers"`
+	}
+	if err := json.Unmarshal([]byte(getBody(t, obsAddr, "/cluster/workers")), &roster); err != nil {
+		t.Fatalf("/cluster/workers does not parse: %v", err)
+	}
+	if roster.Count != 2 {
+		t.Fatalf("/cluster/workers count=%d want 2", roster.Count)
+	}
+	for _, w := range roster.Workers {
+		if !w.Alive || w.Jobs < 1 || !w.Telemetry {
+			t.Fatalf("roster entry %+v, want alive with jobs and telemetry", w)
+		}
+	}
+	t.Logf("observability smoke: federated scrape %d bytes, roster %d workers", len(exp), roster.Count)
 }
 
 // e2eResponse is the subset of the server's query response the smoke
@@ -123,6 +222,73 @@ type e2eResponse struct {
 		Attempts  int  `json:"attempts"`
 		Recovered bool `json:"recovered"`
 	} `json:"cluster"`
+}
+
+// e2eTracedResponse adds the observability surface: the merged Chrome
+// trace and the report's telemetry fields.
+type e2eTracedResponse struct {
+	Cluster *struct {
+		TraceID          string `json:"traceId"`
+		PartialTelemetry bool   `json:"partialTelemetry"`
+		Stages           []struct {
+			Stage    int     `json:"stage"`
+			Actual   int64   `json:"actualNs"`
+			WorkerNs []int64 `json:"workerNs"`
+			Skew     float64 `json:"skew"`
+		} `json:"stages"`
+	} `json:"cluster"`
+	ChromeTrace struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		Metadata map[string]string `json:"metadata"`
+	} `json:"chromeTrace"`
+}
+
+func postQueryTraced(t *testing.T, addr, query string) *e2eTracedResponse {
+	t.Helper()
+	body, err := json.Marshal(map[string]any{"query": query, "trace": true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post("http://"+addr+"/query", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST /query: %v", err)
+	}
+	defer resp.Body.Close()
+	var out e2eTracedResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("decode traced /query response: %v", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /query: status %d", resp.StatusCode)
+	}
+	return &out
+}
+
+// getBody fetches a path and returns the body as a string.
+func getBody(t *testing.T, addr, path string) string {
+	t.Helper()
+	resp, err := http.Get("http://" + addr + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	var sb strings.Builder
+	buf := make([]byte, 4096)
+	for {
+		n, err := resp.Body.Read(buf)
+		sb.Write(buf[:n])
+		if err != nil {
+			break
+		}
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+	}
+	return sb.String()
 }
 
 func postQuery(t *testing.T, addr, query string) *e2eResponse {

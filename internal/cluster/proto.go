@@ -55,6 +55,12 @@ const (
 	framePing    = byte(8)  // coordinator -> worker liveness probe
 	framePong    = byte(9)  // worker -> coordinator liveness answer
 	frameData    = byte(10) // worker <-> worker: one collective's buckets
+	// frameTelemetry ships a worker's observability bundle (span set +
+	// registry snapshot) for one attempt. It is sent on the control
+	// connection immediately before the attempt's frameJobDone, so a done
+	// report is the guarantee that the bundle — if the worker ships one —
+	// has already arrived.
+	frameTelemetry = byte(11)
 )
 
 // Exchange kinds inside a data frame.
@@ -130,6 +136,10 @@ type jobSpec struct {
 	Fingerprint  string `json:"fingerprint"`
 	// TimeoutNs bounds the worker-side execution (0 = none).
 	TimeoutNs int64 `json:"timeoutNs,omitempty"`
+	// TraceID is the coordinator's trace identity for the query, stamped
+	// into worker logs and telemetry bundles so every process's records of
+	// one distributed job correlate under a single ID.
+	TraceID string `json:"traceId,omitempty"`
 }
 
 // stageRecord is one executed stage in a worker's report: the cost model's
@@ -160,6 +170,12 @@ type jobDone struct {
 
 	Stages  []stageRecord            `json:"stages,omitempty"`
 	Metrics dataflow.MetricsSnapshot `json:"metrics"`
+	// Telemetry marks that the worker shipped a telemetry bundle for this
+	// attempt (ordered before this report on the same connection). False
+	// means the worker runs with telemetry disabled; the coordinator then
+	// marks the job's report partial instead of waiting for a bundle that
+	// will never come.
+	Telemetry bool `json:"telemetry,omitempty"`
 }
 
 // abortMsg tells workers to stop one attempt.

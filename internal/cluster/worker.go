@@ -16,6 +16,7 @@ import (
 	"gradoop/internal/core"
 	"gradoop/internal/dataflow"
 	"gradoop/internal/embedding"
+	"gradoop/internal/obs"
 	"gradoop/internal/operators"
 	"gradoop/internal/session"
 	"gradoop/internal/trace"
@@ -43,6 +44,16 @@ type Worker struct {
 	data   *session.GraphData
 	logger *slog.Logger
 
+	// Telemetry plane: telemetry gates span retention and bundle shipping
+	// entirely (the -no-telemetry escape hatch); metrics is the worker's
+	// own registry, snapshotted into every bundle; observer feeds the
+	// engine's continuous series into it; tele bounds retained spans.
+	telemetry bool
+	metrics   *obs.Registry
+	observer  *dataflow.Observer
+	tele      *telemetryLedger
+	winst     *workerInstruments
+
 	mu     sync.Mutex
 	cond   *sync.Cond
 	ln     net.Listener
@@ -64,19 +75,51 @@ type Worker struct {
 	failAfter atomic.Int64
 }
 
-// NewWorker creates a worker serving the given pinned graph data. A nil
-// logger disables logging.
+// WorkerOptions configures a worker's optional subsystems.
+type WorkerOptions struct {
+	// Logger records job failures (nil disables).
+	Logger *slog.Logger
+	// Metrics is the worker's own registry: the engine's continuous series
+	// (stage histograms, retry counters) and the gradoop_worker_* surface
+	// register here, and a snapshot rides in every telemetry bundle so the
+	// coordinator can federate per-worker series (nil disables).
+	Metrics *obs.Registry
+	// NoTelemetry disables span retention and bundle shipping entirely —
+	// the behavior-parity escape hatch. Execution is unaffected: workers
+	// still trace (the per-stage records in jobDone derive from the spans),
+	// rows stay bit-identical, retries unchanged.
+	NoTelemetry bool
+}
+
+// NewWorker creates a worker serving the given pinned graph data, with
+// telemetry shipping enabled and no metrics registry. A nil logger
+// disables logging.
 func NewWorker(node string, data *session.GraphData, logger *slog.Logger) *Worker {
+	return NewWorkerWith(node, data, WorkerOptions{Logger: logger})
+}
+
+// NewWorkerWith creates a worker with explicit options.
+func NewWorkerWith(node string, data *session.GraphData, opts WorkerOptions) *Worker {
 	w := &Worker{
-		node:   node,
-		data:   data,
-		logger: logger,
-		conns:  map[net.Conn]struct{}{},
-		jobs:   map[jobKey]*jobRuntime{},
+		node:      node,
+		data:      data,
+		logger:    opts.Logger,
+		telemetry: !opts.NoTelemetry,
+		metrics:   opts.Metrics,
+		observer:  dataflow.NewObserver(opts.Metrics),
+		tele:      newTelemetryLedger(),
+		conns:     map[net.Conn]struct{}{},
+		jobs:      map[jobKey]*jobRuntime{},
 	}
+	w.winst = newWorkerInstruments(opts.Metrics, w)
 	w.cond = sync.NewCond(&w.mu)
 	return w
 }
+
+// RetainedSpans reports how many spans the telemetry ledger currently
+// holds across all unresolved jobs — the quantity the retention caps bound
+// and the leak regression test watches.
+func (w *Worker) RetainedSpans() int { return w.tele.retained() }
 
 // SetFailAfterExchanges arms the crash hook: the worker kills itself after
 // n more collective exchanges (0 disarms).
@@ -310,27 +353,80 @@ func (w *Worker) serveControl(conn net.Conn, br *bufio.Reader) {
 }
 
 // runJob executes one shipped job attempt and reports its terminal state.
+// The attempt's spans are retained in the telemetry ledger either way; a
+// successful attempt ships its telemetry bundle strictly before the done
+// report (same ordered sender), so the coordinator never has to wait for a
+// bundle after seeing the done.
 func (w *Worker) runJob(spec *jobSpec, ctrl *sender) {
+	start := time.Now()
 	done := jobDone{JobID: spec.JobID, Attempt: spec.Attempt}
 	rt := w.runtime(jobKey{job: spec.JobID, attempt: spec.Attempt})
 	defer w.dropRuntime(rt)
-	stages, metrics, err := w.executeJob(spec, rt, ctrl)
+	// Workers always trace: the per-stage predicted-vs-actual records the
+	// coordinator publishes are derived from the spans. The collector epoch
+	// is the attempt start, so every span offset is already rebased.
+	col := trace.NewCollector()
+	w.winst.jobs.Inc()
+	stages, metrics, err := w.executeJob(spec, rt, ctrl, col)
 	if err != nil {
 		done.Error = err.Error()
 		done.PeerLost, done.LostPeers = rt.lossInfo(err)
+		w.winst.failures.Inc()
 		if w.logger != nil {
-			w.logger.Error("cluster job failed", "job", spec.JobID, "attempt", spec.Attempt, "err", err)
+			w.logger.Error("cluster job failed", "job", spec.JobID, "attempt", spec.Attempt,
+				"trace", spec.TraceID, "err", err)
 		}
+		w.recordTelemetry(spec.JobID, spec.Attempt, col)
 	} else {
 		done.Stages = stages
 		done.Metrics = metrics
+		done.Telemetry = w.telemetry
+		w.recordTelemetry(spec.JobID, spec.Attempt, col)
+		w.shipTelemetry(spec, ctrl, time.Since(start))
 	}
+	w.winst.jobTime.ObserveSince(start)
 	ctrl.sendJSON(frameJobDone, &done)
+}
+
+// recordTelemetry parks the attempt's spans in the ledger. With telemetry
+// disabled this is a no-op and, like every disabled-path instrument hook,
+// allocation-free (pinned by BenchmarkWorkerTelemetryDisabled).
+func (w *Worker) recordTelemetry(jobID uint64, attempt int, col *trace.Collector) {
+	if !w.telemetry {
+		return
+	}
+	w.tele.retain(jobID, attempt, col.Spans())
+}
+
+// shipTelemetry encodes and sends the winning attempt's bundle, dropping
+// every span the job retained (superseded attempts included).
+func (w *Worker) shipTelemetry(spec *jobSpec, ctrl *sender, elapsed time.Duration) {
+	if !w.telemetry {
+		return
+	}
+	bundle := telemetryBundle{
+		Node:      w.node,
+		TraceID:   spec.TraceID,
+		ElapsedNs: int64(elapsed),
+		Spans:     w.tele.ship(spec.JobID, spec.Attempt),
+		Metrics:   w.metrics.Snapshot(),
+	}
+	frame := encodeTelemetryFrame(&telemetryFrame{
+		JobID:   spec.JobID,
+		Attempt: spec.Attempt,
+		From:    spec.Self,
+		Body:    encodeTelemetryBundle(nil, &bundle),
+	})
+	if err := ctrl.send(frameTelemetry, frame); err != nil {
+		return // the control connection is gone; the done report will fail too
+	}
+	w.winst.shipped.Inc()
+	w.winst.teleBytes.Add(int64(len(frame)))
 }
 
 // executeJob builds the peer mesh, runs the planned query over this
 // worker's owned partitions, and ships the owned result partitions.
-func (w *Worker) executeJob(spec *jobSpec, rt *jobRuntime, ctrl *sender) ([]stageRecord, dataflow.MetricsSnapshot, error) {
+func (w *Worker) executeJob(spec *jobSpec, rt *jobRuntime, ctrl *sender, col *trace.Collector) ([]stageRecord, dataflow.MetricsSnapshot, error) {
 	var zero dataflow.MetricsSnapshot
 	if spec.Workers <= 0 || len(spec.Owner) != spec.Workers || spec.Self < 0 || spec.Self >= len(spec.Procs) {
 		return nil, zero, fmt.Errorf("cluster: malformed job spec (workers=%d owners=%d self=%d procs=%d)",
@@ -348,9 +444,7 @@ func (w *Worker) executeJob(spec *jobSpec, rt *jobRuntime, ctrl *sender) ([]stag
 	env := dataflow.NewEnv(cfg)
 	pt := &peerTransport{rt: rt, spec: spec, wireOut: map[int64]int64{}}
 	env.SetTransport(pt)
-	// Workers always trace: the per-stage predicted-vs-actual records the
-	// coordinator publishes are derived from the spans.
-	col := trace.NewCollector()
+	env.SetObserver(w.observer)
 
 	g, access := w.data.Bind(env)
 	ccfg := core.Config{

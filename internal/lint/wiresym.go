@@ -41,9 +41,13 @@ var WireSymAnalyzer = &analysis.Analyzer{
 }
 
 // wirePackages are the packages whose codecs the symmetry rules govern.
+// trace and obs joined when the telemetry plane gave them wire codecs (the
+// span set and the registry snapshot shipped in cluster telemetry bundles).
 var wirePackages = map[string]bool{
 	"gradoop/internal/wire":    true,
 	"gradoop/internal/cluster": true,
+	"gradoop/internal/trace":   true,
+	"gradoop/internal/obs":     true,
 }
 
 // decodePrefixes maps a decoder name prefix to the encoder prefixes it

@@ -1,0 +1,353 @@
+package obs
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Registry snapshots and the federated exposition. A worker process cannot
+// be scraped directly — it speaks only the cluster's frame protocol — so it
+// ships a Snapshot of its registry inside each telemetry bundle, and the
+// coordinator's server renders the latest snapshot of every roster member
+// as one per-worker-labeled section of its own /metrics exposition: a
+// single scrape covers the whole cluster.
+//
+// Counters and sums in a snapshot merge associatively (they are plain
+// additions), so downstream consumers can aggregate across workers;
+// histogram quantiles are extracted per worker before shipping, which is
+// deliberate — quantiles of a merged population hide exactly the straggler
+// asymmetry the per-worker labels exist to show.
+
+// MetricSample is one exposed sample of a family: an optional name suffix
+// ("_sum", "_count"), the sample's label pairs flattened as
+// name,value,name,value..., and the exposition value (already scaled).
+type MetricSample struct {
+	Suffix string
+	Labels []string
+	Value  float64
+}
+
+// MetricFamily is one instrument's exposed state: its name, help, type
+// ("counter", "gauge" or "summary") and samples.
+type MetricFamily struct {
+	Name    string
+	Help    string
+	Type    string
+	Samples []MetricSample
+}
+
+// Snapshot is a point-in-time copy of every instrument in a registry, in
+// exposition (name-sorted) order.
+type Snapshot struct {
+	Families []MetricFamily
+}
+
+// Snapshot captures the registry's current state. A nil registry yields an
+// empty snapshot.
+func (r *Registry) Snapshot() Snapshot {
+	var s Snapshot
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	instruments := append([]instrument(nil), r.instruments...)
+	r.mu.Unlock()
+	sort.SliceStable(instruments, func(i, j int) bool {
+		return instruments[i].metricName() < instruments[j].metricName()
+	})
+	for _, in := range instruments {
+		s.Families = append(s.Families, familySnapshot(in))
+	}
+	return s
+}
+
+// familySnapshot captures one instrument's exposed state, mirroring its
+// expose method sample for sample.
+func familySnapshot(in instrument) MetricFamily {
+	switch in := in.(type) {
+	case *Counter:
+		return MetricFamily{Name: in.name, Help: in.help, Type: "counter",
+			Samples: []MetricSample{{Value: float64(in.v.Load())}}}
+	case *Gauge:
+		return MetricFamily{Name: in.name, Help: in.help, Type: "gauge",
+			Samples: []MetricSample{{Value: in.fn()}}}
+	case *CounterFunc:
+		return MetricFamily{Name: in.name, Help: in.help, Type: "counter",
+			Samples: []MetricSample{{Value: in.fn()}}}
+	case *CounterVec:
+		f := MetricFamily{Name: in.name, Help: in.help, Type: "counter"}
+		in.mu.RLock()
+		defer in.mu.RUnlock()
+		for _, value := range sortedKeys(in.children) {
+			f.Samples = append(f.Samples, MetricSample{
+				Labels: []string{in.label, value},
+				Value:  float64(in.children[value].v.Load()),
+			})
+		}
+		return f
+	case *CounterVec2:
+		f := MetricFamily{Name: in.name, Help: in.help, Type: "counter"}
+		in.mu.RLock()
+		defer in.mu.RUnlock()
+		keys := make([][2]string, 0, len(in.children))
+		for k := range in.children {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool {
+			if keys[i][0] != keys[j][0] {
+				return keys[i][0] < keys[j][0]
+			}
+			return keys[i][1] < keys[j][1]
+		})
+		for _, k := range keys {
+			f.Samples = append(f.Samples, MetricSample{
+				Labels: []string{in.label1, k[0], in.label2, k[1]},
+				Value:  float64(in.children[k].v.Load()),
+			})
+		}
+		return f
+	case *Histogram:
+		return MetricFamily{Name: in.name, Help: in.help, Type: "summary",
+			Samples: in.sampleSnapshots(nil)}
+	case *HistogramVec:
+		f := MetricFamily{Name: in.name, Help: in.help, Type: "summary"}
+		in.mu.RLock()
+		defer in.mu.RUnlock()
+		for _, value := range sortedKeys(in.children) {
+			f.Samples = append(f.Samples,
+				in.children[value].sampleSnapshots([]string{in.label, value})...)
+		}
+		return f
+	default:
+		return MetricFamily{Name: in.metricName(), Type: "untyped"}
+	}
+}
+
+// sampleSnapshots mirrors exposeSamples: one quantile sample per exposed
+// quantile plus _sum and _count, all carrying the given base labels.
+func (h *Histogram) sampleSnapshots(baseLabels []string) []MetricSample {
+	s := h.Snapshot()
+	out := make([]MetricSample, 0, len(exposeQuantiles)+2)
+	for _, q := range exposeQuantiles {
+		labels := append(append([]string(nil), baseLabels...),
+			"quantile", strconv.FormatFloat(q, 'g', -1, 64))
+		out = append(out, MetricSample{Labels: labels,
+			Value: float64(s.Quantile(q)) * h.scale})
+	}
+	out = append(out, MetricSample{Suffix: "_sum", Labels: baseLabels,
+		Value: float64(s.Sum) * h.scale})
+	out = append(out, MetricSample{Suffix: "_count", Labels: baseLabels,
+		Value: float64(s.Count)})
+	return out
+}
+
+// AppendSnapshot appends the snapshot's wire form: a count-prefixed family
+// list. Big-endian, uint32 length prefixes, float64s as IEEE-754 bits —
+// the same conventions as the engine's wire package, hand-rolled on the
+// standard library because obs imports nothing from the engine.
+func AppendSnapshot(dst []byte, s *Snapshot) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(s.Families)))
+	for i := range s.Families {
+		dst = appendMetricFamily(dst, &s.Families[i])
+	}
+	return dst
+}
+
+// ReadSnapshot consumes an AppendSnapshot encoding.
+func ReadSnapshot(b []byte) (Snapshot, []byte, error) {
+	var s Snapshot
+	if len(b) < 4 {
+		return s, nil, fmt.Errorf("obs: truncated family count (%d bytes)", len(b))
+	}
+	n := binary.BigEndian.Uint32(b)
+	b = b[4:]
+	if n == 0 {
+		return s, b, nil
+	}
+	// Every family needs at least its three string lengths and sample count.
+	if uint64(n)*16 > uint64(len(b)) {
+		return s, nil, fmt.Errorf("obs: family count %d exceeds payload (%d bytes)", n, len(b))
+	}
+	s.Families = make([]MetricFamily, n)
+	var err error
+	for i := range s.Families {
+		if s.Families[i], b, err = readMetricFamily(b); err != nil {
+			return s, nil, fmt.Errorf("obs: family %d/%d: %w", i, n, err)
+		}
+	}
+	return s, b, nil
+}
+
+// appendMetricFamily appends one family: name, help, type, samples.
+func appendMetricFamily(dst []byte, f *MetricFamily) []byte {
+	dst = appendSnapString(dst, f.Name)
+	dst = appendSnapString(dst, f.Help)
+	dst = appendSnapString(dst, f.Type)
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(f.Samples)))
+	for i := range f.Samples {
+		dst = appendMetricSample(dst, &f.Samples[i])
+	}
+	return dst
+}
+
+// readMetricFamily consumes one encoded family.
+func readMetricFamily(b []byte) (MetricFamily, []byte, error) {
+	var f MetricFamily
+	var err error
+	if f.Name, b, err = readSnapString(b); err != nil {
+		return f, nil, err
+	}
+	if f.Help, b, err = readSnapString(b); err != nil {
+		return f, nil, err
+	}
+	if f.Type, b, err = readSnapString(b); err != nil {
+		return f, nil, err
+	}
+	if len(b) < 4 {
+		return f, nil, fmt.Errorf("obs: truncated sample count (%d bytes)", len(b))
+	}
+	n := binary.BigEndian.Uint32(b)
+	b = b[4:]
+	// Every sample needs at least its suffix length, label count and value.
+	if uint64(n)*16 > uint64(len(b)) {
+		return f, nil, fmt.Errorf("obs: sample count %d exceeds payload (%d bytes)", n, len(b))
+	}
+	if n > 0 {
+		f.Samples = make([]MetricSample, n)
+		for i := range f.Samples {
+			if f.Samples[i], b, err = readMetricSample(b); err != nil {
+				return f, nil, err
+			}
+		}
+	}
+	return f, b, nil
+}
+
+// appendMetricSample appends one sample: suffix, labels, value bits.
+func appendMetricSample(dst []byte, s *MetricSample) []byte {
+	dst = appendSnapString(dst, s.Suffix)
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(s.Labels)))
+	for _, l := range s.Labels {
+		dst = appendSnapString(dst, l)
+	}
+	return binary.BigEndian.AppendUint64(dst, math.Float64bits(s.Value))
+}
+
+// readMetricSample consumes one encoded sample.
+func readMetricSample(b []byte) (MetricSample, []byte, error) {
+	var s MetricSample
+	var err error
+	if s.Suffix, b, err = readSnapString(b); err != nil {
+		return s, nil, err
+	}
+	if len(b) < 4 {
+		return s, nil, fmt.Errorf("obs: truncated label count (%d bytes)", len(b))
+	}
+	n := binary.BigEndian.Uint32(b)
+	b = b[4:]
+	if uint64(n)*4 > uint64(len(b)) {
+		return s, nil, fmt.Errorf("obs: label count %d exceeds payload (%d bytes)", n, len(b))
+	}
+	if n > 0 {
+		s.Labels = make([]string, n)
+		for i := range s.Labels {
+			if s.Labels[i], b, err = readSnapString(b); err != nil {
+				return s, nil, err
+			}
+		}
+	}
+	if len(b) < 8 {
+		return s, nil, fmt.Errorf("obs: truncated sample value (%d bytes)", len(b))
+	}
+	s.Value = math.Float64frombits(binary.BigEndian.Uint64(b))
+	return s, b[8:], nil
+}
+
+// appendSnapString appends a uint32-length-prefixed string.
+func appendSnapString(dst []byte, s string) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(s)))
+	return append(dst, s...)
+}
+
+// readSnapString consumes a uint32-length-prefixed string.
+func readSnapString(b []byte) (string, []byte, error) {
+	if len(b) < 4 {
+		return "", nil, fmt.Errorf("obs: truncated string length (%d bytes)", len(b))
+	}
+	n := binary.BigEndian.Uint32(b)
+	b = b[4:]
+	if uint32(len(b)) < n {
+		return "", nil, fmt.Errorf("obs: truncated string payload (want %d, have %d)", n, len(b))
+	}
+	return string(b[:n]), b[n:], nil
+}
+
+// FederatedSnapshot is one member's labeled snapshot in a federated view.
+type FederatedSnapshot struct {
+	Label string // the member's identity (worker node ID)
+	Snap  *Snapshot
+}
+
+// WriteFederated renders the members' snapshots as one exposition section:
+// every family is re-rooted under prefix — a name starting with "gradoop_"
+// keeps the remainder, anything else is prefixed whole — and every sample
+// gains labelName="<member label>" as its first label. Families present on
+// several members share one HELP/TYPE header (the first member's help
+// wins), so one scrape of the coordinator exposes per-worker-labeled
+// series for the entire roster.
+func WriteFederated(sb *strings.Builder, prefix, labelName string, members []FederatedSnapshot) {
+	type familyText struct {
+		help, typ string
+		order     int
+	}
+	families := map[string]*familyText{}
+	var order []string
+	for _, m := range members {
+		if m.Snap == nil {
+			continue
+		}
+		for i := range m.Snap.Families {
+			f := &m.Snap.Families[i]
+			name := federatedName(prefix, f.Name)
+			if _, ok := families[name]; !ok {
+				families[name] = &familyText{help: f.Help, typ: f.Type, order: len(order)}
+				order = append(order, name)
+			}
+		}
+	}
+	sort.Strings(order)
+	for _, name := range order {
+		ft := families[name]
+		header(sb, name, ft.help, ft.typ)
+		for _, m := range members {
+			if m.Snap == nil {
+				continue
+			}
+			for i := range m.Snap.Families {
+				f := &m.Snap.Families[i]
+				if federatedName(prefix, f.Name) != name {
+					continue
+				}
+				for j := range f.Samples {
+					smp := &f.Samples[j]
+					labels := labelPairs{{labelName, m.Label}}
+					for k := 0; k+1 < len(smp.Labels); k += 2 {
+						labels = append(labels, labelPair{smp.Labels[k], smp.Labels[k+1]})
+					}
+					sample(sb, name+smp.Suffix, labels, smp.Value)
+				}
+			}
+		}
+	}
+}
+
+// federatedName re-roots a member's family name under the federation
+// prefix: gradoop_stage_duration_seconds federated under gradoop_cluster_
+// becomes gradoop_cluster_stage_duration_seconds.
+func federatedName(prefix, name string) string {
+	return prefix + strings.TrimPrefix(name, "gradoop_")
+}

@@ -35,7 +35,7 @@ func newHTTPInstruments(r *obs.Registry) httpInstruments {
 func endpointLabel(path string) string {
 	switch path {
 	case "/query", "/explain", "/analyze", "/metrics", "/metrics.json", "/jobs", "/healthz",
-		"/querystore/top", "/querystore/regressions":
+		"/querystore/top", "/querystore/regressions", "/cluster/workers":
 		return path
 	default:
 		if strings.HasPrefix(path, "/querystore/fingerprint/") {

@@ -269,6 +269,38 @@ var expositionExempt = map[string]bool{
 	"gradoop_spill_bytes_total":   true,
 	"gradoop_shuffle_bytes_total": true,
 	"gradoop_stage_retries_total": true,
+	// Coordinator instruments: distributed-execution and telemetry-plane
+	// counters scraped via Prometheus, surfaced to humans through /analyze
+	// and /cluster/workers rather than /metrics.json.
+	"gradoop_cluster_jobs_total":               true,
+	"gradoop_cluster_recoveries_total":         true,
+	"gradoop_cluster_worker_losses_total":      true,
+	"gradoop_cluster_attempts":                 true,
+	"gradoop_cluster_job_seconds":              true,
+	"gradoop_cluster_wire_bytes_total":         true,
+	"gradoop_cluster_stage_predicted_ns_total": true,
+	"gradoop_cluster_stage_actual_ns_total":    true,
+	"gradoop_cluster_telemetry_frames_total":   true,
+	"gradoop_cluster_telemetry_bytes_total":    true,
+	"gradoop_cluster_telemetry_dropped_total":  true,
+	"gradoop_cluster_partial_telemetry_total":  true,
+	"gradoop_cluster_live_workers":             true,
+	// Federated worker series: each worker's gradoop_* families re-rooted
+	// under gradoop_cluster_ and labeled per worker by the /metrics
+	// federation. Remote state by design — never mirrored into the
+	// coordinator's own /metrics.json.
+	"gradoop_cluster_worker_spans_retained":          true,
+	"gradoop_cluster_worker_spans_dropped_total":     true,
+	"gradoop_cluster_worker_jobs_total":              true,
+	"gradoop_cluster_worker_job_failures_total":      true,
+	"gradoop_cluster_worker_job_seconds":             true,
+	"gradoop_cluster_worker_telemetry_bytes_total":   true,
+	"gradoop_cluster_worker_telemetry_bundles_total": true,
+	"gradoop_cluster_stage_duration_seconds":         true,
+	"gradoop_cluster_stages_total":                   true,
+	"gradoop_cluster_shuffle_bytes_total":            true,
+	"gradoop_cluster_spill_bytes_total":              true,
+	"gradoop_cluster_stage_retries_total":            true,
 }
 
 // TestMetricsJSONCoversExposition scrapes /metrics after a workload that
@@ -282,7 +314,15 @@ func TestMetricsJSONCoversExposition(t *testing.T) {
 	postJSON(t, ts.URL+"/query", body)
 	postJSON(t, ts.URL+"/query", body)
 	postJSON(t, ts.URL+"/query", map[string]any{"query": "MATCH ((("})
+	auditExpositionCoverage(t, ts)
+}
 
+// auditExpositionCoverage scrapes a server's /metrics and asserts every
+// family either maps to a present /metrics.json field or is explicitly
+// exempted. Shared by the plain audit above and the cluster-backed audit,
+// whose exposition adds the coordinator and federated worker families.
+func auditExpositionCoverage(t *testing.T, ts *httptest.Server) {
+	t.Helper()
 	resp, err := http.Get(ts.URL + "/metrics")
 	if err != nil {
 		t.Fatal(err)

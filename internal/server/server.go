@@ -1,7 +1,10 @@
 // Package server exposes a session over JSON-HTTP: /query executes Cypher
 // (POST JSON body or GET with q= and param.NAME= pairs), /explain renders
 // the cached template plan, /analyze executes with tracing and returns the
-// EXPLAIN ANALYZE view, /metrics serves the Prometheus text exposition,
+// EXPLAIN ANALYZE view, /metrics serves the Prometheus text exposition
+// (federated with per-worker-labeled gradoop_cluster_* series when the
+// session fronts a worker cluster), /cluster/workers the cluster roster
+// with liveness and per-worker job counts,
 // /metrics.json the service counters and cache hit ratios as JSON, /jobs
 // the live table of in-flight queries with their current stage,
 // /querystore/top, /querystore/fingerprint/{id} and /querystore/regressions
@@ -77,8 +80,17 @@ func New(s *session.Session, cfg Config) *Server {
 	srv.mux.HandleFunc("/querystore/top", srv.handleQStoreTop)
 	srv.mux.HandleFunc("/querystore/fingerprint/", srv.handleQStoreFingerprint)
 	srv.mux.HandleFunc("/querystore/regressions", srv.handleQStoreRegressions)
+	srv.mux.HandleFunc("/cluster/workers", srv.handleClusterWorkers)
 	srv.mux.HandleFunc("/healthz", srv.handleHealthz)
 	return srv
+}
+
+// clusterIntrospector returns the session's remote executor's observability
+// surface, or nil when the server fronts an in-process session (or a remote
+// executor that doesn't expose one).
+func (s *Server) clusterIntrospector() session.ClusterIntrospector {
+	ci, _ := s.session.Options().Remote.(session.ClusterIntrospector)
+	return ci
 }
 
 // ServeHTTP implements http.Handler. It stamps the per-request trace ID
@@ -217,6 +229,12 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		var buf bytes.Buffer
 		if err := res.Trace.WriteChromeTrace(&buf); err == nil {
 			out.ChromeTrace = json.RawMessage(buf.Bytes())
+		}
+	} else if res.Cluster != nil && res.Cluster.Trace != nil {
+		// Distributed tracing: the coordinator merged the workers' shipped
+		// span bundles into one document, one process lane per worker.
+		if raw, err := json.Marshal(res.Cluster.Trace); err == nil {
+			out.ChromeTrace = json.RawMessage(raw)
 		}
 	}
 	writeJSON(w, http.StatusOK, out)
@@ -367,10 +385,43 @@ func (s *Server) handleQStoreRegressions(w http.ResponseWriter, r *http.Request)
 
 // handlePrometheus serves the registry's text exposition (Prometheus
 // format 0.0.4). A server without a registry serves a valid empty body —
-// scrapers see an up target with no series rather than an error.
+// scrapers see an up target with no series rather than an error. When the
+// session fronts a worker cluster, the exposition is federated: the
+// workers' last-shipped registry snapshots follow the coordinator's own
+// series, re-rooted under gradoop_cluster_ and labeled per worker, so one
+// scrape of the coordinator covers the whole cluster.
 func (s *Server) handlePrometheus(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	io.WriteString(w, s.registry.Exposition())
+	if ci := s.clusterIntrospector(); ci != nil {
+		members := ci.WorkerMetrics()
+		feds := make([]obs.FederatedSnapshot, 0, len(members))
+		for _, m := range members {
+			feds = append(feds, obs.FederatedSnapshot{Label: m.Node, Snap: m.Snap})
+		}
+		var sb strings.Builder
+		obs.WriteFederated(&sb, "gradoop_cluster_", "worker", feds)
+		io.WriteString(w, sb.String())
+	}
+}
+
+// handleClusterWorkers serves the cluster roster: node names, liveness,
+// heartbeat ages and per-worker job counts. 404 on an in-process session —
+// the endpoint exists only where a cluster does.
+func (s *Server) handleClusterWorkers(w http.ResponseWriter, r *http.Request) {
+	ci := s.clusterIntrospector()
+	if ci == nil {
+		writeJSON(w, http.StatusNotFound, errorResponse{
+			Error: "not a cluster session (start with -cluster)",
+			Kind:  session.KindInvalid.String(),
+		})
+		return
+	}
+	workers := ci.ClusterWorkers()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"count":   len(workers),
+		"workers": workers,
+	})
 }
 
 // handleJobs lists the in-flight queries: canonical text, trace ID,

@@ -26,10 +26,13 @@ type ChromeEvent struct {
 	Args map[string]any `json:"args,omitempty"`
 }
 
-// ChromeTrace is the top-level trace_event JSON document.
+// ChromeTrace is the top-level trace_event JSON document. Metadata carries
+// document-level context (the cluster export stores the trace ID there);
+// the single-process export leaves it empty.
 type ChromeTrace struct {
-	TraceEvents     []ChromeEvent `json:"traceEvents"`
-	DisplayTimeUnit string        `json:"displayTimeUnit"`
+	TraceEvents     []ChromeEvent     `json:"traceEvents"`
+	DisplayTimeUnit string            `json:"displayTimeUnit"`
+	Metadata        map[string]string `json:"metadata,omitempty"`
 }
 
 // micros converts a span offset to trace microseconds; call sites clamp
@@ -62,6 +65,14 @@ func (c *Collector) ChromeTrace() ChromeTrace {
 		events = append(events, ChromeEvent{Name: "thread_name", Ph: "M", PID: 0, TID: w + 1,
 			Args: map[string]any{"name": fmt.Sprintf("worker %d", w)}})
 	}
+	events = appendSpanEvents(events, 0, spans)
+	return ChromeTrace{TraceEvents: events, DisplayTimeUnit: "ms"}
+}
+
+// appendSpanEvents emits the span set's trace events into one process lane:
+// one complete event per stage on the driver thread (tid 0) and one per
+// partition execution attempt on the partition's thread (tid part+1).
+func appendSpanEvents(events []ChromeEvent, pid int, spans []Span) []ChromeEvent {
 	for i := range spans {
 		s := &spans[i]
 		rowsIn, rowsOut := s.Rows()
@@ -89,7 +100,7 @@ func (c *Collector) ChromeTrace() ChromeTrace {
 		}
 		events = append(events, ChromeEvent{
 			Name: spanName(s), Cat: "stage", Ph: "X",
-			TS: micros(int64(s.Start)), Dur: dur, PID: 0, TID: 0, Args: args,
+			TS: micros(int64(s.Start)), Dur: dur, PID: pid, TID: 0, Args: args,
 		})
 		for _, a := range s.Attempts {
 			name := spanName(s)
@@ -105,7 +116,7 @@ func (c *Collector) ChromeTrace() ChromeTrace {
 			}
 			events = append(events, ChromeEvent{
 				Name: name, Cat: "attempt", Ph: "X",
-				TS: micros(int64(a.Start)), Dur: adur, PID: 0, TID: a.Part + 1,
+				TS: micros(int64(a.Start)), Dur: adur, PID: pid, TID: a.Part + 1,
 				Args: map[string]any{
 					"stage":   s.Stage,
 					"attempt": a.N,
@@ -114,7 +125,55 @@ func (c *Collector) ChromeTrace() ChromeTrace {
 			})
 		}
 	}
-	return ChromeTrace{TraceEvents: events, DisplayTimeUnit: "ms"}
+	return events
+}
+
+// WorkerTrace is one worker process's contribution to a merged cluster
+// trace: its node name and the spans its telemetry bundle shipped.
+type WorkerTrace struct {
+	Node  string
+	Spans []Span
+}
+
+// ClusterChromeTrace merges a distributed job into one trace_event
+// document: process 0 is the coordinator lane (its attempt and assembly
+// spans), and each worker gets its own process lane with the usual driver
+// and per-partition threads. Every process's span offsets are relative to
+// that process's own job start — the bundles ship rebased times, so lanes
+// align on "time since the job began" without trusting any machine's wall
+// clock. The trace ID binds the document to the job's logs and records.
+func ClusterChromeTrace(traceID string, coordinator []Span, workers []WorkerTrace) ChromeTrace {
+	events := []ChromeEvent{
+		{Name: "process_name", Ph: "M", PID: 0, TID: 0,
+			Args: map[string]any{"name": "coordinator"}},
+		{Name: "thread_name", Ph: "M", PID: 0, TID: 0,
+			Args: map[string]any{"name": "driver (attempts)"}},
+	}
+	events = appendSpanEvents(events, 0, coordinator)
+	for i := range workers {
+		w := &workers[i]
+		pid := i + 1
+		events = append(events, ChromeEvent{Name: "process_name", Ph: "M", PID: pid, TID: 0,
+			Args: map[string]any{"name": fmt.Sprintf("worker %s", w.Node)}})
+		events = append(events, ChromeEvent{Name: "thread_name", Ph: "M", PID: pid, TID: 0,
+			Args: map[string]any{"name": "driver (stages)"}})
+		parts := 0
+		for j := range w.Spans {
+			if n := len(w.Spans[j].Parts); n > parts {
+				parts = n
+			}
+		}
+		for p := 0; p < parts; p++ {
+			events = append(events, ChromeEvent{Name: "thread_name", Ph: "M", PID: pid, TID: p + 1,
+				Args: map[string]any{"name": fmt.Sprintf("partition %d", p)}})
+		}
+		events = appendSpanEvents(events, pid, w.Spans)
+	}
+	return ChromeTrace{
+		TraceEvents:     events,
+		DisplayTimeUnit: "ms",
+		Metadata:        map[string]string{"traceId": traceID},
+	}
 }
 
 // WriteChromeTrace writes the trace_event JSON document to w.

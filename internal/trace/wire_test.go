@@ -1,0 +1,97 @@
+package trace
+
+import (
+	"encoding/binary"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// wireFixture is a span set exercising every encoded field: multi-part
+// stages, retried attempts, iteration markers and empty spans.
+func wireFixture() []Span {
+	return []Span{
+		{
+			Stage: 0, Op: "scan Person", Kind: "map", Shuffle: false,
+			Start: 10 * time.Microsecond, End: 250 * time.Microsecond,
+			Parts: []PartStats{
+				{RowsIn: 100, RowsOut: 90, CPUElements: 100, NetBytes: 0, MemBytes: 4096},
+				{RowsIn: 80, RowsOut: 80, CPUElements: 80, SpillBytes: 512, Retries: 1,
+					Recovery: 3 * time.Microsecond},
+			},
+			Attempts: []Attempt{
+				{Part: 0, N: 0, Start: 10 * time.Microsecond, End: 120 * time.Microsecond},
+				{Part: 1, N: 0, Start: 12 * time.Microsecond, End: 40 * time.Microsecond, Failed: true},
+				{Part: 1, N: 1, Start: 41 * time.Microsecond, End: 130 * time.Microsecond},
+			},
+		},
+		{
+			Stage: 1, Op: "join knows", Kind: "join", Shuffle: true, Iteration: 2,
+			Start: 250 * time.Microsecond, End: 900 * time.Microsecond,
+			Parts: []PartStats{{RowsIn: 170, RowsOut: 40, NetBytes: 8192}},
+		},
+		{Stage: 2, Kind: "sink"}, // no op, no parts, no attempts
+	}
+}
+
+// TestSpanWireRoundTrip pins the span codec: everything the collector
+// records survives encode/decode byte-exactly.
+func TestSpanWireRoundTrip(t *testing.T) {
+	spans := wireFixture()
+	buf := AppendSpans(nil, spans)
+	got, rest, err := ReadSpans(buf)
+	if err != nil {
+		t.Fatalf("ReadSpans: %v", err)
+	}
+	if len(rest) != 0 {
+		t.Fatalf("ReadSpans left %d bytes unconsumed", len(rest))
+	}
+	if !reflect.DeepEqual(got, spans) {
+		t.Fatalf("round trip diverged:\n got %+v\nwant %+v", got, spans)
+	}
+}
+
+// TestSpanWireEmpty pins the zero-span encoding (a worker whose job ran no
+// stages still ships a valid bundle).
+func TestSpanWireEmpty(t *testing.T) {
+	buf := AppendSpans(nil, nil)
+	got, rest, err := ReadSpans(buf)
+	if err != nil || len(got) != 0 || len(rest) != 0 {
+		t.Fatalf("empty round trip: spans=%v rest=%d err=%v", got, len(rest), err)
+	}
+}
+
+// TestSpanWireTruncated feeds every strict prefix of a valid encoding to
+// the decoder: each must fail cleanly, never panic or fabricate spans.
+func TestSpanWireTruncated(t *testing.T) {
+	buf := AppendSpans(nil, wireFixture())
+	for cut := 0; cut < len(buf); cut++ {
+		if _, _, err := ReadSpans(buf[:cut]); err == nil {
+			t.Fatalf("truncation at %d/%d bytes decoded without error", cut, len(buf))
+		}
+	}
+}
+
+// TestSpanWireHostileCounts forges length prefixes far beyond the buffer:
+// the decoder must reject them before allocating, not crash on make().
+func TestSpanWireHostileCounts(t *testing.T) {
+	// A span-count prefix claiming 2^31 spans over an empty body.
+	huge := binary.BigEndian.AppendUint32(nil, 1<<31)
+	if _, _, err := ReadSpans(huge); err == nil {
+		t.Fatal("hostile span count decoded without error")
+	}
+	// A valid one-span envelope whose part count is forged upward.
+	buf := AppendSpans(nil, []Span{{Stage: 1, Op: "x", Kind: "map"}})
+	// Layout after the u32 span count: stage u64, op len u32 ... find the
+	// parts count by re-encoding with one part and diffing lengths is
+	// fragile; instead corrupt every u32-aligned offset and require no
+	// panic (errors are fine, silent success on grown counts is not).
+	for off := 4; off+4 <= len(buf); off += 4 {
+		forged := append([]byte(nil), buf...)
+		binary.BigEndian.PutUint32(forged[off:], 1<<30)
+		got, _, err := ReadSpans(forged)
+		if err == nil && len(got) > 0 && len(got[0].Parts) > 1<<20 {
+			t.Fatalf("forged count at offset %d allocated %d parts", off, len(got[0].Parts))
+		}
+	}
+}
